@@ -1,0 +1,40 @@
+"""E10 — the §1.2 related-work comparison table ("topology zoo").
+
+The paper positions ΘALG against the classical proximity graphs:
+
+* Yao graph (N₁)      — spanner, but Ω(n) worst-case degree;
+* Gabriel graph       — optimal energy paths, Ω(n) degree;
+* RNG                 — sparse, polynomial energy-stretch worst case;
+* restricted Delaunay — spanner, Ω(n) degree worst case;
+* kNN                 — not even connected in general;
+* Euclidean MST       — sparsest, unbounded stretch.
+
+ΘALG's N is the only entry that simultaneously guarantees O(1) degree,
+O(1) energy-stretch, and connectivity.  The bench reproduces the
+comparison quantitatively on uniform and civilized inputs, including
+each topology's interference number.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.analysis.topology_experiments import e10_topology_zoo
+
+
+def test_e10_topology_zoo(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e10_topology_zoo(n=256, distributions=("uniform", "civilized"), rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e10_topology_zoo", render_table(rows, title="E10: §1.2 — topology comparison (degree / stretch / interference)"))
+    by_key = {(r["distribution"], r["topology"]): r for r in rows}
+    for dist in ("uniform", "civilized"):
+        theta = by_key[(dist, "ThetaALG(N)")]
+        gstar = by_key[(dist, "Gstar")]
+        mst = by_key[(dist, "MST")]
+        assert theta["connected"]
+        assert theta["energy_stretch"] < 3.0
+        assert theta["max_degree"] < gstar["max_degree"] or gstar["max_degree"] <= 8
+        # The MST is sparser but pays for it in stretch.
+        assert mst["energy_stretch"] >= theta["energy_stretch"] - 1e-9

@@ -1,0 +1,39 @@
+"""E12 — §3.2: the threshold/buffer trade-off of balancing.
+
+Paper context: Theorem 3.1 buys its (1−ε) throughput with buffers a
+factor ≈ O(L̄/ε) larger than OPT's.  This ablation sweeps the
+threshold T and buffer height H on a fixed stream workload, showing
+
+* throughput increasing in H (too-small buffers drop load),
+* the stuck-packet tail growing with T (ramp-up packets below the
+  gradient never deliver — the additive slack of the theorem),
+* drops vanishing once H clears the working set.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.routing_experiments import e12_buffer_tradeoff
+from repro.analysis.tables import render_table
+
+
+def test_e12_buffer_tradeoff(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e12_buffer_tradeoff(
+            thresholds=(1, 4, 16, 64), heights=(8, 32, 128, 512), duration=400, rng=0
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e12_buffer_tradeoff", render_table(rows, title="E12: §3.2 — throughput/drops vs threshold T and buffer height H"))
+    # Monotone in H at fixed T=1.
+    t1 = sorted((r for r in rows if r["threshold_T"] == 1), key=lambda r: r["height_H"])
+    deliv = [r["delivered"] for r in t1]
+    assert deliv == sorted(deliv)
+    # Larger T leaves (weakly) more packets stuck at the largest H.
+    h_max = max(r["height_H"] for r in rows)
+    tails = {
+        r["threshold_T"]: r["witness"] - r["delivered"]
+        for r in rows
+        if r["height_H"] == h_max
+    }
+    assert tails[64] >= tails[1]

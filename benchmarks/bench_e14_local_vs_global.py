@@ -1,0 +1,34 @@
+"""E14 — ablation: ΘALG's locality vs the global constructions (§2.1).
+
+The paper's pitch for ΘALG's phase 2 is not quality — the global
+postprocessing of Wattenhofer et al. and the greedy spanner produce
+comparable topologies — but *locality*: phase 2 is one extra local
+round, while the alternatives need a network-wide edge ranking
+(communication time proportional to the diameter).  The table shows the
+quality gap is small, isolating locality as the contribution.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ablation_experiments import e14_local_vs_global
+from repro.analysis.tables import render_table
+
+
+def test_e14_local_vs_global(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e14_local_vs_global(ns=(64, 128, 256), rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e14_local_vs_global", render_table(rows, title="E14: local ΘALG vs global sparsification — quality parity"))
+    for r in rows:
+        assert r["disconnected"] == 0, r
+        assert r["energy_stretch"] < 4.0, r
+    # ΘALG within 2× of the best global stretch at every n.
+    by_n: dict[int, dict[str, float]] = {}
+    for r in rows:
+        by_n.setdefault(r["n"], {})[r["algorithm"]] = r["energy_stretch"]
+    for n, per_alg in by_n.items():
+        theta = per_alg["ThetaALG (local, 3 rounds)"]
+        best = min(per_alg.values())
+        assert theta <= 2.0 * best + 0.5, (n, per_alg)

@@ -1,0 +1,31 @@
+"""E15 — probing the paper's open problem: is N a spanner in general?
+
+§2 leaves open whether ΘALG's topology N has O(1) *distance*-stretch
+for arbitrary (non-civilized) node distributions; only O(1)
+energy-stretch is proved.  This probe measures the worst distance
+stretch over every adversarial point-set family in the library across
+θ.  Bounded results are (non-conclusive) evidence toward spannerhood;
+the bench asserts only what the paper guarantees — connectivity — and
+reports the distance numbers for the record.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.ablation_experiments import e15_spanner_probe
+from repro.analysis.tables import render_table
+
+
+def test_e15_spanner_probe(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e15_spanner_probe(n=128, trials=4, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e15_spanner_probe", render_table(rows, title="E15: open problem — worst distance-stretch of N by family and θ"))
+    # Connectivity always holds (stretch finite)…
+    for r in rows:
+        assert math.isfinite(r["worst_distance_stretch"]), r
+    # …and no family exhibits runaway distance-stretch at these sizes.
+    assert max(r["worst_distance_stretch"] for r in rows) < 10.0

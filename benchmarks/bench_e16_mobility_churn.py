@@ -1,0 +1,32 @@
+"""E16 — routing under mobility churn (the §1 motivation, measured).
+
+Balancing (stateless w.r.t. topology history) vs a shortest-path router
+with tables frozen at t=0, as node speed grows.  The paper's adversarial
+model predicts exactly this shape: balancing's guarantees are oblivious
+to *why* edges changed, so it degrades gracefully, while table-driven
+forwarding collapses under churn.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mobility_experiments import e16_mobility_churn
+from repro.analysis.tables import render_table
+
+
+def test_e16_mobility_churn(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e16_mobility_churn(n=50, steps=400, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e16_mobility_churn", render_table(rows, title="E16: delivery under mobility churn — balancing vs frozen tables"))
+    static = rows[0]
+    fastest = rows[-1]
+    # Balancing keeps delivering at the highest churn…
+    assert fastest["balancing_fraction"] >= 0.4, rows
+    # …and beats the frozen-table router there by a clear margin.
+    assert (
+        fastest["balancing_delivered"] >= 1.5 * max(fastest["frozen_sp_delivered"], 1)
+    ), rows
+    # Sanity: in the static case the frozen tables are fine.
+    assert static["frozen_sp_fraction"] >= 0.8, rows

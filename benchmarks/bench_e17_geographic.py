@@ -1,0 +1,29 @@
+"""E17 — greedy geographic routing vs topology sparsity (§1.2 context).
+
+Greedy geographic forwarding (the stateless mode of GPSR, cited in the
+paper's related work) delivers only when no local minimum intervenes.
+Denser graphs have fewer minima, so sparsification — the very thing
+topology control does — erodes greedy deliverability.  The bench
+quantifies the trade and shows why the paper's balancing layer, which
+needs no geometric progress, composes better with ΘALG.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.geographic_experiments import e17_geographic_routing
+from repro.analysis.tables import render_table
+
+
+def test_e17_geographic(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e17_geographic_routing(n=200, n_pairs=300, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e17_geographic", render_table(rows, title="E17: greedy geographic routing — delivery rate vs sparsity"))
+    by_name = {r["topology"]: r for r in rows}
+    # Density ordering: G* ≥ ΘALG ≥ MST in greedy deliverability.
+    assert by_name["Gstar"]["greedy_delivery_rate"] >= by_name["ThetaALG(N)"]["greedy_delivery_rate"]
+    assert by_name["ThetaALG(N)"]["greedy_delivery_rate"] >= by_name["MST"]["greedy_delivery_rate"]
+    # G* greedy is near-perfect at this density.
+    assert by_name["Gstar"]["greedy_delivery_rate"] >= 0.9

@@ -1,0 +1,30 @@
+"""E18 — anycast balancing vs fixed-member unicast (extension).
+
+The paper generalizes the anycast balancing of [10] to edge costs; the
+library implements both directions.  With more replicas, anycast's
+gradient pulls packets to the nearest member: deliveries should not
+drop and per-packet energy should not rise as the group grows, while
+unicast to a fixed member gains nothing from extra replicas.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.anycast_experiments import e18_anycast
+from repro.analysis.tables import render_table
+
+
+def test_e18_anycast(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e18_anycast(n=80, duration=500, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e18_anycast", render_table(rows, title="E18: anycast balancing vs fixed-member unicast"))
+    for r in rows:
+        assert r["anycast_delivered"] > 0, r
+    # With ≥ 2 replicas anycast delivers at least as much as unicast…
+    multi = [r for r in rows if r["group_size"] >= 2]
+    assert all(r["anycast_delivered"] >= 0.9 * r["unicast_delivered"] for r in multi), rows
+    # …and at the largest group its energy per packet is no worse.
+    biggest = max(rows, key=lambda r: r["group_size"])
+    assert biggest["anycast_avg_cost"] <= 1.2 * biggest["unicast_avg_cost"], rows

@@ -1,0 +1,30 @@
+"""E1 — Lemma 2.1: ΘALG's output N is connected with degree ≤ 4π/θ.
+
+Paper claim: for any node distribution (with G* connected) and any
+θ ≤ π/3, the topology N is connected and every node has at most 4π/θ
+incident edges.  The table sweeps n × θ × distribution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_table
+from repro.analysis.topology_experiments import e1_degree_connectivity
+
+
+def test_e1_degree_connectivity(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e1_degree_connectivity(
+            ns=(64, 128, 256, 512),
+            thetas=(math.pi / 6, math.pi / 9, math.pi / 12),
+            distributions=("uniform", "clustered", "ring", "two_cluster"),
+            rng=0,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e1_degree_connectivity", render_table(rows, title="E1: Lemma 2.1 — connectivity and degree bound of N"))
+    for r in rows:
+        assert r["N_connected"], r
+        assert r["within_bound"], r

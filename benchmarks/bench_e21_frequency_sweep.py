@@ -1,0 +1,26 @@
+"""E21 — the δ (frequencies) parameter of Theorem 3.1, ablated.
+
+Theorem 3.1's threshold rule T ≥ B + 2(δ−1) names δ, the number of
+edges one node can use concurrently.  This ablation caps per-node
+concurrency in the MAC and sweeps δ: throughput should rise with δ
+(radio contention is the binding constraint at δ=1) and saturate once
+the stream paths stop competing for radios.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.routing_experiments import e21_frequency_sweep
+from repro.analysis.tables import render_table
+
+
+def test_e21_frequency_sweep(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e21_frequency_sweep(deltas=(1, 2, 4), duration=600, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e21_frequency_sweep", render_table(rows, title="E21: throughput vs δ (concurrent edges per node)"))
+    ratios = [r["throughput_ratio"] for r in rows]
+    # Monotone non-decreasing in δ (with a little noise slack).
+    assert all(b >= a - 0.03 for a, b in zip(ratios, ratios[1:])), rows
+    assert ratios[-1] > ratios[0], rows

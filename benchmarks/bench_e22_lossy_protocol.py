@@ -1,0 +1,54 @@
+"""E22 — failure injection: the ΘALG protocol over a lossy medium.
+
+The paper assumes message delivery; real links drop frames.  This bench
+sweeps the per-delivery loss probability and the retransmission budget
+and reports what survives: edge recall vs the ideal topology,
+connectivity, and the transmission overhead retransmissions cost.
+Expected shape: a small retry budget buys back the exact construction
+at moderate loss (per-message failure decays geometrically), while the
+single-shot protocol degrades with p.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_table
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.transmission import max_range_for_connectivity
+from repro.localsim.lossy import lossy_protocol_run
+
+
+def _rows():
+    pts = uniform_points(100, rng=5)
+    d = max_range_for_connectivity(pts, slack=1.4)
+    rows = []
+    for loss in (0.0, 0.2, 0.5):
+        for retries in (0, 4):
+            _, rep = lossy_protocol_run(
+                pts, math.pi / 9, d, loss_prob=loss, retries=retries, rng=9
+            )
+            r = {"loss_prob": loss, "retries": retries}
+            r.update(
+                {
+                    "transmissions": rep.transmissions,
+                    "edge_recall": round(rep.edge_recall, 3),
+                    "missing": rep.missing_edges,
+                    "spurious": rep.spurious_edges,
+                    "connected": rep.connected,
+                }
+            )
+            rows.append(r)
+    return rows
+
+
+def test_e22_lossy_protocol(benchmark, record_table):
+    rows = benchmark.pedantic(_rows, iterations=1, rounds=1)
+    record_table("e22_lossy_protocol", render_table(rows, title="E22: ΘALG protocol under message loss — recall vs retransmission budget"))
+    by = {(r["loss_prob"], r["retries"]): r for r in rows}
+    assert by[(0.0, 0)]["edge_recall"] == 1.0
+    assert by[(0.2, 4)]["edge_recall"] >= 0.99
+    # Single-shot protocol degrades monotonically with loss.
+    assert by[(0.5, 0)]["edge_recall"] <= by[(0.2, 0)]["edge_recall"] <= 1.0
+    # Retries cost transmissions.
+    assert by[(0.5, 4)]["transmissions"] > by[(0.0, 0)]["transmissions"]

@@ -1,0 +1,43 @@
+"""E2 — Theorem 2.2: N has O(1) energy-stretch for any distribution.
+
+Paper claim: for sufficiently small θ, the minimum-energy path in N
+between the endpoints of any G* edge costs O(|uv|^κ); hence the
+energy-stretch of N w.r.t. G* is a constant independent of n and of
+the node distribution.  The table sweeps distribution × n × θ × κ and
+includes the unpruned Yao graph N₁ as the phase-2 ablation (DESIGN.md
+§4): pruning costs a little stretch but caps the degree.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_table
+from repro.analysis.topology_experiments import e2_energy_stretch
+
+STRETCH_CEILING = 3.0  # generous constant for θ ≤ π/6, κ ≤ 4
+
+
+def test_e2_energy_stretch(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e2_energy_stretch(
+            ns=(64, 128, 256),
+            thetas=(math.pi / 6, math.pi / 9, math.pi / 12),
+            kappas=(2.0, 3.0, 4.0),
+            distributions=("uniform", "clustered", "ring", "two_cluster"),
+            rng=0,
+            max_sources=96,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e2_energy_stretch", render_table(rows, title="E2: Theorem 2.2 — energy-stretch of N (O(1), flat in n/distribution)"))
+    for r in rows:
+        assert r["disconnected_pairs"] == 0, r
+        assert r["energy_stretch_max"] < STRETCH_CEILING, r
+    # Flatness in n: the max over each n-slice varies by < 50%.
+    by_n: dict[int, list[float]] = {}
+    for r in rows:
+        by_n.setdefault(r["n"], []).append(r["energy_stretch_max"])
+    maxima = [max(v) for v in by_n.values()]
+    assert max(maxima) / min(maxima) < 1.5

@@ -1,0 +1,34 @@
+"""E3 — Theorem 2.7: O(1) distance-stretch on civilized graphs.
+
+Paper claim: when the input is a λ-precision ("civilized") point set —
+all pairwise distances at least λ·D for constant λ — the topology N is
+a spanner: Euclidean path lengths in N are within a constant of the
+shortest paths in G*.  The table sweeps n × λ × θ.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_table
+from repro.analysis.topology_experiments import e3_distance_stretch_civilized
+
+DISTANCE_STRETCH_CEILING = 4.0
+
+
+def test_e3_distance_stretch_civilized(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e3_distance_stretch_civilized(
+            ns=(64, 128, 256),
+            lams=(0.3, 0.5, 0.8),
+            thetas=(math.pi / 6, math.pi / 12),
+            rng=0,
+            max_sources=96,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e3_distance_stretch", render_table(rows, title="E3: Theorem 2.7 — distance-stretch of N on civilized point sets"))
+    for r in rows:
+        assert r["connected"], r
+        assert r["distance_stretch_max"] < DISTANCE_STRETCH_CEILING, r

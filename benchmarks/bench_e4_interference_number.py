@@ -1,0 +1,49 @@
+"""E4 — Lemma 2.10: the interference number of N is O(log n) whp.
+
+Paper claim: for n nodes placed independently and uniformly at random
+in the unit square, the interference number of ΘALG's output N is
+O(log n) with high probability — in contrast to the transmission graph
+G*, whose interference number grows polynomially in n.
+
+The bench sweeps n over three guard-zone parameters Δ, fits
+``I ≈ a·ln n + b``, and checks (i) the ratio I/ln n stays bounded while
+(ii) the G* interference number clearly outgrows it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import fit_log_slope, render_table
+from repro.analysis.topology_experiments import e4_interference_scaling
+
+
+def test_e4_interference_number(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e4_interference_scaling(
+            ns=(64, 128, 256, 512, 1024),
+            deltas=(0.25, 0.5, 1.0),
+            trials=3,
+            rng=0,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    table = render_table(rows, title="E4: Lemma 2.10 — interference number of N vs n (uniform random)")
+    # Append the log fit per delta.
+    fits = []
+    for delta in (0.25, 0.5, 1.0):
+        sub = [r for r in rows if r["delta"] == delta]
+        a, b = fit_log_slope([r["n"] for r in sub], [r["I_N_mean"] for r in sub])
+        fits.append({"delta": delta, "fit_slope_a": round(a, 2), "fit_intercept_b": round(b, 2)})
+    table += "\n\n" + render_table(fits, title="E4 fit: I_N ≈ a·ln(n) + b")
+    record_table("e4_interference_number", table)
+
+    for delta in (0.25, 0.5, 1.0):
+        sub = sorted((r for r in rows if r["delta"] == delta), key=lambda r: r["n"])
+        # I/ln n bounded: largest-n value within 2.5x of smallest-n value.
+        ratios = [r["I_over_ln_n"] for r in sub]
+        assert max(ratios) <= 2.5 * max(min(ratios), 1.0), sub
+        # N beats G* at the largest n.
+        big = sub[-1]
+        assert big["I_N_mean"] < big["I_Gstar_mean"], big

@@ -1,0 +1,58 @@
+"""E5 — Theorem 2.8 / Lemma 2.9: simulating G* schedules on N.
+
+Paper claim: any set W of packets deliverable by a schedule on G* in t
+steps is deliverable on N in O(t·I + n²) steps.  The constructive core
+replaces each G* edge by its θ-path in N; Lemma 2.9 bounds by 6 the
+number of θ-paths that reuse any single N edge within one
+(non-interfering) step.  The bench replaces random greedy maximal
+non-interfering G* edge sets and reports the observed congestion.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.analysis.topology_experiments import (
+    e5_schedule_replacement,
+    e5b_full_simulation,
+    e5c_packet_transform,
+)
+
+
+def test_e5_schedule_replacement(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e5_schedule_replacement(ns=(64, 128, 256), steps=20, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e5_schedule_replacement", render_table(rows, title="E5: Lemma 2.9 — θ-path congestion when simulating G* steps on N"))
+    for r in rows:
+        assert r["within_bound"], r
+        assert r["paths_replaced"] > 0, r
+
+
+def test_e5c_packet_transform(benchmark, record_table):
+    """Packet-level Theorem 2.8: transform witnessed G* packet schedules
+    into validated interference-free N schedules; inflation ≤ O(I)."""
+    rows = benchmark.pedantic(
+        lambda: e5c_packet_transform(ns=(48, 96), n_packets=25, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e5c_packet_transform", render_table(rows, title="E5c: Theorem 2.8 — packet-schedule transform, makespan inflation"))
+    for r in rows:
+        assert r["inflation"] <= r["interference_I"] + 1, r
+        assert r["makespan_N"] >= r["makespan_Gstar"] * 0.5, r
+
+
+def test_e5b_full_simulation(benchmark, record_table):
+    """End-to-end Theorem 2.8: whole-G*-schedule slowdown on N ≤ O(I)."""
+    rows = benchmark.pedantic(
+        lambda: e5b_full_simulation(ns=(48, 96), rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e5b_full_simulation", render_table(rows, title="E5b: Theorem 2.8 — slowdown of a complete G* schedule simulated on N"))
+    for r in rows:
+        # Slowdown within the theorem's O(I) envelope, far under it.
+        assert r["slowdown"] <= r["interference_I"], r
+        assert r["n_slots_on_N"] >= r["gstar_rounds"] * 0.2, r

@@ -1,0 +1,29 @@
+"""E8 — Corollary 3.5: O(1/log n)-competitiveness on random nodes.
+
+Paper claim: for nodes uniformly random in the unit square, ΘALG +
+(T, γ, I)-balancing is (O(1/log n), O(L̄))-competitive against an
+optimal algorithm free to use any G* edges.  The bench grows n and
+checks that throughput-ratio × ln n does not collapse — i.e. the decay
+is no faster than 1/ln n up to the constant hidden in Lemma 2.10's
+interference bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.routing_experiments import e8_random_competitive
+from repro.analysis.tables import render_table
+
+
+def test_e8_random_competitive(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e8_random_competitive(ns=(32, 64, 128, 256), duration=2000, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e8_random_competitive", render_table(rows, title="E8: Corollary 3.5 — throughput ratio × ln n across n (uniform random)"))
+    for r in rows:
+        assert r["delivered"] > 0, r
+    # I grows like log n times a constant; the ratio should not decay
+    # faster than 1/I (up to noise): ratio × I bounded below.
+    prods = [r["throughput_vs_witness"] * r["interference_I"] for r in rows]
+    assert min(prods) > 0.05 * max(prods), rows

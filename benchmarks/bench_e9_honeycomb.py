@@ -1,0 +1,33 @@
+"""E9 — Theorem 3.8 / Lemmas 3.6–3.7: the honeycomb algorithm.
+
+Paper claim (fixed transmission strength 1, absolute guard distance
+1+Δ, hexagons of side 3+2Δ): each hexagon's maximum-benefit contestant
+transmits with p_t ≤ 1/6 and then succeeds with probability ≥ 1/2
+(Lemma 3.7), making the honeycomb algorithm
+``((1−ε)/(24·c_b), ·, 1+2/ε)``-competitive (Theorem 3.8).
+
+The bench runs under- and over-loaded stream workloads per Δ: the
+underloaded rows should deliver almost everything after the drain; all
+rows must clear the Lemma 3.7 success floor.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.routing_experiments import e9_honeycomb
+from repro.analysis.tables import render_table
+
+
+def test_e9_honeycomb(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: e9_honeycomb(n=300, side=20.0, deltas=(0.25, 0.5, 1.0), duration=800, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    record_table("e9_honeycomb", render_table(rows, title="E9: Theorem 3.8 — honeycomb algorithm at fixed transmission strength"))
+    for r in rows:
+        assert r["above_floor"], r
+    for r in rows:
+        if r["regime"] == "underload":
+            assert r["delivery_fraction"] >= 0.75, r
+        else:
+            assert r["delivered"] > 0, r

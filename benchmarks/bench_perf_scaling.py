@@ -1,0 +1,67 @@
+"""Performance benches: construction-cost scaling of the core kernels.
+
+Not a paper claim — engineering due diligence per the optimize-after-
+measuring workflow: these benches time the hot construction paths
+(transmission graph, ΘALG, interference sets, a balancing step) at a
+realistic size so regressions surface in `--benchmark-compare` runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.balancing import BalancingConfig, BalancingRouter
+from repro.core.theta import theta_algorithm
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+from repro.interference.conflict import interference_sets
+
+N = 512
+
+
+@pytest.fixture(scope="module")
+def world():
+    pts = uniform_points(N, rng=0)
+    d = max_range_for_connectivity(pts, slack=1.5)
+    return pts, d
+
+
+def test_perf_transmission_graph(benchmark, world):
+    pts, d = world
+    g = benchmark(lambda: transmission_graph(pts, d))
+    assert g.n_edges > N
+
+
+def test_perf_theta_algorithm(benchmark, world):
+    pts, d = world
+    topo = benchmark(lambda: theta_algorithm(pts, math.pi / 9, d))
+    assert topo.graph.n_edges > 0
+
+
+def test_perf_interference_sets(benchmark, world):
+    pts, d = world
+    topo = theta_algorithm(pts, math.pi / 9, d)
+    sets = benchmark(lambda: interference_sets(topo.graph, 0.5))
+    assert len(sets) == topo.graph.n_edges
+
+
+def test_perf_balancing_step(benchmark, world):
+    pts, d = world
+    topo = theta_algorithm(pts, math.pi / 9, d)
+    g = topo.graph
+    router = BalancingRouter(g.n_nodes, list(range(8)), BalancingConfig(1.0, 0.0, 64))
+    gen = np.random.default_rng(0)
+    for _ in range(200):
+        s = int(gen.integers(8, g.n_nodes))
+        router.inject(s, int(gen.integers(0, 8)), 1)
+    edges = g.directed_edge_array()
+    costs = np.concatenate([g.edge_costs, g.edge_costs])
+
+    def step():
+        return router.run_step(edges, costs, injections=[(20, 1, 1)])
+
+    benchmark(step)
+    assert router.stats.steps > 0

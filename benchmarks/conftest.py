@@ -1,0 +1,34 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Every benchmark regenerates one experiment table (see DESIGN.md §2 for
+the experiment index), prints it, writes it under
+``benchmarks/results/``, and asserts the paper's claim for that
+experiment.  ``pytest benchmarks/ --benchmark-only`` runs everything;
+``-s`` shows the tables inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Print a rendered table and persist it to results/<name>.txt."""
+
+    def _record(name: str, table: str) -> None:
+        print()
+        print(table)
+        (results_dir / f"{name}.txt").write_text(table + "\n")
+
+    return _record

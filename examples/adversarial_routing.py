@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Adversarial routing: the Theorem 3.1 experiment, narrated.
+
+Builds a *witnessed* adversarial workload (sustained streams whose
+certified schedule set lower-bounds what any optimal router could do),
+derives the (T, γ, H) parameters exactly as Theorem 3.1 prescribes from
+the witness's buffer size B, average path length L̄, and average cost
+C̄, runs the (T, γ)-balancing algorithm, and prints the measured
+(t, s, c)-competitiveness triple next to the theorem's bounds.
+
+Also runs two foils on the same workload:
+* γ = 0 (cost-oblivious balancing — the pre-paper state of the art),
+* a shortest-path FIFO router (what deployed protocols roughly do).
+
+Run:  python examples/adversarial_routing.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis.routing_experiments import (
+    grid_graph,
+    run_balancing_on_scenario,
+)
+from repro.analysis.tables import render_table
+from repro.sim.baseline_routers import ShortestPathRouter
+
+
+def main() -> None:
+    graph = grid_graph(6)
+    scenario = repro.stream_scenario(graph, 5, 600, rng=3)
+    print(
+        f"workload: {scenario.name} on {graph.name}; witness delivers "
+        f"{scenario.witness_delivered} packets with buffer B = {scenario.witness_buffer}, "
+        f"avg path L = {scenario.witness_avg_path_length:.2f}, "
+        f"avg cost C = {scenario.witness_avg_cost:.4f}\n"
+    )
+
+    rows = []
+    for eps in (0.5, 0.25, 0.1):
+        report, _ = run_balancing_on_scenario(scenario, epsilon=eps)
+        rows.append(
+            {
+                "algorithm": f"(T,γ)-balancing ε={eps}",
+                "throughput_ratio": round(report.throughput_ratio, 3),
+                "target (1-ε)": 1 - eps,
+                "cost_ratio": round(report.cost_ratio, 3),
+                "cost bound (1+2/ε)": 1 + 2 / eps,
+                "space_ratio": round(report.space_ratio, 1),
+            }
+        )
+
+    report0, _ = run_balancing_on_scenario(scenario, epsilon=0.25, gamma_override=0.0)
+    rows.append(
+        {
+            "algorithm": "γ=0 ablation (cost-blind)",
+            "throughput_ratio": round(report0.throughput_ratio, 3),
+            "target (1-ε)": 0.75,
+            "cost_ratio": round(report0.cost_ratio, 3),
+            "cost bound (1+2/ε)": float("nan"),
+            "space_ratio": round(report0.space_ratio, 1),
+        }
+    )
+
+    spr = ShortestPathRouter(graph)
+    repro.SimulationEngine.for_scenario(spr, scenario).run(
+        scenario.duration, drain=scenario.duration
+    )
+    rows.append(
+        {
+            "algorithm": "shortest-path FIFO baseline",
+            "throughput_ratio": round(spr.stats.delivered / scenario.witness_delivered, 3),
+            "target (1-ε)": float("nan"),
+            "cost_ratio": round(spr.stats.average_cost / scenario.witness_avg_cost, 3),
+            "cost bound (1+2/ε)": float("nan"),
+            "space_ratio": float("nan"),
+        }
+    )
+
+    print(render_table(rows, title="Theorem 3.1 in practice"))
+    print(
+        "\nNotes: throughput ratios sit slightly below (1-ε) at finite "
+        "horizons\n(the theorem's additive slack — packets still ramping up "
+        "the gradient);\nthe cost ratio stays far inside the 1+2/ε bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

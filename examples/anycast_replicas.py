@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Anycast to replicated services over a ΘALG topology.
+
+A deployment story for the anycast extension: a service is replicated
+at m nodes of an ad-hoc network, clients just address "the service",
+and the anycast balancing gradient pulls each packet to the nearest
+replica — no name resolution, no replica selection protocol, the same
+local rule the paper analyzes.
+
+The demo sweeps the replica count and prints deliveries and energy per
+packet for anycast vs the naive alternative (every client pinned to one
+fixed replica).
+
+Run:  python examples/anycast_replicas.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.anycast_experiments import e18_anycast
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    rows = e18_anycast(n=80, group_sizes=(1, 2, 4, 8), duration=400, rng=7)
+    print(render_table(rows, title="Anycast balancing vs fixed-member unicast (ΘALG topology, 4 client streams)"))
+    m8 = max(rows, key=lambda r: r["group_size"])
+    saving = m8["unicast_avg_cost"] / max(m8["anycast_avg_cost"], 1e-12)
+    print(
+        f"\nAt {m8['group_size']} replicas anycast spends {saving:.0f}x less "
+        "energy per delivered packet:\nthe height gradient automatically "
+        "routes every packet to its nearest replica,\nwhile pinned clients "
+        "pay full-path energy to a possibly distant one."
+    )
+
+
+if __name__ == "__main__":
+    main()

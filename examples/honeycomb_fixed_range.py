@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Honeycomb algorithm: fixed transmission strength (§3.4).
+
+When every radio transmits at the same fixed power (range 1) the paper
+gets its strongest result: constant-factor competitiveness, independent
+of n.  The trick is spatial: tile the plane with hexagons of side
+3 + 2Δ, let each hexagon elect its maximum-benefit sender-receiver pair
+as *contestant*, and have contestants transmit with probability
+p_t ≤ 1/6 — Lemma 3.7 then guarantees each attempt succeeds with
+probability ≥ 1/2 despite the guard-zone interference.
+
+This example visualizes the mechanics: hexagon occupancy, contestant
+counts, empirical success probability, and the throughput ramp as load
+crosses the per-hexagon service rate p_t · Pr[success].
+
+Run:  python examples/honeycomb_fixed_range.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import render_table
+
+
+def run_regime(router_rng, pts, inject_every: int, duration: int = 600):
+    cfg = repro.HoneycombConfig(delta=0.5, threshold=1.0, max_height=256)
+    router = repro.HoneycombRouter(pts, None, cfg, rng=router_rng)
+    rng = np.random.default_rng(123)
+    # Four streams between unit-disk neighbors in distinct hexagons.
+    streams, used = [], set()
+    while len(streams) < 4:
+        k = int(rng.integers(0, len(router.directed_pairs)))
+        s, t = (int(x) for x in router.directed_pairs[k])
+        cell = tuple(int(c) for c in router.hexgrid.cell_of(pts[s]))
+        if cell not in used:
+            used.add(cell)
+            streams.append((s, t))
+    for t_step in range(duration):
+        injections = [(s, d, 1) for (s, d) in streams] if t_step % inject_every == 0 else []
+        router.step(injections)
+    for _ in range(2 * duration):
+        router.step([])
+    return router
+
+
+def main() -> None:
+    n, side = 300, 20.0
+    pts = repro.uniform_points(n, side=side, rng=2)
+    grid = repro.HexGrid.for_guard_zone(0.5)
+    occupancy = grid.group_by_cell(pts)
+    print(
+        f"{n} radios in a {side:.0f}x{side:.0f} field, fixed range 1, Δ=0.5 → "
+        f"hexagon side {grid.side:.1f}, {len(occupancy)} occupied hexagons"
+    )
+
+    rows = []
+    for label, inject_every in (("underload (rate 1/8)", 8), ("overload (rate 1)", 1)):
+        r = run_regime(np.random.default_rng(9), pts, inject_every)
+        st = r.stats
+        rows.append(
+            {
+                "regime": label,
+                "injected": st.injected,
+                "delivered": st.delivered,
+                "fraction": round(st.delivery_fraction, 3),
+                "success_prob": round(st.successes / max(st.attempts, 1), 3),
+                "lemma_3.7_floor": 0.5,
+                "throughput/step": round(st.delivered / max(st.steps, 1), 3),
+            }
+        )
+    print(render_table(rows, title="Honeycomb algorithm: two load regimes"))
+    print(
+        "\nPer-hexagon service rate is ≈ p_t × Pr[success] ≈ 1/6 × ~1: the "
+        "underloaded\nregime delivers nearly everything, the overloaded one "
+        "saturates at capacity\nand drops the excess — as OPT must, too."
+    )
+
+
+if __name__ == "__main__":
+    main()

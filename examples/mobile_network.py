@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Mobile ad-hoc network: topology control + routing under mobility.
+
+The paper's adversarial routing model exists precisely because real
+ad-hoc topologies change under the router's feet.  This example makes
+that concrete: nodes move by a random-waypoint model, the ΘALG topology
+is rebuilt every step (it is a 3-round local protocol, so this is
+cheap), and the (T, γ)-balancing router keeps routing — it never learns
+*why* the usable edge set changed, exactly as §3.1 models it.
+
+A shortest-path router with tables frozen at t=0 runs alongside to show
+the classic failure mode of table-driven protocols under churn.
+
+Run:  python examples/mobile_network.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+import repro
+from repro.sim.baseline_routers import ShortestPathRouter
+from repro.sim.mobility import RandomWaypointMobility
+
+
+def main() -> None:
+    n = 60
+    steps = 300
+    rng = np.random.default_rng(5)
+    pts0 = repro.uniform_points(n, rng=rng)
+    mobility = RandomWaypointMobility(pts0.copy(), speed=0.004, rng=rng)
+
+    dests = [0, 1, 2, 3]
+    balancing = repro.BalancingRouter(
+        n, dests, repro.BalancingConfig(threshold=2.0, gamma=0.0, max_height=128)
+    )
+    # The frozen-table baseline routes on the t=0 topology forever.
+    d0 = repro.max_range_for_connectivity(pts0, slack=1.5)
+    frozen = ShortestPathRouter(repro.theta_algorithm(pts0, math.pi / 9, d0).graph)
+
+    rebuild_ms = 0.0
+    for t in range(steps):
+        pts = mobility.advance()
+        d = repro.max_range_for_connectivity(pts, slack=1.5)
+        topo = repro.theta_algorithm(pts, math.pi / 9, d)
+        g = topo.graph
+        edges = g.directed_edge_array()
+        costs = np.concatenate([g.edge_costs, g.edge_costs])
+
+        injections = []
+        if t < steps * 2 // 3:
+            src = int(rng.integers(len(dests), n))
+            injections.append((src, int(rng.choice(dests)), 1))
+
+        balancing.run_step(edges, costs, injections)
+        frozen.run_step(edges, costs, injections)
+
+    for name, router in (("(T,γ)-balancing", balancing), ("frozen shortest-path", frozen)):
+        st = router.stats
+        print(
+            f"{name:24s}: delivered {st.delivered:4d}/{st.accepted} accepted, "
+            f"buffered {router.total_packets():3d}, avg cost "
+            f"{st.average_cost if st.delivered else float('nan'):.4f}"
+        )
+    print(
+        "\nThe balancing router adapts to every topology snapshot; the "
+        "frozen-table\nrouter strands packets whenever yesterday's next hop "
+        "is out of range."
+    )
+    del rebuild_ms
+
+
+if __name__ == "__main__":
+    main()

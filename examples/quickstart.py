@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: build an ad-hoc network topology and route packets over it.
+
+The 60-second tour of the library, following the paper's layering:
+
+1. drop n radios in the unit square (the node distribution);
+2. pick a transmission range D that makes the network connectable;
+3. run ΘALG — three rounds of local communication — to get the
+   constant-degree, energy-efficient topology N (§2);
+4. check N's quality: connectivity, degree bound, energy-stretch;
+5. route a sustained packet stream over N with the (T, γ)-balancing
+   algorithm (§3) and report throughput/energy.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro
+
+
+def main() -> None:
+    # 1-2. Node distribution and transmission range.
+    n = 120
+    pts = repro.uniform_points(n, rng=7)
+    max_range = repro.max_range_for_connectivity(pts, slack=1.5)
+    print(f"{n} nodes in the unit square; transmission range D = {max_range:.3f}")
+
+    # 3. Topology control: ΘALG with 20° cones.
+    theta = math.pi / 9
+    topo = repro.theta_algorithm(pts, theta, max_range)
+    gstar = repro.transmission_graph(pts, max_range)
+    print(f"G* has {gstar.n_edges} edges; ΘALG kept {topo.graph.n_edges}")
+
+    # 4. Quality of N (the Lemma 2.1 / Theorem 2.2 guarantees).
+    degree_bound = 2 * topo.partition.n_sectors
+    print(f"connected: {repro.is_connected(topo.graph)}")
+    print(f"max degree: {repro.max_degree(topo.graph)} (bound 4π/θ = {degree_bound})")
+    stretch = repro.energy_stretch(topo.graph, gstar)
+    print(f"energy-stretch: max {stretch.max_stretch:.3f}, mean {stretch.mean_stretch:.3f}")
+
+    # 5. Routing: three sustained streams, (T, γ)-balancing.  The
+    # balancing algorithm keeps a standing inventory of ≈ T packets per
+    # buffer while it works (the space blowup Theorem 3.1 charges for),
+    # so the horizon is long enough to amortize that ramp-up.
+    scenario = repro.stream_scenario(topo.graph, 3, 1200, rng=1)
+    router = repro.BalancingRouter(
+        topo.graph.n_nodes,
+        scenario.destinations,
+        repro.BalancingConfig(threshold=2.0, gamma=0.0, max_height=128),
+    )
+    engine = repro.SimulationEngine.for_scenario(router, scenario)
+    result = engine.run(scenario.duration, drain=scenario.duration)
+    st = result.stats
+    print(
+        f"routing: delivered {st.delivered}/{st.accepted} accepted packets "
+        f"({st.throughput:.2f}/step), avg energy/packet {st.average_cost:.4f}"
+    )
+    print(f"witness (OPT lower bound) delivered {scenario.witness_delivered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment this project targets ships setuptools but not
+the ``wheel`` package, so PEP 660 editable installs fail.  Keeping a
+``setup.py`` (and no ``[build-system]`` table in pyproject.toml) lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works without wheel.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

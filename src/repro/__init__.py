@@ -1,0 +1,202 @@
+"""repro — reproduction of *On Local Algorithms for Topology Control and
+Routing in Ad Hoc Networks* (Jia, Rajaraman, Scheideler; SPAA 2003).
+
+Public API surface
+------------------
+Topology control (§2):
+    :func:`theta_algorithm` (ΘALG), :class:`ThetaTopology`,
+    :func:`transmission_graph`, :func:`yao_graph`, the proximity-graph
+    baselines, and the stretch/degree/connectivity metrics.
+
+Interference (§2.4):
+    :class:`InterferenceModel`, :func:`interference_number`,
+    :func:`greedy_interference_schedule`, θ-path schedule replacement.
+
+Routing (§3):
+    :class:`BalancingRouter` ((T, γ)-balancing),
+    :class:`RandomActivationMAC` ((T, γ, I)-balancing),
+    :class:`HoneycombRouter` (§3.4), witnessed adversarial scenarios,
+    the simulation engine, and competitive-ratio reporting.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import uniform_points, max_range_for_connectivity
+>>> from repro import theta_algorithm, transmission_graph, energy_stretch
+>>> pts = uniform_points(100, rng=0)
+>>> D = max_range_for_connectivity(pts, slack=1.5)
+>>> topo = theta_algorithm(pts, np.pi / 9, D)
+>>> gstar = transmission_graph(pts, D)
+>>> energy_stretch(topo.graph, gstar).max_stretch  # doctest: +SKIP
+1.37...
+"""
+
+from repro.geometry import (
+    uniform_points,
+    grid_points,
+    clustered_points,
+    civilized_points,
+    ring_points,
+    line_points,
+    star_points,
+    GridIndex,
+    HexGrid,
+    SectorPartition,
+)
+from repro.graphs import (
+    GeometricGraph,
+    transmission_graph,
+    max_range_for_connectivity,
+    yao_graph,
+    gabriel_graph,
+    relative_neighborhood_graph,
+    restricted_delaunay_graph,
+    knn_graph,
+    euclidean_mst,
+    energy_stretch,
+    distance_stretch,
+    stretch_summary,
+    degrees,
+    max_degree,
+    is_connected,
+)
+from repro.core import (
+    ThetaTopology,
+    theta_algorithm,
+    theta_path,
+    replace_schedule_edges,
+    path_congestion,
+    transform_schedules,
+    verify_interference_free,
+    BalancingRouter,
+    BalancingConfig,
+    AnycastBalancingRouter,
+    RandomActivationMAC,
+    HoneycombRouter,
+    HoneycombConfig,
+    CompetitiveReport,
+    theorem31_parameters,
+    theorem33_parameters,
+)
+from repro.graphs import greedy_spanner, global_yao_sparsification
+from repro.interference import (
+    InterferenceModel,
+    PhysicalInterferenceModel,
+    interference_number,
+    interference_sets,
+    greedy_interference_schedule,
+)
+from repro.localsim import LocalRuntime
+from repro.sim import (
+    SimulationEngine,
+    SimulationResult,
+    WitnessedScenario,
+    permutation_scenario,
+    hotspot_scenario,
+    flood_scenario,
+    stream_scenario,
+    hotspot_stream_scenario,
+    random_scenario_on_graph,
+    Schedule,
+    validate_schedule,
+    RoutingStats,
+    ShortestPathRouter,
+    RandomWalkRouter,
+    TrackedBalancingRouter,
+    GreedyGeographicRouter,
+    greedy_geographic_path,
+    save_scenario,
+    load_scenario,
+    bounded_adversary_scenario,
+    max_window_load,
+    StaticMobility,
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    time_expanded_max_throughput,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # geometry
+    "uniform_points",
+    "grid_points",
+    "clustered_points",
+    "civilized_points",
+    "ring_points",
+    "line_points",
+    "star_points",
+    "GridIndex",
+    "HexGrid",
+    "SectorPartition",
+    # graphs
+    "GeometricGraph",
+    "transmission_graph",
+    "max_range_for_connectivity",
+    "yao_graph",
+    "gabriel_graph",
+    "relative_neighborhood_graph",
+    "restricted_delaunay_graph",
+    "knn_graph",
+    "euclidean_mst",
+    "greedy_spanner",
+    "global_yao_sparsification",
+    "energy_stretch",
+    "distance_stretch",
+    "stretch_summary",
+    "degrees",
+    "max_degree",
+    "is_connected",
+    # core
+    "ThetaTopology",
+    "theta_algorithm",
+    "theta_path",
+    "replace_schedule_edges",
+    "path_congestion",
+    "transform_schedules",
+    "verify_interference_free",
+    "BalancingRouter",
+    "BalancingConfig",
+    "AnycastBalancingRouter",
+    "RandomActivationMAC",
+    "HoneycombRouter",
+    "HoneycombConfig",
+    "CompetitiveReport",
+    "theorem31_parameters",
+    "theorem33_parameters",
+    # interference
+    "InterferenceModel",
+    "PhysicalInterferenceModel",
+    "interference_number",
+    "interference_sets",
+    "greedy_interference_schedule",
+    # localsim
+    "LocalRuntime",
+    # sim
+    "SimulationEngine",
+    "SimulationResult",
+    "WitnessedScenario",
+    "permutation_scenario",
+    "hotspot_scenario",
+    "flood_scenario",
+    "stream_scenario",
+    "hotspot_stream_scenario",
+    "random_scenario_on_graph",
+    "Schedule",
+    "validate_schedule",
+    "RoutingStats",
+    "ShortestPathRouter",
+    "RandomWalkRouter",
+    "TrackedBalancingRouter",
+    "GreedyGeographicRouter",
+    "greedy_geographic_path",
+    "save_scenario",
+    "load_scenario",
+    "bounded_adversary_scenario",
+    "max_window_load",
+    "StaticMobility",
+    "RandomWalkMobility",
+    "RandomWaypointMobility",
+    "time_expanded_max_throughput",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Experiment harnesses and proof-machinery checkers.
+
+* :mod:`repro.analysis.lemmas` — Lemmas 2.3–2.6 as executable
+  predicates (property-tested over random geometry);
+* :mod:`repro.analysis.tables` — plain-text table rendering for the
+  benchmark reports;
+* :mod:`repro.analysis.topology_experiments` — harnesses for E1–E5,
+  E10, E11 (topology-side claims);
+* :mod:`repro.analysis.routing_experiments` — harnesses for E6–E9,
+  E12 (routing-side claims).
+
+Each harness returns a list of row dicts; the benchmarks print them via
+:func:`repro.analysis.tables.render_table` and EXPERIMENTS.md records
+the measured values against the paper's claims.
+"""
+
+from repro.analysis.lemmas import (
+    lemma23_holds,
+    lemma23_constant,
+    lemma24_holds,
+    lemma25_holds,
+    lemma26_holds,
+)
+from repro.analysis.tables import render_table, fit_log_slope
+from repro.analysis.topology_experiments import (
+    e1_degree_connectivity,
+    e2_energy_stretch,
+    e3_distance_stretch_civilized,
+    e4_interference_scaling,
+    e5_schedule_replacement,
+    e5b_full_simulation,
+    e5c_packet_transform,
+    e10_topology_zoo,
+    e11_local_protocol,
+)
+from repro.analysis.routing_experiments import (
+    e6_balancing_competitive,
+    e7_tgi_throughput,
+    e8_random_competitive,
+    e9_honeycomb,
+    e12_buffer_tradeoff,
+    e21_frequency_sweep,
+)
+from repro.analysis.ablation_experiments import (
+    e13_interference_models,
+    e14_local_vs_global,
+    e15_spanner_probe,
+)
+from repro.analysis.mobility_experiments import e16_mobility_churn
+from repro.analysis.geographic_experiments import e17_geographic_routing
+from repro.analysis.anycast_experiments import e18_anycast
+from repro.analysis.ascii_viz import render_graph_ascii, render_points_ascii
+
+__all__ = [
+    "lemma23_holds",
+    "lemma23_constant",
+    "lemma24_holds",
+    "lemma25_holds",
+    "lemma26_holds",
+    "render_table",
+    "fit_log_slope",
+    "e1_degree_connectivity",
+    "e2_energy_stretch",
+    "e3_distance_stretch_civilized",
+    "e4_interference_scaling",
+    "e5_schedule_replacement",
+    "e5b_full_simulation",
+    "e5c_packet_transform",
+    "e10_topology_zoo",
+    "e11_local_protocol",
+    "e6_balancing_competitive",
+    "e7_tgi_throughput",
+    "e8_random_competitive",
+    "e9_honeycomb",
+    "e12_buffer_tradeoff",
+    "e21_frequency_sweep",
+    "e13_interference_models",
+    "e14_local_vs_global",
+    "e15_spanner_probe",
+    "e16_mobility_churn",
+    "e17_geographic_routing",
+    "e18_anycast",
+    "render_graph_ascii",
+    "render_points_ascii",
+]

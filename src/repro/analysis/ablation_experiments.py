@@ -1,0 +1,189 @@
+"""Ablation and extension experiments (E13–E15).
+
+E13 — protocol vs physical interference (§2.4 remark).  The paper's
+guard-zone model is "a simplified version of the physical model"; this
+ablation quantifies the simplification: for random simultaneous
+transmission sets on ΘALG topologies, how often do the two models
+agree, and in which direction do they disagree as Δ and β vary?
+
+E14 — locality vs global postprocessing (§2.1 remark).  ΘALG's phase 2
+is one local round; the prior constructions need a global edge ranking.
+This ablation shows the two deliver comparable degree/stretch, isolating
+locality as ΘALG's contribution.
+
+E15 — the paper's open problem.  "For a general distribution of nodes,
+however, we have not been able to resolve whether N is a spanner" —
+this probe searches adversarial configurations (all registry
+distributions plus the star and bridge families across θ) for large
+*distance*-stretch, reporting the worst configuration found.  A bounded
+worst case is evidence (not proof) for spannerhood; an unbounded trend
+would be a counterexample family.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.theta import theta_algorithm
+from repro.geometry.pointsets import (
+    DISTRIBUTIONS,
+    star_points,
+    two_cluster_bridge_points,
+    uniform_points,
+)
+from repro.graphs.metrics import distance_stretch, energy_stretch, max_degree
+from repro.graphs.sparsify import global_yao_sparsification, greedy_spanner
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+from repro.graphs.yao import yao_graph
+from repro.interference.model import InterferenceModel
+from repro.interference.physical import PhysicalInterferenceModel
+from repro.utils.rng import as_rng, spawn_rngs
+
+__all__ = [
+    "e13_interference_models",
+    "e14_local_vs_global",
+    "e15_spanner_probe",
+]
+
+
+def e13_interference_models(
+    *,
+    n=128,
+    theta=math.pi / 9,
+    deltas=(0.25, 0.5, 1.0),
+    betas=(1.0, 2.0, 4.0),
+    sets_per_config=200,
+    set_size=8,
+    rng=None,
+) -> list[dict]:
+    """E13 — agreement between the guard-zone and SINR success decisions.
+
+    For random k-subsets of a ΘALG topology's edges transmitting
+    simultaneously, classify each transmission by (protocol-success,
+    SINR-success) and report the confusion fractions.  The protocol
+    model should be *conservative*: its failures mostly contain the
+    SINR failures, with the disagreement shrinking as Δ grows.
+    """
+    gen = as_rng(rng)
+    pts = uniform_points(n, rng=gen)
+    d = max_range_for_connectivity(pts, slack=1.5)
+    topo = theta_algorithm(pts, theta, d)
+    g = topo.graph
+    rows = []
+    for delta in deltas:
+        protocol = InterferenceModel(delta)
+        for beta in betas:
+            physical = PhysicalInterferenceModel(beta=beta, kappa=g.kappa)
+            agree = 0
+            proto_only_fail = 0  # protocol kills, SINR fine (conservatism)
+            sinr_only_fail = 0  # SINR kills, protocol fine (optimism)
+            total = 0
+            for _ in range(sets_per_config):
+                k = min(set_size, g.n_edges)
+                sel = gen.choice(g.n_edges, size=k, replace=False)
+                edges = g.edges[sel]
+                p_ok = protocol.successful_mask(pts, edges)
+                s_ok = physical.successful_mask(pts, edges)
+                total += k
+                agree += int((p_ok == s_ok).sum())
+                proto_only_fail += int((~p_ok & s_ok).sum())
+                sinr_only_fail += int((p_ok & ~s_ok).sum())
+            rows.append(
+                {
+                    "delta": delta,
+                    "beta": beta,
+                    "agreement": round(agree / total, 3),
+                    "protocol_conservative": round(proto_only_fail / total, 3),
+                    "protocol_optimistic": round(sinr_only_fail / total, 3),
+                    "transmissions": total,
+                }
+            )
+    return rows
+
+
+def e14_local_vs_global(
+    *,
+    ns=(64, 128, 256),
+    theta=math.pi / 9,
+    rng=None,
+    max_sources=96,
+) -> list[dict]:
+    """E14 — ΘALG (1 extra local round) vs global Yao postprocessing vs
+    the greedy spanner (full global knowledge), on quality and the
+    communication structure each needs."""
+    gen = as_rng(rng)
+    rows = []
+    for n, child in zip(ns, spawn_rngs(gen, len(ns))):
+        pts = uniform_points(n, rng=child)
+        d = max_range_for_connectivity(pts, slack=1.5)
+        gstar = transmission_graph(pts, d)
+        yao = yao_graph(pts, theta, d)
+        candidates = {
+            "ThetaALG (local, 3 rounds)": theta_algorithm(pts, theta, d).graph,
+            "global Yao sparsify (diameter rounds)": global_yao_sparsification(yao, 2.0),
+            "greedy spanner (global ranking)": greedy_spanner(gstar, 1.5),
+        }
+        for name, g in candidates.items():
+            es = energy_stretch(g, gstar, max_sources=max_sources, rng=child)
+            rows.append(
+                {
+                    "n": n,
+                    "algorithm": name,
+                    "edges": g.n_edges,
+                    "max_degree": max_degree(g),
+                    "energy_stretch": round(es.max_stretch, 3),
+                    "disconnected": es.disconnected_pairs,
+                }
+            )
+    return rows
+
+
+def e15_spanner_probe(
+    *,
+    n=128,
+    thetas=(math.pi / 6, math.pi / 9, math.pi / 12),
+    trials=5,
+    rng=None,
+    max_sources=96,
+) -> list[dict]:
+    """E15 — probing the open problem: is N a spanner in general?
+
+    Measures the worst distance-stretch of N over every adversarial
+    family in the registry plus the star/bridge constructions, per θ.
+    The paper proves O(1) *energy*-stretch but leaves distance-stretch
+    open for non-civilized inputs.
+    """
+    gen = as_rng(rng)
+    families: dict[str, list] = {name: [] for name in DISTRIBUTIONS}
+    families["star"] = []
+    families["bridge"] = []
+    rows = []
+    for theta in thetas:
+        worst = {}
+        for fam in families:
+            worst[fam] = 0.0
+            for child in spawn_rngs(gen, trials):
+                if fam == "star":
+                    pts = star_points(n, rng=child)
+                elif fam == "bridge":
+                    pts = two_cluster_bridge_points(n, rng=child)
+                else:
+                    pts = DISTRIBUTIONS[fam](n, rng=child)
+                d = max_range_for_connectivity(pts, slack=1.5)
+                gstar = transmission_graph(pts, d)
+                topo = theta_algorithm(pts, theta, d)
+                ds = distance_stretch(topo.graph, gstar, max_sources=max_sources, rng=child)
+                if ds.disconnected_pairs:
+                    worst[fam] = float("inf")
+                else:
+                    worst[fam] = max(worst[fam], ds.max_stretch)
+        for fam, w in worst.items():
+            rows.append(
+                {
+                    "theta_deg": round(math.degrees(theta), 1),
+                    "family": fam,
+                    "worst_distance_stretch": round(w, 3),
+                    "trials": trials,
+                }
+            )
+    return rows

@@ -1,0 +1,93 @@
+"""Dependency-free ASCII rendering of topologies.
+
+The paper's figures are point sets with edges; in a terminal-only
+environment a character-grid rendering is the honest equivalent.  Nodes
+render as ``o`` (``*`` for highlighted ones), edges as Bresenham lines
+of ``.``; the aspect ratio is corrected for typical 1:2 character
+cells.
+
+>>> from repro.analysis.ascii_viz import render_graph_ascii
+>>> print(render_graph_ascii(topo.graph, width=60))     # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import as_points
+from repro.graphs.base import GeometricGraph
+
+__all__ = ["render_points_ascii", "render_graph_ascii"]
+
+
+def _bresenham(x0: int, y0: int, x1: int, y1: int):
+    """Integer grid cells of the segment (inclusive endpoints)."""
+    dx = abs(x1 - x0)
+    dy = -abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx + dy
+    while True:
+        yield x0, y0
+        if x0 == x1 and y0 == y1:
+            return
+        e2 = 2 * err
+        if e2 >= dy:
+            err += dy
+            x0 += sx
+        if e2 <= dx:
+            err += dx
+            y0 += sy
+
+
+def render_points_ascii(
+    points: np.ndarray,
+    edges: "np.ndarray | None" = None,
+    *,
+    width: int = 72,
+    highlight: "set[int] | None" = None,
+) -> str:
+    """Render points (and optional edges) on a character grid.
+
+    Parameters
+    ----------
+    width:
+        Grid width in characters; height follows from the bounding box
+        with a 0.5 aspect correction for character cells.
+    highlight:
+        Node indices drawn as ``*`` instead of ``o``.
+    """
+    pts = as_points(points)
+    if len(pts) == 0:
+        return "(no points)"
+    if width < 4:
+        raise ValueError("width must be >= 4")
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    height = max(2, int(round((span[1] / span[0]) * width * 0.5))) if span[0] > 0 else 2
+    height = min(height, 4 * width)  # guard absurd aspect ratios
+
+    def cell(p: np.ndarray) -> tuple[int, int]:
+        cx = int(round((p[0] - lo[0]) / span[0] * (width - 1)))
+        cy = int(round((p[1] - lo[1]) / span[1] * (height - 1)))
+        return cx, (height - 1) - cy  # y grows downward on screen
+
+    grid = [[" "] * width for _ in range(height)]
+    if edges is not None:
+        for i, j in np.asarray(edges).reshape(-1, 2):
+            x0, y0 = cell(pts[int(i)])
+            x1, y1 = cell(pts[int(j)])
+            for x, y in _bresenham(x0, y0, x1, y1):
+                if grid[y][x] == " ":
+                    grid[y][x] = "."
+    hl = highlight or set()
+    for k, p in enumerate(pts):
+        x, y = cell(p)
+        grid[y][x] = "*" if k in hl else "o"
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_graph_ascii(graph: GeometricGraph, *, width: int = 72, highlight=None) -> str:
+    """Render a :class:`GeometricGraph` (nodes + edges)."""
+    return render_points_ascii(graph.points, graph.edges, width=width, highlight=highlight)

@@ -1,0 +1,85 @@
+"""E17 — greedy geographic routing across topologies (§1.2 context).
+
+The related work cites geometric routing (GPSR et al.); its greedy mode
+is the natural zero-state competitor to balancing.  Its Achilles' heel
+is the *local minimum*: a node with no neighbor closer to the
+destination.  Sparsification trades greedy deliverability away — this
+experiment measures greedy success probability and stretch across the
+library's topologies, quantifying why geographic protocols planarize
+over Gabriel-like graphs and why the paper's balancing approach needs
+no geometry at all at the routing layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra
+
+from repro.core.theta import theta_algorithm
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.baselines import euclidean_mst, gabriel_graph, relative_neighborhood_graph
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+from repro.sim.geographic import greedy_geographic_path
+from repro.utils.rng import as_rng
+
+__all__ = ["e17_geographic_routing"]
+
+
+def e17_geographic_routing(
+    *,
+    n=200,
+    n_pairs=300,
+    theta=math.pi / 9,
+    rng=None,
+) -> list[dict]:
+    """Greedy delivery rate and path stretch per topology.
+
+    For ``n_pairs`` random source-destination pairs, attempt greedy
+    forwarding on each topology; report the delivered fraction, the
+    mean hop-stretch of successful routes (hops vs the hop-optimal
+    path), and the edge count (the deliverability/sparsity trade).
+    """
+    gen = as_rng(rng)
+    pts = uniform_points(n, rng=gen)
+    d = max_range_for_connectivity(pts, slack=1.5)
+    gstar = transmission_graph(pts, d)
+    topo = theta_algorithm(pts, theta, d)
+    zoo = {
+        "Gstar": gstar,
+        "ThetaALG(N)": topo.graph,
+        "Gabriel": gabriel_graph(pts, d),
+        "RNG": relative_neighborhood_graph(pts, d),
+        "MST": euclidean_mst(pts),
+    }
+    pairs = []
+    while len(pairs) < n_pairs:
+        s, t = gen.choice(n, size=2, replace=False)
+        pairs.append((int(s), int(t)))
+
+    rows = []
+    for name, g in zoo.items():
+        # Hop-optimal distances for stretch of successful routes.
+        unweighted = g.adjacency.copy()
+        unweighted.data[:] = 1.0
+        hop_dist = dijkstra(unweighted, directed=False)
+        delivered = 0
+        stretches = []
+        for s, t in pairs:
+            path, ok = greedy_geographic_path(g, s, t)
+            if ok:
+                delivered += 1
+                opt = hop_dist[s, t]
+                if np.isfinite(opt) and opt > 0:
+                    stretches.append((len(path) - 1) / opt)
+        rows.append(
+            {
+                "topology": name,
+                "edges": g.n_edges,
+                "greedy_delivery_rate": round(delivered / n_pairs, 3),
+                "mean_hop_stretch": round(float(np.mean(stretches)), 3) if stretches else float("nan"),
+                "pairs": n_pairs,
+            }
+        )
+    return rows

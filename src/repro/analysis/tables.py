@@ -1,0 +1,81 @@
+"""Plain-text tables and small fitting helpers for the experiment reports.
+
+The benches print the same kind of rows the paper's theorems quantify
+over; :func:`render_table` keeps them aligned and diff-friendly, and
+:func:`fit_log_slope` backs the O(log n) scaling claims (experiment E4)
+with a least-squares fit of ``y ≈ a·ln(n) + b``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["render_table", "fit_log_slope", "geometric_mean"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(rows: "Iterable[Mapping[str, object]]", *, title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table.
+
+    Columns are the union of keys in first-seen order; missing cells
+    render empty.  Returns the table as a string (callers print it).
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[k]) for r in cells)) for k, c in enumerate(columns)]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    body = "\n".join(" | ".join(v.rjust(w) for v, w in zip(r, widths)) for r in cells)
+    out = f"{header}\n{sep}\n{body}"
+    if title:
+        out = f"== {title} ==\n{out}"
+    return out
+
+
+def fit_log_slope(ns: np.ndarray, ys: np.ndarray) -> tuple[float, float]:
+    """Least-squares fit ``y ≈ a·ln(n) + b``; returns ``(a, b)``.
+
+    Used to verify O(log n) claims: a bounded positive slope with small
+    residuals supports the claim; a slope growing with n (checked by
+    fitting on prefixes) would refute it.
+    """
+    ns = np.asarray(ns, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(ns) < 2:
+        raise ValueError("need at least two points to fit")
+    x = np.log(ns)
+    a, b = np.polyfit(x, ys, 1)
+    return float(a), float(b)
+
+
+def geometric_mean(values: "Iterable[float]") -> float:
+    """Geometric mean (ratios aggregate multiplicatively)."""
+    vals = np.asarray(list(values), dtype=np.float64)
+    if len(vals) == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if (vals <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(vals))))

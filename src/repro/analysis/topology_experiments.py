@@ -1,0 +1,445 @@
+"""Harnesses for the topology-side experiments (E1–E5, E10, E11).
+
+Each function returns a list of row dicts ready for
+:func:`repro.analysis.tables.render_table`; the benchmarks under
+``benchmarks/`` call these and print the tables that EXPERIMENTS.md
+records against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.theta import theta_algorithm
+from repro.core.theta_paths import path_congestion, replace_schedule_edges
+from repro.geometry.pointsets import DISTRIBUTIONS, civilized_points, precision_lambda, uniform_points
+from repro.graphs.baselines import (
+    euclidean_mst,
+    gabriel_graph,
+    knn_graph,
+    relative_neighborhood_graph,
+    restricted_delaunay_graph,
+)
+from repro.graphs.metrics import (
+    distance_stretch,
+    energy_stretch,
+    is_connected,
+    max_degree,
+)
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+from repro.graphs.yao import yao_graph
+from repro.interference.conflict import interference_number
+from repro.interference.model import InterferenceModel
+from repro.localsim.runtime import LocalRuntime
+from repro.utils.rng import as_rng, spawn_rngs
+
+__all__ = [
+    "e1_degree_connectivity",
+    "e2_energy_stretch",
+    "e3_distance_stretch_civilized",
+    "e4_interference_scaling",
+    "e5_schedule_replacement",
+    "e5b_full_simulation",
+    "e5c_packet_transform",
+    "e10_topology_zoo",
+    "e11_local_protocol",
+]
+
+
+def _build(points, theta, *, kappa=2.0, range_slack=1.5):
+    """Common preamble: connected G* + ΘALG output on it."""
+    d = max_range_for_connectivity(points, slack=range_slack)
+    gstar = transmission_graph(points, d, kappa=kappa)
+    topo = theta_algorithm(points, theta, d, kappa=kappa)
+    return gstar, topo, d
+
+
+def e1_degree_connectivity(
+    *,
+    ns=(64, 128, 256, 512),
+    thetas=(math.pi / 6, math.pi / 9, math.pi / 12),
+    distributions=("uniform", "clustered", "ring", "two_cluster"),
+    rng=None,
+) -> list[dict]:
+    """E1 — Lemma 2.1: N is connected with max degree ≤ 4π/θ.
+
+    Sweeps n × θ × distribution and reports the measured max degree
+    against the lemma's bound and the connectivity verdict.
+    """
+    gen = as_rng(rng)
+    rows = []
+    for dist_name in distributions:
+        for n in ns:
+            pts = DISTRIBUTIONS[dist_name](n, rng=gen)
+            for theta in thetas:
+                gstar, topo, d = _build(pts, theta)
+                bound = 4.0 * math.pi / topo.partition.width
+                rows.append(
+                    {
+                        "distribution": dist_name,
+                        "n": n,
+                        "theta_deg": round(math.degrees(theta), 1),
+                        "gstar_connected": is_connected(gstar),
+                        "N_connected": is_connected(topo.graph),
+                        "max_degree": max_degree(topo.graph),
+                        "degree_bound_4pi_over_theta": round(bound, 1),
+                        "within_bound": max_degree(topo.graph) <= bound,
+                        "edges_N": topo.graph.n_edges,
+                        "edges_Gstar": gstar.n_edges,
+                    }
+                )
+    return rows
+
+
+def e2_energy_stretch(
+    *,
+    ns=(64, 128, 256),
+    thetas=(math.pi / 6, math.pi / 9, math.pi / 12),
+    kappas=(2.0, 3.0, 4.0),
+    distributions=("uniform", "clustered", "ring", "two_cluster"),
+    include_yao=True,
+    rng=None,
+    max_sources=128,
+) -> list[dict]:
+    """E2 — Theorem 2.2: energy-stretch of N is O(1) for any distribution.
+
+    The bound is a constant depending on θ (and κ) but *not* on n or
+    the distribution — the table lets all four vary so flatness in n
+    and distribution is visible.  ``include_yao`` adds the unpruned Yao
+    graph N₁ as the phase-2 ablation.
+    """
+    gen = as_rng(rng)
+    rows = []
+    for dist_name in distributions:
+        for n in ns:
+            pts = DISTRIBUTIONS[dist_name](n, rng=gen)
+            for theta in thetas:
+                for kappa in kappas:
+                    gstar, topo, d = _build(pts, theta, kappa=kappa)
+                    es = energy_stretch(topo.graph, gstar, max_sources=max_sources, rng=gen)
+                    row = {
+                        "distribution": dist_name,
+                        "n": n,
+                        "theta_deg": round(math.degrees(theta), 1),
+                        "kappa": kappa,
+                        "energy_stretch_max": round(es.max_stretch, 3),
+                        "energy_stretch_mean": round(es.mean_stretch, 3),
+                        "edge_stretch_max": round(es.max_edge_stretch, 3),
+                        "disconnected_pairs": es.disconnected_pairs,
+                    }
+                    if include_yao:
+                        ya = yao_graph(pts, theta, d, kappa=kappa)
+                        ey = energy_stretch(ya, gstar, max_sources=max_sources, rng=gen)
+                        row["yao_stretch_max"] = round(ey.max_stretch, 3)
+                        row["yao_max_degree"] = max_degree(ya)
+                        row["N_max_degree"] = max_degree(topo.graph)
+                    rows.append(row)
+    return rows
+
+
+def e3_distance_stretch_civilized(
+    *,
+    ns=(64, 128, 256),
+    lams=(0.3, 0.5, 0.8),
+    thetas=(math.pi / 6, math.pi / 12),
+    rng=None,
+    max_sources=128,
+) -> list[dict]:
+    """E3 — Theorem 2.7: O(1) distance-stretch on civilized (λ-precision)
+    node sets; contrast with non-civilized inputs where only
+    energy-stretch is guaranteed."""
+    gen = as_rng(rng)
+    rows = []
+    for n in ns:
+        for lam in lams:
+            pts = civilized_points(n, lam=lam, rng=gen)
+            for theta in thetas:
+                gstar, topo, d = _build(pts, theta)
+                ds = distance_stretch(topo.graph, gstar, max_sources=max_sources, rng=gen)
+                es = energy_stretch(topo.graph, gstar, max_sources=max_sources, rng=gen)
+                rows.append(
+                    {
+                        "n": n,
+                        "lambda_target": lam,
+                        "lambda_measured": round(precision_lambda(pts, d), 3),
+                        "theta_deg": round(math.degrees(theta), 1),
+                        "distance_stretch_max": round(ds.max_stretch, 3),
+                        "distance_stretch_mean": round(ds.mean_stretch, 3),
+                        "energy_stretch_max": round(es.max_stretch, 3),
+                        "connected": is_connected(topo.graph),
+                    }
+                )
+    return rows
+
+
+def e4_interference_scaling(
+    *,
+    ns=(64, 128, 256, 512, 1024),
+    deltas=(0.25, 0.5, 1.0),
+    theta=math.pi / 9,
+    trials=3,
+    rng=None,
+    include_gstar=True,
+) -> list[dict]:
+    """E4 — Lemma 2.10: interference number of N is O(log n) whp for
+    uniform random nodes (compare against G*, which scales like Θ(n))."""
+    gen = as_rng(rng)
+    rows = []
+    for delta in deltas:
+        for n in ns:
+            vals = []
+            gstar_vals = []
+            for child in spawn_rngs(gen, trials):
+                pts = uniform_points(n, rng=child)
+                gstar, topo, d = _build(pts, theta)
+                vals.append(interference_number(topo.graph, delta))
+                if include_gstar:
+                    gstar_vals.append(interference_number(gstar, delta))
+            row = {
+                "delta": delta,
+                "n": n,
+                "ln_n": round(math.log(n), 2),
+                "I_N_mean": round(float(np.mean(vals)), 1),
+                "I_N_max": int(np.max(vals)),
+                "I_over_ln_n": round(float(np.mean(vals)) / math.log(n), 2),
+            }
+            if include_gstar:
+                row["I_Gstar_mean"] = round(float(np.mean(gstar_vals)), 1)
+            rows.append(row)
+    return rows
+
+
+def e5_schedule_replacement(
+    *,
+    ns=(64, 128, 256),
+    theta=math.pi / 9,
+    delta=0.5,
+    steps=20,
+    rng=None,
+) -> list[dict]:
+    """E5 — Theorem 2.8 / Lemma 2.9: replace random non-interfering G*
+    edge sets by θ-paths in N; report per-step N-edge congestion (the
+    lemma bounds it by 6) and the implied slowdown."""
+    gen = as_rng(rng)
+    model = InterferenceModel(delta)
+    rows = []
+    for n in ns:
+        pts = uniform_points(n, rng=gen)
+        gstar, topo, d = _build(pts, theta)
+        max_congestion = 0
+        total_paths = 0
+        total_hops = 0
+        worst_slowdown = 0
+        for _ in range(steps):
+            # Greedy random maximal non-interfering edge set T on G*.
+            order = gen.permutation(gstar.n_edges)
+            chosen: list[int] = []
+            for e in order:
+                ok = True
+                for f in chosen:
+                    if model.pair_interferes(pts, tuple(gstar.edges[e]), tuple(gstar.edges[f])):
+                        ok = False
+                        break
+                if ok:
+                    chosen.append(int(e))
+                if len(chosen) >= 32:
+                    break
+            if not chosen:
+                continue
+            paths = replace_schedule_edges(topo, gstar.edges[chosen])
+            congestion = path_congestion(topo, paths)
+            step_max = max(congestion.values(), default=0)
+            max_congestion = max(max_congestion, step_max)
+            worst_slowdown = max(worst_slowdown, max(len(p) - 1 for p in paths))
+            total_paths += len(paths)
+            total_hops += sum(len(p) - 1 for p in paths)
+        rows.append(
+            {
+                "n": n,
+                "steps": steps,
+                "paths_replaced": total_paths,
+                "mean_path_hops": round(total_hops / max(total_paths, 1), 2),
+                "max_edge_congestion": max_congestion,
+                "lemma29_bound": 6,
+                "within_bound": max_congestion <= 6,
+                "max_path_hops": worst_slowdown,
+            }
+        )
+    return rows
+
+
+def e5b_full_simulation(
+    *,
+    ns=(48, 96),
+    theta=math.pi / 9,
+    delta=0.5,
+    rng=None,
+) -> list[dict]:
+    """E5b — Theorem 2.8 end to end: total slowdown of simulating a
+    *complete* G* schedule on N.
+
+    Builds a full TDMA schedule of G* (greedy interference coloring:
+    every edge transmits once), replaces each round's edges by θ-paths
+    in N, packs the resulting N-transmissions into non-interfering
+    slots, and reports the slowdown ratio — Theorem 2.8 bounds it by
+    O(I) (+ the n² additive term).
+    """
+    from repro.interference.conflict import (
+        greedy_interference_schedule,
+        interference_number,
+    )
+    from repro.localsim.timed import pack_unicast_slots
+
+    gen = as_rng(rng)
+    rows = []
+    for n in ns:
+        pts = uniform_points(n, rng=gen)
+        gstar, topo, d = _build(pts, theta)
+        gstar_rounds = greedy_interference_schedule(gstar, delta)
+        n_slots_total = 0
+        for r in gstar_rounds:
+            paths = replace_schedule_edges(topo, gstar.edges[r])
+            messages = [
+                (a, b) for p in paths for a, b in zip(p[:-1], p[1:])
+            ]
+            n_slots_total += pack_unicast_slots(pts, messages, delta)
+        big_i = interference_number(topo.graph, delta)
+        rows.append(
+            {
+                "n": n,
+                "gstar_rounds": len(gstar_rounds),
+                "n_slots_on_N": n_slots_total,
+                "slowdown": round(n_slots_total / max(len(gstar_rounds), 1), 2),
+                "interference_I": big_i,
+                "slowdown_over_I": round(
+                    n_slots_total / max(len(gstar_rounds), 1) / max(big_i, 1), 4
+                ),
+            }
+        )
+    return rows
+
+
+def e5c_packet_transform(
+    *,
+    ns=(48, 96),
+    n_packets=25,
+    theta=math.pi / 9,
+    delta=0.5,
+    rng=None,
+) -> list[dict]:
+    """E5c — Theorem 2.8 at packet granularity: transform whole G*
+    packet schedules (witnessed permutation traffic) into validated,
+    interference-free N schedules and report the makespan inflation.
+    """
+    from repro.core.schedule_transform import (
+        transform_schedules,
+        verify_interference_free,
+    )
+    from repro.interference.conflict import interference_number
+    from repro.sim.adversary import permutation_scenario
+
+    gen = as_rng(rng)
+    rows = []
+    for n in ns:
+        pts = uniform_points(n, rng=gen)
+        gstar, topo, d = _build(pts, theta)
+        scen = permutation_scenario(gstar, n_packets, rng=gen)
+        ins = scen.witness_schedules
+        outs = transform_schedules(topo, ins, delta=delta)
+        verify_interference_free(topo, outs, delta)
+        t_in = max(s.finish_time for s in ins)
+        t_out = max(s.finish_time for s in outs)
+        big_i = interference_number(topo.graph, delta)
+        rows.append(
+            {
+                "n": n,
+                "packets": len(ins),
+                "makespan_Gstar": t_in,
+                "makespan_N": t_out,
+                "inflation": round(t_out / max(t_in, 1), 2),
+                "interference_I": big_i,
+                "inflation_over_I": round(t_out / max(t_in, 1) / max(big_i, 1), 4),
+            }
+        )
+    return rows
+
+
+def e10_topology_zoo(
+    *,
+    n=256,
+    theta=math.pi / 9,
+    delta=0.5,
+    distributions=("uniform", "civilized"),
+    rng=None,
+    max_sources=128,
+) -> list[dict]:
+    """E10 — §1.2 comparison: ΘALG vs Yao, Gabriel, RNG, restricted
+    Delaunay, kNN, MST on degree, stretch, and interference number."""
+    gen = as_rng(rng)
+    rows = []
+    for dist_name in distributions:
+        pts = DISTRIBUTIONS[dist_name](n, rng=gen)
+        d = max_range_for_connectivity(pts, slack=1.5)
+        gstar = transmission_graph(pts, d)
+        topo = theta_algorithm(pts, theta, d)
+        zoo = {
+            "ThetaALG(N)": topo.graph,
+            "Yao(N1)": topo.yao_graph,
+            "Gabriel": gabriel_graph(pts, d),
+            "RNG": relative_neighborhood_graph(pts, d),
+            "RDG": restricted_delaunay_graph(pts, d),
+            "kNN(k=6)": knn_graph(pts, 6, d),
+            "MST": euclidean_mst(pts),
+            "Gstar": gstar,
+        }
+        for name, g in zoo.items():
+            es = energy_stretch(g, gstar, max_sources=max_sources, rng=gen)
+            ds = distance_stretch(g, gstar, max_sources=max_sources, rng=gen)
+            rows.append(
+                {
+                    "distribution": dist_name,
+                    "topology": name,
+                    "edges": g.n_edges,
+                    "max_degree": max_degree(g),
+                    "connected": is_connected(g),
+                    "energy_stretch": round(es.max_stretch, 3) if es.disconnected_pairs == 0 else float("inf"),
+                    "distance_stretch": round(ds.max_stretch, 3) if ds.disconnected_pairs == 0 else float("inf"),
+                    "interference_number": interference_number(g, delta),
+                }
+            )
+    return rows
+
+
+def e11_local_protocol(
+    *,
+    ns=(64, 128, 256, 512),
+    theta=math.pi / 9,
+    rng=None,
+) -> list[dict]:
+    """E11 — §2.1 implementability: run the 3-round protocol, check the
+    output equals the centralized construction, report message counts."""
+    gen = as_rng(rng)
+    rows = []
+    for n in ns:
+        pts = uniform_points(n, rng=gen)
+        d = max_range_for_connectivity(pts, slack=1.5)
+        runtime = LocalRuntime(pts, theta, d)
+        local_graph = runtime.run()
+        topo = theta_algorithm(pts, theta, d)
+        same = np.array_equal(local_graph.edges, topo.graph.edges)
+        tr = runtime.trace
+        rows.append(
+            {
+                "n": n,
+                "rounds": tr.rounds,
+                "position_msgs": tr.position_messages,
+                "neighborhood_msgs": tr.neighborhood_messages,
+                "connection_msgs": tr.connection_messages,
+                "total_msgs": tr.total_messages,
+                "msgs_per_node": round(tr.total_messages / n, 2),
+                "matches_centralized": same,
+            }
+        )
+    return rows

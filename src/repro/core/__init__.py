@@ -1,0 +1,49 @@
+"""The paper's primary contributions.
+
+* :mod:`repro.core.theta` — ΘALG, the two-phase local topology-control
+  algorithm (§2.1): Yao phase + per-sector in-degree pruning, producing
+  the constant-degree topology N with O(1) energy-stretch;
+* :mod:`repro.core.theta_paths` — the θ-path replacement of Theorem
+  2.8/Lemma 2.9 mapping any G* edge to a path in N;
+* :mod:`repro.core.balancing` — the (T, γ)-balancing routing algorithm
+  (§3.2) with edge costs;
+* :mod:`repro.core.interference_mac` — the (T, γ, I)-balancing variant
+  (§3.3): randomized edge activation with probability 1/(2·I_e);
+* :mod:`repro.core.honeycomb` — the honeycomb algorithm for fixed
+  transmission strength (§3.4);
+* :mod:`repro.core.competitive` — (t, s, c)-competitiveness bookkeeping
+  (§3.1) and parameter rules from Theorems 3.1/3.3.
+"""
+
+from repro.core.theta import ThetaTopology, theta_algorithm
+from repro.core.theta_paths import theta_path, replace_schedule_edges, path_congestion
+from repro.core.schedule_transform import transform_schedules, verify_interference_free
+from repro.core.balancing import BalancingRouter, BalancingConfig
+from repro.core.anycast import AnycastBalancingRouter
+from repro.core.interference_mac import RandomActivationMAC, estimate_edge_interference
+from repro.core.honeycomb import HoneycombRouter, HoneycombConfig
+from repro.core.competitive import (
+    CompetitiveReport,
+    theorem31_parameters,
+    theorem33_parameters,
+)
+
+__all__ = [
+    "ThetaTopology",
+    "theta_algorithm",
+    "theta_path",
+    "replace_schedule_edges",
+    "path_congestion",
+    "transform_schedules",
+    "verify_interference_free",
+    "BalancingRouter",
+    "BalancingConfig",
+    "AnycastBalancingRouter",
+    "RandomActivationMAC",
+    "estimate_edge_interference",
+    "HoneycombRouter",
+    "HoneycombConfig",
+    "CompetitiveReport",
+    "theorem31_parameters",
+    "theorem33_parameters",
+]

@@ -1,0 +1,285 @@
+"""The (T, γ)-balancing routing algorithm (§3.2).
+
+Every node ``v`` keeps one buffer ``Q_{v,d}`` per destination ``d``;
+``h_{v,d}`` is its *height* (packet count), capped at ``H``; destination
+buffers are always empty (packets reaching them are absorbed).
+
+Per time step, for every usable directed edge ``e = (v, w)`` with cost
+``c(e)``:
+
+1. find the destination ``d`` maximizing ``h_{v,d} − h_{w,d} − c(e)·γ``;
+2. if that value exceeds the threshold ``T``, move one packet of
+   destination ``d`` from ``Q_{v,d}`` to ``Q_{w,d}``.
+
+Then absorb arrivals at their destinations and accept new injections,
+deleting any injected packet whose buffer is already at height ``H``
+(simple source admission control).
+
+Theorem 3.1: with ``T ≥ B + 2(δ−1)`` and ``γ ≥ (T+B+δ)·L̄/C̄`` the
+algorithm is ``(1−ε, 1 + 2(1+(T+δ)/B)·L̄/ε, 1 + 2/ε)``-competitive —
+it delivers a (1−ε) fraction of what *any* schedule with buffer size B
+and average cost C̄ can deliver, using buffers a factor ≈ O(L̄/ε)
+larger and average cost a factor ≤ 1+2/ε larger.
+
+Implementation notes
+--------------------
+* Decisions for all edges of a step use the heights *at the beginning
+  of the step* (as in the paper's synchronous model); when several
+  edges try to drain the same buffer, sends are additionally capped by
+  the packets actually available, processed in edge order — this only
+  removes sends the idealized model could not have performed either.
+* The γ-term prices energy into the potential drop: a packet only
+  crosses an expensive edge if the height differential pays for it.
+* ``γ = 0`` recovers the cost-oblivious balancing of Awerbuch et al.,
+  used as an ablation in experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.packets import Transmission
+from repro.sim.stats import RoutingStats
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["BalancingConfig", "BalancingRouter"]
+
+
+@dataclass(frozen=True)
+class BalancingConfig:
+    """Parameters of the (T, γ)-balancing algorithm.
+
+    Attributes
+    ----------
+    threshold:
+        T — minimum potential drop required to move a packet.
+    gamma:
+        γ — price per unit of edge cost, in units of buffer height.
+    max_height:
+        H — buffer capacity per (node, destination) pair.
+    """
+
+    threshold: float
+    gamma: float
+    max_height: int
+
+    def __post_init__(self) -> None:
+        check_nonnegative("threshold", self.threshold)
+        check_nonnegative("gamma", self.gamma)
+        check_positive("max_height", self.max_height)
+
+
+class BalancingRouter:
+    """State and step logic of the (T, γ)-balancing algorithm.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the network.
+    destinations:
+        Node ids that appear as packet destinations.  Buffers are only
+        materialized for these, so memory is ``n_nodes × len(destinations)``.
+    config:
+        The (T, γ, H) parameters.
+
+    Notes
+    -----
+    The router is topology-agnostic: each call to :meth:`decide`
+    receives the currently usable directed edges and their costs, which
+    is exactly the interface the adversarial model of §3.1 prescribes
+    (topology and costs may change arbitrarily between steps).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        destinations: "np.ndarray | list[int] | None",
+        config: BalancingConfig,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        if destinations is None:
+            destinations = np.arange(n_nodes)
+        self.destinations = np.asarray(sorted(set(int(d) for d in destinations)), dtype=np.intp)
+        if len(self.destinations) == 0:
+            raise ValueError("at least one destination is required")
+        if (self.destinations < 0).any() or (self.destinations >= n_nodes).any():
+            raise ValueError("destination id out of range")
+        self._dest_col = {int(d): k for k, d in enumerate(self.destinations)}
+        self.config = config
+        #: heights h[v, k] of buffer Q_{v, destinations[k]}
+        self.heights = np.zeros((self.n_nodes, len(self.destinations)), dtype=np.int64)
+        self.stats = RoutingStats()
+        self._dest_rows = self.destinations  # alias for readability
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def height(self, node: int, dest: int) -> int:
+        """Current height of ``Q_{node, dest}``."""
+        return int(self.heights[node, self._dest_col[int(dest)]])
+
+    def total_packets(self) -> int:
+        """Packets currently buffered anywhere in the network."""
+        return int(self.heights.sum())
+
+    def max_height(self) -> int:
+        """Largest buffer height currently present."""
+        return int(self.heights.max()) if self.heights.size else 0
+
+    # ------------------------------------------------------------------
+    # Step phase 1: transmission decisions
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        directed_edges: np.ndarray,
+        costs: np.ndarray,
+    ) -> list[Transmission]:
+        """Choose at most one packet per directed edge to move.
+
+        Parameters
+        ----------
+        directed_edges:
+            ``(k, 2)`` array of usable directed edges ``(v, w)``; both
+            orientations of an undirected edge may appear (the model
+            allows one packet per direction).
+        costs:
+            ``(k,)`` edge costs ``c(e)`` (energy for one transmission).
+
+        Returns
+        -------
+        The chosen transmissions.  Heights are *not* modified — call
+        :meth:`apply` with a success mask to commit the moves.
+        """
+        edges = np.asarray(directed_edges, dtype=np.intp).reshape(-1, 2)
+        costs = np.asarray(costs, dtype=np.float64).reshape(-1)
+        if len(edges) != len(costs):
+            raise ValueError("directed_edges and costs must have equal length")
+        if len(edges) == 0:
+            return []
+        cfg = self.config
+        h0 = self.heights  # beginning-of-step heights for decisions
+        # Remaining packets available for sending this step, per buffer.
+        avail = h0.copy()
+
+        # Vectorized candidate selection: for all edges at once compute
+        # the best destination column and its potential drop.
+        diff = h0[edges[:, 0], :] - h0[edges[:, 1], :] - cfg.gamma * costs[:, None]
+        best_col = np.argmax(diff, axis=1)
+        best_val = diff[np.arange(len(edges)), best_col]
+        candidates = np.nonzero(best_val > cfg.threshold)[0]
+
+        out: list[Transmission] = []
+        for k in candidates:
+            v, w = int(edges[k, 0]), int(edges[k, 1])
+            # Re-pick the best destination among buffers that still have
+            # packets available (earlier edges may have claimed them).
+            row = h0[v, :] - h0[w, :] - cfg.gamma * costs[k]
+            usable = avail[v, :] > 0
+            if not usable.any():
+                continue
+            masked = np.where(usable, row, -np.inf)
+            col = int(np.argmax(masked))
+            if masked[col] <= cfg.threshold:
+                continue
+            avail[v, col] -= 1
+            out.append(
+                Transmission(src=v, dst=w, dest=int(self.destinations[col]), cost=float(costs[k]))
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Step phase 2: commit moves, absorb, inject
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        transmissions: list[Transmission],
+        success: "np.ndarray | None" = None,
+    ) -> int:
+        """Commit transmissions; returns the number of packets absorbed.
+
+        Parameters
+        ----------
+        success:
+            Optional boolean mask (e.g. from the interference model);
+            failed attempts consume energy but do not move the packet
+            (retransmission semantics of §3.3).
+        """
+        if success is None:
+            success = np.ones(len(transmissions), dtype=bool)
+        success = np.asarray(success, dtype=bool).reshape(-1)
+        if len(success) != len(transmissions):
+            raise ValueError("success mask length mismatch")
+        delivered = 0
+        for tx, ok in zip(transmissions, success):
+            self.stats.record_attempt(tx.cost, bool(ok))
+            if not ok:
+                continue
+            col = self._dest_col[tx.dest]
+            if self.heights[tx.src, col] <= 0:
+                raise RuntimeError(
+                    f"balancing invariant violated: sending from empty buffer "
+                    f"Q_({tx.src},{tx.dest})"
+                )
+            self.heights[tx.src, col] -= 1
+            if tx.dst == tx.dest:
+                delivered += 1
+                self.stats.record_delivery()
+            else:
+                self.heights[tx.dst, col] += 1
+        return delivered
+
+    def inject(self, node: int, dest: int, count: int = 1) -> int:
+        """Offer ``count`` packets at ``node`` for ``dest``; returns accepted.
+
+        Injections that would push the buffer above ``H`` are deleted
+        (§3.2's admission control).  Injecting at the destination itself
+        is rejected at the API level (the model never does this).
+        """
+        if node == dest:
+            raise ValueError("cannot inject a packet at its own destination")
+        col = self._dest_col.get(int(dest))
+        if col is None:
+            raise KeyError(f"{dest} is not a registered destination")
+        space = self.config.max_height - int(self.heights[node, col])
+        accepted = max(0, min(int(count), space))
+        self.heights[node, col] += accepted
+        self.stats.record_injection(int(count), accepted)
+        return accepted
+
+    def end_step(self, delivered_this_step: int) -> None:
+        """Close the step for statistics purposes."""
+        self.stats.end_step(self.max_height(), delivered_this_step)
+
+    # ------------------------------------------------------------------
+    def run_step(
+        self,
+        directed_edges: np.ndarray,
+        costs: np.ndarray,
+        injections: "list[tuple[int, int, int]] | None" = None,
+        success_fn=None,
+    ) -> int:
+        """Convenience: one full step (decide → apply → inject).
+
+        Parameters
+        ----------
+        injections:
+            List of ``(node, dest, count)`` tuples offered this step.
+        success_fn:
+            Optional callable mapping the chosen transmissions to a
+            boolean success mask (interference resolution).
+
+        Returns
+        -------
+        Packets delivered this step.
+        """
+        txs = self.decide(directed_edges, costs)
+        mask = None if success_fn is None else success_fn(txs)
+        delivered = self.apply(txs, mask)
+        for node, dest, count in injections or []:
+            self.inject(node, dest, count)
+        self.end_step(delivered)
+        return delivered

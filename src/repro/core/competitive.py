@@ -1,0 +1,172 @@
+"""(t, s, c)-competitiveness bookkeeping (§3.1) and parameter rules.
+
+An online algorithm A is (t, s, c)-competitive when, for every input
+sequence σ and every buffer size B and average cost C achievable by an
+optimal schedule,
+
+    A_{s·B, c·C}(σ) ≥ t · OPT_{B,C}(σ) − r
+
+for some additive slack r independent of σ.  The experiments estimate
+the three ratios directly from runs against *witnessed* adversaries
+(whose certified schedule lower-bounds OPT):
+
+* throughput ratio  t̂ = delivered(A) / delivered(witness),
+* space ratio       ŝ = max buffer height(A) / B(witness),
+* cost ratio        ĉ = avg cost(A) / avg cost(witness).
+
+:func:`theorem31_parameters` / :func:`theorem33_parameters` compute the
+(T, γ) settings the theorems prescribe from the witness's B, L̄, C̄.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import RoutingStats
+
+__all__ = [
+    "CompetitiveReport",
+    "theorem31_parameters",
+    "theorem33_parameters",
+]
+
+
+@dataclass(frozen=True)
+class CompetitiveReport:
+    """Measured competitive ratios of one run against a witness.
+
+    Attributes mirror the (t, s, c) triple of §3.1, plus the raw
+    quantities they were computed from.
+    """
+
+    throughput_ratio: float
+    space_ratio: float
+    cost_ratio: float
+    delivered_online: int
+    delivered_witness: int
+    avg_cost_online: float
+    avg_cost_witness: float
+    max_height_online: int
+    witness_buffer: int
+
+    @classmethod
+    def from_stats(
+        cls,
+        online: RoutingStats,
+        *,
+        witness_delivered: int,
+        witness_avg_cost: float,
+        witness_buffer: int,
+    ) -> "CompetitiveReport":
+        """Build a report from the online run's stats and witness facts."""
+        t = online.delivered / witness_delivered if witness_delivered else 1.0
+        s = online.max_buffer_height / witness_buffer if witness_buffer else float("inf")
+        if witness_avg_cost > 0:
+            c = online.average_cost / witness_avg_cost
+        else:
+            c = 1.0 if online.average_cost == 0 else float("inf")
+        return cls(
+            throughput_ratio=t,
+            space_ratio=s,
+            cost_ratio=c,
+            delivered_online=online.delivered,
+            delivered_witness=witness_delivered,
+            avg_cost_online=online.average_cost,
+            avg_cost_witness=witness_avg_cost,
+            max_height_online=online.max_buffer_height,
+            witness_buffer=witness_buffer,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "throughput_ratio": self.throughput_ratio,
+            "space_ratio": self.space_ratio,
+            "cost_ratio": self.cost_ratio,
+            "delivered_online": float(self.delivered_online),
+            "delivered_witness": float(self.delivered_witness),
+            "avg_cost_online": self.avg_cost_online,
+            "avg_cost_witness": self.avg_cost_witness,
+            "max_height_online": float(self.max_height_online),
+            "witness_buffer": float(self.witness_buffer),
+        }
+
+
+def theorem31_parameters(
+    *,
+    opt_buffer: int,
+    avg_path_length: float,
+    avg_cost: float,
+    epsilon: float,
+    delta_frequencies: int = 1,
+) -> dict[str, float]:
+    """Parameter settings prescribed by Theorem 3.1.
+
+    Given the optimal schedule's buffer size B, average path length L̄,
+    and allowed average cost C̄, and a target slack ε, returns::
+
+        T      = B + 2(δ − 1)
+        γ      = (T + B + δ) · L̄ / C̄
+        H      = s·B  with  s = 1 + 2(1 + (T+δ)/B)·L̄/ε
+        cost_factor = 1 + 2/ε   (the guaranteed c of the theorem)
+
+    Parameters
+    ----------
+    delta_frequencies:
+        δ — the maximum number of edges incident to one node usable
+        concurrently (number of frequencies).
+    """
+    if epsilon <= 0 or epsilon >= 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if opt_buffer < 1:
+        raise ValueError("opt_buffer must be >= 1")
+    if avg_path_length < 1:
+        raise ValueError("avg_path_length must be >= 1")
+    if avg_cost <= 0:
+        raise ValueError("avg_cost must be > 0")
+    if delta_frequencies < 1:
+        raise ValueError("delta_frequencies must be >= 1")
+    B = float(opt_buffer)
+    d = float(delta_frequencies)
+    T = B + 2.0 * (d - 1.0)
+    gamma = (T + B + d) * avg_path_length / avg_cost
+    space_factor = 1.0 + 2.0 * (1.0 + (T + d) / B) * avg_path_length / epsilon
+    return {
+        "threshold": T,
+        "gamma": gamma,
+        "max_height": float(int(space_factor * B) + 1),
+        "space_factor": space_factor,
+        "cost_factor": 1.0 + 2.0 / epsilon,
+        "target_fraction": 1.0 - epsilon,
+    }
+
+
+def theorem33_parameters(
+    *,
+    opt_buffer: int,
+    avg_path_length: float,
+    avg_cost: float,
+    epsilon: float,
+    interference_bound: int,
+) -> dict[str, float]:
+    """Parameter settings prescribed by Theorem 3.3 ((T, γ, I)-balancing).
+
+    Here δ = 1 (single frequency) and the theorem requires ``T ≥ 2B+1``
+    and ``γ ≥ (T+B)·L̄/C̄``; the guaranteed throughput fraction becomes
+    ``(1−ε)/(8·I)`` where I bounds every edge's interference set size.
+    """
+    if epsilon <= 0 or epsilon >= 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if interference_bound < 1:
+        raise ValueError("interference_bound must be >= 1")
+    B = float(opt_buffer)
+    T = 2.0 * B + 1.0
+    gamma = (T + B) * avg_path_length / avg_cost
+    space_factor = 1.0 + 2.0 * (1.0 + T / B) * avg_path_length / epsilon
+    return {
+        "threshold": T,
+        "gamma": gamma,
+        "max_height": float(int(space_factor * B) + 1),
+        "space_factor": space_factor,
+        "cost_factor": 1.0 + 2.0 / epsilon,
+        "target_fraction": (1.0 - epsilon) / (8.0 * interference_bound),
+    }

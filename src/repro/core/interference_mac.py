@@ -1,0 +1,151 @@
+"""The randomized symmetry-breaking MAC of §3.3 ((T, γ, I)-balancing).
+
+When no MAC protocol is given, the paper makes medium access local and
+randomized: every edge ``e`` of the topology independently *activates*
+with probability ``1/(2·I_e)``, where ``I_e`` upper-bounds the size of
+the interference set of every edge that ``e`` interferes with.  Active
+edges are handed to the (T, γ)-balancing algorithm; if two interfering
+active edges both transmit, **neither** succeeds (the packets stay put
+and the energy is spent).
+
+Lemma 3.2: an active edge interferes with another active edge with
+probability at most 1/2, so in expectation at least half the attempted
+transmissions go through — the source of the Θ(1/I) factor in
+Theorem 3.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import GeometricGraph
+from repro.interference.conflict import interference_degrees, interference_sets
+from repro.interference.model import InterferenceModel
+from repro.sim.packets import Transmission
+from repro.utils.rng import as_rng
+
+__all__ = ["estimate_edge_interference", "RandomActivationMAC"]
+
+
+def estimate_edge_interference(
+    graph: GeometricGraph,
+    delta: float,
+    *,
+    mode: str = "own",
+) -> np.ndarray:
+    """Per-edge activation bounds ``I_e`` (clamped below at 1).
+
+    §3.3 asks each node to know, per incident edge e, an upper bound on
+    the interference number of any edge e interferes with.  Two modes:
+
+    * ``"own"`` (default) — ``I_e = |I(e)|``.  The paper notes that in
+      the ideal 2-D Euclidean plane a bound on the edge's *own*
+      interference number suffices; it activates low-interference edges
+      far more often.
+    * ``"neighborhood"`` — ``I_e = max(|I(e)|, max_{e' ∈ I(e)} |I(e')|)``,
+      the conservative bound needed in spaces with obstacles.
+    """
+    sets = interference_sets(graph, delta)
+    sizes = np.asarray([len(s) for s in sets], dtype=np.float64)
+    if mode == "own":
+        return np.maximum(sizes, 1.0)
+    if mode != "neighborhood":
+        raise ValueError(f"mode must be 'own' or 'neighborhood', got {mode!r}")
+    out = np.empty(len(sets))
+    for k, s in enumerate(sets):
+        local = sizes[k]
+        if len(s):
+            local = max(local, float(sizes[s].max()))
+        out[k] = max(local, 1.0)
+    return out
+
+
+class RandomActivationMAC:
+    """Edge activation with probability ``1/(2·I_e)`` + interference check.
+
+    Parameters
+    ----------
+    graph:
+        The topology whose edges contend for the medium.
+    delta:
+        Guard-zone parameter Δ of the interference model.
+    rng:
+        Seedable randomness source.
+    interference_bounds:
+        Optional precomputed ``I_e`` array; defaults to
+        :func:`estimate_edge_interference`.
+
+    Usage per step: :meth:`active_edges` → hand to the router's
+    ``decide`` → :meth:`success_mask` on the chosen transmissions →
+    router ``apply``.
+    """
+
+    def __init__(
+        self,
+        graph: GeometricGraph,
+        delta: float,
+        *,
+        rng=None,
+        interference_bounds: np.ndarray | None = None,
+        bound_mode: str = "own",
+    ) -> None:
+        self.graph = graph
+        self.delta = float(delta)
+        self.rng = as_rng(rng)
+        if interference_bounds is None:
+            interference_bounds = estimate_edge_interference(graph, delta, mode=bound_mode)
+        bounds = np.asarray(interference_bounds, dtype=np.float64).reshape(-1)
+        if len(bounds) != graph.n_edges:
+            raise ValueError("interference_bounds length must equal the edge count")
+        if (bounds < 1).any():
+            raise ValueError("interference bounds must be >= 1")
+        self.interference_bounds = bounds
+        self.activation_probs = 1.0 / (2.0 * bounds)
+        self._model = InterferenceModel(delta)
+
+    @property
+    def interference_number(self) -> int:
+        """``I`` — the maximum interference-set size over all edges."""
+        deg = interference_degrees(self.graph, self.delta)
+        return int(deg.max()) if len(deg) else 0
+
+    def active_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sample this step's active edges.
+
+        Returns
+        -------
+        ``(directed_edges, costs)``: both orientations of every active
+        undirected edge, with per-direction costs (one transmission per
+        direction is allowed by the model).
+        """
+        m = self.graph.n_edges
+        if m == 0:
+            return np.empty((0, 2), dtype=np.intp), np.empty(0)
+        mask = self.rng.random(m) < self.activation_probs
+        e = self.graph.edges[mask]
+        c = self.graph.edge_costs[mask]
+        directed = np.vstack([e, e[:, ::-1]]) if len(e) else np.empty((0, 2), dtype=np.intp)
+        costs = np.concatenate([c, c]) if len(c) else np.empty(0)
+        return directed, costs
+
+    def success_mask(self, transmissions: list[Transmission]) -> np.ndarray:
+        """Resolve interference among the attempted transmissions.
+
+        Both directions of one undirected edge belong to the same
+        bidirectional exchange and never kill each other; distinct edges
+        interfere per the guard-zone model.
+        """
+        k = len(transmissions)
+        if k == 0:
+            return np.ones(0, dtype=bool)
+        # Collapse to undirected edges for the pairwise check.
+        und = np.asarray(
+            [(min(t.src, t.dst), max(t.src, t.dst)) for t in transmissions], dtype=np.intp
+        )
+        uniq, inverse = np.unique(und, axis=0, return_inverse=True)
+        mat = self._model.interference_matrix(self.graph.points, uniq)
+        if mat.size:
+            edge_ok = ~mat.any(axis=1)
+        else:
+            edge_ok = np.ones(len(uniq), dtype=bool)
+        return edge_ok[inverse]

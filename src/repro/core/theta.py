@@ -1,0 +1,186 @@
+"""ΘALG — the two-phase local topology-control algorithm (§2.1).
+
+Phase 1 (Yao step)
+    Each node ``u`` partitions directions into cones of angle ≤ θ and
+    computes ``N(u)``: the nearest node in each cone, among nodes within
+    transmission range D.  The union of the directed choices is the Yao
+    graph N₁ = (V, E₁) — a spanner, but with worst-case Ω(n) in-degree.
+
+Phase 2 (in-degree pruning)
+    Each node ``x`` admits, *per cone of x*, only the shortest incoming
+    Yao edge: among all ``w`` with ``x ∈ N(w)`` lying in a given cone of
+    ``x``, only the nearest ``w`` keeps its edge.  An undirected edge
+    ``{u, v}`` belongs to the output N iff at least one of its two
+    directed Yao choices survives the receiver's pruning.
+
+Lemma 2.1: N is connected (when G* is) and every node has degree at
+most ``2·(2π/θ) = 4π/θ`` — at most one surviving outgoing choice and
+one admitted incoming edge per cone.  Theorem 2.2: N has O(1)
+energy-stretch for *any* node distribution.
+
+The implementation mirrors the message-level description in §2.1: the
+per-node computations only use positions of nodes within range
+(Position messages), the Yao choices of neighbors (Neighborhood
+messages), and pairwise confirmations (Connection messages).  The
+:mod:`repro.localsim` package runs the actual 3-round protocol and
+asserts it reproduces this centralized construction edge-for-edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.geometry.primitives import TWO_PI, as_points
+from repro.geometry.sectors import SectorPartition
+from repro.graphs.base import GeometricGraph
+from repro.utils.validation import check_positive
+
+__all__ = ["ThetaTopology", "theta_algorithm"]
+
+
+@dataclass(frozen=True)
+class ThetaTopology:
+    """The full output of ΘALG, including phase-1 structure.
+
+    Besides the final topology :attr:`graph` (the paper's N), this
+    records the directed phase-1 choices and phase-2 admissions, which
+    the θ-path replacement of Theorem 2.8 needs.
+
+    Attributes
+    ----------
+    points:
+        Node positions.
+    theta, offset:
+        Cone angle and anchor of the sector partition.
+    max_range:
+        Transmission range D.
+    kappa:
+        Path-loss exponent of the edge costs.
+    yao_nearest:
+        ``(u, sector) → v``: u's nearest in-range node per cone
+        (phase 1; ``N(u)`` is the set of values for fixed u).
+    admitted:
+        ``(x, sector) → w``: the single incoming Yao edge node x admits
+        in each of its cones (phase 2).
+    graph:
+        The final undirected topology N.
+    yao_graph:
+        The undirected phase-1 graph N₁ (for ablation E2b).
+    """
+
+    points: np.ndarray
+    theta: float
+    max_range: float
+    kappa: float
+    offset: float
+    yao_nearest: dict[tuple[int, int], int]
+    admitted: dict[tuple[int, int], int]
+    graph: GeometricGraph
+    yao_graph: GeometricGraph
+
+    @cached_property
+    def partition(self) -> SectorPartition:
+        """The sector partition shared by all nodes."""
+        return SectorPartition(self.theta, self.offset)
+
+    def sector(self, u: int, v: int) -> int:
+        """``S(u, v)``: index of u's cone containing node v."""
+        du = self.points[v] - self.points[u]
+        ang = np.mod(np.arctan2(du[1], du[0]), TWO_PI)
+        return int(self.partition.index_of_angle(ang))
+
+    def nearest_in_sector(self, u: int, sector: int) -> int | None:
+        """u's phase-1 choice in ``sector`` (None if the cone is empty)."""
+        return self.yao_nearest.get((u, sector))
+
+    def admitted_in_sector(self, x: int, sector: int) -> int | None:
+        """The in-neighbor x admitted in ``sector`` (None if none)."""
+        return self.admitted.get((x, sector))
+
+    def in_neighbor_set(self, u: int) -> set[int]:
+        """``N(u)`` of the paper: nodes u points to after phase 1."""
+        return {v for (uu, _), v in self.yao_nearest.items() if uu == u}
+
+
+def theta_algorithm(
+    points: np.ndarray,
+    theta: float,
+    max_range: float,
+    *,
+    kappa: float = 2.0,
+    offset: float = 0.0,
+) -> ThetaTopology:
+    """Run ΘALG and return the resulting :class:`ThetaTopology`.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` node positions (pairwise-distinct).
+    theta:
+        Cone angle, must lie in ``(0, π/3]`` (Lemma 2.1's hypothesis).
+    max_range:
+        Maximum transmission range D.
+    kappa:
+        Path-loss exponent κ of the energy model.
+    offset:
+        Anchor direction of cone 0 (ablation knob; the paper uses 0).
+
+    Notes
+    -----
+    Distance ties are broken by node index, realizing the paper's
+    unique-distances assumption deterministically.
+    """
+    from repro.graphs.yao import yao_out_edges
+
+    pts = as_points(points)
+    check_positive("max_range", max_range)
+    part = SectorPartition(theta, offset)
+
+    directed = yao_out_edges(pts, theta, max_range, offset=offset)
+
+    # Phase-1 bookkeeping: (u, sector-of-u-containing-v) -> v.
+    yao_nearest: dict[tuple[int, int], int] = {}
+    if len(directed):
+        d = pts[directed[:, 1]] - pts[directed[:, 0]]
+        ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
+        sec = np.atleast_1d(part.index_of_angle(ang))
+        for (u, v), s in zip(directed, sec):
+            yao_nearest[(int(u), int(s))] = int(v)
+
+    # Phase 2: for each receiver x, group incoming Yao edges w -> x by
+    # the cone of x containing w; admit only the nearest w per cone.
+    admitted: dict[tuple[int, int], int] = {}
+    if len(directed):
+        src, dst = directed[:, 0], directed[:, 1]
+        d = pts[src] - pts[dst]  # direction x -> w as seen from receiver x=dst
+        ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
+        sec_in = np.atleast_1d(part.index_of_angle(ang))
+        dist = np.hypot(d[:, 0], d[:, 1])
+        # Sort by (receiver, receiver-sector, distance, source-id): the
+        # first row of each (receiver, sector) run is the admitted edge.
+        order = np.lexsort((src, dist, sec_in, dst))
+        prev_key: tuple[int, int] | None = None
+        for k in order:
+            key = (int(dst[k]), int(sec_in[k]))
+            if key != prev_key:
+                admitted[key] = int(src[k])
+                prev_key = key
+
+    kept_edges = [(w, x) for (x, _), w in admitted.items()]
+    graph = GeometricGraph(pts, kept_edges, kappa=kappa, name=f"ThetaALG(θ={theta:.4g})")
+    n1 = GeometricGraph(pts, directed, kappa=kappa, name=f"Yao(θ={theta:.4g})")
+
+    return ThetaTopology(
+        points=graph.points,
+        theta=float(theta),
+        max_range=float(max_range),
+        kappa=float(kappa),
+        offset=float(offset),
+        yao_nearest=yao_nearest,
+        admitted=admitted,
+        graph=graph,
+        yao_graph=n1,
+    )

@@ -1,0 +1,173 @@
+"""θ-path replacement (proof machinery of Theorem 2.8 / Lemma 2.9).
+
+Theorem 2.8 shows that any schedule of non-interfering transmissions on
+G* can be simulated on the sparse topology N with only O(I) slowdown.
+The key construction replaces each G* edge ``(u, v)`` by a path in N,
+computed recursively:
+
+* if ``(u, v) ∈ N`` — the path is the edge itself;
+* else if ``v`` is u's phase-1 (Yao) choice in ``S(u, v)`` — the edge
+  was pruned by v's phase 2, so v admitted a strictly closer in-neighbor
+  ``w`` in ``S(v, u)``; recurse on ``(u, w)`` and append edge
+  ``(w, v) ∈ N``;
+* else — let ``w`` be u's Yao choice in ``S(u, v)``; recurse on
+  ``(u, w)`` and on ``(w, v)``.
+
+For θ ≤ π/3 both recursions strictly decrease the Euclidean length of
+the edge being replaced (the replaced pair always spans an angle ≤ θ at
+a common witness with the shorter side no longer than the original), so
+the recursion terminates; we additionally guard with an explicit
+decreasing-length assertion so any violation surfaces as an error
+rather than an infinite loop.
+
+Lemma 2.9 states that within one time step (one set T of pairwise
+non-interfering G* edges) every N edge appears in at most 6 of the
+replacement paths; :func:`path_congestion` measures this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.theta import ThetaTopology
+
+__all__ = ["theta_path", "replace_schedule_edges", "path_congestion"]
+
+
+def theta_path(
+    topo: ThetaTopology,
+    u: int,
+    v: int,
+    *,
+    _cache: dict[tuple[int, int], list[int]] | None = None,
+) -> list[int]:
+    """Node sequence of the θ-path replacing G* edge ``(u, v)``.
+
+    Parameters
+    ----------
+    topo:
+        Output of :func:`repro.core.theta.theta_algorithm`.
+    u, v:
+        Endpoints of an edge of G* (distance ≤ D).  The function does
+        not verify interference properties, only the range.
+
+    Returns
+    -------
+    List of node indices starting at ``u`` and ending at ``v``; every
+    consecutive pair is an edge of ``topo.graph``.
+
+    Raises
+    ------
+    ValueError
+        If ``(u, v)`` is not a G* edge, or the recursion fails to make
+        progress (which would contradict the θ ≤ π/3 analysis).
+    """
+    pts = topo.points
+    duv = float(np.hypot(*(pts[u] - pts[v])))
+    if duv > topo.max_range + 1e-9:
+        raise ValueError(f"({u}, {v}) is not an edge of G*: |uv|={duv:.4g} > D={topo.max_range:.4g}")
+    cache: dict[tuple[int, int], list[int]] = {} if _cache is None else _cache
+    return _theta_path_rec(topo, int(u), int(v), duv, cache)
+
+
+def _theta_path_rec(
+    topo: ThetaTopology,
+    u: int,
+    v: int,
+    duv: float,
+    cache: dict[tuple[int, int], list[int]],
+) -> list[int]:
+    if u == v:
+        return [u]
+    key = (u, v)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+
+    pts = topo.points
+    graph = topo.graph
+    if graph.has_edge(u, v):
+        path = [u, v]
+        cache[key] = path
+        return path
+
+    s_uv = topo.sector(u, v)
+    yao_choice = topo.nearest_in_sector(u, s_uv)
+
+    if yao_choice == v:
+        # u -> v was a Yao edge pruned by v's phase 2: v admitted a
+        # strictly closer w in the cone of v containing u.
+        s_vu = topo.sector(v, u)
+        w = topo.admitted_in_sector(v, s_vu)
+        if w is None:
+            raise ValueError(
+                f"inconsistent topology: Yao edge ({u}, {v}) pruned but no "
+                f"admitted in-neighbor at v={v} sector {s_vu}"
+            )
+        duw = float(np.hypot(*(pts[u] - pts[w])))
+        if duw >= duv - 1e-12:
+            raise ValueError(
+                f"θ-path recursion failed to decrease length at ({u}, {v}): "
+                f"|uw|={duw:.6g} >= |uv|={duv:.6g} (w={w}); is θ ≤ π/3?"
+            )
+        path = _theta_path_rec(topo, u, w, duw, cache) + [v]
+    else:
+        # v is not u's Yao choice in S(u, v): hop through that choice.
+        w = yao_choice
+        if w is None:
+            raise ValueError(
+                f"inconsistent topology: cone S({u},{v}) nonempty (contains {v}) "
+                f"but no Yao choice recorded"
+            )
+        dwv = float(np.hypot(*(pts[w] - pts[v])))
+        duw = float(np.hypot(*(pts[u] - pts[w])))
+        if dwv >= duv - 1e-12:
+            raise ValueError(
+                f"θ-path recursion failed to decrease length at ({u}, {v}): "
+                f"|wv|={dwv:.6g} >= |uv|={duv:.6g} (w={w}); is θ ≤ π/3?"
+            )
+        left = _theta_path_rec(topo, u, w, duw, cache)
+        right = _theta_path_rec(topo, w, v, dwv, cache)
+        path = left[:-1] + right
+
+    cache[key] = path
+    return path
+
+
+def replace_schedule_edges(
+    topo: ThetaTopology,
+    edges: np.ndarray,
+) -> list[list[int]]:
+    """Replace each G* edge of one schedule step by its θ-path in N.
+
+    Parameters
+    ----------
+    edges:
+        ``(k, 2)`` array of G* edges active in the same time step
+        (assumed pairwise non-interfering by the caller).
+
+    Returns
+    -------
+    One node-path per input edge, each a valid path in ``topo.graph``.
+    """
+    cache: dict[tuple[int, int], list[int]] = {}
+    return [theta_path(topo, int(a), int(b), _cache=cache) for a, b in np.asarray(edges)]
+
+
+def path_congestion(topo: ThetaTopology, paths: list[list[int]]) -> dict[tuple[int, int], int]:
+    """How many replacement paths use each N edge (Lemma 2.9's quantity).
+
+    Returns a map from canonical N edge to its multiplicity across
+    ``paths``.  Lemma 2.9 bounds the maximum value by 6 when the input
+    edges are pairwise non-interfering.
+    """
+    counts: dict[tuple[int, int], int] = {}
+    for path in paths:
+        for a, b in zip(path[:-1], path[1:]):
+            key = (a, b) if a < b else (b, a)
+            counts[key] = counts.get(key, 0) + 1
+    # Sanity: every counted pair must actually be an N edge.
+    for a, b in counts:
+        if not topo.graph.has_edge(a, b):
+            raise ValueError(f"path uses non-edge ({a}, {b}) of N")
+    return counts

@@ -1,0 +1,74 @@
+"""2-D Euclidean geometry substrate.
+
+Everything in the paper lives in the 2-dimensional plane: node
+positions, the sector (cone) partition used by ΘALG, the guard-zone
+disks of the interference model, and the hexagonal tiling of the
+honeycomb algorithm.  This package provides those primitives in a
+vectorized, NumPy-first style:
+
+* :mod:`repro.geometry.primitives` — distances, angles, pairwise kernels;
+* :mod:`repro.geometry.sectors` — the ΘALG cone partition;
+* :mod:`repro.geometry.pointsets` — node-distribution generators
+  (uniform, clustered, grid, ring, line, λ-precision/civilized, …);
+* :mod:`repro.geometry.spatialindex` — a uniform-grid index for range
+  queries, used to build transmission graphs in near-linear time;
+* :mod:`repro.geometry.hexgrid` — the honeycomb tiling of §3.4.
+"""
+
+from repro.geometry.primitives import (
+    pairwise_distances,
+    pairwise_sq_distances,
+    distances_from,
+    angles_from,
+    angle_between,
+    normalize_angle,
+    polygon_area,
+)
+from repro.geometry.sectors import (
+    SectorPartition,
+    sector_index,
+    sector_of,
+)
+from repro.geometry.pointsets import (
+    uniform_points,
+    grid_points,
+    clustered_points,
+    ring_points,
+    line_points,
+    civilized_points,
+    poisson_disk_points,
+    star_points,
+    two_cluster_bridge_points,
+    perturbed_grid_points,
+    min_pairwise_distance,
+    precision_lambda,
+)
+from repro.geometry.spatialindex import GridIndex
+from repro.geometry.hexgrid import HexGrid
+
+__all__ = [
+    "pairwise_distances",
+    "pairwise_sq_distances",
+    "distances_from",
+    "angles_from",
+    "angle_between",
+    "normalize_angle",
+    "polygon_area",
+    "SectorPartition",
+    "sector_index",
+    "sector_of",
+    "uniform_points",
+    "grid_points",
+    "clustered_points",
+    "ring_points",
+    "line_points",
+    "civilized_points",
+    "poisson_disk_points",
+    "star_points",
+    "two_cluster_bridge_points",
+    "perturbed_grid_points",
+    "min_pairwise_distance",
+    "precision_lambda",
+    "GridIndex",
+    "HexGrid",
+]

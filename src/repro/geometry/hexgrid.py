@@ -1,0 +1,140 @@
+"""Hexagonal tiling of the plane for the honeycomb algorithm (§3.4).
+
+The honeycomb algorithm partitions the plane into regular hexagons of
+side length ``3 + 2Δ`` (diameter ``2(3+2Δ)``) and assigns each
+sender-receiver pair to the hexagon containing the sender.  The key
+geometric facts the algorithm relies on are:
+
+* any two points in the same hexagon are within the hexagon diameter;
+* each hexagon has exactly 6 neighbors, so a transmission (range ≤ 1)
+  can only interfere with transmissions assigned to a bounded number of
+  nearby hexagons.
+
+We use "pointy-top" axial coordinates: hexagon ``(q, r)`` has center
+``(s·√3·(q + r/2), s·3/2·r)`` for side length ``s``.  Point-to-hex
+assignment uses the standard fractional axial-coordinate rounding to
+cube coordinates, which exactly matches the Voronoi regions of the
+centers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.primitives import as_points
+from repro.utils.validation import check_positive
+
+__all__ = ["HexGrid"]
+
+_SQRT3 = math.sqrt(3.0)
+
+
+class HexGrid:
+    """Regular hexagonal tiling with a given side length.
+
+    Parameters
+    ----------
+    side:
+        Hexagon side length ``s``.  §3.4 uses ``s = 3 + 2Δ`` for guard
+        zone parameter Δ, via :meth:`for_guard_zone`.
+    """
+
+    def __init__(self, side: float) -> None:
+        self.side = check_positive("side", side)
+
+    @classmethod
+    def for_guard_zone(cls, delta: float) -> "HexGrid":
+        """The §3.4 tiling: hexagons of side ``3 + 2Δ``."""
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        return cls(3.0 + 2.0 * delta)
+
+    @property
+    def diameter(self) -> float:
+        """Hexagon diameter (corner-to-corner), ``2·side``."""
+        return 2.0 * self.side
+
+    def cell_of(self, points: np.ndarray) -> np.ndarray:
+        """Axial coordinates ``(q, r)`` of the hexagon containing each point.
+
+        Parameters
+        ----------
+        points:
+            ``(n, 2)`` array (or a single ``(2,)`` point).
+
+        Returns
+        -------
+        ``(n, 2)`` int64 array of axial coordinates (``(2,)`` for a
+        single point).
+        """
+        single = np.asarray(points).ndim == 1
+        pts = as_points(np.atleast_2d(np.asarray(points, dtype=np.float64)))
+        s = self.side
+        # Fractional axial coordinates (pointy-top orientation).
+        qf = (_SQRT3 / 3.0 * pts[:, 0] - 1.0 / 3.0 * pts[:, 1]) / s
+        rf = (2.0 / 3.0 * pts[:, 1]) / s
+        q, r = _axial_round(qf, rf)
+        out = np.column_stack([q, r])
+        return out[0] if single else out
+
+    def center_of(self, cells: np.ndarray) -> np.ndarray:
+        """Cartesian centers of axial cells ``(q, r)``."""
+        single = np.asarray(cells).ndim == 1
+        c = np.atleast_2d(np.asarray(cells, dtype=np.float64))
+        x = self.side * _SQRT3 * (c[:, 0] + c[:, 1] / 2.0)
+        y = self.side * 1.5 * c[:, 1]
+        out = np.column_stack([x, y])
+        return out[0] if single else out
+
+    def vertices_of(self, cell: np.ndarray) -> np.ndarray:
+        """The six corner points of a hexagon, CCW starting at angle 90°."""
+        cx, cy = self.center_of(np.asarray(cell))
+        ang = np.deg2rad(60.0 * np.arange(6) + 90.0)
+        return np.column_stack([cx + self.side * np.cos(ang), cy + self.side * np.sin(ang)])
+
+    def neighbors_of(self, cell) -> np.ndarray:
+        """Axial coordinates of the six adjacent hexagons."""
+        q, r = int(cell[0]), int(cell[1])
+        offs = np.array([(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)], dtype=np.int64)
+        return offs + np.array([q, r], dtype=np.int64)
+
+    def group_by_cell(self, points: np.ndarray) -> dict[tuple[int, int], np.ndarray]:
+        """Map each occupied cell to the indices of the points inside it."""
+        cells = self.cell_of(points)
+        if cells.ndim == 1:
+            cells = cells[None, :]
+        out: dict[tuple[int, int], list[int]] = {}
+        for i, (q, r) in enumerate(cells):
+            out.setdefault((int(q), int(r)), []).append(i)
+        return {k: np.asarray(v, dtype=np.intp) for k, v in out.items()}
+
+    def cell_distance(self, a, b) -> int:
+        """Hex (grid) distance between two axial cells."""
+        dq = int(a[0]) - int(b[0])
+        dr = int(a[1]) - int(b[1])
+        return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+
+def _axial_round(qf: np.ndarray, rf: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Round fractional axial coordinates to the nearest hex center.
+
+    Standard cube-coordinate rounding: convert to cube (x=q, z=r,
+    y=-x-z), round each, then fix the coordinate with the largest
+    rounding error so x+y+z == 0 holds exactly.
+    """
+    xf = qf
+    zf = rf
+    yf = -xf - zf
+    rx = np.round(xf)
+    ry = np.round(yf)
+    rz = np.round(zf)
+    dx = np.abs(rx - xf)
+    dy = np.abs(ry - yf)
+    dz = np.abs(rz - zf)
+    fix_x = (dx > dy) & (dx > dz)
+    fix_z = ~fix_x & (dz > dy)
+    rx = np.where(fix_x, -ry - rz, rx)
+    rz = np.where(fix_z, -rx - ry, rz)
+    return rx.astype(np.int64), rz.astype(np.int64)

@@ -1,0 +1,314 @@
+"""Node-distribution generators.
+
+The paper's results are quantified over *arbitrary* node distributions
+(Theorem 2.2), *civilized* (λ-precision) distributions (Theorem 2.7),
+and *uniform random* distributions in the unit square (Lemma 2.10,
+Corollary 3.5).  This module provides generators for all of those plus
+several adversarial configurations used in tests and benchmarks:
+
+* :func:`uniform_points` — i.i.d. uniform in a square;
+* :func:`grid_points` / :func:`perturbed_grid_points` — lattice layouts;
+* :func:`clustered_points` — Gaussian-mixture clusters (non-uniform);
+* :func:`ring_points`, :func:`line_points` — 1-D-ish layouts that stress
+  the degree/stretch analysis;
+* :func:`civilized_points` / :func:`poisson_disk_points` — λ-precision
+  sets where all pairwise distances are ≥ λ·D;
+* :func:`star_points` — the classic Ω(n)-degree adversarial input for
+  the Yao graph (many nodes on a tight arc around a hub);
+* :func:`two_cluster_bridge_points` — two dense blobs joined by one long
+  edge, exercising the long-edge cases of the stretch proof.
+
+All generators return float64 arrays of shape ``(n, 2)`` and take a
+``rng`` argument per :func:`repro.utils.rng.as_rng`.  Generators never
+return duplicate points (ΘALG assumes unique pairwise distances; exact
+duplicates would make sectors undefined).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.primitives import as_points, pairwise_sq_distances
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = [
+    "uniform_points",
+    "grid_points",
+    "perturbed_grid_points",
+    "clustered_points",
+    "ring_points",
+    "line_points",
+    "civilized_points",
+    "poisson_disk_points",
+    "star_points",
+    "two_cluster_bridge_points",
+    "min_pairwise_distance",
+    "precision_lambda",
+    "DISTRIBUTIONS",
+]
+
+
+def _require_n(n: int) -> int:
+    if int(n) != n or n < 1:
+        raise ValueError(f"n must be a positive integer, got {n!r}")
+    return int(n)
+
+
+def uniform_points(n: int, *, side: float = 1.0, rng=None) -> np.ndarray:
+    """``n`` i.i.d. uniform points in the square ``[0, side]^2``."""
+    n = _require_n(n)
+    check_positive("side", side)
+    gen = as_rng(rng)
+    return gen.uniform(0.0, side, size=(n, 2))
+
+
+def grid_points(n: int, *, side: float = 1.0) -> np.ndarray:
+    """The densest ``ceil(sqrt(n))``-per-side lattice, truncated to ``n`` points."""
+    n = _require_n(n)
+    check_positive("side", side)
+    k = int(math.ceil(math.sqrt(n)))
+    xs = np.linspace(0.0, side, k)
+    gx, gy = np.meshgrid(xs, xs, indexing="ij")
+    pts = np.column_stack([gx.ravel(), gy.ravel()])
+    return pts[:n]
+
+
+def perturbed_grid_points(n: int, *, side: float = 1.0, jitter: float = 0.25, rng=None) -> np.ndarray:
+    """Lattice points jittered by ``jitter`` × cell size (breaks distance ties)."""
+    n = _require_n(n)
+    check_in_range("jitter", jitter, 0.0, 0.49)
+    k = int(math.ceil(math.sqrt(n)))
+    cell = side / max(k - 1, 1)
+    pts = grid_points(n, side=side)
+    gen = as_rng(rng)
+    return pts + gen.uniform(-jitter * cell, jitter * cell, size=pts.shape)
+
+
+def clustered_points(
+    n: int,
+    *,
+    n_clusters: int = 5,
+    side: float = 1.0,
+    spread: float = 0.05,
+    rng=None,
+) -> np.ndarray:
+    """Gaussian-mixture layout: ``n_clusters`` centers, isotropic ``spread``.
+
+    Points are clipped to ``[0, side]^2`` so the transmission-graph
+    geometry stays comparable to the uniform case.
+    """
+    n = _require_n(n)
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    check_positive("spread", spread)
+    gen = as_rng(rng)
+    centers = gen.uniform(0.15 * side, 0.85 * side, size=(n_clusters, 2))
+    labels = gen.integers(0, n_clusters, size=n)
+    pts = centers[labels] + gen.normal(0.0, spread * side, size=(n, 2))
+    return np.clip(pts, 0.0, side)
+
+
+def ring_points(n: int, *, radius: float = 0.5, center=(0.5, 0.5), jitter: float = 0.0, rng=None) -> np.ndarray:
+    """``n`` points evenly spaced on a circle, optionally jittered radially."""
+    n = _require_n(n)
+    check_positive("radius", radius)
+    ang = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
+    r = np.full(n, radius)
+    if jitter > 0:
+        r = r + as_rng(rng).uniform(-jitter, jitter, size=n) * radius
+    c = np.asarray(center, dtype=np.float64)
+    return np.column_stack([c[0] + r * np.cos(ang), c[1] + r * np.sin(ang)])
+
+
+def line_points(n: int, *, length: float = 1.0, jitter: float = 0.0, rng=None) -> np.ndarray:
+    """``n`` points on a horizontal segment, optionally jittered vertically.
+
+    A worst case for hop counts: the transmission graph of a line is a
+    path when D is small.
+    """
+    n = _require_n(n)
+    check_positive("length", length)
+    xs = np.linspace(0.0, length, n)
+    ys = np.zeros(n)
+    if jitter > 0:
+        ys = as_rng(rng).uniform(-jitter, jitter, size=n)
+    return np.column_stack([xs, ys])
+
+
+def poisson_disk_points(
+    n: int,
+    *,
+    min_dist: float,
+    side: float = 1.0,
+    rng=None,
+    max_tries: int = 200,
+) -> np.ndarray:
+    """Up to ``n`` points in ``[0, side]^2`` with pairwise distance ≥ ``min_dist``.
+
+    Dart-throwing with a uniform grid for neighbor rejection (cell size
+    ``min_dist/√2`` so each cell holds at most one point).  Raises
+    ``RuntimeError`` if ``n`` points cannot be placed — callers should
+    keep ``n · min_dist²`` comfortably below ``side²``.
+    """
+    n = _require_n(n)
+    check_positive("min_dist", min_dist)
+    check_positive("side", side)
+    gen = as_rng(rng)
+    cell = min_dist / math.sqrt(2.0)
+    n_cells = max(1, int(math.ceil(side / cell)))
+    occupancy: dict[tuple[int, int], int] = {}
+    pts = np.empty((n, 2), dtype=np.float64)
+    count = 0
+    md2 = min_dist * min_dist
+    tries = 0
+    while count < n:
+        tries += 1
+        if tries > max_tries * n:
+            raise RuntimeError(
+                f"could not place {n} points at min_dist={min_dist} in side={side}; "
+                f"placed {count}"
+            )
+        p = gen.uniform(0.0, side, size=2)
+        cx, cy = int(p[0] / cell), int(p[1] / cell)
+        ok = True
+        for dx in range(-2, 3):
+            for dy in range(-2, 3):
+                j = occupancy.get((cx + dx, cy + dy))
+                if j is not None:
+                    q = pts[j]
+                    if (p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2 < md2:
+                        ok = False
+                        break
+            if not ok:
+                break
+        if ok:
+            pts[count] = p
+            occupancy[(cx, cy)] = count
+            count += 1
+    del n_cells  # documented sizing hint only
+    return pts
+
+
+def civilized_points(
+    n: int,
+    *,
+    lam: float = 0.5,
+    max_range: float | None = None,
+    side: float = 1.0,
+    rng=None,
+) -> np.ndarray:
+    """λ-precision ("civilized") point set per §2.3.
+
+    All pairwise distances are ≥ ``lam * max_range`` where ``max_range``
+    is the maximum transmission range D.  The ratio of the longest
+    possible edge (≤ D) to the shortest pairwise distance is then
+    ≤ 1/λ, a constant — the civilized-graph property.
+
+    The default ``max_range`` is the capacity-critical spacing
+    ``0.875·side/√n``: dart-throwing then places points at packing
+    fraction ≈ 0.6·λ², safely below the random sequential adsorption
+    jamming limit for λ ≤ 0.8.  Larger λ (or an explicit, larger
+    ``max_range``) may make placement infeasible, in which case
+    :func:`poisson_disk_points` raises ``RuntimeError``.
+    """
+    check_in_range("lam", lam, 0.0, 1.0, inclusive=(False, True))
+    if max_range is None:
+        max_range = 0.875 * side / math.sqrt(n)
+    min_dist = lam * max_range
+    return poisson_disk_points(n, min_dist=min_dist, side=side, rng=rng)
+
+
+def critical_range(n: int, *, side: float = 1.0, safety: float = 2.0) -> float:
+    """Connectivity-critical radius for n uniform points in ``[0, side]^2``.
+
+    Random geometric graphs become connected whp around
+    ``r = sqrt(ln n / (π n))``; ``safety`` scales above that threshold.
+    """
+    n = _require_n(n)
+    if n == 1:
+        return side
+    return min(float(side * safety * math.sqrt(math.log(n) / (math.pi * n))), side * math.sqrt(2.0))
+
+
+def star_points(n: int, *, arc: float = 0.05, radius: float = 1.0, rng=None) -> np.ndarray:
+    """Hub at the origin plus ``n-1`` points packed on a tight arc.
+
+    This is the classic adversarial input on which the plain Yao graph
+    has Ω(n) in-degree at the hub: every arc point's cone toward the
+    origin contains only the origin, so all of them pick the hub as a
+    Yao neighbor.  ΘALG's phase 2 must prune these down to O(1).
+
+    Points sit at slightly increasing radii so all pairwise distances
+    are unique.
+    """
+    n = _require_n(n)
+    check_positive("radius", radius)
+    gen = as_rng(rng)
+    m = n - 1
+    pts = np.zeros((n, 2), dtype=np.float64)
+    if m:
+        ang = np.linspace(0.0, arc, m) + gen.uniform(0, arc * 1e-3, size=m)
+        # Tiny radius stagger for unique hub distances; it must stay far
+        # below the angular spacing arc/m, or the inward direction from
+        # one arc point to the previous one falls into the same sector
+        # as the hub and steals the Yao choice.
+        r = radius * (1.0 + 1e-9 * np.arange(m))
+        pts[1:, 0] = r * np.cos(ang)
+        pts[1:, 1] = r * np.sin(ang)
+    return pts
+
+
+def two_cluster_bridge_points(
+    n: int,
+    *,
+    gap: float = 0.8,
+    spread: float = 0.05,
+    rng=None,
+) -> np.ndarray:
+    """Two dense blobs separated by ``gap``, connected only by a long hop.
+
+    Exercises the long-edge branches (Case 2) of the Theorem 2.2 stretch
+    proof: the minimum-energy path between clusters must cross the gap.
+    """
+    n = _require_n(n)
+    check_positive("gap", gap)
+    gen = as_rng(rng)
+    half = n // 2
+    a = gen.normal(0.0, spread, size=(half, 2))
+    b = gen.normal(0.0, spread, size=(n - half, 2)) + np.array([gap, 0.0])
+    return np.vstack([a, b])
+
+
+def min_pairwise_distance(points: np.ndarray) -> float:
+    """Smallest pairwise distance of a point set (∞ for a single point)."""
+    pts = as_points(points)
+    if len(pts) < 2:
+        return math.inf
+    d2 = pairwise_sq_distances(pts)
+    np.fill_diagonal(d2, np.inf)
+    return float(math.sqrt(d2.min()))
+
+
+def precision_lambda(points: np.ndarray, max_range: float) -> float:
+    """λ such that the point set is λ-precision w.r.t. ``max_range``.
+
+    Per §2.3 a set is civilized when the ratio of minimum pairwise
+    distance to the maximum edge length (≤ max_range) is bounded below
+    by a constant λ.
+    """
+    check_positive("max_range", max_range)
+    return min_pairwise_distance(points) / max_range
+
+
+#: Registry used by experiment sweeps: name → generator(n, rng=...) closure.
+DISTRIBUTIONS = {
+    "uniform": lambda n, rng=None: uniform_points(n, rng=rng),
+    "clustered": lambda n, rng=None: clustered_points(n, rng=rng),
+    "perturbed_grid": lambda n, rng=None: perturbed_grid_points(n, rng=rng),
+    "ring": lambda n, rng=None: ring_points(n, jitter=0.05, rng=rng),
+    "civilized": lambda n, rng=None: civilized_points(n, rng=rng),
+    "two_cluster": lambda n, rng=None: two_cluster_bridge_points(n, rng=rng),
+}

@@ -1,0 +1,113 @@
+"""Vectorized 2-D geometric primitives.
+
+All functions accept ``(n, 2)`` float arrays of point coordinates and
+return NumPy arrays; nothing here loops in Python over points.  Angles
+are in radians and normalized to ``[0, 2π)`` unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_points",
+    "pairwise_distances",
+    "pairwise_sq_distances",
+    "distances_from",
+    "angles_from",
+    "angle_between",
+    "normalize_angle",
+    "polygon_area",
+    "TWO_PI",
+]
+
+TWO_PI = 2.0 * np.pi
+
+
+def as_points(points: np.ndarray) -> np.ndarray:
+    """Validate and coerce ``points`` into a float64 ``(n, 2)`` array."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+    if not np.all(np.isfinite(pts)):
+        raise ValueError("points must be finite")
+    return pts
+
+
+def pairwise_sq_distances(points: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` matrix of squared Euclidean distances.
+
+    Computed by direct coordinate differencing (chunked over rows to
+    bound peak memory) rather than the Gram-matrix expansion
+    ``|a|² + |b|² − 2a·b``: the expansion loses all significant digits
+    when two points are much closer together than their distance to the
+    origin, and nearest-neighbor geometry is exactly where that matters.
+    """
+    pts = as_points(points)
+    n = len(pts)
+    d2 = np.empty((n, n), dtype=np.float64)
+    chunk = max(1, min(n, 8_388_608 // max(n, 1)))  # ≤ ~64 MiB per temp
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        dx = pts[start:stop, None, 0] - pts[None, :, 0]
+        dy = pts[start:stop, None, 1] - pts[None, :, 1]
+        d2[start:stop] = dx * dx + dy * dy
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` matrix of Euclidean distances."""
+    return np.sqrt(pairwise_sq_distances(points))
+
+
+def distances_from(points: np.ndarray, origin: np.ndarray) -> np.ndarray:
+    """Euclidean distance from each of ``points`` to a single ``origin``."""
+    pts = as_points(points)
+    o = np.asarray(origin, dtype=np.float64).reshape(2)
+    return np.hypot(pts[:, 0] - o[0], pts[:, 1] - o[1])
+
+
+def angles_from(points: np.ndarray, origin: np.ndarray) -> np.ndarray:
+    """Polar angle in ``[0, 2π)`` of each point as seen from ``origin``.
+
+    The angle of a point coincident with ``origin`` is reported as 0.
+    """
+    pts = as_points(points)
+    o = np.asarray(origin, dtype=np.float64).reshape(2)
+    ang = np.arctan2(pts[:, 1] - o[1], pts[:, 0] - o[0])
+    return np.mod(ang, TWO_PI)
+
+
+def normalize_angle(angle: "float | np.ndarray") -> "float | np.ndarray":
+    """Map angles onto ``[0, 2π)``."""
+    return np.mod(angle, TWO_PI)
+
+
+def angle_between(a: np.ndarray, apex: np.ndarray, b: np.ndarray) -> float:
+    """Unsigned angle ``∠ a-apex-b`` in ``[0, π]``.
+
+    Raises ``ValueError`` if either arm is degenerate (zero length),
+    since the angle is then undefined.
+    """
+    a = np.asarray(a, dtype=np.float64).reshape(2)
+    o = np.asarray(apex, dtype=np.float64).reshape(2)
+    b = np.asarray(b, dtype=np.float64).reshape(2)
+    u = a - o
+    v = b - o
+    nu = np.hypot(u[0], u[1])
+    nv = np.hypot(v[0], v[1])
+    if nu == 0.0 or nv == 0.0:
+        raise ValueError("angle undefined: an arm of the angle has zero length")
+    c = np.clip(np.dot(u, v) / (nu * nv), -1.0, 1.0)
+    return float(np.arccos(c))
+
+
+def polygon_area(vertices: np.ndarray) -> float:
+    """Signed area of a simple polygon (positive for CCW orientation).
+
+    Used by the hex-grid tests to confirm tiles partition the plane.
+    """
+    v = as_points(vertices)
+    x, y = v[:, 0], v[:, 1]
+    return 0.5 * float(np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y))

@@ -1,0 +1,98 @@
+"""The sector (cone) partition used by ΘALG.
+
+Each node ``u`` divides the ``2π`` of directions around itself into
+``k = ceil(2π/θ)`` equal cones.  ``S(u, v)`` — "the sector of ``u``
+containing ``v``" in the paper's notation — is then just the index of
+the cone that the direction ``u → v`` falls into.
+
+The partition is *anchored*: cone ``i`` covers directions
+``[offset + i·w, offset + (i+1)·w)`` where ``w = 2π/k``.  The paper
+implicitly anchors at 0; we expose the offset so the anchor-sensitivity
+ablation (DESIGN.md §4) can randomize it per node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.primitives import TWO_PI, angles_from
+from repro.utils.validation import check_in_range
+
+__all__ = ["SectorPartition", "sector_index", "sector_of"]
+
+
+@dataclass(frozen=True)
+class SectorPartition:
+    """A partition of direction space into equal cones of width ≤ θ.
+
+    Parameters
+    ----------
+    theta:
+        Target cone angle in radians; must lie in ``(0, π/3]`` as required
+        by the paper's analysis (Lemma 2.1 needs ``θ ≤ π/3``).
+    offset:
+        Anchor direction of cone 0, in radians.
+
+    Notes
+    -----
+    The actual cone width is ``2π / ceil(2π/θ) ≤ θ`` so that the cones
+    tile direction space exactly.
+    """
+
+    theta: float
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_in_range("theta", self.theta, 0.0, math.pi / 3.0, inclusive=(False, True))
+
+    @property
+    def n_sectors(self) -> int:
+        """Number of cones, ``ceil(2π/θ)``."""
+        return int(math.ceil(TWO_PI / self.theta - 1e-12))
+
+    @property
+    def width(self) -> float:
+        """Actual cone width ``2π / n_sectors`` (≤ theta)."""
+        return TWO_PI / self.n_sectors
+
+    def index_of_angle(self, angle: "float | np.ndarray") -> "int | np.ndarray":
+        """Cone index for direction(s) ``angle`` (radians, any range)."""
+        rel = np.mod(np.asarray(angle, dtype=np.float64) - self.offset, TWO_PI)
+        # np.mod can return exactly TWO_PI after round-off (e.g. for a
+        # tiny negative input); 2π ≡ 0, so fold that back to 0 before
+        # the floor division.
+        rel = np.where(rel >= TWO_PI, 0.0, rel)
+        idx = np.floor_divide(rel, self.width).astype(np.intp)
+        idx = np.where(idx >= self.n_sectors, 0, idx)
+        if idx.ndim == 0:
+            return int(idx)
+        return idx
+
+    def indices_from(self, points: np.ndarray, origin: np.ndarray) -> np.ndarray:
+        """Cone index of every point as seen from ``origin`` (vectorized)."""
+        return self.index_of_angle(angles_from(points, origin))
+
+    def bounds(self, index: int) -> tuple[float, float]:
+        """``(low, high)`` direction bounds of cone ``index`` (low inclusive)."""
+        if not 0 <= index < self.n_sectors:
+            raise IndexError(f"sector index {index} out of range [0, {self.n_sectors})")
+        lo = (self.offset + index * self.width) % TWO_PI
+        return lo, (lo + self.width) % TWO_PI
+
+
+def sector_index(theta: float, angle: "float | np.ndarray", offset: float = 0.0) -> "int | np.ndarray":
+    """Convenience wrapper: cone index of ``angle`` under cone width θ."""
+    return SectorPartition(theta, offset).index_of_angle(angle)
+
+
+def sector_of(theta: float, u: np.ndarray, v: np.ndarray, offset: float = 0.0) -> int:
+    """``S(u, v)`` — index of the cone of ``u`` containing node ``v``."""
+    u = np.asarray(u, dtype=np.float64).reshape(2)
+    v = np.asarray(v, dtype=np.float64).reshape(2)
+    if np.allclose(u, v):
+        raise ValueError("S(u, v) undefined for coincident points")
+    ang = math.atan2(v[1] - u[1], v[0] - u[0]) % TWO_PI
+    return int(SectorPartition(theta, offset).index_of_angle(ang))

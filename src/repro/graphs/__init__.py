@@ -1,0 +1,62 @@
+"""Geometric graphs: the transmission graph G*, the Yao graph, baselines.
+
+* :mod:`repro.graphs.base` — the :class:`GeometricGraph` container shared
+  by every topology in the library (positions + undirected edge list +
+  ``|uv|^κ`` edge costs, with cached CSR adjacency);
+* :mod:`repro.graphs.transmission` — G*, the maximum-range disk graph of
+  §2's model;
+* :mod:`repro.graphs.yao` — the Yao/θ-graph (phase 1 of ΘALG, the graph
+  the paper calls N₁);
+* :mod:`repro.graphs.baselines` — Gabriel, relative-neighborhood,
+  restricted-Delaunay, kNN and Euclidean-MST topologies from the
+  related-work comparison (§1.2);
+* :mod:`repro.graphs.metrics` — degrees, connectivity, energy- and
+  distance-stretch, spanner checks.
+"""
+
+from repro.graphs.base import GeometricGraph
+from repro.graphs.transmission import transmission_graph, max_range_for_connectivity
+from repro.graphs.yao import yao_graph, yao_out_edges
+from repro.graphs.baselines import (
+    gabriel_graph,
+    relative_neighborhood_graph,
+    restricted_delaunay_graph,
+    knn_graph,
+    euclidean_mst,
+)
+from repro.graphs.sparsify import greedy_spanner, global_yao_sparsification
+from repro.graphs.metrics import (
+    degrees,
+    max_degree,
+    is_connected,
+    connected_components,
+    shortest_path_costs,
+    energy_stretch,
+    distance_stretch,
+    stretch_summary,
+    StretchResult,
+)
+
+__all__ = [
+    "GeometricGraph",
+    "transmission_graph",
+    "max_range_for_connectivity",
+    "yao_graph",
+    "yao_out_edges",
+    "gabriel_graph",
+    "relative_neighborhood_graph",
+    "restricted_delaunay_graph",
+    "knn_graph",
+    "euclidean_mst",
+    "greedy_spanner",
+    "global_yao_sparsification",
+    "degrees",
+    "max_degree",
+    "is_connected",
+    "connected_components",
+    "shortest_path_costs",
+    "energy_stretch",
+    "distance_stretch",
+    "stretch_summary",
+    "StretchResult",
+]

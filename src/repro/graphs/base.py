@@ -1,0 +1,227 @@
+"""The :class:`GeometricGraph` container.
+
+Every topology in the library — the transmission graph G*, the Yao graph
+N₁, the ΘALG output N, and the proximity-graph baselines — is a set of
+2-D node positions plus an undirected edge list.  Edge costs follow the
+paper's energy model: transmitting over edge ``(u, v)`` costs
+``|uv|^κ`` with path-loss exponent ``κ ≥ 2`` (§2.2).
+
+The container is immutable after construction; derived quantities
+(lengths, costs, CSR adjacency, neighbor lists) are computed lazily and
+cached, which keeps construction cheap for the thousands of graphs the
+experiment sweeps create.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.geometry.primitives import as_points
+from repro.utils.validation import check_in_range
+
+__all__ = ["GeometricGraph", "canonical_edges"]
+
+
+def canonical_edges(edges: "np.ndarray | Iterable[tuple[int, int]]", n: int) -> np.ndarray:
+    """Normalize an edge list: intp dtype, ``i < j``, sorted, deduplicated.
+
+    Self-loops are rejected (a node never transmits to itself in the
+    model); indices must lie in ``[0, n)``.
+    """
+    e = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.intp)
+    if e.size == 0:
+        return np.empty((0, 2), dtype=np.intp)
+    if e.ndim != 2 or e.shape[1] != 2:
+        raise ValueError(f"edges must have shape (m, 2), got {e.shape}")
+    if (e < 0).any() or (e >= n).any():
+        raise ValueError("edge endpoint out of range")
+    if (e[:, 0] == e[:, 1]).any():
+        raise ValueError("self-loops are not allowed")
+    lo = np.minimum(e[:, 0], e[:, 1])
+    hi = np.maximum(e[:, 0], e[:, 1])
+    e = np.column_stack([lo, hi])
+    e = np.unique(e, axis=0)
+    return e
+
+
+class GeometricGraph:
+    """An undirected geometric graph with ``|uv|^κ`` edge costs.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` node positions.
+    edges:
+        ``(m, 2)`` integer edge list (any orientation/order; normalized
+        internally).
+    kappa:
+        Path-loss exponent κ ∈ [2, 4] of the energy model.
+    name:
+        Optional label used in reports.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        edges: "np.ndarray | Iterable[tuple[int, int]]",
+        *,
+        kappa: float = 2.0,
+        name: str = "",
+    ) -> None:
+        self._points = as_points(points).copy()
+        self._points.flags.writeable = False
+        self._edges = canonical_edges(edges, len(self._points))
+        self._edges.flags.writeable = False
+        self.kappa = check_in_range("kappa", kappa, 2.0, 4.0)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """``(n, 2)`` node positions (read-only)."""
+        return self._points
+
+    @property
+    def edges(self) -> np.ndarray:
+        """``(m, 2)`` canonical edge list (read-only, ``i < j``, sorted)."""
+        return self._edges
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._points)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<GeometricGraph{label} n={self.n_nodes} m={self.n_edges} "
+            f"kappa={self.kappa:g}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Cached derived data
+    # ------------------------------------------------------------------
+    @cached_property
+    def edge_lengths(self) -> np.ndarray:
+        """Euclidean length of each edge, aligned with :attr:`edges`."""
+        if self.n_edges == 0:
+            return np.empty(0)
+        d = self._points[self._edges[:, 0]] - self._points[self._edges[:, 1]]
+        out = np.hypot(d[:, 0], d[:, 1])
+        out.flags.writeable = False
+        return out
+
+    @cached_property
+    def edge_costs(self) -> np.ndarray:
+        """Energy cost ``|uv|^κ`` of each edge, aligned with :attr:`edges`."""
+        out = self.edge_lengths**self.kappa
+        out.flags.writeable = False
+        return out
+
+    @cached_property
+    def edge_index(self) -> dict[tuple[int, int], int]:
+        """Map canonical ``(i, j)`` (i<j) to position in :attr:`edges`."""
+        return {(int(i), int(j)): k for k, (i, j) in enumerate(self._edges)}
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        if u > v:
+            u, v = v, u
+        return (u, v) in self.edge_index
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Index of edge ``{u, v}`` in :attr:`edges`; ``KeyError`` if absent."""
+        if u > v:
+            u, v = v, u
+        return self.edge_index[(u, v)]
+
+    def cost(self, u: int, v: int) -> float:
+        """Energy cost of edge ``{u, v}``."""
+        return float(self.edge_costs[self.edge_id(u, v)])
+
+    def length(self, u: int, v: int) -> float:
+        """Euclidean length of edge ``{u, v}``."""
+        return float(self.edge_lengths[self.edge_id(u, v)])
+
+    @cached_property
+    def adjacency(self) -> sp.csr_matrix:
+        """Symmetric CSR adjacency with edge *lengths* as weights."""
+        return self._weighted_adjacency(self.edge_lengths)
+
+    @cached_property
+    def cost_adjacency(self) -> sp.csr_matrix:
+        """Symmetric CSR adjacency with edge *costs* ``|uv|^κ`` as weights."""
+        return self._weighted_adjacency(self.edge_costs)
+
+    def _weighted_adjacency(self, weights: np.ndarray) -> sp.csr_matrix:
+        n = self.n_nodes
+        if self.n_edges == 0:
+            return sp.csr_matrix((n, n))
+        i = np.concatenate([self._edges[:, 0], self._edges[:, 1]])
+        j = np.concatenate([self._edges[:, 1], self._edges[:, 0]])
+        w = np.concatenate([weights, weights])
+        return sp.csr_matrix((w, (i, j)), shape=(n, n))
+
+    @cached_property
+    def neighbor_lists(self) -> list[np.ndarray]:
+        """Per-node sorted neighbor index arrays."""
+        n = self.n_nodes
+        buckets: list[list[int]] = [[] for _ in range(n)]
+        for i, j in self._edges:
+            buckets[i].append(int(j))
+            buckets[j].append(int(i))
+        return [np.asarray(sorted(b), dtype=np.intp) for b in buckets]
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbor indices of node ``u``."""
+        return self.neighbor_lists[u]
+
+    @cached_property
+    def total_cost(self) -> float:
+        """Sum of all edge costs (the topology's total 'weight')."""
+        return float(self.edge_costs.sum())
+
+    # ------------------------------------------------------------------
+    # Conversions and derivations
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as :class:`networkx.Graph` with ``length``/``cost`` attrs."""
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(
+            (int(i), {"pos": (float(x), float(y))})
+            for i, (x, y) in enumerate(self._points)
+        )
+        g.add_edges_from(
+            (int(i), int(j), {"length": float(l), "cost": float(c)})
+            for (i, j), l, c in zip(self._edges, self.edge_lengths, self.edge_costs)
+        )
+        return g
+
+    def subgraph_with_edges(self, edges, *, name: str = "") -> "GeometricGraph":
+        """Same nodes, different edge set (used by topology-control output)."""
+        return GeometricGraph(self._points, edges, kappa=self.kappa, name=name or self.name)
+
+    def with_kappa(self, kappa: float) -> "GeometricGraph":
+        """Same topology under a different path-loss exponent."""
+        return GeometricGraph(self._points, self._edges, kappa=kappa, name=self.name)
+
+    def directed_edge_array(self) -> np.ndarray:
+        """``(2m, 2)`` array with both orientations of every edge.
+
+        Routing treats each undirected edge as two directed channels
+        ("at most one packet along any edge in each direction", §3.1).
+        """
+        if self.n_edges == 0:
+            return np.empty((0, 2), dtype=np.intp)
+        return np.vstack([self._edges, self._edges[:, ::-1]])

@@ -1,0 +1,204 @@
+"""Baseline proximity-graph topologies from the related-work comparison.
+
+§1.2 of the paper positions ΘALG against a family of classical geometric
+structures.  Experiment E10 ("topology zoo") reproduces that comparison
+quantitatively, so we implement each baseline:
+
+* **Gabriel graph** — edge (u, v) present iff the disk with diameter
+  ``uv`` is empty.  Contains every minimum-energy path for κ ≥ 2
+  (optimal energy-stretch 1) but has Ω(n) worst-case degree.
+* **Relative neighborhood graph (RNG)** — edge present iff no witness w
+  has ``max(|uw|, |vw|) < |uv|``.  Sparser than Gabriel; polynomial
+  energy-stretch in the worst case.
+* **Restricted Delaunay graph** — Delaunay triangulation intersected
+  with the transmission range D; a spanner among the edges it keeps.
+* **kNN graph** — connect each node to its k nearest neighbors; the
+  paper's intro notes this does *not* guarantee connectivity.
+* **Euclidean MST** — the sparsest connected topology; minimum total
+  weight but unbounded stretch.
+
+All constructors restrict edges to the transmission range ``max_range``
+(a radio cannot use a longer edge regardless of the geometry) and return
+:class:`~repro.graphs.base.GeometricGraph` instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.csgraph import minimum_spanning_tree
+from scipy.spatial import Delaunay, cKDTree
+from scipy.spatial.distance import pdist, squareform
+
+from repro.geometry.primitives import as_points, pairwise_sq_distances
+from repro.graphs.base import GeometricGraph
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "gabriel_graph",
+    "relative_neighborhood_graph",
+    "restricted_delaunay_graph",
+    "knn_graph",
+    "euclidean_mst",
+]
+
+
+def _candidate_pairs_within(points: np.ndarray, max_range: float) -> np.ndarray:
+    """All (i, j), i<j with |ij| <= max_range, via a KD-tree."""
+    tree = cKDTree(points)
+    pairs = tree.query_pairs(max_range, output_type="ndarray")
+    if pairs.size == 0:
+        return np.empty((0, 2), dtype=np.intp)
+    return pairs.astype(np.intp)
+
+
+def gabriel_graph(
+    points: np.ndarray,
+    max_range: float = np.inf,
+    *,
+    kappa: float = 2.0,
+    name: str = "Gabriel",
+) -> GeometricGraph:
+    """Gabriel graph restricted to the transmission range.
+
+    Edge (u, v) survives iff no third node lies strictly inside the disk
+    whose diameter is the segment uv, i.e. iff for every w:
+    ``|uw|² + |vw|² ≥ |uv|²``.
+    """
+    pts = as_points(points)
+    n = len(pts)
+    if n < 2:
+        return GeometricGraph(pts, [], kappa=kappa, name=name)
+    if np.isinf(max_range):
+        iu = np.triu_indices(n, k=1)
+        pairs = np.column_stack(iu).astype(np.intp)
+    else:
+        check_positive("max_range", max_range)
+        pairs = _candidate_pairs_within(pts, max_range)
+    if len(pairs) == 0:
+        return GeometricGraph(pts, [], kappa=kappa, name=name)
+    d2 = pairwise_sq_distances(pts)
+    keep = np.empty(len(pairs), dtype=bool)
+    for k, (i, j) in enumerate(pairs):
+        # Inside-disk test against all nodes at once.
+        inside = d2[i] + d2[j] < d2[i, j] * (1.0 - 1e-12)
+        inside[i] = inside[j] = False
+        keep[k] = not inside.any()
+    return GeometricGraph(pts, pairs[keep], kappa=kappa, name=name)
+
+
+def relative_neighborhood_graph(
+    points: np.ndarray,
+    max_range: float = np.inf,
+    *,
+    kappa: float = 2.0,
+    name: str = "RNG",
+) -> GeometricGraph:
+    """Relative neighborhood graph restricted to the transmission range.
+
+    Edge (u, v) survives iff no witness w satisfies
+    ``max(|uw|, |vw|) < |uv|`` (lune-emptiness).
+    """
+    pts = as_points(points)
+    n = len(pts)
+    if n < 2:
+        return GeometricGraph(pts, [], kappa=kappa, name=name)
+    if np.isinf(max_range):
+        iu = np.triu_indices(n, k=1)
+        pairs = np.column_stack(iu).astype(np.intp)
+    else:
+        check_positive("max_range", max_range)
+        pairs = _candidate_pairs_within(pts, max_range)
+    if len(pairs) == 0:
+        return GeometricGraph(pts, [], kappa=kappa, name=name)
+    d2 = pairwise_sq_distances(pts)
+    keep = np.empty(len(pairs), dtype=bool)
+    for k, (i, j) in enumerate(pairs):
+        blocked = np.maximum(d2[i], d2[j]) < d2[i, j] * (1.0 - 1e-12)
+        blocked[i] = blocked[j] = False
+        keep[k] = not blocked.any()
+    return GeometricGraph(pts, pairs[keep], kappa=kappa, name=name)
+
+
+def restricted_delaunay_graph(
+    points: np.ndarray,
+    max_range: float,
+    *,
+    kappa: float = 2.0,
+    name: str = "RDG",
+) -> GeometricGraph:
+    """Delaunay triangulation with edges longer than ``max_range`` removed.
+
+    Matches the restricted Delaunay graphs of Gao et al. cited in §1.2.
+    Degenerate inputs (collinear point sets) fall back to the path graph
+    along the line, which is what the triangulation degenerates to.
+    """
+    pts = as_points(points)
+    check_positive("max_range", max_range)
+    n = len(pts)
+    if n < 2:
+        return GeometricGraph(pts, [], kappa=kappa, name=name)
+    try:
+        tri = Delaunay(pts)
+    except Exception:
+        # Collinear fallback: connect consecutive points along the line.
+        order = np.lexsort((pts[:, 1], pts[:, 0]))
+        edges = np.column_stack([order[:-1], order[1:]])
+        g = GeometricGraph(pts, edges, kappa=kappa, name=name)
+        keep = g.edge_lengths <= max_range + 1e-12
+        return GeometricGraph(pts, g.edges[keep], kappa=kappa, name=name)
+    simplices = tri.simplices
+    edges = np.vstack(
+        [simplices[:, [0, 1]], simplices[:, [1, 2]], simplices[:, [0, 2]]]
+    )
+    g = GeometricGraph(pts, edges, kappa=kappa, name=name)
+    keep = g.edge_lengths <= max_range + 1e-12
+    return GeometricGraph(pts, g.edges[keep], kappa=kappa, name=name)
+
+
+def knn_graph(
+    points: np.ndarray,
+    k: int,
+    max_range: float = np.inf,
+    *,
+    kappa: float = 2.0,
+    name: str = "kNN",
+) -> GeometricGraph:
+    """Connect each node to its k nearest neighbors (within range).
+
+    The intro's cautionary baseline: energy-efficient locally but not
+    guaranteed connected and with in-degree up to Θ(n).
+    """
+    pts = as_points(points)
+    n = len(pts)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n < 2:
+        return GeometricGraph(pts, [], kappa=kappa, name=name)
+    tree = cKDTree(pts)
+    kk = min(k + 1, n)
+    dist, idx = tree.query(pts, k=kk)
+    edges = []
+    for u in range(n):
+        for d, v in zip(dist[u], idx[u]):
+            if v == u:
+                continue
+            if d <= max_range:
+                edges.append((u, int(v)))
+    return GeometricGraph(pts, edges, kappa=kappa, name=name)
+
+
+def euclidean_mst(
+    points: np.ndarray,
+    *,
+    kappa: float = 2.0,
+    name: str = "MST",
+) -> GeometricGraph:
+    """Euclidean minimum spanning tree (dense Prim via scipy)."""
+    pts = as_points(points)
+    n = len(pts)
+    if n < 2:
+        return GeometricGraph(pts, [], kappa=kappa, name=name)
+    dm = squareform(pdist(pts))
+    mst = minimum_spanning_tree(dm).tocoo()
+    edges = np.column_stack([mst.row, mst.col]).astype(np.intp)
+    return GeometricGraph(pts, edges, kappa=kappa, name=name)

@@ -1,0 +1,233 @@
+"""Graph metrics: degrees, connectivity, energy- and distance-stretch.
+
+The stretch measures are the paper's central quality criteria for a
+topology-control output H ⊆ G*:
+
+* **energy-stretch** (§2.2) — max over node pairs of the ratio of the
+  cheapest path cost in H (edge costs ``|uv|^κ``) to the cheapest path
+  cost in G*;
+* **distance-stretch** (§2.3) — same with Euclidean edge *lengths*; a
+  subgraph with O(1) distance-stretch of the complete graph is a
+  *spanner*.
+
+Theorem 2.2's reduction lets us evaluate energy-stretch by looking only
+at the *edges* of G*: it suffices that every G* edge (u, v) has a path
+in H of cost O(|uv|^κ).  ``stretch_summary`` reports both the exact
+all-pairs stretch and this per-edge variant (the quantity the proof
+actually bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.csgraph import connected_components as _cc
+from scipy.sparse.csgraph import dijkstra
+
+from repro.graphs.base import GeometricGraph
+
+__all__ = [
+    "degrees",
+    "max_degree",
+    "is_connected",
+    "connected_components",
+    "shortest_path_costs",
+    "energy_stretch",
+    "distance_stretch",
+    "stretch_summary",
+    "StretchResult",
+]
+
+
+def degrees(graph: GeometricGraph) -> np.ndarray:
+    """Degree of every node."""
+    out = np.zeros(graph.n_nodes, dtype=np.intp)
+    if graph.n_edges:
+        np.add.at(out, graph.edges[:, 0], 1)
+        np.add.at(out, graph.edges[:, 1], 1)
+    return out
+
+
+def max_degree(graph: GeometricGraph) -> int:
+    """Maximum node degree (0 for an empty graph)."""
+    d = degrees(graph)
+    return int(d.max()) if len(d) else 0
+
+
+def connected_components(graph: GeometricGraph) -> tuple[int, np.ndarray]:
+    """``(count, labels)`` of connected components."""
+    if graph.n_nodes == 0:
+        return 0, np.empty(0, dtype=np.int32)
+    return _cc(graph.adjacency, directed=False)
+
+
+def is_connected(graph: GeometricGraph) -> bool:
+    """Whether the graph is connected (single-node graphs count as connected)."""
+    n_comp, _ = connected_components(graph)
+    return n_comp <= 1
+
+
+def shortest_path_costs(
+    graph: GeometricGraph,
+    *,
+    weight: str = "cost",
+    sources: np.ndarray | None = None,
+) -> np.ndarray:
+    """All-pairs (or selected-source) shortest-path weights via Dijkstra.
+
+    Parameters
+    ----------
+    weight:
+        ``"cost"`` for energy (``|uv|^κ``) weights, ``"length"`` for
+        Euclidean weights.
+    sources:
+        Optional array of source indices; default all nodes.
+
+    Returns
+    -------
+    ``(len(sources), n)`` float array; unreachable pairs are ``inf``.
+    """
+    if weight == "cost":
+        adj = graph.cost_adjacency
+    elif weight == "length":
+        adj = graph.adjacency
+    else:
+        raise ValueError(f"weight must be 'cost' or 'length', got {weight!r}")
+    if sources is None:
+        return dijkstra(adj, directed=False)
+    sources = np.asarray(sources, dtype=np.intp)
+    if len(sources) == 0:
+        return np.empty((0, graph.n_nodes))
+    return dijkstra(adj, directed=False, indices=sources)
+
+
+@dataclass(frozen=True)
+class StretchResult:
+    """Stretch statistics of a subgraph relative to a reference graph.
+
+    Attributes
+    ----------
+    max_stretch / mean_stretch:
+        Over all connected node pairs of the reference graph.
+    max_edge_stretch:
+        Max over *edges* (u, v) of the reference of (subgraph path
+        weight)/(edge weight) — the quantity Theorem 2.2 bounds.
+    n_pairs:
+        Number of finite pairs that entered the statistics.
+    disconnected_pairs:
+        Pairs reachable in the reference but not the subgraph (must be 0
+        for a valid topology-control output).
+    """
+
+    max_stretch: float
+    mean_stretch: float
+    max_edge_stretch: float
+    n_pairs: int
+    disconnected_pairs: int
+
+
+def _stretch(
+    sub: GeometricGraph,
+    ref: GeometricGraph,
+    *,
+    weight: str,
+    max_sources: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> StretchResult:
+    if sub.n_nodes != ref.n_nodes:
+        raise ValueError("subgraph and reference must share the node set")
+    n = ref.n_nodes
+    if n < 2:
+        return StretchResult(1.0, 1.0, 1.0, 0, 0)
+    if max_sources is not None and max_sources < n:
+        gen = rng if rng is not None else np.random.default_rng(0)
+        sources = np.sort(gen.choice(n, size=max_sources, replace=False))
+    else:
+        sources = np.arange(n)
+    d_sub = shortest_path_costs(sub, weight=weight, sources=sources)
+    d_ref = shortest_path_costs(ref, weight=weight, sources=sources)
+
+    finite_ref = np.isfinite(d_ref) & (d_ref > 0)
+    finite_sub = np.isfinite(d_sub)
+    disconnected = int(np.count_nonzero(finite_ref & ~finite_sub))
+    valid = finite_ref & finite_sub
+    if valid.any():
+        ratios = d_sub[valid] / d_ref[valid]
+        max_stretch = float(ratios.max())
+        mean_stretch = float(ratios.mean())
+        n_pairs = int(valid.sum())
+    else:
+        max_stretch = mean_stretch = 1.0
+        n_pairs = 0
+
+    # Per-edge stretch over reference edges (Theorem 2.2's reduction).
+    max_edge_stretch = 1.0
+    if ref.n_edges:
+        ew = ref.edge_costs if weight == "cost" else ref.edge_lengths
+        # Shortest-path rows for all edge sources we have available.
+        src_pos = {int(s): k for k, s in enumerate(sources)}
+        for (u, v), w in zip(ref.edges, ew):
+            row = src_pos.get(int(u))
+            if row is None:
+                row = src_pos.get(int(v))
+                if row is None:
+                    continue
+                target = int(u)
+            else:
+                target = int(v)
+            dsub = d_sub[row, target]
+            if np.isfinite(dsub) and w > 0:
+                max_edge_stretch = max(max_edge_stretch, float(dsub / w))
+    return StretchResult(max_stretch, mean_stretch, max_edge_stretch, n_pairs, disconnected)
+
+
+def energy_stretch(
+    sub: GeometricGraph,
+    ref: GeometricGraph,
+    *,
+    max_sources: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> StretchResult:
+    """Energy-stretch of ``sub`` w.r.t. ``ref`` (§2.2).
+
+    ``max_sources`` caps the Dijkstra sources for large n (sampled
+    uniformly); the per-edge stretch still covers every reference edge
+    incident to a sampled source.
+    """
+    return _stretch(sub, ref, weight="cost", max_sources=max_sources, rng=rng)
+
+
+def distance_stretch(
+    sub: GeometricGraph,
+    ref: GeometricGraph,
+    *,
+    max_sources: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> StretchResult:
+    """Distance-stretch of ``sub`` w.r.t. ``ref`` (§2.3)."""
+    return _stretch(sub, ref, weight="length", max_sources=max_sources, rng=rng)
+
+
+def stretch_summary(
+    sub: GeometricGraph,
+    ref: GeometricGraph,
+    *,
+    max_sources: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Flat dict with degree + both stretch measures (for tables)."""
+    es = energy_stretch(sub, ref, max_sources=max_sources, rng=rng)
+    ds = distance_stretch(sub, ref, max_sources=max_sources, rng=rng)
+    return {
+        "n_nodes": float(sub.n_nodes),
+        "n_edges": float(sub.n_edges),
+        "max_degree": float(max_degree(sub)),
+        "connected": float(is_connected(sub)),
+        "energy_stretch_max": es.max_stretch,
+        "energy_stretch_mean": es.mean_stretch,
+        "energy_edge_stretch_max": es.max_edge_stretch,
+        "distance_stretch_max": ds.max_stretch,
+        "distance_stretch_mean": ds.mean_stretch,
+        "disconnected_pairs": float(es.disconnected_pairs),
+    }

@@ -1,0 +1,136 @@
+"""Global-ranking spanner sparsification — the §1.2/§2.1 comparator.
+
+Before ΘALG, the known route to a *bounded-degree* spanner went through
+global postprocessing of the Yao graph: "processing the edges in order
+of decreasing length, and eliminating edges that do not decrease the
+distance between endpoints by more than a constant factor"
+(Wattenhofer et al., §2.1).  The paper's point is that this requires a
+network-wide edge ranking — communication time proportional to the
+diameter — whereas ΘALG's phase 2 is a single local round.
+
+This module implements that global algorithm as the comparison baseline
+(ablation in bench E10/E13): it produces topologies of similar quality,
+so the experiments isolate exactly what ΘALG buys — locality, not
+quality.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graphs.base import GeometricGraph
+
+__all__ = ["greedy_spanner", "global_yao_sparsification"]
+
+
+def greedy_spanner(
+    graph: GeometricGraph,
+    stretch_factor: float = 1.5,
+    *,
+    weight: str = "length",
+    name: str = "",
+) -> GeometricGraph:
+    """The classical greedy t-spanner restricted to ``graph``'s edges.
+
+    Processes edges in *increasing* weight order and keeps an edge only
+    if the current subgraph's distance between its endpoints exceeds
+    ``stretch_factor`` times the edge weight.  The result is a t-spanner
+    of ``graph`` (t = stretch_factor) with sparse, well-separated edges
+    — the strongest non-local quality baseline.
+    """
+    if stretch_factor < 1.0:
+        raise ValueError(f"stretch_factor must be >= 1, got {stretch_factor}")
+    n = graph.n_nodes
+    w = graph.edge_lengths if weight == "length" else graph.edge_costs
+    order = np.argsort(w, kind="stable")
+    adj: list[dict[int, float]] = [dict() for _ in range(n)]
+    kept: list[tuple[int, int]] = []
+
+    def dist_within(src: int, dst: int, bound: float) -> float:
+        """Dijkstra truncated at ``bound`` over the kept edges."""
+        dist = {src: 0.0}
+        heap = [(0.0, src)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if v == dst:
+                return d
+            if d > dist.get(v, np.inf) or d > bound:
+                continue
+            for u, wu in adj[v].items():
+                nd = d + wu
+                if nd <= bound and nd < dist.get(u, np.inf):
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return dist.get(dst, np.inf)
+
+    for k in order:
+        i, j = (int(x) for x in graph.edges[k])
+        bound = stretch_factor * float(w[k])
+        if dist_within(i, j, bound) > bound:
+            kept.append((i, j))
+            adj[i][j] = float(w[k])
+            adj[j][i] = float(w[k])
+    return GeometricGraph(
+        graph.points,
+        kept,
+        kappa=graph.kappa,
+        name=name or f"greedy-spanner(t={stretch_factor:g})",
+    )
+
+
+def global_yao_sparsification(
+    graph: GeometricGraph,
+    stretch_factor: float = 2.0,
+    *,
+    name: str = "",
+) -> GeometricGraph:
+    """Wattenhofer-style global postprocessing of a Yao graph.
+
+    Processes edges in *decreasing* length order and drops an edge when
+    the endpoints are already connected within ``stretch_factor`` times
+    the edge length **through permanently kept edges**.  Restricting
+    certificates to kept edges is what makes the t-spanner guarantee
+    compositional: a naive "check against the remaining graph" lets a
+    dropped edge's certificate route through edges that are themselves
+    dropped later, compounding the stretch.  Needs the global edge
+    ranking the paper objects to; kept as the non-local comparator for
+    ΘALG's phase 2.
+    """
+    if stretch_factor < 1.0:
+        raise ValueError(f"stretch_factor must be >= 1, got {stretch_factor}")
+    n = graph.n_nodes
+    lengths = graph.edge_lengths
+    order = np.argsort(-lengths, kind="stable")
+    adj: list[dict[int, float]] = [dict() for _ in range(n)]  # kept edges only
+
+    def dist_kept(src: int, dst: int, bound: float) -> float:
+        dist = {src: 0.0}
+        heap = [(0.0, src)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if v == dst:
+                return d
+            if d > dist.get(v, np.inf) or d > bound:
+                continue
+            for u, wu in adj[v].items():
+                nd = d + wu
+                if nd <= bound and nd < dist.get(u, np.inf):
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return dist.get(dst, np.inf)
+
+    for k in order:
+        i, j = (int(x) for x in graph.edges[k])
+        w = float(lengths[k])
+        if dist_kept(i, j, stretch_factor * w) > stretch_factor * w:
+            adj[i][j] = w
+            adj[j][i] = w
+    kept = [(i, j) for i in range(n) for j in adj[i] if i < j]
+    return GeometricGraph(
+        graph.points,
+        kept,
+        kappa=graph.kappa,
+        name=name or f"global-yao-sparse(t={stretch_factor:g})",
+    )

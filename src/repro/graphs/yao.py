@@ -1,0 +1,85 @@
+"""The Yao graph (θ-graph) — phase 1 of ΘALG.
+
+Every node partitions directions into cones of angle θ and connects to
+its nearest neighbor (within transmission range) in each cone.  The
+paper calls the resulting undirected graph N₁; it is a spanner with
+O(1) energy-stretch but its *in*-degree can be Ω(n) (see
+:func:`repro.geometry.pointsets.star_points`).
+
+:func:`yao_out_edges` returns the *directed* choices ``u → v`` (v is
+u's nearest in the cone of u containing v) — ΘALG's phase 2 consumes
+exactly this structure, so the two phases share one kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import TWO_PI, as_points
+from repro.geometry.sectors import SectorPartition
+from repro.geometry.spatialindex import GridIndex
+from repro.graphs.base import GeometricGraph
+from repro.utils.validation import check_positive
+
+__all__ = ["yao_out_edges", "yao_graph"]
+
+
+def yao_out_edges(
+    points: np.ndarray,
+    theta: float,
+    max_range: float,
+    *,
+    offset: float = 0.0,
+) -> np.ndarray:
+    """Directed Yao edges ``u → v``: v nearest to u in each cone of u.
+
+    Ties in distance are broken by node index (lower index wins), which
+    realizes the paper's "unique pairwise distances" assumption for
+    degenerate inputs such as exact lattices.
+
+    Returns
+    -------
+    ``(m, 2)`` intp array of directed edges (source, target).
+    """
+    pts = as_points(points)
+    check_positive("max_range", max_range)
+    part = SectorPartition(theta, offset)
+    n = len(pts)
+    if n < 2:
+        return np.empty((0, 2), dtype=np.intp)
+    index = GridIndex(pts, cell=max_range)
+    out: list[tuple[int, int]] = []
+    for u in range(n):
+        cand = index.query_radius(pts[u], max_range, exclude=u)
+        if len(cand) == 0:
+            continue
+        d = pts[cand] - pts[u]
+        dist = np.hypot(d[:, 0], d[:, 1])
+        ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
+        sec = part.index_of_angle(ang)
+        # Nearest candidate per sector: lexsort by (sector, dist, node id)
+        # and keep the first row of each sector run.  Including the node
+        # id in the key makes tie-breaking deterministic.
+        order = np.lexsort((cand, dist, sec))
+        sec_sorted = sec[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = sec_sorted[1:] != sec_sorted[:-1]
+        for k in order[first]:
+            out.append((u, int(cand[k])))
+    if not out:
+        return np.empty((0, 2), dtype=np.intp)
+    return np.asarray(out, dtype=np.intp)
+
+
+def yao_graph(
+    points: np.ndarray,
+    theta: float,
+    max_range: float,
+    *,
+    kappa: float = 2.0,
+    offset: float = 0.0,
+    name: str = "Yao",
+) -> GeometricGraph:
+    """The undirected Yao graph N₁ (union of both edge directions)."""
+    directed = yao_out_edges(points, theta, max_range, offset=offset)
+    return GeometricGraph(points, directed, kappa=kappa, name=name)

@@ -1,0 +1,43 @@
+"""The pairwise guard-zone interference model (§2.4).
+
+A transmission ``X → Y`` at distance ``|XY|`` occupies the *interference
+region* ``IR(X, Y)``: the union of the open disks of radius
+``(1+Δ)·|XY|`` around both endpoints (message exchange is bidirectional,
+covering data and acknowledgment).  A simultaneous transmission fails if
+either of its endpoints lies inside another transmission's region.
+
+* :mod:`repro.interference.model` — regions, pairwise interference
+  predicates, success masks for sets of simultaneous transmissions;
+* :mod:`repro.interference.conflict` — interference sets I(e), the
+  interference number of a topology, the edge conflict graph, and a
+  greedy colouring scheduler that turns a topology into non-interfering
+  rounds.
+"""
+
+from repro.interference.model import (
+    InterferenceModel,
+    interference_radius,
+    edges_interfere,
+    successful_transmissions,
+)
+from repro.interference.conflict import (
+    interference_sets,
+    interference_degrees,
+    interference_number,
+    conflict_graph,
+    greedy_interference_schedule,
+)
+from repro.interference.physical import PhysicalInterferenceModel
+
+__all__ = [
+    "InterferenceModel",
+    "interference_radius",
+    "edges_interfere",
+    "successful_transmissions",
+    "interference_sets",
+    "interference_degrees",
+    "interference_number",
+    "conflict_graph",
+    "greedy_interference_schedule",
+    "PhysicalInterferenceModel",
+]

@@ -1,0 +1,133 @@
+"""Interference sets, the interference number, and conflict scheduling.
+
+Following §2.4 (and Meyer auf der Heide et al.), the *interference set*
+of an edge e of a topology is
+
+    I(e) = { e' ∈ E : e' interferes with e, or vice versa }
+
+and the *interference number* of the topology is ``max_e |I(e)|``.
+Lemma 2.10: for n uniform random nodes in the unit square the
+interference number of ΘALG's output N is O(log n) whp — experiment E4.
+
+The *conflict graph* has one vertex per topology edge and connects
+mutually interfering edges; any proper colouring yields a TDMA-style
+schedule of non-interfering rounds (used by the Theorem 2.8 simulation
+and as a baseline MAC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.graphs.base import GeometricGraph
+from repro.interference.model import InterferenceModel, interference_radius
+
+__all__ = [
+    "interference_sets",
+    "interference_degrees",
+    "interference_number",
+    "conflict_graph",
+    "greedy_interference_schedule",
+]
+
+
+def interference_sets(graph: GeometricGraph, delta: float) -> list[np.ndarray]:
+    """I(e) for every edge of ``graph`` (symmetric closure), output-sensitive.
+
+    For each edge e' with guard radius r' = (1+Δ)·len(e'), the edges it
+    interferes with are exactly those having an endpoint within r' of
+    either endpoint of e'.  We find those endpoint nodes with a KD-tree
+    ball query and map them to incident edges, then symmetrize.
+
+    Returns
+    -------
+    List (aligned with ``graph.edges``) of sorted arrays of edge ids.
+    """
+    pts = graph.points
+    edges = graph.edges
+    m = len(edges)
+    if m == 0:
+        return []
+    tree = cKDTree(pts)
+    # node -> incident edge ids
+    incident: list[list[int]] = [[] for _ in range(graph.n_nodes)]
+    for k, (i, j) in enumerate(edges):
+        incident[i].append(k)
+        incident[j].append(k)
+
+    radii = interference_radius(graph.edge_lengths, delta)
+    sets: list[set[int]] = [set() for _ in range(m)]
+    for k in range(m):
+        i, j = edges[k]
+        r = radii[k]
+        # Open-disk semantics: shrink the inclusive KD-tree radius by an
+        # epsilon relative to r so boundary points are excluded.
+        rq = r * (1.0 - 1e-12)
+        victims: set[int] = set()
+        for node in tree.query_ball_point(pts[i], rq) + tree.query_ball_point(pts[j], rq):
+            victims.update(incident[node])
+        victims.discard(k)
+        # k interferes with each victim; relation is symmetrized.
+        for v in victims:
+            sets[k].add(v)
+            sets[v].add(k)
+    return [np.asarray(sorted(s), dtype=np.intp) for s in sets]
+
+
+def interference_degrees(graph: GeometricGraph, delta: float) -> np.ndarray:
+    """``|I(e)|`` for every edge."""
+    return np.asarray([len(s) for s in interference_sets(graph, delta)], dtype=np.intp)
+
+
+def interference_number(graph: GeometricGraph, delta: float) -> int:
+    """The topology's interference number ``max_e |I(e)|`` (0 if no edges)."""
+    deg = interference_degrees(graph, delta)
+    return int(deg.max()) if len(deg) else 0
+
+
+def conflict_graph(graph: GeometricGraph, delta: float):
+    """The edge conflict graph as :class:`networkx.Graph`.
+
+    Vertices are edge indices into ``graph.edges``; an edge joins two
+    mutually interfering topology edges.
+    """
+    import networkx as nx
+
+    sets = interference_sets(graph, delta)
+    g = nx.Graph()
+    g.add_nodes_from(range(len(sets)))
+    for k, s in enumerate(sets):
+        for v in s:
+            if v > k:
+                g.add_edge(k, int(v))
+    return g
+
+
+def greedy_interference_schedule(graph: GeometricGraph, delta: float) -> list[np.ndarray]:
+    """Partition the edges into non-interfering rounds by greedy colouring.
+
+    Uses networkx's ``greedy_color`` with largest-first ordering; the
+    number of rounds is at most (interference number + 1).  Each round
+    is an array of edge indices that can transmit simultaneously under
+    the guard-zone model.
+    """
+    import networkx as nx
+
+    cg = conflict_graph(graph, delta)
+    if cg.number_of_nodes() == 0:
+        return []
+    coloring = nx.greedy_color(cg, strategy="largest_first")
+    n_colors = max(coloring.values()) + 1
+    rounds: list[list[int]] = [[] for _ in range(n_colors)]
+    for edge_id, color in coloring.items():
+        rounds[color].append(edge_id)
+    out = [np.asarray(sorted(r), dtype=np.intp) for r in rounds]
+    # Verification in debug spirit: rounds must be pairwise conflict-free.
+    model = InterferenceModel(delta)
+    for r in out:
+        if len(r) > 1:
+            mat = model.interference_matrix(graph.points, graph.edges[r])
+            if mat.any():
+                raise AssertionError("greedy schedule produced an interfering round")
+    return out

@@ -1,0 +1,108 @@
+"""The SINR *physical* interference model (extension).
+
+§2.4 adopts the pairwise protocol model and notes it is "a simplified
+version of the *physical* model [Gupta-Kumar], which considers a
+combined interference from all other simultaneous transmissions".  This
+module implements that physical model so the simplification can be
+quantified (ablation bench E13):
+
+A transmission ``X_i → Y_i`` at fixed power P succeeds iff its
+signal-to-interference-plus-noise ratio clears the threshold β:
+
+    SINR_i  =  (P / |X_i Y_i|^κ) / (N₀ + Σ_{j≠i} P / |X_j Y_i|^κ)  ≥  β.
+
+With power control (each sender using just enough power to reach its
+receiver at the detection threshold), ``P_i = P₀·|X_i Y_i|^κ`` and the
+received signal is constant while interference scales with the
+interferers' chosen powers.
+
+The class mirrors :class:`repro.interference.model.InterferenceModel`'s
+``successful_mask`` interface so the MAC layers can swap models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import as_points
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["PhysicalInterferenceModel"]
+
+
+class PhysicalInterferenceModel:
+    """SINR-based success decisions for sets of simultaneous transmissions.
+
+    Parameters
+    ----------
+    beta:
+        SINR threshold β (≈ 1–10 in practice).
+    kappa:
+        Path-loss exponent κ ∈ [2, 4].
+    noise:
+        Ambient noise power N₀ ≥ 0 (same units as received power).
+    power_control:
+        If True (default) each sender transmits at ``|X_i Y_i|^κ`` —
+        just enough for unit received power at its own receiver, the
+        §2 power-adjustment assumption.  If False all senders use unit
+        power, the fixed-strength setting of §3.4.
+    """
+
+    def __init__(
+        self,
+        beta: float = 2.0,
+        *,
+        kappa: float = 2.0,
+        noise: float = 0.0,
+        power_control: bool = True,
+    ) -> None:
+        self.beta = check_positive("beta", beta)
+        self.kappa = check_positive("kappa", kappa)
+        self.noise = check_nonnegative("noise", noise)
+        self.power_control = bool(power_control)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalInterferenceModel(beta={self.beta:g}, kappa={self.kappa:g}, "
+            f"noise={self.noise:g}, power_control={self.power_control})"
+        )
+
+    def sinr(self, points: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        """SINR of each simultaneous directed transmission ``(src, dst)``.
+
+        A singleton transmission with zero noise has SINR = ∞.
+        """
+        pts = as_points(points)
+        e = np.asarray(edges, dtype=np.intp).reshape(-1, 2)
+        k = len(e)
+        if k == 0:
+            return np.empty(0)
+        senders = pts[e[:, 0]]
+        receivers = pts[e[:, 1]]
+        own = np.hypot(
+            senders[:, 0] - receivers[:, 0], senders[:, 1] - receivers[:, 1]
+        )
+        if (own == 0).any():
+            raise ValueError("sender and receiver coincide")
+        if self.power_control:
+            powers = own**self.kappa  # unit received power at own receiver
+            signal = np.ones(k)
+        else:
+            powers = np.ones(k)
+            signal = own ** (-self.kappa)
+        # Interference at receiver i from sender j (j != i).
+        dx = senders[:, None, 0] - receivers[None, :, 0]
+        dy = senders[:, None, 1] - receivers[None, :, 1]
+        dist = np.hypot(dx, dy)  # dist[j, i] = |X_j Y_i|
+        with np.errstate(divide="ignore"):
+            contrib = powers[:, None] * dist ** (-self.kappa)
+        np.fill_diagonal(contrib, 0.0)
+        interference = contrib.sum(axis=0)
+        denom = self.noise + interference
+        with np.errstate(divide="ignore"):
+            return np.where(denom > 0, signal / denom, np.inf)
+
+    def successful_mask(self, points: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        """Which of the simultaneous transmissions clear the β threshold."""
+        s = self.sinr(points, edges)
+        return s >= self.beta

@@ -1,0 +1,36 @@
+"""Round-based local message-passing simulation of ΘALG (§2.1).
+
+§2.1 notes that ΘALG needs only three rounds of local communication:
+
+1. every node broadcasts a *Position* message at maximum power;
+2. every node u computes N(u) from the received positions and sends a
+   *Neighborhood* message (containing N(u)) to each member of N(u);
+3. every node u sends a *Connection* message to the nearest node, per
+   sector, among the nodes v with u ∈ N(v); each Connection message
+   establishes one edge of the final topology N.
+
+This package runs that protocol message-for-message on a simulated
+broadcast medium (delivery = within transmission range) and exposes the
+message/round counts — the local-overhead numbers of experiment E11.
+The resulting edge set is asserted (in tests) to equal the centralized
+:func:`repro.core.theta.theta_algorithm` output exactly.
+"""
+
+from repro.localsim.messages import PositionMessage, NeighborhoodMessage, ConnectionMessage
+from repro.localsim.node import LocalNode
+from repro.localsim.runtime import LocalRuntime, ProtocolTrace
+from repro.localsim.timed import TimedProtocolReport, timed_protocol_cost
+from repro.localsim.lossy import LossyProtocolReport, lossy_protocol_run
+
+__all__ = [
+    "PositionMessage",
+    "NeighborhoodMessage",
+    "ConnectionMessage",
+    "LocalNode",
+    "LocalRuntime",
+    "ProtocolTrace",
+    "TimedProtocolReport",
+    "timed_protocol_cost",
+    "LossyProtocolReport",
+    "lossy_protocol_run",
+]

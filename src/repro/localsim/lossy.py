@@ -1,0 +1,172 @@
+"""Failure injection: the ΘALG protocol over a lossy medium.
+
+The paper's three-round description assumes messages arrive.  Real
+wireless links drop frames, so a deployable version retransmits.  This
+module runs the protocol over a Bernoulli-loss medium (each message
+delivery independently lost with probability p) with per-message
+retransmission (up to ``retries`` attempts; round 1's broadcast is
+modelled per-receiver, re-broadcast until every in-range receiver got
+one copy or attempts run out).
+
+The interesting questions, exercised by the tests and measurable via
+:func:`lossy_protocol_run`:
+
+* p = 0 reproduces the ideal construction exactly;
+* with retries ≥ a few, moderate loss rates still yield the exact ideal
+  topology (each message needs ~1/(1−p) attempts);
+* without retries, losses degrade the output two ways, both counted by
+  the report: *missing* edges (a Neighborhood/Connection message never
+  arrived) and *spurious* edges (a lost Position message made a node
+  pick a farther — still in-range — neighbor than the ideal run would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.theta import theta_algorithm
+from repro.geometry.primitives import as_points
+from repro.geometry.spatialindex import GridIndex
+from repro.graphs.base import GeometricGraph
+from repro.localsim.node import LocalNode
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["LossyProtocolReport", "lossy_protocol_run"]
+
+
+@dataclass(frozen=True)
+class LossyProtocolReport:
+    """Outcome of one lossy protocol run vs the ideal construction."""
+
+    n_nodes: int
+    loss_prob: float
+    retries: int
+    transmissions: int
+    ideal_edges: int
+    built_edges: int
+    missing_edges: int
+    spurious_edges: int
+    connected: bool
+
+    @property
+    def edge_recall(self) -> float:
+        """Fraction of ideal N edges the lossy run established."""
+        if self.ideal_edges == 0:
+            return 1.0
+        return (self.ideal_edges - self.missing_edges) / self.ideal_edges
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n_nodes": float(self.n_nodes),
+            "loss_prob": self.loss_prob,
+            "retries": float(self.retries),
+            "transmissions": float(self.transmissions),
+            "ideal_edges": float(self.ideal_edges),
+            "built_edges": float(self.built_edges),
+            "missing_edges": float(self.missing_edges),
+            "spurious_edges": float(self.spurious_edges),
+            "edge_recall": self.edge_recall,
+            "connected": float(self.connected),
+        }
+
+
+def lossy_protocol_run(
+    points: np.ndarray,
+    theta: float,
+    max_range: float,
+    *,
+    loss_prob: float = 0.2,
+    retries: int = 3,
+    rng=None,
+    offset: float = 0.0,
+    kappa: float = 2.0,
+) -> tuple[GeometricGraph, LossyProtocolReport]:
+    """Run the 3-round protocol over a Bernoulli-loss medium.
+
+    Parameters
+    ----------
+    loss_prob:
+        Per-delivery loss probability p ∈ [0, 1).
+    retries:
+        Additional attempts per message (0 = single shot).  Broadcasts
+        retransmit until every in-range receiver has a copy or the
+        attempt budget is spent; unicasts retransmit unacknowledged
+        (i.e. lost) copies.
+
+    Returns
+    -------
+    ``(graph, report)`` — the constructed topology and the comparison
+    against the lossless ideal.
+    """
+    pts = as_points(points)
+    check_positive("max_range", max_range)
+    check_in_range("loss_prob", loss_prob, 0.0, 1.0, inclusive=(True, False))
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    gen = as_rng(rng)
+    nodes = [
+        LocalNode(i, tuple(p), theta, max_range, offset=offset) for i, p in enumerate(pts)
+    ]
+    index = GridIndex(pts, cell=max_range)
+    attempts_budget = retries + 1
+    transmissions = 0
+
+    def in_range(u: int) -> np.ndarray:
+        return index.query_radius(pts[u], max_range, exclude=u)
+
+    # Round 1: broadcasts with per-receiver Bernoulli loss, repeated
+    # until all receivers are covered or the budget runs out.
+    for node in nodes:
+        receivers = in_range(node.node_id)
+        pending = set(int(r) for r in receivers)
+        msg = node.round1_broadcast()
+        for _ in range(attempts_budget):
+            if not pending:
+                break
+            transmissions += 1
+            delivered = {r for r in pending if gen.random() >= loss_prob}
+            for r in delivered:
+                nodes[r].round1_receive(msg)
+            pending -= delivered
+
+    # Round 2: unicasts with retransmission of lost copies.
+    for node in nodes:
+        for msg in node.round2_messages():
+            for _ in range(attempts_budget):
+                transmissions += 1
+                if gen.random() >= loss_prob:
+                    nodes[msg.receiver].round2_receive(msg)
+                    break
+
+    # Round 3: same retransmission logic.
+    for node in nodes:
+        for msg in node.round3_messages():
+            for _ in range(attempts_budget):
+                transmissions += 1
+                if gen.random() >= loss_prob:
+                    nodes[msg.receiver].round3_receive(msg)
+                    break
+
+    edges = sorted(set().union(*(n.edges for n in nodes)) if nodes else set())
+    built = GeometricGraph(pts, edges, kappa=kappa, name=f"ThetaALG-lossy(p={loss_prob:g})")
+
+    ideal = theta_algorithm(pts, theta, max_range, kappa=kappa, offset=offset).graph
+    ideal_set = {tuple(e) for e in ideal.edges}
+    built_set = {tuple(e) for e in built.edges}
+    from repro.graphs.metrics import is_connected
+
+    report = LossyProtocolReport(
+        n_nodes=len(pts),
+        loss_prob=float(loss_prob),
+        retries=int(retries),
+        transmissions=transmissions,
+        ideal_edges=len(ideal_set),
+        built_edges=len(built_set),
+        missing_edges=len(ideal_set - built_set),
+        spurious_edges=len(built_set - ideal_set),
+        connected=is_connected(built),
+    )
+    return built, report

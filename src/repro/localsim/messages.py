@@ -1,0 +1,37 @@
+"""Message types of the three-round ΘALG protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PositionMessage", "NeighborhoodMessage", "ConnectionMessage"]
+
+
+@dataclass(frozen=True)
+class PositionMessage:
+    """Round 1: broadcast of the sender's GPS position at maximum power."""
+
+    sender: int
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class NeighborhoodMessage:
+    """Round 2: the sender's Yao choice set N(sender), unicast to each member.
+
+    ``receiver`` identifies the unicast target (the broadcast medium
+    delivers only to it; other nodes in range discard).
+    """
+
+    sender: int
+    receiver: int
+    neighborhood: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ConnectionMessage:
+    """Round 3: the sender admits the receiver; establishes one N edge."""
+
+    sender: int
+    receiver: int

@@ -1,0 +1,133 @@
+"""Per-node protocol logic of the three-round ΘALG.
+
+Each :class:`LocalNode` only ever uses information it physically
+received: positions from round-1 broadcasts, Yao choice sets from
+round-2 messages, confirmations from round-3 messages.  No global
+state is consulted — that is the point of the exercise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.primitives import TWO_PI
+from repro.geometry.sectors import SectorPartition
+from repro.localsim.messages import ConnectionMessage, NeighborhoodMessage, PositionMessage
+
+__all__ = ["LocalNode"]
+
+
+class LocalNode:
+    """One wireless node running the ΘALG protocol.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier carried in messages.
+    position:
+        Own GPS position.
+    theta, offset:
+        Sector partition parameters (protocol constants shared by all
+        nodes).
+    max_range:
+        Maximum transmission range D.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: tuple[float, float],
+        theta: float,
+        max_range: float,
+        *,
+        offset: float = 0.0,
+    ) -> None:
+        self.node_id = int(node_id)
+        self.position = (float(position[0]), float(position[1]))
+        self.partition = SectorPartition(theta, offset)
+        self.max_range = float(max_range)
+        # Protocol state, filled in round by round.
+        self.known_positions: dict[int, tuple[float, float]] = {}
+        self.yao_choices: dict[int, int] = {}  # sector -> chosen node
+        self.claimants: list[int] = []  # nodes v with self ∈ N(v)
+        self.admitted: dict[int, int] = {}  # sector -> admitted claimant
+        self.edges: set[tuple[int, int]] = set()  # established N edges
+
+    # ------------------------------------------------------------------
+    def _distance(self, other: int) -> float:
+        ox, oy = self.known_positions[other]
+        return math.hypot(ox - self.position[0], oy - self.position[1])
+
+    def _sector(self, other: int) -> int:
+        ox, oy = self.known_positions[other]
+        ang = math.atan2(oy - self.position[1], ox - self.position[0]) % TWO_PI
+        return int(self.partition.index_of_angle(ang))
+
+    def _nearest_per_sector(self, candidates: "list[int]") -> dict[int, int]:
+        """Nearest candidate in each sector, ties broken by node id."""
+        best: dict[int, tuple[float, int]] = {}
+        for v in sorted(candidates):
+            key = (self._distance(v), v)
+            s = self._sector(v)
+            if s not in best or key < best[s]:
+                best[s] = key
+        return {s: v for s, (_, v) in best.items()}
+
+    # ------------------------------------------------------------------
+    # Round 1
+    # ------------------------------------------------------------------
+    def round1_broadcast(self) -> PositionMessage:
+        """Emit the Position broadcast."""
+        return PositionMessage(self.node_id, self.position[0], self.position[1])
+
+    def round1_receive(self, msg: PositionMessage) -> None:
+        """Record a neighbor's position (medium guarantees it is in range)."""
+        if msg.sender != self.node_id:
+            self.known_positions[msg.sender] = (msg.x, msg.y)
+
+    # ------------------------------------------------------------------
+    # Round 2
+    # ------------------------------------------------------------------
+    def round2_messages(self) -> list[NeighborhoodMessage]:
+        """Compute N(self) and unicast it to each member."""
+        in_range = [v for v in self.known_positions if self._distance(v) <= self.max_range + 1e-12]
+        self.yao_choices = self._nearest_per_sector(in_range)
+        members = tuple(sorted(set(self.yao_choices.values())))
+        return [
+            NeighborhoodMessage(self.node_id, v, members)
+            for v in members
+        ]
+
+    def round2_receive(self, msg: NeighborhoodMessage) -> None:
+        """Note a claimant: a node whose Yao choice set contains us.
+
+        A claimant whose Position broadcast we never received (possible
+        only on a lossy medium — a claimant is always within range) is
+        ignored: without its position we can neither place it in a
+        sector nor compare distances.
+        """
+        if msg.receiver != self.node_id:
+            return  # unicast for somebody else; discard
+        if self.node_id in msg.neighborhood and msg.sender in self.known_positions:
+            self.claimants.append(msg.sender)
+
+    # ------------------------------------------------------------------
+    # Round 3
+    # ------------------------------------------------------------------
+    def round3_messages(self) -> list[ConnectionMessage]:
+        """Admit the nearest claimant per sector; send Connection messages."""
+        self.admitted = self._nearest_per_sector(self.claimants)
+        out = []
+        for w in sorted(set(self.admitted.values())):
+            self.edges.add(_canon(self.node_id, w))
+            out.append(ConnectionMessage(self.node_id, w))
+        return out
+
+    def round3_receive(self, msg: ConnectionMessage) -> None:
+        """Record the edge the sender established with us."""
+        if msg.receiver == self.node_id:
+            self.edges.add(_canon(msg.sender, self.node_id))
+
+
+def _canon(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)

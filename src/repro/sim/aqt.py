@@ -1,0 +1,120 @@
+"""(w, ρ)-bounded adversaries from adversarial queuing theory (§1.2).
+
+The paper's routing results build on the AQT line (Borodin et al.;
+Aiello et al.; Awerbuch-Leighton): there, the adversary must keep the
+injected load *feasible* — in every window of w steps, the paths
+required by injected packets use each edge at most ρ·w times (ρ ≤ 1).
+Under such an adversary nothing needs to be dropped, and the classical
+question is *stability* (bounded queues) rather than throughput.
+
+This module implements the bounded adversary as a witnessed scenario
+generator, bridging the two models: the witness schedules double as the
+AQT "paths revealed to the system", and the load constraint is checked
+explicitly.  Experiments can then ask the classical stability question
+of the (T, γ)-balancing algorithm: do buffer heights stay bounded for
+ρ < 1?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import GeometricGraph
+from repro.sim.adversary import (
+    WitnessedScenario,
+    _build_scenario,
+    _reconstruct,
+    _shortest_path_table,
+)
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range
+
+__all__ = ["bounded_adversary_scenario", "edge_load_profile", "max_window_load"]
+
+
+def edge_load_profile(scenario: WitnessedScenario) -> dict[tuple[int, int], list[int]]:
+    """Per directed edge, the sorted injection times of packets whose
+    witness path uses that edge (the AQT load bookkeeping)."""
+    loads: dict[tuple[int, int], list[int]] = {}
+    for s in scenario.witness_schedules:
+        for (u, v), _t in s.hops:
+            loads.setdefault((u, v), []).append(s.inject_time)
+    return {e: sorted(ts) for e, ts in loads.items()}
+
+
+def max_window_load(scenario: WitnessedScenario, window: int) -> float:
+    """max over edges and windows of (path-uses injected per window)/window.
+
+    A scenario is (w, ρ)-bounded iff this value is ≤ ρ for ``window=w``.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    worst = 0.0
+    for _e, times in edge_load_profile(scenario).items():
+        ts = np.asarray(times)
+        for t0 in ts:
+            cnt = int(((ts >= t0) & (ts < t0 + window)).sum())
+            worst = max(worst, cnt / window)
+    return worst
+
+
+def bounded_adversary_scenario(
+    graph: GeometricGraph,
+    *,
+    rho: float,
+    window: int,
+    duration: int,
+    rng=None,
+    max_attempts_per_step: int = 20,
+) -> WitnessedScenario:
+    """Random (w, ρ)-bounded injections with a reservation witness.
+
+    Each step the adversary draws random source-destination pairs and
+    admits one only if adding its min-energy path keeps every directed
+    edge's use count within ρ·w per w-window (leaky-bucket check on the
+    trailing window).  The result is validated by
+    :func:`max_window_load`.
+    """
+    check_in_range("rho", rho, 0.0, 1.0, inclusive=(False, True))
+    if window < 1 or duration < 1:
+        raise ValueError("window and duration must be >= 1")
+    gen = as_rng(rng)
+    n = graph.n_nodes
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    _dist, pred = _shortest_path_table(graph, "cost")
+    budget = max(1, int(np.floor(rho * window)))
+    # Trailing-window use times per directed edge.
+    recent: dict[tuple[int, int], list[int]] = {}
+    requests: list[tuple[int, int, int]] = []
+    for t in range(duration):
+        admitted_this_step = 0
+        for _ in range(max_attempts_per_step):
+            s, d = gen.choice(n, size=2, replace=False)
+            path = _reconstruct(pred, int(s), int(d))
+            if path is None or len(path) < 2:
+                continue
+            hops = list(zip(path[:-1], path[1:]))
+            ok = True
+            for h in hops:
+                uses = [x for x in recent.get(h, []) if x > t - window]
+                if len(uses) >= budget:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            for h in hops:
+                recent.setdefault(h, []).append(t)
+            requests.append((t, int(s), int(d)))
+            admitted_this_step += 1
+            if admitted_this_step >= max(1, budget):
+                break
+    if not requests:
+        raise RuntimeError("adversary admitted no packets; increase rho or window")
+    scenario = _build_scenario(
+        graph,
+        requests,
+        activate_all=True,
+        name=f"aqt(rho={rho:g}, w={window}, T={duration})",
+    )
+    return scenario

@@ -1,0 +1,145 @@
+"""Greedy geographic routing — the §1.2 geometric-routing baseline.
+
+The related work cites GPSR (Karp-Kung [30]) and other protocols "that
+exploit the underlying geometry of the network".  The greedy mode of
+those protocols forwards each packet to the neighbor geographically
+closest to the destination; it is stateless and local, but strands
+packets at *local minima* — nodes with no neighbor closer to the
+destination.  (Full GPSR escapes minima by perimeter routing on a
+planar subgraph; the greedy mode alone is the standard baseline and the
+reason planar structures like the Gabriel graph matter in this
+literature.)
+
+The router exposes the same step interface as the other routers plus a
+``local_minimum_drops`` counter, so experiments can compare greedy
+deliverability across topologies (ΘALG vs Gabriel vs G*) — sparser
+graphs have more minima.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graphs.base import GeometricGraph
+from repro.sim.stats import RoutingStats
+
+__all__ = ["GreedyGeographicRouter", "greedy_geographic_path"]
+
+
+def greedy_geographic_path(
+    graph: GeometricGraph,
+    src: int,
+    dst: int,
+    *,
+    max_hops: int | None = None,
+) -> "tuple[list[int], bool]":
+    """Offline greedy-forwarding trace from ``src`` toward ``dst``.
+
+    Returns ``(node_path, delivered)``; the path ends either at ``dst``
+    or at the local minimum where greedy forwarding gets stuck.  Greedy
+    progress is strict (the chosen neighbor must be closer to ``dst``
+    than the current node), which also guarantees termination.
+    """
+    pts = graph.points
+    if max_hops is None:
+        max_hops = graph.n_nodes + 1
+    path = [int(src)]
+    cur = int(src)
+    for _ in range(max_hops):
+        if cur == dst:
+            return path, True
+        here = float(np.hypot(*(pts[cur] - pts[dst])))
+        nbrs = graph.neighbors(cur)
+        if len(nbrs) == 0:
+            return path, False
+        d = pts[nbrs] - pts[dst]
+        dist = np.hypot(d[:, 0], d[:, 1])
+        k = int(np.argmin(dist))
+        if dist[k] >= here - 1e-15:
+            return path, False  # local minimum
+        cur = int(nbrs[k])
+        path.append(cur)
+    return path, path[-1] == dst
+
+
+class GreedyGeographicRouter:
+    """Stateless greedy geographic forwarding with FIFO queues.
+
+    Per step, for each usable directed edge (v, w): if w is v's best
+    greedy next hop for some buffered packet (strictly closer to that
+    packet's destination than v), forward one such packet.  Packets at
+    a local minimum are dropped immediately and counted — greedy mode
+    has no recovery, which is the measured phenomenon.
+    """
+
+    def __init__(self, graph: GeometricGraph, *, max_queue: int = 10_000) -> None:
+        self.graph = graph
+        self.max_queue = int(max_queue)
+        self.queues: list[deque[int]] = [deque() for _ in range(graph.n_nodes)]
+        self.stats = RoutingStats()
+        self.local_minimum_drops = 0
+
+    # ------------------------------------------------------------------
+    def _greedy_next(self, node: int, dest: int) -> "int | None":
+        pts = self.graph.points
+        here = float(np.hypot(*(pts[node] - pts[dest])))
+        nbrs = self.graph.neighbors(node)
+        if len(nbrs) == 0:
+            return None
+        d = pts[nbrs] - pts[dest]
+        dist = np.hypot(d[:, 0], d[:, 1])
+        k = int(np.argmin(dist))
+        if dist[k] >= here - 1e-15:
+            return None
+        return int(nbrs[k])
+
+    def inject(self, node: int, dest: int, count: int = 1) -> int:
+        """Enqueue packets; ones already at a local minimum are dropped."""
+        accepted = 0
+        for _ in range(int(count)):
+            if len(self.queues[node]) >= self.max_queue:
+                break
+            if node != dest and self._greedy_next(node, dest) is None:
+                self.local_minimum_drops += 1
+                continue
+            self.queues[node].append(int(dest))
+            accepted += 1
+        self.stats.record_injection(int(count), accepted)
+        return accepted
+
+    def total_packets(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def run_step(self, directed_edges, costs, injections=None, success_fn=None) -> int:
+        edges = np.asarray(directed_edges, dtype=np.intp).reshape(-1, 2)
+        costs = np.asarray(costs, dtype=np.float64).reshape(-1)
+        usable = {(int(u), int(v)): float(c) for (u, v), c in zip(edges, costs)}
+        delivered = 0
+        for (u, v), c in usable.items():
+            q = self.queues[u]
+            pick = None
+            for i, dest in enumerate(q):
+                if self._greedy_next(u, dest) == v:
+                    pick = i
+                    break
+            if pick is None:
+                continue
+            dest = q[pick]
+            del q[pick]
+            self.stats.record_attempt(c, True)
+            if v == dest:
+                delivered += 1
+                self.stats.record_delivery()
+            elif self._greedy_next(v, dest) is None:
+                self.local_minimum_drops += 1
+                self.stats.dropped += 1
+            else:
+                self.queues[v].append(dest)
+        for node, dest, count in injections or []:
+            self.inject(node, dest, count)
+        self.stats.end_step(
+            max((len(q) for q in self.queues), default=0), delivered
+        )
+        return delivered

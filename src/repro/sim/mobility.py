@@ -1,0 +1,113 @@
+"""Node mobility models.
+
+§1 motivates the routing model with "dynamically changing network
+conditions": nodes move, so the topology (and hence the usable edge
+set) changes between steps.  The engine queries a mobility model for
+positions each step and rebuilds the transmission graph; the balancing
+router is oblivious to *why* the edge set changed, exactly as the
+adversarial model intends.
+
+Models
+------
+* :class:`StaticMobility` — positions never change (the §2 setting);
+* :class:`RandomWalkMobility` — per-step Gaussian jitter, reflected at
+  the domain boundary;
+* :class:`RandomWaypointMobility` — the classic ad-hoc benchmark: pick
+  a waypoint uniformly, travel toward it at the node's speed, repeat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import as_points
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["StaticMobility", "RandomWalkMobility", "RandomWaypointMobility"]
+
+
+class StaticMobility:
+    """Positions fixed for all time."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        self._points = as_points(points).copy()
+
+    def positions(self, t: int) -> np.ndarray:
+        """Node positions at step ``t`` (same array every step)."""
+        return self._points
+
+    def advance(self) -> np.ndarray:
+        """No-op; returns current positions."""
+        return self._points
+
+
+class RandomWalkMobility:
+    """Brownian-style jitter with reflecting boundary.
+
+    Parameters
+    ----------
+    step_sigma:
+        Standard deviation of the per-step displacement.
+    side:
+        Side of the square domain ``[0, side]^2`` nodes are confined to.
+    """
+
+    def __init__(self, points: np.ndarray, *, step_sigma: float, side: float = 1.0, rng=None) -> None:
+        self._points = as_points(points).copy()
+        self.step_sigma = check_nonnegative("step_sigma", step_sigma)
+        self.side = check_positive("side", side)
+        self.rng = as_rng(rng)
+
+    def positions(self, t: int) -> np.ndarray:
+        return self._points
+
+    def advance(self) -> np.ndarray:
+        """Move every node one step; returns the new positions."""
+        self._points += self.rng.normal(0.0, self.step_sigma, size=self._points.shape)
+        self._points = _reflect(self._points, self.side)
+        return self._points
+
+
+class RandomWaypointMobility:
+    """Random-waypoint: travel to a uniform target, then pick a new one.
+
+    Parameters
+    ----------
+    speed:
+        Distance covered per step (same for all nodes; per-node speeds
+        would only change constants in the experiments).
+    """
+
+    def __init__(self, points: np.ndarray, *, speed: float, side: float = 1.0, rng=None) -> None:
+        self._points = as_points(points).copy()
+        self.speed = check_positive("speed", speed)
+        self.side = check_positive("side", side)
+        self.rng = as_rng(rng)
+        self._targets = self.rng.uniform(0.0, side, size=self._points.shape)
+
+    def positions(self, t: int) -> np.ndarray:
+        return self._points
+
+    def advance(self) -> np.ndarray:
+        """Advance all nodes toward their waypoints; returns new positions."""
+        d = self._targets - self._points
+        dist = np.hypot(d[:, 0], d[:, 1])
+        arrived = dist <= self.speed
+        # Move non-arrived nodes by `speed` along the direction.
+        move = np.zeros_like(d)
+        far = ~arrived & (dist > 0)
+        move[far] = d[far] / dist[far, None] * self.speed
+        self._points = self._points + move
+        self._points[arrived] = self._targets[arrived]
+        if arrived.any():
+            self._targets[arrived] = self.rng.uniform(0.0, self.side, size=(int(arrived.sum()), 2))
+        return self._points
+
+
+def _reflect(points: np.ndarray, side: float) -> np.ndarray:
+    """Reflect coordinates into ``[0, side]`` (handles multi-bounce)."""
+    p = np.mod(points, 2.0 * side)
+    over = p > side
+    p[over] = 2.0 * side - p[over]
+    return p

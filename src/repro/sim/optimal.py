@@ -1,0 +1,143 @@
+"""Reference OPT bounds.
+
+Competitive measurements bracket the unknown optimum:
+
+* **lower bound** — the witness schedules emitted by the adversary
+  generators (:mod:`repro.sim.adversary`);
+* **upper bound** — :func:`time_expanded_max_throughput`, a max-flow
+  over the time-expanded graph: one vertex per (node, step), holdover
+  arcs of capacity B (the buffer bound), and one unit-capacity arc per
+  usable directed edge per step.  Any feasible routing is a feasible
+  flow into the super-sink, so the max-flow value upper-bounds the
+  deliveries of *every* algorithm, including OPT.  (Relaxing packet
+  destinations to a shared super-sink only enlarges the feasible set,
+  preserving the upper-bound property for multi-destination traffic.)
+
+Also here: min-energy path costs (the denominator of energy-stretch
+style cost comparisons) and a witness cost summary helper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+from scipy.sparse.csgraph import dijkstra
+
+from repro.graphs.base import GeometricGraph
+from repro.sim.schedules import Schedule, witness_buffer_usage
+
+__all__ = [
+    "time_expanded_max_throughput",
+    "min_energy_cost_matrix",
+    "witness_cost_summary",
+]
+
+
+def time_expanded_max_throughput(
+    graph: GeometricGraph,
+    injections: "dict[int, tuple[tuple[int, int, int], ...]]",
+    duration: int,
+    *,
+    buffer_size: "int | None" = None,
+    active_edges_fn=None,
+) -> int:
+    """Upper bound on deliveries of any routing algorithm.
+
+    Parameters
+    ----------
+    injections:
+        step → tuple of ``(node, dest, count)`` offers.
+    duration:
+        Steps 0..duration-1 are modelled.
+    buffer_size:
+        Capacity of the holdover arcs (B); ``None`` = unbounded buffers.
+    active_edges_fn:
+        ``t → (directed_edges, costs)``; defaults to all directed edges
+        of ``graph`` every step.
+
+    Returns
+    -------
+    The max-flow value (an integer; all capacities are integral).
+    """
+    if duration < 1:
+        return 0
+    n = graph.n_nodes
+    dests = {d for offers in injections.values() for (_, d, _) in offers}
+    if not dests:
+        return 0
+
+    g = nx.DiGraph()
+    src, sink = "S", "T"
+    hold_cap = float("inf") if buffer_size is None else int(buffer_size)
+
+    def nid(v: int, t: int) -> tuple[int, int]:
+        return (int(v), int(t))
+
+    for t in range(duration):
+        # Holdover arcs (v, t) -> (v, t+1).
+        if t + 1 < duration:
+            for v in range(n):
+                g.add_edge(nid(v, t), nid(v, t + 1), capacity=hold_cap)
+        # Transmission arcs for edges usable at step t.
+        if active_edges_fn is None:
+            directed = graph.directed_edge_array()
+        else:
+            directed, _ = active_edges_fn(t)
+        if t + 1 < duration:
+            for u, v in np.asarray(directed).reshape(-1, 2):
+                g.add_edge(nid(int(u), t), nid(int(v), t + 1), capacity=1)
+
+    # Injection arcs: packets become routable the step after injection.
+    # Offers for the same (t, node, dest) are merged first — networkx
+    # add_edge would otherwise overwrite the capacity instead of adding.
+    merged: dict[tuple[int, int, int], int] = {}
+    for t, offers in injections.items():
+        for (node, dest, count) in offers:
+            key = (int(t), int(node), int(dest))
+            merged[key] = merged.get(key, 0) + int(count)
+    total_injected = sum(merged.values())
+    for (t, node, dest), count in merged.items():
+        t_in = min(t + 1, duration - 1)
+        key = ("inj", t, node, dest)
+        g.add_edge(src, key, capacity=count)
+        g.add_edge(key, nid(node, t_in), capacity=count)
+
+    # Absorption arcs: a packet at its destination at any step is delivered.
+    for d in dests:
+        for t in range(duration):
+            g.add_edge(nid(int(d), t), sink, capacity=float("inf"))
+
+    if total_injected == 0:
+        return 0
+    value, _ = nx.maximum_flow(g, src, sink)
+    return int(value)
+
+
+def min_energy_cost_matrix(graph: GeometricGraph) -> np.ndarray:
+    """All-pairs minimum-energy path costs on ``graph`` (∞ if unreachable)."""
+    return dijkstra(graph.cost_adjacency, directed=False)
+
+
+def witness_cost_summary(
+    schedules: "list[Schedule]",
+    graph: GeometricGraph,
+) -> dict[str, float]:
+    """B, L̄, C̄ and makespan of a witness schedule set."""
+    if not schedules:
+        return {
+            "delivered": 0.0,
+            "buffer": 1.0,
+            "avg_path_length": 1.0,
+            "avg_cost": 0.0,
+            "makespan": 0.0,
+        }
+    total_cost = sum(
+        s.cost(lambda e, t: graph.cost(int(e[0]), int(e[1]))) for s in schedules
+    )
+    return {
+        "delivered": float(len(schedules)),
+        "buffer": float(max(1, witness_buffer_usage(schedules))),
+        "avg_path_length": float(np.mean([s.n_hops for s in schedules])),
+        "avg_cost": float(total_cost / len(schedules)),
+        "makespan": float(max(s.finish_time for s in schedules)),
+    }

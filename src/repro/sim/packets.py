@@ -1,0 +1,54 @@
+"""Injection and transmission records.
+
+Packets in the balancing analysis are fungible within a buffer
+``Q_{v,d}`` (the algorithm only reads buffer *heights*), so the
+simulator tracks integer counts rather than packet objects; these small
+records describe the events that change the counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Injection", "Transmission"]
+
+
+@dataclass(frozen=True)
+class Injection:
+    """``count`` packets injected at ``node`` destined for ``dest``.
+
+    ``time`` is the step at which the adversary injects them (packets
+    become routable in the *next* step, matching §3.2's "afterwards,
+    receive all newly injected packets").
+    """
+
+    time: int
+    node: int
+    dest: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.node == self.dest:
+            raise ValueError("source equals destination; packet would be trivially delivered")
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One attempted packet move across directed edge ``src → dst``.
+
+    Attributes
+    ----------
+    src, dst:
+        Directed edge endpoints.
+    dest:
+        Destination node of the packet being moved (selects the buffer).
+    cost:
+        Energy charged for the attempt (``c(e)``, typically |uv|^κ).
+    """
+
+    src: int
+    dst: int
+    dest: int
+    cost: float

@@ -1,0 +1,93 @@
+"""JSON (de)serialization of witnessed scenarios.
+
+Reproducibility plumbing: an adversarial scenario — graph, injections,
+witness schedules — can be saved next to experiment outputs and
+reloaded bit-for-bit, so a reported competitive ratio can be re-run
+against exactly the inputs that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.base import GeometricGraph
+from repro.sim.adversary import WitnessedScenario
+from repro.sim.schedules import Schedule
+
+__all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenario", "load_scenario"]
+
+_FORMAT_VERSION = 1
+
+
+def scenario_to_dict(scenario: WitnessedScenario) -> dict:
+    """Plain-JSON-types representation of a scenario."""
+    g = scenario.graph
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": scenario.name,
+        "duration": scenario.duration,
+        "activate_all": scenario.activate_all,
+        "graph": {
+            "points": g.points.tolist(),
+            "edges": g.edges.tolist(),
+            "kappa": g.kappa,
+            "name": g.name,
+        },
+        "injections": {
+            str(t): [list(x) for x in offers]
+            for t, offers in scenario.injection_map.items()
+        },
+        "witness": [
+            {
+                "inject_time": s.inject_time,
+                "hops": [[[int(u), int(v)], int(t)] for (u, v), t in s.hops],
+            }
+            for s in scenario.witness_schedules
+        ],
+    }
+
+
+def scenario_from_dict(data: dict) -> WitnessedScenario:
+    """Inverse of :func:`scenario_to_dict` (validates the witness)."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported scenario format version: {version!r}")
+    gd = data["graph"]
+    graph = GeometricGraph(
+        np.asarray(gd["points"], dtype=np.float64),
+        np.asarray(gd["edges"], dtype=np.intp).reshape(-1, 2),
+        kappa=float(gd["kappa"]),
+        name=gd.get("name", ""),
+    )
+    injections = {
+        int(t): tuple((int(n), int(d), int(c)) for n, d, c in offers)
+        for t, offers in data["injections"].items()
+    }
+    witness = [
+        Schedule(
+            inject_time=int(s["inject_time"]),
+            hops=tuple(((int(u), int(v)), int(t)) for (u, v), t in s["hops"]),
+        )
+        for s in data["witness"]
+    ]
+    return WitnessedScenario(
+        graph=graph,
+        duration=int(data["duration"]),
+        injection_map=injections,
+        witness_schedules=witness,
+        activate_all=bool(data["activate_all"]),
+        name=data.get("name", ""),
+    )
+
+
+def save_scenario(scenario: WitnessedScenario, path: "str | Path") -> None:
+    """Write a scenario to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(scenario_to_dict(scenario)))
+
+
+def load_scenario(path: "str | Path") -> WitnessedScenario:
+    """Load a scenario previously written by :func:`save_scenario`."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,143 @@
+"""Schedules and their validation (§3.1).
+
+A *schedule* ``S = (t₀, (e₁, t₁), …, (e_ℓ, t_ℓ))`` certifies the
+delivery of one packet: injected at ``t₀`` at the source, it crosses
+edge ``e_i`` at time ``t_i`` with ``t₀ < t₁ < … < t_ℓ``, the edges
+forming a path from source to destination, each edge active when used.
+A *set* of schedules is feasible when no directed edge is used by two
+schedules at the same time.
+
+The experiments use schedule sets as **witnesses**: a lower bound on
+what a best possible routing algorithm achieves, against which the
+online algorithms are compared.  :func:`validate_schedule` and
+:func:`schedules_conflict_free` make the witness property machine
+checked rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Schedule",
+    "validate_schedule",
+    "schedules_conflict_free",
+    "witness_buffer_usage",
+]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Delivery certificate for one packet.
+
+    Attributes
+    ----------
+    inject_time:
+        t₀ — step at which the packet is injected at ``source``.
+    hops:
+        Tuple of ``((u, v), t)`` — directed edge and the step it is
+        crossed; times strictly increasing and all > ``inject_time``.
+    """
+
+    inject_time: int
+    hops: tuple[tuple[tuple[int, int], int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("a schedule must contain at least one hop")
+
+    @property
+    def source(self) -> int:
+        return self.hops[0][0][0]
+
+    @property
+    def dest(self) -> int:
+        return self.hops[-1][0][1]
+
+    @property
+    def path(self) -> list[int]:
+        """Node sequence source..dest."""
+        nodes = [self.source]
+        for (u, v), _ in self.hops:
+            nodes.append(v)
+        return nodes
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def finish_time(self) -> int:
+        return self.hops[-1][1]
+
+    def cost(self, cost_fn) -> float:
+        """Total energy under ``cost_fn((u, v), t) → float``."""
+        return float(sum(cost_fn(e, t) for e, t in self.hops))
+
+
+def validate_schedule(
+    schedule: Schedule,
+    *,
+    active_fn=None,
+) -> None:
+    """Raise ``ValueError`` unless ``schedule`` is internally consistent.
+
+    Checks: path connectivity, strictly increasing times with
+    ``t₀ < t₁``, and (when ``active_fn(edge, t) → bool`` is given) that
+    every hop uses an edge active at its time.
+    """
+    prev_t = schedule.inject_time
+    prev_node = schedule.source
+    for (u, v), t in schedule.hops:
+        if u == v:
+            raise ValueError(f"self-loop hop at node {u}")
+        if u != prev_node:
+            raise ValueError(f"path broken: hop starts at {u}, expected {prev_node}")
+        if t <= prev_t:
+            raise ValueError(f"times not strictly increasing: {t} after {prev_t}")
+        if active_fn is not None and not active_fn((u, v), t):
+            raise ValueError(f"edge ({u}, {v}) not active at step {t}")
+        prev_node = v
+        prev_t = t
+
+
+def schedules_conflict_free(schedules: "list[Schedule]") -> bool:
+    """Whether no directed edge is used by two schedules at the same step."""
+    seen: set[tuple[int, int, int]] = set()
+    for s in schedules:
+        for (u, v), t in s.hops:
+            key = (u, v, t)
+            if key in seen:
+                return False
+            seen.add(key)
+    return True
+
+
+def witness_buffer_usage(schedules: "list[Schedule]") -> int:
+    """Maximum buffer height any (node, destination) pair reaches under
+    the witness schedules (the B of the competitive comparison).
+
+    A packet occupies ``Q_{v,d}`` from its arrival at v (injection time
+    for the source) until the step it leaves v; it never occupies the
+    destination buffer (absorption).
+    """
+    if not schedules:
+        return 0
+    events: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for s in schedules:
+        d = s.dest
+        arrive = s.inject_time
+        node = s.source
+        for (u, v), t in s.hops:
+            # occupies Q_{node,d} during steps [arrive, t): +1 at arrive, -1 at t
+            events.setdefault((node, d), []).append((arrive, +1))
+            events.setdefault((node, d), []).append((t, -1))
+            node, arrive = v, t
+    peak = 0
+    for evs in events.values():
+        evs.sort(key=lambda e: (e[0], e[1]))  # departures before arrivals at same t
+        cur = 0
+        for _, delta in evs:
+            cur += delta
+            peak = max(peak, cur)
+    return peak

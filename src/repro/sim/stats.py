@@ -1,0 +1,98 @@
+"""Accounting for the paper's three performance measures.
+
+§1 names the measures: *throughput* (deliveries), *space overhead*
+(buffer occupancy), and *energy* (sum of transmission costs).  A single
+:class:`RoutingStats` instance accumulates all three plus the drop and
+interference-failure counters needed by the competitive experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoutingStats"]
+
+
+@dataclass
+class RoutingStats:
+    """Mutable counters updated by routers/engines during a run."""
+
+    injected: int = 0
+    accepted: int = 0
+    dropped: int = 0
+    delivered: int = 0
+    attempts: int = 0
+    successes: int = 0
+    interference_failures: int = 0
+    energy_attempted: float = 0.0
+    energy_successful: float = 0.0
+    steps: int = 0
+    max_buffer_height: int = 0
+    #: per-step delivered counts, for time-series plots
+    delivered_trace: list[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def record_injection(self, count: int, accepted: int) -> None:
+        """An adversary offered ``count`` packets; ``accepted`` fit in buffers."""
+        if accepted > count:
+            raise ValueError("accepted cannot exceed offered count")
+        self.injected += count
+        self.accepted += accepted
+        self.dropped += count - accepted
+
+    def record_attempt(self, cost: float, success: bool) -> None:
+        """One transmission attempt with energy ``cost``."""
+        self.attempts += 1
+        self.energy_attempted += cost
+        if success:
+            self.successes += 1
+            self.energy_successful += cost
+        else:
+            self.interference_failures += 1
+
+    def record_delivery(self, count: int = 1) -> None:
+        """``count`` packets absorbed at their destination this step."""
+        self.delivered += count
+
+    def end_step(self, max_height: int, delivered_this_step: int) -> None:
+        """Close one simulation step."""
+        self.steps += 1
+        self.max_buffer_height = max(self.max_buffer_height, int(max_height))
+        self.delivered_trace.append(int(delivered_this_step))
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Deliveries per step (0 when no steps have run)."""
+        return self.delivered / self.steps if self.steps else 0.0
+
+    @property
+    def delivery_fraction(self) -> float:
+        """Delivered / injected (1.0 when nothing was injected)."""
+        return self.delivered / self.injected if self.injected else 1.0
+
+    @property
+    def average_cost(self) -> float:
+        """Total attempted energy per delivered packet (∞ if none delivered)."""
+        if self.delivered == 0:
+            return float("inf") if self.energy_attempted > 0 else 0.0
+        return self.energy_attempted / self.delivered
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict for result tables."""
+        return {
+            "injected": float(self.injected),
+            "accepted": float(self.accepted),
+            "dropped": float(self.dropped),
+            "delivered": float(self.delivered),
+            "attempts": float(self.attempts),
+            "successes": float(self.successes),
+            "interference_failures": float(self.interference_failures),
+            "energy_attempted": self.energy_attempted,
+            "energy_successful": self.energy_successful,
+            "steps": float(self.steps),
+            "throughput": self.throughput,
+            "delivery_fraction": self.delivery_fraction,
+            "average_cost": self.average_cost,
+            "max_buffer_height": float(self.max_buffer_height),
+        }

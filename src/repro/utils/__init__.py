@@ -1,0 +1,26 @@
+"""Small generic utilities shared across the :mod:`repro` packages.
+
+The utilities here are deliberately dependency-light: a union-find
+structure used for connectivity checks, deterministic RNG plumbing, and
+argument-validation helpers.  Everything else in the library builds on
+these, so they are kept free of imports from sibling packages.
+"""
+
+from repro.utils.unionfind import UnionFind
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_probability,
+)
+
+__all__ = [
+    "UnionFind",
+    "as_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_probability",
+]

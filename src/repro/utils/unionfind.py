@@ -1,0 +1,91 @@
+"""Union-find (disjoint-set) with path compression and union by rank.
+
+Used by connectivity checks (:func:`repro.graphs.metrics.is_connected`
+takes the BFS route for CSR graphs, but the incremental construction in
+the Euclidean-MST baseline and several tests want a mergeable structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint-set forest over the integers ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of elements.  Elements are identified by integer index.
+
+    Examples
+    --------
+    >>> uf = UnionFind(4)
+    >>> uf.union(0, 1)
+    True
+    >>> uf.connected(0, 1)
+    True
+    >>> uf.connected(0, 2)
+    False
+    >>> uf.n_components
+    3
+    """
+
+    __slots__ = ("_parent", "_rank", "_n_components")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self._parent = np.arange(n, dtype=np.intp)
+        self._rank = np.zeros(n, dtype=np.int8)
+        self._n_components = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Number of disjoint sets currently present."""
+        return self._n_components
+
+    def find(self, x: int) -> int:
+        """Return the representative of ``x``'s set (with path compression)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        # Second pass: compress the path.
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets containing ``x`` and ``y``.
+
+        Returns
+        -------
+        bool
+            ``True`` if a merge happened, ``False`` if ``x`` and ``y``
+            were already in the same set.
+        """
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        rank = self._rank
+        if rank[rx] < rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if rank[rx] == rank[ry]:
+            rank[rx] += 1
+        self._n_components -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        """Whether ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def component_labels(self) -> np.ndarray:
+        """Return an array mapping each element to its root representative."""
+        return np.array([self.find(i) for i in range(len(self._parent))], dtype=np.intp)

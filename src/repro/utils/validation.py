@@ -1,0 +1,57 @@
+"""Argument-validation helpers with consistent error messages.
+
+These are used at public-API boundaries (constructors and top-level
+functions); internal hot loops skip them per the "validate at the edges"
+idiom so the vectorized kernels stay branch-free.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_probability",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number > 0."""
+    v = float(value)
+    if not math.isfinite(v) or v <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return v
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number >= 0."""
+    v = float(value)
+    if not math.isfinite(v) or v < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return v
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: tuple[bool, bool] = (True, True),
+) -> float:
+    """Raise ``ValueError`` unless ``lo (<|<=) value (<|<=) hi``."""
+    v = float(value)
+    lo_ok = v >= lo if inclusive[0] else v > lo
+    hi_ok = v <= hi if inclusive[1] else v < hi
+    if not (math.isfinite(v) and lo_ok and hi_ok):
+        lb = "[" if inclusive[0] else "("
+        rb = "]" if inclusive[1] else ")"
+        raise ValueError(f"{name} must be in {lb}{lo}, {hi}{rb}, got {value!r}")
+    return v
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is in ``[0, 1]``."""
+    return check_in_range(name, value, 0.0, 1.0)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite.
+
+Every stochastic fixture is seeded so failures reproduce; tests that
+want fresh randomness spawn children from the ``rng`` fixture.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.theta import theta_algorithm
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for a test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_points() -> np.ndarray:
+    """60 uniform points in the unit square (session-cached)."""
+    return uniform_points(60, rng=7)
+
+
+@pytest.fixture(scope="session")
+def small_world(small_points):
+    """(points, D, G*, ΘALG topology) built once per session."""
+    d = max_range_for_connectivity(small_points, slack=1.5)
+    gstar = transmission_graph(small_points, d)
+    topo = theta_algorithm(small_points, math.pi / 9, d)
+    return small_points, d, gstar, topo

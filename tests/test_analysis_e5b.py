@@ -1,0 +1,38 @@
+"""Smoke + invariant tests for the E5b full-schedule simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.topology_experiments import e5b_full_simulation
+
+
+class TestE5b:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return e5b_full_simulation(ns=(40,), rng=0)
+
+    def test_columns(self, rows):
+        assert set(rows[0]) >= {
+            "n",
+            "gstar_rounds",
+            "n_slots_on_N",
+            "slowdown",
+            "interference_I",
+        }
+
+    def test_slowdown_at_least_one_ish(self, rows):
+        """Simulating on a sparser graph cannot be faster than ~the
+        original schedule divided by path sharing."""
+        for r in rows:
+            assert r["n_slots_on_N"] > 0
+            assert r["slowdown"] > 0.2
+
+    def test_slowdown_within_theorem_envelope(self, rows):
+        for r in rows:
+            assert r["slowdown"] <= r["interference_I"] + 1
+
+    def test_deterministic(self):
+        a = e5b_full_simulation(ns=(40,), rng=0)
+        b = e5b_full_simulation(ns=(40,), rng=0)
+        assert a == b

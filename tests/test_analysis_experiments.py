@@ -1,0 +1,163 @@
+"""Smoke tests for the experiment harnesses (scaled-down parameters).
+
+These verify every harness runs, produces the documented columns, and
+that the headline claim of each experiment holds at small scale; the
+full-scale tables live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.routing_experiments import (
+    e6_balancing_competitive,
+    e7_tgi_throughput,
+    e9_honeycomb,
+    e12_buffer_tradeoff,
+)
+from repro.analysis.topology_experiments import (
+    e1_degree_connectivity,
+    e2_energy_stretch,
+    e3_distance_stretch_civilized,
+    e4_interference_scaling,
+    e5_schedule_replacement,
+    e10_topology_zoo,
+    e11_local_protocol,
+)
+
+
+class TestTopologyExperiments:
+    def test_e1_rows_and_claims(self):
+        rows = e1_degree_connectivity(
+            ns=(40,), thetas=(math.pi / 6,), distributions=("uniform", "ring"), rng=0
+        )
+        assert len(rows) == 2
+        for r in rows:
+            assert r["N_connected"]
+            assert r["within_bound"]
+
+    def test_e2_stretch_bounded(self):
+        rows = e2_energy_stretch(
+            ns=(40,),
+            thetas=(math.pi / 9,),
+            kappas=(2.0,),
+            distributions=("uniform",),
+            rng=0,
+        )
+        assert len(rows) == 1
+        assert rows[0]["energy_stretch_max"] < 3.0
+        assert rows[0]["disconnected_pairs"] == 0
+        assert rows[0]["yao_max_degree"] >= rows[0]["N_max_degree"] - 2
+
+    def test_e3_civilized(self):
+        rows = e3_distance_stretch_civilized(
+            ns=(40,), lams=(0.5,), thetas=(math.pi / 9,), rng=0
+        )
+        assert rows[0]["connected"]
+        assert rows[0]["distance_stretch_max"] < 5.0
+
+    def test_e4_interference_scaling(self):
+        rows = e4_interference_scaling(ns=(40, 80), deltas=(0.5,), trials=1, rng=0)
+        assert len(rows) == 2
+        assert all(r["I_N_mean"] > 0 for r in rows)
+
+    def test_e5_congestion_bound(self):
+        rows = e5_schedule_replacement(ns=(40,), steps=5, rng=0)
+        assert rows[0]["within_bound"]
+        assert rows[0]["max_edge_congestion"] <= 6
+
+    def test_e10_zoo_rows(self):
+        rows = e10_topology_zoo(n=40, distributions=("uniform",), rng=0)
+        names = {r["topology"] for r in rows}
+        assert {"ThetaALG(N)", "Gabriel", "MST", "Gstar"} <= names
+        theta_row = next(r for r in rows if r["topology"] == "ThetaALG(N)")
+        assert theta_row["connected"]
+
+    def test_e11_local_protocol(self):
+        rows = e11_local_protocol(ns=(30,), rng=0)
+        assert rows[0]["matches_centralized"]
+        assert rows[0]["rounds"] == 3
+
+
+class TestRoutingExperiments:
+    def test_e6_rows(self):
+        rows = e6_balancing_competitive(epsilons=(0.25,), duration=200, rng=0)
+        base = [r for r in rows if r["workload"] == "ring/streams"]
+        assert base
+        assert base[0]["throughput_ratio"] > 0.4
+        assert base[0]["cost_ratio"] <= base[0]["cost_bound"]
+
+    def test_e7_above_floor(self):
+        rows = e7_tgi_throughput(trials=1, duration=1200, n=50, rng=0)
+        assert rows[0]["above_floor"]
+
+    def test_e9_lemma37(self):
+        rows = e9_honeycomb(deltas=(0.5,), duration=200, rng=0)
+        assert all(r["above_floor"] for r in rows)
+        under = next(r for r in rows if r["regime"] == "underload")
+        assert under["delivery_fraction"] > 0.75
+
+    def test_e21_frequency_scaling(self):
+        from repro.analysis.routing_experiments import e21_frequency_sweep
+
+        rows = e21_frequency_sweep(deltas=(1, 4), duration=250, rng=0)
+        assert rows[1]["throughput_ratio"] >= rows[0]["throughput_ratio"] - 0.03
+
+    def test_e5c_packet_transform_smoke(self):
+        from repro.analysis.topology_experiments import e5c_packet_transform
+
+        rows = e5c_packet_transform(ns=(40,), n_packets=10, rng=0)
+        assert rows[0]["inflation"] <= rows[0]["interference_I"] + 1
+
+    def test_e13_agreement(self):
+        from repro.analysis.ablation_experiments import e13_interference_models
+
+        rows = e13_interference_models(
+            n=64, deltas=(0.5,), betas=(2.0,), sets_per_config=30, rng=0
+        )
+        assert rows[0]["agreement"] > 0.5
+
+    def test_e14_parity(self):
+        from repro.analysis.ablation_experiments import e14_local_vs_global
+
+        rows = e14_local_vs_global(ns=(48,), rng=0)
+        assert all(r["disconnected"] == 0 for r in rows)
+
+    def test_e15_probe(self):
+        import math
+
+        from repro.analysis.ablation_experiments import e15_spanner_probe
+
+        rows = e15_spanner_probe(n=48, thetas=(math.pi / 9,), trials=1, rng=0)
+        assert all(math.isfinite(r["worst_distance_stretch"]) for r in rows)
+
+    def test_e16_churn(self):
+        from repro.analysis.mobility_experiments import e16_mobility_churn
+
+        rows = e16_mobility_churn(n=25, speeds=(0.0, 0.02), steps=150, rng=0)
+        assert rows[0]["balancing_delivered"] > 0
+        assert len(rows) == 2
+
+    def test_e17_geographic(self):
+        from repro.analysis.geographic_experiments import e17_geographic_routing
+
+        rows = e17_geographic_routing(n=60, n_pairs=50, rng=0)
+        names = {r["topology"] for r in rows}
+        assert "Gstar" in names and "MST" in names
+        by = {r["topology"]: r for r in rows}
+        assert by["Gstar"]["greedy_delivery_rate"] >= by["MST"]["greedy_delivery_rate"]
+
+    def test_e18_anycast(self):
+        from repro.analysis.anycast_experiments import e18_anycast
+
+        rows = e18_anycast(n=40, group_sizes=(1, 4), duration=150, rng=0)
+        assert rows[0]["anycast_delivered"] == rows[0]["unicast_delivered"]  # m=1 sanity
+        assert rows[1]["anycast_delivered"] > 0
+
+    def test_e12_monotone_in_height(self):
+        rows = e12_buffer_tradeoff(thresholds=(1,), heights=(4, 64), duration=150, rng=0)
+        small = next(r for r in rows if r["height_H"] == 4)
+        big = next(r for r in rows if r["height_H"] == 64)
+        assert big["delivered"] >= small["delivered"]

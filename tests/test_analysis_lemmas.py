@@ -1,0 +1,162 @@
+"""Property tests of the geometry lemmas behind Theorem 2.2.
+
+Each lemma is hammered with random configurations satisfying its
+preconditions; hypothesis shrinks any counterexample.  These are the
+reproduction's analogue of checking the paper's proofs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.lemmas import (
+    lemma23_constant,
+    lemma23_holds,
+    lemma24_holds,
+    lemma25_holds,
+    lemma26_holds,
+)
+
+unit = st.floats(0.05, 10.0, allow_nan=False)
+angle_small = st.floats(0.001, math.pi / 3 - 0.01)
+
+
+class TestLemma23:
+    def test_constant_formula(self):
+        assert lemma23_constant(0.0) == pytest.approx(1.0)
+        assert lemma23_constant(math.pi / 3 - 0.1) > 1.0
+
+    def test_constant_diverges_at_pi_over_3(self):
+        with pytest.raises(ValueError):
+            lemma23_constant(math.pi / 3 + 1e-9)
+        # Just below the limit the constant blows up.
+        assert lemma23_constant(math.pi / 3 - 1e-6) > 1e5
+
+    @given(unit, unit, st.floats(0.001, math.pi / 3 - 0.02))
+    @settings(max_examples=200, deadline=None)
+    def test_lemma_holds_random_triangles(self, ac, scale, gamma):
+        """Place C at origin, A at distance ac, B at distance ≥ ac with
+        ∠ACB = gamma; the inequality must hold."""
+        bc = ac * (1.0 + scale)
+        c_pt = np.zeros(2)
+        a = np.array([ac, 0.0])
+        b = bc * np.array([math.cos(gamma), math.sin(gamma)])
+        assert lemma23_holds(a, b, c_pt)
+
+    def test_precondition_violation_detected(self):
+        # |AC| > |BC|
+        with pytest.raises(ValueError):
+            lemma23_holds([5.0, 0.0], [1.0, 0.1], [0.0, 0.0])
+
+    def test_explicit_constant_too_small_fails(self):
+        """With c below the lemma's constant the inequality can break."""
+        gamma = math.pi / 3 - 0.05
+        a = np.array([1.0, 0.0])
+        b = 1.0001 * np.array([math.cos(gamma), math.sin(gamma)])
+        assert not lemma23_holds(a, b, np.zeros(2), c_const=0.1)
+
+
+class TestLemma24:
+    @given(st.floats(0.001, math.pi / 6 - 0.005), unit, st.floats(0.0, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_holds_random(self, alpha, ab, t):
+        """A at origin, B at distance ab, C chosen with ∠BAC = alpha and
+        |BC| ≤ |AC| ≤ |AB| (C in the right range along the alpha-ray)."""
+        a = np.zeros(2)
+        b = np.array([ab, 0.0])
+        # Along the ray at angle alpha, |AC| ≤ |AB| and |BC| ≤ |AC| needs
+        # C far enough: at ac = ab, |BC| = 2·ab·sin(alpha/2) ≤ ac ✓.
+        ac = ab * (0.9 + 0.1 * t)
+        c = ac * np.array([math.cos(alpha), math.sin(alpha)])
+        bc = float(np.hypot(*(b - c)))
+        assume(bc <= ac <= ab)
+        assert lemma24_holds(a, b, c)
+
+    def test_precondition_angle(self):
+        a = np.zeros(2)
+        b = np.array([1.0, 0.0])
+        c = 0.95 * np.array([math.cos(1.0), math.sin(1.0)])  # angle 1 rad > π/6
+        with pytest.raises(ValueError):
+            lemma24_holds(a, b, c)
+
+
+class TestLemma25:
+    @given(
+        st.floats(0.05, math.pi / 3 - 0.01),
+        st.integers(2, 10),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_holds_random_chains(self, theta, k, seed):
+        """Random decreasing-radius chains with gaps ≤ θ."""
+        gen = np.random.default_rng(seed)
+        apex = np.zeros(2)
+        r = 1.0
+        ang = 0.0
+        chain = []
+        for _ in range(k):
+            chain.append(r * np.array([math.cos(ang), math.sin(ang)]))
+            r *= gen.uniform(0.6, 1.0)
+            ang += gen.uniform(0.0, theta)
+        assert lemma25_holds(apex, chain, theta)
+
+    def test_trivial_chain(self):
+        assert lemma25_holds([0, 0], [[1, 0]], 0.5)
+
+    def test_precondition_increasing_radius(self):
+        with pytest.raises(ValueError):
+            lemma25_holds([0, 0], [[1, 0], [2, 0.1]], 0.5)
+
+    def test_precondition_gap_too_wide(self):
+        p1 = [1.0, 0.0]
+        p2 = [0.0, 1.0]  # 90° gap
+        with pytest.raises(ValueError):
+            lemma25_holds([0, 0], [p1, p2], 0.3)
+
+
+class TestLemma26:
+    @given(
+        st.floats(0.002, math.pi / 12 - 0.003),
+        st.floats(0.05, 0.95),
+        st.floats(1.0, 10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_holds_when_configuration_valid(self, gamma, t, ab):
+        """C on the ray at angle gamma from AB, outside the circle.
+
+        C at distance frac·|AB| lies outside the circle with diameter
+        AB exactly when frac > cos γ, so frac is interpolated in
+        (cos γ, 1) rather than drawn blindly and filtered.
+        """
+        a = np.zeros(2)
+        b = np.array([ab, 0.0])
+        lo = math.cos(gamma)
+        frac = lo + t * (1.0 - lo)
+        ac = ab * frac
+        c = ac * np.array([math.cos(gamma), math.sin(gamma)])
+        o = b / 2.0
+        assume(np.hypot(*(c - o)) > ab / 2.0 + 1e-12)
+        try:
+            ok = lemma26_holds(a, b, c)
+        except ValueError:
+            assume(False)
+            return
+        assert ok
+
+    def test_precondition_angle(self):
+        a = np.zeros(2)
+        b = np.array([1.0, 0.0])
+        c = 0.9 * np.array([math.cos(0.5), math.sin(0.5)])  # 0.5 rad > π/12
+        with pytest.raises(ValueError):
+            lemma26_holds(a, b, c)
+
+    def test_precondition_inside_circle(self):
+        a = np.zeros(2)
+        b = np.array([1.0, 0.0])
+        c = np.array([0.5, 0.05])  # near O, inside the circle
+        with pytest.raises(ValueError):
+            lemma26_holds(a, b, c)

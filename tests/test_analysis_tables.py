@@ -1,0 +1,82 @@
+"""Tests for table rendering and fitting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import fit_log_slope, geometric_mean, render_table
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_title(self):
+        out = render_table([{"a": 1}], title="My Table")
+        assert out.startswith("== My Table ==")
+
+    def test_alignment_and_columns(self):
+        rows = [{"name": "x", "value": 1.5}, {"name": "longer", "value": 22}]
+        out = render_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert lines[0].startswith("name")
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_union_of_keys(self):
+        rows = [{"a": 1}, {"b": 2}]
+        out = render_table(rows)
+        assert "a" in out and "b" in out
+
+    def test_bool_formatting(self):
+        out = render_table([{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+    def test_float_formatting(self):
+        out = render_table([{"v": 0.000123}, {"v": 123456.0}, {"v": float("inf")}])
+        assert "0.000123" in out
+        assert "1.23e+05" in out
+        assert "inf" in out
+
+    def test_missing_cells_blank(self):
+        out = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert out  # renders without error
+
+
+class TestFitLogSlope:
+    def test_recovers_synthetic(self):
+        ns = np.array([10, 100, 1000, 10000])
+        ys = 3.0 * np.log(ns) + 2.0
+        a, b = fit_log_slope(ns, ys)
+        assert a == pytest.approx(3.0)
+        assert b == pytest.approx(2.0)
+
+    def test_flat_data_zero_slope(self):
+        ns = np.array([10, 100, 1000])
+        ys = np.array([5.0, 5.0, 5.0])
+        a, _ = fit_log_slope(ns, ys)
+        assert a == pytest.approx(0.0, abs=1e-9)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_log_slope([10], [1.0])
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_invariance_to_order(self):
+        vals = [0.5, 2.0, 8.0]
+        assert geometric_mean(vals) == pytest.approx(geometric_mean(vals[::-1]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

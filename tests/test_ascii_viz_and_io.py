@@ -1,0 +1,107 @@
+"""Tests for the ASCII renderer and scenario serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_viz import render_graph_ascii, render_points_ascii
+from repro.analysis.routing_experiments import ring_graph
+from repro.sim.adversary import stream_scenario
+from repro.sim.scenario_io import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+class TestAsciiViz:
+    def test_empty(self):
+        assert render_points_ascii(np.empty((0, 2))) == "(no points)"
+
+    def test_all_nodes_drawn(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]])
+        out = render_points_ascii(pts, width=40)
+        assert out.count("o") == 3
+
+    def test_highlight(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = render_points_ascii(pts, width=20, highlight={1})
+        assert out.count("*") == 1
+        assert out.count("o") == 1
+
+    def test_edges_drawn(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        out = render_points_ascii(pts, np.array([[0, 1]]), width=30)
+        assert "." in out  # connecting line
+
+    def test_graph_wrapper(self):
+        g = ring_graph(8)
+        out = render_graph_ascii(g, width=40)
+        assert out.count("o") == 8
+        lines = out.splitlines()
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_points_ascii(np.zeros((1, 2)), width=2)
+
+    def test_degenerate_collinear(self):
+        pts = np.column_stack([np.linspace(0, 1, 5), np.zeros(5)])
+        out = render_points_ascii(pts, width=30)
+        assert out.count("o") >= 2  # some overlap allowed at grid scale
+
+
+class TestScenarioIO:
+    def test_roundtrip_dict(self):
+        scen = stream_scenario(ring_graph(10), 2, 20, rng=0)
+        data = scenario_to_dict(scen)
+        back = scenario_from_dict(data)
+        assert back.duration == scen.duration
+        assert back.witness_delivered == scen.witness_delivered
+        assert back.witness_buffer == scen.witness_buffer
+        assert back.witness_avg_cost == pytest.approx(scen.witness_avg_cost)
+        assert np.array_equal(back.graph.points, scen.graph.points)
+        assert np.array_equal(back.graph.edges, scen.graph.edges)
+        assert dict(back.injection_map) == dict(scen.injection_map)
+
+    def test_roundtrip_file(self, tmp_path):
+        scen = stream_scenario(ring_graph(8), 1, 10, rng=1)
+        p = tmp_path / "scen.json"
+        save_scenario(scen, p)
+        back = load_scenario(p)
+        assert back.witness_delivered == scen.witness_delivered
+        assert back.name == scen.name
+
+    def test_json_is_plain_types(self):
+        import json
+
+        scen = stream_scenario(ring_graph(8), 1, 5, rng=2)
+        json.dumps(scenario_to_dict(scen))  # must not raise
+
+    def test_version_check(self):
+        scen = stream_scenario(ring_graph(8), 1, 5, rng=3)
+        data = scenario_to_dict(scen)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            scenario_from_dict(data)
+
+    def test_loaded_scenario_runs(self, tmp_path):
+        """A reloaded scenario drives the engine identically."""
+        from repro.core.balancing import BalancingConfig, BalancingRouter
+        from repro.sim.engine import SimulationEngine
+
+        scen = stream_scenario(ring_graph(10), 2, 40, rng=4)
+        p = tmp_path / "s.json"
+        save_scenario(scen, p)
+        back = load_scenario(p)
+
+        def run(s):
+            r = BalancingRouter(
+                s.graph.n_nodes, s.destinations, BalancingConfig(1.0, 0.0, 64)
+            )
+            SimulationEngine.for_scenario(r, s).run(s.duration, drain=s.duration)
+            return r.stats.delivered
+
+        assert run(scen) == run(back)

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["e99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_quick_e1(self, capsys):
+        assert main(["e1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+        assert "max_degree" in out
+        assert "completed in" in out
+
+    def test_quick_e5(self, capsys):
+        assert main(["e5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "lemma29_bound" in out
+
+    def test_quick_e12(self, capsys):
+        assert main(["e12", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold_T" in out
+
+    def test_every_quick_thunk_runs(self):
+        """Every experiment's quick variant returns at least one row."""
+        for key, (_, _, quick) in EXPERIMENTS.items():
+            rows = quick()
+            assert rows, key

@@ -1,0 +1,118 @@
+"""Tests for competitive-ratio bookkeeping and theorem parameter rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.competitive import (
+    CompetitiveReport,
+    theorem31_parameters,
+    theorem33_parameters,
+)
+from repro.sim.stats import RoutingStats
+
+
+def make_stats(delivered=80, energy=40.0, max_h=10) -> RoutingStats:
+    st = RoutingStats()
+    st.delivered = delivered
+    st.energy_attempted = energy
+    st.max_buffer_height = max_h
+    st.injected = 100
+    return st
+
+
+class TestReport:
+    def test_ratios_computed(self):
+        rep = CompetitiveReport.from_stats(
+            make_stats(), witness_delivered=100, witness_avg_cost=0.25, witness_buffer=5
+        )
+        assert rep.throughput_ratio == pytest.approx(0.8)
+        assert rep.cost_ratio == pytest.approx((40.0 / 80) / 0.25)
+        assert rep.space_ratio == pytest.approx(2.0)
+
+    def test_zero_witness_delivered(self):
+        rep = CompetitiveReport.from_stats(
+            make_stats(), witness_delivered=0, witness_avg_cost=0.0, witness_buffer=1
+        )
+        assert rep.throughput_ratio == 1.0
+
+    def test_zero_witness_cost_with_spend(self):
+        rep = CompetitiveReport.from_stats(
+            make_stats(), witness_delivered=10, witness_avg_cost=0.0, witness_buffer=1
+        )
+        assert rep.cost_ratio == float("inf")
+
+    def test_as_dict_keys(self):
+        rep = CompetitiveReport.from_stats(
+            make_stats(), witness_delivered=10, witness_avg_cost=1.0, witness_buffer=1
+        )
+        d = rep.as_dict()
+        assert set(d) >= {"throughput_ratio", "space_ratio", "cost_ratio"}
+
+
+class TestTheorem31Parameters:
+    def test_formulas(self):
+        p = theorem31_parameters(
+            opt_buffer=2, avg_path_length=4.0, avg_cost=1.0, epsilon=0.25, delta_frequencies=3
+        )
+        assert p["threshold"] == pytest.approx(2 + 2 * 2)  # B + 2(δ-1)
+        assert p["gamma"] == pytest.approx((6 + 2 + 3) * 4.0 / 1.0)
+        assert p["cost_factor"] == pytest.approx(9.0)
+        assert p["target_fraction"] == pytest.approx(0.75)
+
+    def test_space_factor_grows_with_1_over_eps(self):
+        kw = dict(opt_buffer=2, avg_path_length=4.0, avg_cost=1.0)
+        s1 = theorem31_parameters(epsilon=0.5, **kw)["space_factor"]
+        s2 = theorem31_parameters(epsilon=0.25, **kw)["space_factor"]
+        assert s2 == pytest.approx(2 * (s1 - 1) + 1)
+
+    def test_single_frequency_threshold(self):
+        p = theorem31_parameters(
+            opt_buffer=3, avg_path_length=2.0, avg_cost=0.5, epsilon=0.1, delta_frequencies=1
+        )
+        assert p["threshold"] == pytest.approx(3.0)  # B + 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(epsilon=0.0),
+            dict(epsilon=1.0),
+            dict(opt_buffer=0),
+            dict(avg_path_length=0.5),
+            dict(avg_cost=0.0),
+            dict(delta_frequencies=0),
+        ],
+    )
+    def test_invalid_inputs(self, bad):
+        kw = dict(
+            opt_buffer=2, avg_path_length=4.0, avg_cost=1.0, epsilon=0.25, delta_frequencies=1
+        )
+        kw.update(bad)
+        with pytest.raises(ValueError):
+            theorem31_parameters(**kw)
+
+
+class TestTheorem33Parameters:
+    def test_formulas(self):
+        p = theorem33_parameters(
+            opt_buffer=2, avg_path_length=3.0, avg_cost=1.5, epsilon=0.2, interference_bound=10
+        )
+        assert p["threshold"] == pytest.approx(5.0)  # 2B+1
+        assert p["gamma"] == pytest.approx((5 + 2) * 3.0 / 1.5)
+        assert p["target_fraction"] == pytest.approx(0.8 / 80.0)
+
+    def test_floor_shrinks_with_interference(self):
+        kw = dict(opt_buffer=1, avg_path_length=2.0, avg_cost=1.0, epsilon=0.25)
+        f1 = theorem33_parameters(interference_bound=1, **kw)["target_fraction"]
+        f10 = theorem33_parameters(interference_bound=10, **kw)["target_fraction"]
+        assert f1 == pytest.approx(10 * f10)
+
+    def test_invalid_interference(self):
+        with pytest.raises(ValueError):
+            theorem33_parameters(
+                opt_buffer=1,
+                avg_path_length=2.0,
+                avg_cost=1.0,
+                epsilon=0.25,
+                interference_bound=0,
+            )

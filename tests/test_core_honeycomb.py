@@ -1,0 +1,134 @@
+"""Tests for the honeycomb algorithm (§3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.honeycomb import HoneycombConfig, HoneycombRouter
+
+
+def cluster_points() -> np.ndarray:
+    """Two far-apart unit-disk-connected pairs (distinct hexagons)."""
+    return np.array(
+        [
+            [0.0, 0.0],
+            [0.8, 0.0],
+            [30.0, 0.0],
+            [30.8, 0.0],
+        ]
+    )
+
+
+class TestConfig:
+    def test_p_transmit_bound(self):
+        with pytest.raises(ValueError):
+            HoneycombConfig(p_transmit=0.2)
+        with pytest.raises(ValueError):
+            HoneycombConfig(p_transmit=0.0)
+        HoneycombConfig(p_transmit=1.0 / 6.0)  # boundary OK
+
+    def test_negative_delta(self):
+        with pytest.raises(ValueError):
+            HoneycombConfig(delta=-0.5)
+
+
+class TestPairs:
+    def test_unit_disk_pairs_only(self):
+        pts = np.array([[0.0, 0.0], [0.9, 0.0], [2.5, 0.0]])
+        r = HoneycombRouter(pts, None, HoneycombConfig())
+        und = {(min(a, b), max(a, b)) for a, b in r.directed_pairs}
+        assert und == {(0, 1)}
+
+    def test_both_orientations(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig())
+        pairs = {tuple(p) for p in r.directed_pairs}
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_no_pairs(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        r = HoneycombRouter(pts, None, HoneycombConfig())
+        assert len(r.directed_pairs) == 0
+        assert r.step([]) == 0  # no-op step is fine
+
+
+class TestBenefitsAndContestants:
+    def test_benefit_is_height_differential(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig(threshold=1.0))
+        r.router.inject(0, 1, 5)
+        ben = r.benefits()
+        k = next(i for i, p in enumerate(r.directed_pairs) if tuple(p) == (0, 1))
+        assert ben[k] == 5.0
+
+    def test_one_contestant_per_hexagon(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig(threshold=1.0))
+        r.router.inject(0, 1, 5)
+        r.router.inject(1, 0, 3)
+        r.router.inject(2, 3, 4)
+        chosen = r.select_contestants()
+        cells = [tuple(r.hexgrid.cell_of(r.points[r.directed_pairs[k][0]])) for k in chosen]
+        assert len(cells) == len(set(cells))
+
+    def test_contestant_needs_benefit_above_threshold(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig(threshold=10.0))
+        r.router.inject(0, 1, 5)
+        assert len(r.select_contestants()) == 0
+
+    def test_max_benefit_wins(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig(threshold=1.0))
+        r.router.inject(0, 1, 3)
+        r.router.inject(1, 0, 8)
+        chosen = r.select_contestants()
+        picked = {tuple(r.directed_pairs[k]) for k in chosen}
+        assert (1, 0) in picked
+
+
+class TestIndependence:
+    def test_far_pairs_independent(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig(delta=0.5))
+        mask = r.independent_success_mask(np.array([[0, 1], [2, 3]]))
+        assert mask.all()
+
+    def test_close_pairs_conflict(self):
+        pts = np.array([[0.0, 0.0], [0.8, 0.0], [1.5, 0.0], [2.3, 0.0]])
+        r = HoneycombRouter(pts, None, HoneycombConfig(delta=0.5))
+        mask = r.independent_success_mask(np.array([[0, 1], [2, 3]]))
+        assert not mask.any()
+
+    def test_guard_distance_is_absolute(self):
+        """Two pairs separated by just over 1+Δ are independent."""
+        d = 0.5
+        sep = 1.0 + d + 0.05
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [0.5 + sep, 0.0], [1.0 + sep, 0.0]])
+        r = HoneycombRouter(pts, None, HoneycombConfig(delta=d))
+        mask = r.independent_success_mask(np.array([[0, 1], [2, 3]]))
+        assert mask.all()
+
+
+class TestEndToEnd:
+    def test_single_hop_delivery(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig(threshold=1.0), rng=0)
+        delivered = 0
+        r.router.inject(0, 1, 10)
+        for _ in range(400):
+            delivered += r.step([])
+        # service rate ≈ 1/6 per step; plenty of steps → all but ≤ T stuck.
+        assert delivered >= 8
+
+    def test_two_hexagons_progress_in_parallel(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig(threshold=1.0), rng=1)
+        r.router.inject(0, 1, 10)
+        r.router.inject(2, 3, 10)
+        for _ in range(500):
+            r.step([])
+        assert r.router.stats.delivered >= 14
+
+    def test_injections_through_step(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig(threshold=1.0), rng=2)
+        r.step([(0, 1, 3)])
+        assert r.stats.injected == 3
+        assert r.router.height(0, 1) == 3
+
+    def test_stats_exposed(self):
+        r = HoneycombRouter(cluster_points(), None, HoneycombConfig())
+        assert r.stats is r.router.stats

@@ -1,0 +1,122 @@
+"""Tests for the constructive Theorem 2.8 scheduler."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.schedule_transform import (
+    transform_schedules,
+    verify_interference_free,
+)
+from repro.sim.adversary import permutation_scenario, stream_scenario
+from repro.sim.schedules import Schedule, schedules_conflict_free, validate_schedule
+
+
+@pytest.fixture(scope="module")
+def world():
+    pts = repro.uniform_points(50, rng=31)
+    d = repro.max_range_for_connectivity(pts, slack=1.5)
+    gstar = repro.transmission_graph(pts, d)
+    topo = repro.theta_algorithm(pts, math.pi / 9, d)
+    return pts, d, gstar, topo
+
+
+def gstar_schedules(gstar, n_packets, rng):
+    """Witnessed schedules on G* (the input of Theorem 2.8)."""
+    scen = permutation_scenario(gstar, n_packets, rng=rng)
+    return scen.witness_schedules
+
+
+class TestTransform:
+    def test_outputs_valid_n_schedules(self, world):
+        _, _, gstar, topo = world
+        ins = gstar_schedules(gstar, 15, rng=0)
+        outs = transform_schedules(topo, ins, delta=0.5)
+        assert len(outs) == len(ins)
+        for s in outs:
+            validate_schedule(s)
+            for (u, v), _t in s.hops:
+                assert topo.graph.has_edge(int(u), int(v))
+
+    def test_same_endpoints(self, world):
+        _, _, gstar, topo = world
+        ins = gstar_schedules(gstar, 15, rng=1)
+        outs = transform_schedules(topo, ins, delta=0.5)
+        for a, b in zip(ins, outs):
+            assert a.source == b.source
+            assert a.dest == b.dest
+            assert a.inject_time == b.inject_time
+
+    def test_conflict_free(self, world):
+        _, _, gstar, topo = world
+        outs = transform_schedules(topo, gstar_schedules(gstar, 20, rng=2), delta=0.5)
+        assert schedules_conflict_free(outs)
+
+    def test_interference_free(self, world):
+        _, _, gstar, topo = world
+        outs = transform_schedules(topo, gstar_schedules(gstar, 20, rng=3), delta=0.5)
+        verify_interference_free(topo, outs, 0.5)
+
+    def test_makespan_within_theorem_envelope(self, world):
+        """Makespan inflation ≤ O(I) (Theorem 2.8's bound)."""
+        from repro.interference.conflict import interference_number
+
+        _, _, gstar, topo = world
+        ins = gstar_schedules(gstar, 20, rng=4)
+        outs = transform_schedules(topo, ins, delta=0.5)
+        t_in = max(s.finish_time for s in ins)
+        t_out = max(s.finish_time for s in outs)
+        big_i = interference_number(topo.graph, 0.5)
+        n = topo.graph.n_nodes
+        assert t_out <= 16 * (t_in + 1) * (big_i + 1) + 4 * n * n
+
+    def test_edge_already_in_n_passes_through(self, world):
+        """A single-hop schedule on an N edge keeps one hop."""
+        _, _, _, topo = world
+        u, v = (int(x) for x in topo.graph.edges[0])
+        s = Schedule(inject_time=0, hops=(((u, v), 1),))
+        (out,) = transform_schedules(topo, [s], delta=0.5)
+        assert out.n_hops == 1
+
+    def test_horizon_guard(self, world):
+        _, _, gstar, topo = world
+        ins = gstar_schedules(gstar, 10, rng=5)
+        with pytest.raises(RuntimeError, match="horizon"):
+            transform_schedules(topo, ins, delta=0.5, max_time=1)
+
+    def test_stream_schedules_also_transform(self, world):
+        """Pipelined stream witnesses (many packets, shared paths)."""
+        _, _, gstar, topo = world
+        scen = stream_scenario(gstar, 2, 20, rng=6)
+        outs = transform_schedules(topo, scen.witness_schedules, delta=0.5)
+        assert schedules_conflict_free(outs)
+        verify_interference_free(topo, outs, 0.5)
+
+
+class TestVerifier:
+    def test_detects_planted_interference(self, world):
+        """The verifier is not a rubber stamp: two adjacent same-step
+        transmissions must trip it."""
+        _, _, _, topo = world
+        g = topo.graph
+        # Find two adjacent (interfering) edges.
+        found = None
+        for k in range(g.n_edges):
+            u, v = (int(x) for x in g.edges[k])
+            for m in range(k + 1, g.n_edges):
+                a, b = (int(x) for x in g.edges[m])
+                if len({u, v} & {a, b}) == 1:
+                    found = ((u, v), (a, b))
+                    break
+            if found:
+                break
+        assert found is not None
+        e1, e2 = found
+        s1 = Schedule(0, ((e1, 1),))
+        s2 = Schedule(0, ((e2, 1),))
+        with pytest.raises(AssertionError, match="interference"):
+            verify_interference_free(topo, [s1, s2], 0.5)

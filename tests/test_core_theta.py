@@ -1,0 +1,187 @@
+"""Tests for ΘALG (Lemma 2.1, Theorem 2.2 behaviour)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.theta import theta_algorithm
+from repro.geometry.pointsets import (
+    DISTRIBUTIONS,
+    star_points,
+    two_cluster_bridge_points,
+    uniform_points,
+)
+from repro.graphs.metrics import degrees, energy_stretch, is_connected, max_degree
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+
+
+def build(pts, theta=math.pi / 9, slack=1.5, kappa=2.0):
+    d = max_range_for_connectivity(pts, slack=slack)
+    return (
+        transmission_graph(pts, d, kappa=kappa),
+        theta_algorithm(pts, theta, d, kappa=kappa),
+        d,
+    )
+
+
+class TestStructure:
+    def test_subgraph_of_yao(self, small_world):
+        _, _, _, topo = small_world
+        for i, j in topo.graph.edges:
+            assert topo.yao_graph.has_edge(int(i), int(j))
+
+    def test_edges_within_range(self, small_world):
+        _, d, _, topo = small_world
+        assert (topo.graph.edge_lengths <= d + 1e-9).all()
+
+    def test_two_nodes(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        topo = theta_algorithm(pts, math.pi / 6, 2.0)
+        assert topo.graph.n_edges == 1
+
+    def test_single_node(self):
+        topo = theta_algorithm(np.zeros((1, 2)), math.pi / 6, 1.0)
+        assert topo.graph.n_edges == 0
+
+    def test_theta_bound_enforced(self):
+        with pytest.raises(ValueError):
+            theta_algorithm(np.zeros((2, 2)), math.pi / 2, 1.0)
+
+    def test_admitted_edges_exist_in_graph(self, small_world):
+        _, _, _, topo = small_world
+        for (x, _s), w in topo.admitted.items():
+            assert topo.graph.has_edge(w, x)
+
+    def test_admitted_is_nearest_claimant(self, small_world):
+        """Phase 2 admits the closest in-neighbor per receiver sector."""
+        pts, _, _, topo = small_world
+        # Collect all Yao in-edges per (receiver, receiver-sector).
+        claim: dict[tuple[int, int], list[int]] = {}
+        for (u, _s), v in topo.yao_nearest.items():
+            sec = topo.sector(v, u)
+            claim.setdefault((v, sec), []).append(u)
+        for key, sources in claim.items():
+            x, _sec = key
+            w = topo.admitted[key]
+            dw = float(np.hypot(*(pts[w] - pts[x])))
+            for s in sources:
+                assert dw <= float(np.hypot(*(pts[s] - pts[x]))) + 1e-12
+
+    def test_sector_method_matches_geometry(self, small_world):
+        pts, _, _, topo = small_world
+        from repro.geometry.sectors import sector_of
+
+        for u, v in topo.graph.edges[:20]:
+            assert topo.sector(int(u), int(v)) == sector_of(
+                topo.partition.width, pts[u], pts[v]
+            )
+
+    def test_in_neighbor_set(self, small_world):
+        _, _, _, topo = small_world
+        n_u = topo.in_neighbor_set(0)
+        assert n_u == {v for (u, s), v in topo.yao_nearest.items() if u == 0}
+
+
+class TestLemma21:
+    """N is connected with degree ≤ 4π/θ."""
+
+    @pytest.mark.parametrize("dist_name", sorted(DISTRIBUTIONS))
+    def test_connected_all_distributions(self, dist_name):
+        pts = DISTRIBUTIONS[dist_name](80, rng=3)
+        gstar, topo, _ = build(pts)
+        assert is_connected(gstar)
+        assert is_connected(topo.graph)
+
+    @pytest.mark.parametrize("theta", [math.pi / 3, math.pi / 6, math.pi / 12])
+    def test_degree_bound(self, theta):
+        pts = uniform_points(150, rng=4)
+        _, topo, _ = build(pts, theta=theta)
+        bound = 2 * topo.partition.n_sectors
+        assert max_degree(topo.graph) <= bound
+
+    def test_star_degree_constant(self):
+        """The Ω(n)-degree Yao pathology is pruned to O(1)."""
+        pts = star_points(120, rng=0)
+        theta = math.pi / 6
+        topo = theta_algorithm(pts, theta, 2.0)
+        hub_yao = degrees(topo.yao_graph)[0]
+        hub_n = degrees(topo.graph)[0]
+        assert hub_yao >= 90  # pathology present in phase 1
+        assert hub_n <= 2 * topo.partition.n_sectors
+        assert is_connected(topo.graph)
+
+    @given(st.integers(5, 60), st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_property_connected_and_bounded(self, n, seed):
+        pts = uniform_points(n, rng=seed)
+        _, topo, _ = build(pts, theta=math.pi / 6)
+        assert is_connected(topo.graph)
+        assert max_degree(topo.graph) <= 2 * topo.partition.n_sectors
+
+
+class TestTheorem22:
+    """Energy-stretch is O(1)."""
+
+    @pytest.mark.parametrize("dist_name", sorted(DISTRIBUTIONS))
+    def test_energy_stretch_bounded(self, dist_name):
+        pts = DISTRIBUTIONS[dist_name](80, rng=5)
+        gstar, topo, _ = build(pts, theta=math.pi / 9)
+        es = energy_stretch(topo.graph, gstar)
+        assert es.disconnected_pairs == 0
+        assert es.max_stretch < 3.0  # generous constant for θ = 20°
+
+    @pytest.mark.parametrize("kappa", [2.0, 3.0, 4.0])
+    def test_energy_stretch_all_kappa(self, kappa):
+        pts = uniform_points(70, rng=6)
+        gstar, topo, _ = build(pts, kappa=kappa)
+        es = energy_stretch(topo.graph, gstar)
+        assert es.max_stretch < 3.0
+
+    def test_stretch_flat_in_n(self):
+        """Stretch does not grow with n (the O(1) claim)."""
+        worst = []
+        for n in (40, 90, 160):
+            pts = uniform_points(n, rng=8)
+            gstar, topo, _ = build(pts)
+            worst.append(energy_stretch(topo.graph, gstar).max_stretch)
+        assert max(worst) < 3.0
+
+    def test_long_bridge_edge(self):
+        """Case-2 stress: the single long G* edge between clusters."""
+        pts = two_cluster_bridge_points(60, gap=0.8, spread=0.04, rng=9)
+        gstar, topo, _ = build(pts, slack=1.1)
+        es = energy_stretch(topo.graph, gstar)
+        assert es.disconnected_pairs == 0
+        assert es.max_stretch < 4.0
+
+    def test_offset_insensitivity(self):
+        """Anchor ablation: random sector offsets keep stretch bounded."""
+        pts = uniform_points(60, rng=10)
+        d = max_range_for_connectivity(pts, slack=1.5)
+        gstar = transmission_graph(pts, d)
+        for offset in (0.0, 0.1, 0.7, 2.0):
+            topo = theta_algorithm(pts, math.pi / 9, d, offset=offset)
+            es = energy_stretch(topo.graph, gstar)
+            assert es.max_stretch < 3.0
+            assert is_connected(topo.graph)
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        pts = uniform_points(50, rng=11)
+        a = theta_algorithm(pts, math.pi / 9, 0.5)
+        b = theta_algorithm(pts, math.pi / 9, 0.5)
+        assert np.array_equal(a.graph.edges, b.graph.edges)
+
+    def test_lattice_ties_resolved(self):
+        """Exact lattice: many equal distances, still deterministic/valid."""
+        from repro.geometry.pointsets import grid_points
+
+        pts = grid_points(25)
+        gstar, topo, _ = build(pts, slack=1.01)
+        assert is_connected(topo.graph)
+        assert max_degree(topo.graph) <= 2 * topo.partition.n_sectors

@@ -1,0 +1,122 @@
+"""Tests for θ-path replacement (Theorem 2.8 / Lemma 2.9 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.theta import theta_algorithm
+from repro.core.theta_paths import path_congestion, replace_schedule_edges, theta_path
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+from repro.interference.model import InterferenceModel
+
+
+class TestThetaPath:
+    def test_n_edge_is_its_own_path(self, small_world):
+        _, _, _, topo = small_world
+        u, v = (int(x) for x in topo.graph.edges[0])
+        assert theta_path(topo, u, v) == [u, v]
+
+    def test_endpoints_correct(self, small_world):
+        _, _, gstar, topo = small_world
+        for u, v in gstar.edges[:50]:
+            p = theta_path(topo, int(u), int(v))
+            assert p[0] == u and p[-1] == v
+
+    def test_all_hops_are_n_edges(self, small_world):
+        _, _, gstar, topo = small_world
+        cache: dict = {}
+        for u, v in gstar.edges:
+            p = theta_path(topo, int(u), int(v), _cache=cache)
+            for a, b in zip(p[:-1], p[1:]):
+                assert topo.graph.has_edge(a, b)
+
+    def test_out_of_range_rejected(self, small_world):
+        pts, d, _, topo = small_world
+        # Find a pair farther than D.
+        from scipy.spatial.distance import pdist, squareform
+
+        dm = squareform(pdist(pts))
+        i, j = np.unravel_index(np.argmax(dm), dm.shape)
+        if dm[i, j] > d:
+            with pytest.raises(ValueError):
+                theta_path(topo, int(i), int(j))
+
+    def test_trivial_same_node(self, small_world):
+        _, _, _, topo = small_world
+        assert theta_path(topo, 3, 3) == [3]
+
+    def test_cost_of_path_bounded(self, small_world):
+        """The θ-path energy is within a constant of the direct edge
+        (the inequality Theorem 2.2/2.8 rest on)."""
+        _, _, gstar, topo = small_world
+        cache: dict = {}
+        for (u, v), c in zip(gstar.edges, gstar.edge_costs):
+            p = theta_path(topo, int(u), int(v), _cache=cache)
+            path_cost = sum(topo.graph.cost(a, b) for a, b in zip(p[:-1], p[1:]))
+            assert path_cost <= 4.0 * c + 1e-9
+
+    @given(st.integers(10, 70), st.integers(0, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_property_terminates_everywhere(self, n, seed):
+        pts = uniform_points(n, rng=seed)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        gstar = transmission_graph(pts, d)
+        topo = theta_algorithm(pts, math.pi / 9, d)
+        cache: dict = {}
+        for u, v in gstar.edges:
+            p = theta_path(topo, int(u), int(v), _cache=cache)
+            assert p[0] == u and p[-1] == v
+            assert len(p) >= 2
+
+
+class TestLemma29:
+    def test_congestion_bound_on_noninterfering_sets(self, small_world):
+        """N-edge congestion ≤ 6 for pairwise non-interfering G* edges."""
+        pts, _, gstar, topo = small_world
+        model = InterferenceModel(0.5)
+        gen = np.random.default_rng(0)
+        for _ in range(10):
+            order = gen.permutation(gstar.n_edges)
+            chosen: list[int] = []
+            for e in order:
+                if all(
+                    not model.pair_interferes(
+                        pts, tuple(gstar.edges[e]), tuple(gstar.edges[f])
+                    )
+                    for f in chosen
+                ):
+                    chosen.append(int(e))
+                if len(chosen) >= 16:
+                    break
+            if not chosen:
+                continue
+            paths = replace_schedule_edges(topo, gstar.edges[chosen])
+            cong = path_congestion(topo, paths)
+            assert max(cong.values(), default=0) <= 6
+
+    def test_congestion_counts_correct(self, small_world):
+        _, _, gstar, topo = small_world
+        paths = replace_schedule_edges(topo, gstar.edges[:5])
+        cong = path_congestion(topo, paths)
+        total_hops = sum(len(p) - 1 for p in paths)
+        assert sum(cong.values()) == total_hops
+
+    def test_congestion_rejects_non_edges(self, small_world):
+        _, _, _, topo = small_world
+        with pytest.raises(ValueError):
+            # A fabricated path using a non-existent edge.
+            non_edge = None
+            n = topo.graph.n_nodes
+            for a in range(n):
+                for b in range(a + 1, n):
+                    if not topo.graph.has_edge(a, b):
+                        non_edge = [a, b]
+                        break
+                if non_edge:
+                    break
+            path_congestion(topo, [non_edge])

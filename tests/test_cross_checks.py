@@ -1,0 +1,167 @@
+"""Cross-component consistency checks (oracle style, hypothesis driven)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.routing_experiments import ring_graph
+from repro.core.honeycomb import HoneycombConfig, HoneycombRouter
+from repro.geometry.pointsets import uniform_points
+from repro.sim.schedules import Schedule, witness_buffer_usage
+
+
+def random_schedules(gen: np.random.Generator, n_nodes: int, k: int) -> list[Schedule]:
+    """Random well-formed (per-packet valid) schedules on arbitrary edges."""
+    out = []
+    for _ in range(k):
+        t0 = int(gen.integers(0, 5))
+        length = int(gen.integers(1, 5))
+        nodes = [int(gen.integers(0, n_nodes))]
+        for _ in range(length):
+            nxt = int(gen.integers(0, n_nodes))
+            while nxt == nodes[-1]:
+                nxt = int(gen.integers(0, n_nodes))
+            nodes.append(nxt)
+        t = t0
+        hops = []
+        for u, v in zip(nodes[:-1], nodes[1:]):
+            t += int(gen.integers(1, 4))
+            hops.append(((u, v), t))
+        out.append(Schedule(inject_time=t0, hops=tuple(hops)))
+    return out
+
+
+def naive_buffer_usage(schedules: list[Schedule]) -> int:
+    """Step-by-step simulation of witness buffer occupancy."""
+    if not schedules:
+        return 0
+    horizon = max(s.finish_time for s in schedules) + 1
+    peak = 0
+    for t in range(horizon + 1):
+        occ: dict[tuple[int, int], int] = {}
+        for s in schedules:
+            d = s.dest
+            node = s.source
+            arrive = s.inject_time
+            for (u, v), ht in s.hops:
+                # occupies (node, d) during [arrive, ht)
+                if arrive <= t < ht:
+                    occ[(node, d)] = occ.get((node, d), 0) + 1
+                    break
+                node, arrive = v, ht
+        if occ:
+            peak = max(peak, max(occ.values()))
+    return peak
+
+
+class TestBufferUsageOracle:
+    @given(st.integers(0, 60), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_step_simulation(self, seed, k):
+        gen = np.random.default_rng(seed)
+        scheds = random_schedules(gen, 6, k)
+        assert witness_buffer_usage(scheds) == naive_buffer_usage(scheds)
+
+
+class TestGeographicConsistency:
+    @given(st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_router_delivers_iff_offline_path_exists(self, seed):
+        """The online greedy router delivers exactly the packets whose
+        offline greedy trace reaches the destination (when all edges are
+        usable every step)."""
+        import math
+
+        import repro
+        from repro.sim.geographic import (
+            GreedyGeographicRouter,
+            greedy_geographic_path,
+        )
+
+        gen = np.random.default_rng(seed)
+        pts = uniform_points(40, rng=gen)
+        d = repro.max_range_for_connectivity(pts, slack=1.2)
+        g = repro.theta_algorithm(pts, math.pi / 6, d).graph
+        edges = g.directed_edge_array()
+        costs = np.concatenate([g.edge_costs, g.edge_costs])
+        pairs = [tuple(int(x) for x in gen.choice(40, 2, replace=False)) for _ in range(8)]
+        router = GreedyGeographicRouter(g)
+        expected = 0
+        for s, t in pairs:
+            _, ok = greedy_geographic_path(g, s, t)
+            expected += int(ok)
+            router.inject(s, t, 1)
+        for _ in range(80):
+            router.run_step(edges, costs)
+        assert router.stats.delivered == expected
+
+
+class TestHoneycombGeometry:
+    @given(st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_contestants_in_distinct_hexagons(self, seed):
+        gen = np.random.default_rng(seed)
+        pts = uniform_points(120, side=15.0, rng=gen)
+        r = HoneycombRouter(pts, None, HoneycombConfig(delta=0.5, threshold=1.0), rng=gen)
+        if len(r.directed_pairs) == 0:
+            return
+        # Load a few buffers so contestants exist.
+        for _ in range(10):
+            k = int(gen.integers(0, len(r.directed_pairs)))
+            s, t = (int(x) for x in r.directed_pairs[k])
+            r.router.inject(s, t, 3)
+        chosen = r.select_contestants()
+        cells = [
+            tuple(int(c) for c in r.hexgrid.cell_of(pts[r.directed_pairs[k][0]]))
+            for k in chosen
+        ]
+        assert len(cells) == len(set(cells))
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_same_hexagon_senders_never_both_selected(self, seed):
+        gen = np.random.default_rng(seed)
+        pts = uniform_points(120, side=15.0, rng=gen)
+        r = HoneycombRouter(pts, None, HoneycombConfig(delta=0.5, threshold=1.0), rng=gen)
+        groups = r.hexgrid.group_by_cell(pts)
+        # Senders of selected pairs, grouped by hexagon, are unique.
+        for _ in range(10):
+            k = int(gen.integers(0, max(len(r.directed_pairs), 1)))
+            if len(r.directed_pairs) == 0:
+                return
+            s, t = (int(x) for x in r.directed_pairs[k])
+            r.router.inject(s, t, 2)
+        chosen = r.select_contestants()
+        seen_cells = set()
+        for k in chosen:
+            s = int(r.directed_pairs[k][0])
+            cell = tuple(int(c) for c in r.hexgrid.cell_of(pts[s]))
+            assert cell not in seen_cells
+            seen_cells.add(cell)
+        del groups
+
+
+class TestEngineScenarioEquivalence:
+    def test_engine_equals_manual_loop(self):
+        """SimulationEngine.run produces the same result as the manual
+        per-step loop over the same scenario and router settings."""
+        from repro.core.balancing import BalancingConfig, BalancingRouter
+        from repro.sim.adversary import stream_scenario
+        from repro.sim.engine import SimulationEngine
+
+        g = ring_graph(10)
+        scen = stream_scenario(g, 2, 50, rng=3)
+
+        r1 = BalancingRouter(g.n_nodes, scen.destinations, BalancingConfig(1.0, 0.0, 64))
+        SimulationEngine.for_scenario(r1, scen).run(50, drain=50)
+
+        r2 = BalancingRouter(g.n_nodes, scen.destinations, BalancingConfig(1.0, 0.0, 64))
+        for t in range(100):
+            edges, costs = scen.active_edges(t)
+            inj = list(scen.injections(t)) if t < 50 else []
+            r2.run_step(edges, costs, inj)
+
+        assert r1.stats.delivered == r2.stats.delivered
+        assert np.array_equal(r1.heights, r2.heights)

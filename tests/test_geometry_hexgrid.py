@@ -1,0 +1,122 @@
+"""Tests for the honeycomb hexagonal tiling."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.hexgrid import HexGrid
+from repro.geometry.primitives import polygon_area
+
+coords = st.floats(-50, 50, allow_nan=False)
+
+
+class TestConstruction:
+    def test_guard_zone_side(self):
+        hg = HexGrid.for_guard_zone(0.5)
+        assert hg.side == pytest.approx(4.0)
+
+    def test_guard_zone_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HexGrid.for_guard_zone(-0.1)
+
+    def test_diameter(self):
+        assert HexGrid(2.0).diameter == 4.0
+
+    def test_bad_side(self):
+        with pytest.raises(ValueError):
+            HexGrid(0)
+
+
+class TestCellAssignment:
+    def test_origin_in_cell_zero(self):
+        hg = HexGrid(1.0)
+        assert hg.cell_of(np.array([0.0, 0.0])).tolist() == [0, 0]
+
+    def test_center_roundtrip(self):
+        """Cell centers map back to their own cell."""
+        hg = HexGrid(1.7)
+        for q in range(-3, 4):
+            for r in range(-3, 4):
+                c = hg.center_of(np.array([q, r]))
+                assert hg.cell_of(c).tolist() == [q, r]
+
+    @given(st.tuples(coords, coords), st.floats(0.5, 5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_is_nearest_center(self, p, side):
+        """cell_of realizes the Voronoi partition of hex centers."""
+        hg = HexGrid(side)
+        p = np.asarray(p)
+        cell = hg.cell_of(p)
+        own = float(np.hypot(*(p - hg.center_of(cell))))
+        for nb in hg.neighbors_of(cell):
+            other = float(np.hypot(*(p - hg.center_of(nb))))
+            assert own <= other + 1e-9
+
+    @given(st.tuples(coords, coords), st.floats(0.5, 5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_point_within_hex_diameter_of_center(self, p, side):
+        hg = HexGrid(side)
+        p = np.asarray(p)
+        c = hg.center_of(hg.cell_of(p))
+        assert np.hypot(*(p - c)) <= side + 1e-9
+
+    def test_batch_matches_single(self):
+        hg = HexGrid(2.0)
+        pts = np.random.default_rng(0).uniform(-10, 10, (50, 2))
+        batch = hg.cell_of(pts)
+        singles = np.array([hg.cell_of(p) for p in pts])
+        assert np.array_equal(batch, singles)
+
+
+class TestGeometry:
+    def test_vertices_form_regular_hexagon(self):
+        hg = HexGrid(3.0)
+        v = hg.vertices_of(np.array([0, 0]))
+        c = hg.center_of(np.array([0, 0]))
+        r = np.hypot(v[:, 0] - c[0], v[:, 1] - c[1])
+        assert np.allclose(r, 3.0)
+
+    def test_hexagon_area(self):
+        hg = HexGrid(2.0)
+        v = hg.vertices_of(np.array([1, -1]))
+        expected = 3.0 * math.sqrt(3) / 2.0 * 4.0
+        assert polygon_area(v) == pytest.approx(expected)
+
+    def test_neighbor_count_and_distance(self):
+        hg = HexGrid(1.0)
+        nbs = hg.neighbors_of((0, 0))
+        assert len(nbs) == 6
+        for nb in nbs:
+            assert hg.cell_distance((0, 0), nb) == 1
+
+    def test_neighbor_centers_equidistant(self):
+        hg = HexGrid(1.5)
+        c0 = hg.center_of(np.array([0, 0]))
+        dists = [float(np.hypot(*(hg.center_of(nb) - c0))) for nb in hg.neighbors_of((0, 0))]
+        assert np.allclose(dists, dists[0])
+        assert dists[0] == pytest.approx(1.5 * math.sqrt(3))
+
+    def test_cell_distance_symmetric(self):
+        hg = HexGrid(1.0)
+        assert hg.cell_distance((0, 0), (3, -2)) == hg.cell_distance((3, -2), (0, 0))
+
+
+class TestGrouping:
+    def test_group_by_cell_partitions_points(self):
+        hg = HexGrid(2.0)
+        pts = np.random.default_rng(1).uniform(-5, 5, (40, 2))
+        groups = hg.group_by_cell(pts)
+        all_idx = sorted(int(i) for arr in groups.values() for i in arr)
+        assert all_idx == list(range(40))
+
+    def test_group_consistent_with_cell_of(self):
+        hg = HexGrid(2.0)
+        pts = np.random.default_rng(2).uniform(-5, 5, (20, 2))
+        groups = hg.group_by_cell(pts)
+        for cell, idxs in groups.items():
+            for i in idxs:
+                assert tuple(hg.cell_of(pts[int(i)])) == cell

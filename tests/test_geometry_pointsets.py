@@ -1,0 +1,157 @@
+"""Tests for the node-distribution generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.pointsets import (
+    DISTRIBUTIONS,
+    civilized_points,
+    clustered_points,
+    critical_range,
+    grid_points,
+    line_points,
+    min_pairwise_distance,
+    perturbed_grid_points,
+    poisson_disk_points,
+    precision_lambda,
+    ring_points,
+    star_points,
+    two_cluster_bridge_points,
+    uniform_points,
+)
+
+
+class TestBasicGenerators:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_registry_shapes(self, name):
+        pts = DISTRIBUTIONS[name](40, rng=0)
+        assert pts.shape == (40, 2)
+        assert np.isfinite(pts).all()
+
+    def test_uniform_in_square(self):
+        pts = uniform_points(200, side=2.0, rng=0)
+        assert (pts >= 0).all() and (pts <= 2.0).all()
+
+    def test_uniform_deterministic(self):
+        assert np.array_equal(uniform_points(10, rng=3), uniform_points(10, rng=3))
+
+    def test_uniform_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            uniform_points(0)
+
+    def test_grid_exact_count(self):
+        pts = grid_points(10)
+        assert pts.shape == (10, 2)
+
+    def test_grid_perfect_square(self):
+        pts = grid_points(9, side=1.0)
+        # 3x3 lattice covering corners
+        assert [0.0, 0.0] in pts.tolist()
+        assert [1.0, 1.0] in pts.tolist()
+
+    def test_perturbed_grid_unique_distances(self):
+        pts = perturbed_grid_points(25, rng=0)
+        d = min_pairwise_distance(pts)
+        assert d > 0
+
+    def test_perturbed_grid_jitter_bounds(self):
+        with pytest.raises(ValueError):
+            perturbed_grid_points(9, jitter=0.6)
+
+    def test_clustered_clipped(self):
+        pts = clustered_points(300, rng=1)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_clustered_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            clustered_points(10, n_clusters=0)
+
+    def test_ring_radius(self):
+        pts = ring_points(50, radius=0.4, center=(0.5, 0.5))
+        r = np.hypot(pts[:, 0] - 0.5, pts[:, 1] - 0.5)
+        assert np.allclose(r, 0.4)
+
+    def test_line_monotone_x(self):
+        pts = line_points(20)
+        assert np.all(np.diff(pts[:, 0]) > 0)
+        assert np.all(pts[:, 1] == 0)
+
+
+class TestPoissonDisk:
+    def test_min_distance_respected(self):
+        pts = poisson_disk_points(50, min_dist=0.08, rng=0)
+        assert min_pairwise_distance(pts) >= 0.08 - 1e-12
+
+    def test_exact_count(self):
+        pts = poisson_disk_points(30, min_dist=0.05, rng=1)
+        assert len(pts) == 30
+
+    def test_infeasible_raises(self):
+        with pytest.raises(RuntimeError):
+            poisson_disk_points(1000, min_dist=0.2, side=1.0, rng=0, max_tries=5)
+
+    @given(st.integers(2, 40), st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_property_separation(self, n, seed):
+        md = 0.5 / math.sqrt(n)
+        pts = poisson_disk_points(n, min_dist=md, rng=seed)
+        assert min_pairwise_distance(pts) >= md - 1e-12
+
+
+class TestCivilized:
+    def test_lambda_precision_holds(self):
+        pts = civilized_points(60, lam=0.5, rng=0)
+        d = 0.875 / math.sqrt(60)  # the generator's default max_range
+        assert precision_lambda(pts, d) >= 0.5 - 1e-9
+
+    def test_lambda_out_of_range(self):
+        with pytest.raises(ValueError):
+            civilized_points(10, lam=0.0)
+        with pytest.raises(ValueError):
+            civilized_points(10, lam=1.5)
+
+    def test_explicit_max_range(self):
+        pts = civilized_points(30, lam=0.4, max_range=0.2, rng=2)
+        assert min_pairwise_distance(pts) >= 0.4 * 0.2 - 1e-12
+
+
+class TestAdversarialShapes:
+    def test_star_has_hub_at_origin(self):
+        pts = star_points(20)
+        assert np.allclose(pts[0], 0)
+
+    def test_star_arc_points_near_radius(self):
+        pts = star_points(20, radius=1.0)
+        r = np.hypot(pts[1:, 0], pts[1:, 1])
+        assert (r >= 1.0 - 1e-9).all() and (r <= 1.1).all()
+
+    def test_star_unique_distances(self):
+        pts = star_points(30, rng=0)
+        assert min_pairwise_distance(pts) > 0
+
+    def test_two_cluster_gap(self):
+        pts = two_cluster_bridge_points(40, gap=0.8, spread=0.02, rng=0)
+        xs = np.sort(pts[:, 0])
+        # A clear empty band between the clusters.
+        gaps = np.diff(xs)
+        assert gaps.max() > 0.5
+
+
+class TestHelpers:
+    def test_min_pairwise_single_point(self):
+        assert min_pairwise_distance(np.zeros((1, 2))) == math.inf
+
+    def test_min_pairwise_known(self):
+        pts = np.array([[0.0, 0.0], [0.0, 3.0], [4.0, 0.0]])
+        assert min_pairwise_distance(pts) == pytest.approx(3.0)
+
+    def test_critical_range_decreases_with_n(self):
+        assert critical_range(1000) < critical_range(50)
+
+    def test_critical_range_single_node(self):
+        assert critical_range(1) == 1.0

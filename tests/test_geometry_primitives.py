@@ -1,0 +1,129 @@
+"""Tests for :mod:`repro.geometry.primitives`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.primitives import (
+    angle_between,
+    angles_from,
+    as_points,
+    distances_from,
+    normalize_angle,
+    pairwise_distances,
+    pairwise_sq_distances,
+    polygon_area,
+)
+
+finite_coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+point_arrays = arrays(np.float64, st.tuples(st.integers(1, 12), st.just(2)), elements=finite_coord)
+
+
+class TestAsPoints:
+    def test_accepts_list(self):
+        pts = as_points([[0, 0], [1, 1]])
+        assert pts.shape == (2, 2)
+        assert pts.dtype == np.float64
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros((3, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            as_points([[0.0, float("nan")]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros(4))
+
+
+class TestPairwiseDistances:
+    def test_known_triangle(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0]])
+        d = pairwise_distances(pts)
+        assert d[0, 1] == pytest.approx(3.0)
+        assert d[0, 2] == pytest.approx(4.0)
+        assert d[1, 2] == pytest.approx(5.0)
+
+    def test_diagonal_zero(self):
+        pts = np.random.default_rng(0).random((10, 2))
+        d = pairwise_distances(pts)
+        assert np.all(np.diag(d) == 0.0)
+
+    @given(point_arrays)
+    def test_symmetry_and_nonnegative(self, pts):
+        d = pairwise_distances(pts)
+        assert np.allclose(d, d.T)
+        assert (d >= 0).all()
+
+    @given(point_arrays)
+    def test_matches_scipy_convention(self, pts):
+        from scipy.spatial.distance import cdist
+
+        d = pairwise_distances(pts)
+        ref = cdist(pts, pts)
+        assert np.allclose(d, ref, atol=1e-8)
+
+    def test_sq_distances_consistent(self):
+        pts = np.random.default_rng(1).random((8, 2))
+        assert np.allclose(pairwise_sq_distances(pts), pairwise_distances(pts) ** 2)
+
+
+class TestDistancesAngles:
+    def test_distances_from_origin(self):
+        pts = np.array([[1.0, 0.0], [0.0, 2.0]])
+        d = distances_from(pts, [0.0, 0.0])
+        assert d == pytest.approx([1.0, 2.0])
+
+    def test_angles_from_cardinal_directions(self):
+        o = [0.0, 0.0]
+        pts = np.array([[1, 0], [0, 1], [-1, 0], [0, -1]], dtype=float)
+        a = angles_from(pts, o)
+        assert a == pytest.approx([0.0, math.pi / 2, math.pi, 3 * math.pi / 2])
+
+    @given(st.floats(-20, 20))
+    def test_normalize_angle_range(self, x):
+        a = normalize_angle(x)
+        assert 0 <= a < 2 * math.pi + 1e-12
+
+    def test_angle_between_right_angle(self):
+        assert angle_between([1, 0], [0, 0], [0, 1]) == pytest.approx(math.pi / 2)
+
+    def test_angle_between_collinear(self):
+        assert angle_between([1, 0], [0, 0], [2, 0]) == pytest.approx(0.0)
+        assert angle_between([1, 0], [0, 0], [-1, 0]) == pytest.approx(math.pi)
+
+    def test_angle_between_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            angle_between([0, 0], [0, 0], [1, 1])
+
+    @given(
+        st.tuples(finite_coord, finite_coord),
+        st.tuples(finite_coord, finite_coord),
+        st.tuples(finite_coord, finite_coord),
+    )
+    def test_angle_between_symmetric(self, a, o, b):
+        a, o, b = np.array(a), np.array(o), np.array(b)
+        if np.allclose(a, o) or np.allclose(b, o):
+            return
+        assert angle_between(a, o, b) == pytest.approx(angle_between(b, o, a))
+
+
+class TestPolygonArea:
+    def test_unit_square_ccw(self):
+        sq = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert polygon_area(sq) == pytest.approx(1.0)
+
+    def test_cw_is_negative(self):
+        sq = np.array([[0, 0], [0, 1], [1, 1], [1, 0]], dtype=float)
+        assert polygon_area(sq) == pytest.approx(-1.0)
+
+    def test_triangle(self):
+        tri = np.array([[0, 0], [2, 0], [0, 2]], dtype=float)
+        assert polygon_area(tri) == pytest.approx(2.0)

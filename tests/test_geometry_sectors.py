@@ -1,0 +1,113 @@
+"""Tests for the ΘALG sector partition."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.sectors import SectorPartition, sector_index, sector_of
+
+thetas = st.floats(0.02, math.pi / 3, exclude_min=True)
+angles = st.floats(-50.0, 50.0, allow_nan=False)
+
+
+class TestSectorPartition:
+    def test_n_sectors_exact_division(self):
+        part = SectorPartition(math.pi / 3)
+        assert part.n_sectors == 6
+
+    def test_n_sectors_rounds_up(self):
+        # θ slightly under π/3 → 7 sectors of width < θ.
+        part = SectorPartition(math.pi / 3 - 0.01)
+        assert part.n_sectors == 7
+
+    def test_width_at_most_theta(self):
+        part = SectorPartition(0.5)
+        assert part.width <= 0.5 + 1e-12
+
+    def test_theta_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            SectorPartition(0.0)
+        with pytest.raises(ValueError):
+            SectorPartition(math.pi / 2)
+
+    def test_index_of_cardinal_angles(self):
+        part = SectorPartition(math.pi / 3)  # 6 sectors of 60°
+        assert part.index_of_angle(0.0) == 0
+        assert part.index_of_angle(math.radians(59.9)) == 0
+        assert part.index_of_angle(math.radians(60.1)) == 1
+        assert part.index_of_angle(math.radians(359.9)) == 5
+
+    @given(thetas, angles)
+    def test_index_in_range(self, theta, angle):
+        part = SectorPartition(theta)
+        idx = part.index_of_angle(angle)
+        assert 0 <= idx < part.n_sectors
+
+    @given(thetas, angles)
+    def test_index_periodic(self, theta, angle):
+        """index(angle) == index(angle + 2π) except when the rounding of
+        ``angle + 2π`` pushes the direction across a sector boundary —
+        in that case the two indices must still be cyclically adjacent."""
+        part = SectorPartition(theta)
+        i0 = part.index_of_angle(angle)
+        i1 = part.index_of_angle(angle + 2 * math.pi)
+        diff = (i1 - i0) % part.n_sectors
+        assert diff in (0, 1, part.n_sectors - 1)
+
+    @given(thetas, angles, st.floats(0, 2 * math.pi))
+    def test_offset_shifts_boundaries(self, theta, angle, offset):
+        """An offset partition equals the unshifted partition of angle-offset."""
+        p0 = SectorPartition(theta)
+        p1 = SectorPartition(theta, offset)
+        assert p1.index_of_angle(angle) == p0.index_of_angle(angle - offset)
+
+    def test_vectorized_matches_scalar(self):
+        part = SectorPartition(0.4)
+        angs = np.linspace(0, 2 * math.pi, 100, endpoint=False)
+        vec = part.index_of_angle(angs)
+        scal = [part.index_of_angle(float(a)) for a in angs]
+        assert np.array_equal(vec, scal)
+
+    def test_bounds_cover_circle(self):
+        part = SectorPartition(0.7)
+        total = sum(part.width for _ in range(part.n_sectors))
+        assert total == pytest.approx(2 * math.pi)
+
+    def test_bounds_index_error(self):
+        part = SectorPartition(0.7)
+        with pytest.raises(IndexError):
+            part.bounds(part.n_sectors)
+
+    def test_indices_from_points(self):
+        part = SectorPartition(math.pi / 3)
+        pts = np.array([[1.0, 0.1], [0.0, 1.0], [-1.0, -0.1]])
+        idx = part.indices_from(pts, np.zeros(2))
+        assert idx[0] == 0
+        assert idx[1] == 1
+
+
+class TestSectorOf:
+    def test_s_uv_asymmetric(self):
+        """S(u, v) and S(v, u) differ by half a turn."""
+        theta = math.pi / 3
+        u, v = np.array([0.0, 0.0]), np.array([1.0, 0.3])
+        s_uv = sector_of(theta, u, v)
+        s_vu = sector_of(theta, v, u)
+        assert s_uv != s_vu
+
+    def test_coincident_points_raise(self):
+        with pytest.raises(ValueError):
+            sector_of(0.5, [1.0, 1.0], [1.0, 1.0])
+
+    def test_sector_index_helper(self):
+        assert sector_index(math.pi / 3, 0.1) == 0
+
+    @given(thetas, st.floats(0, 2 * math.pi, exclude_max=True))
+    def test_point_on_ray_matches_angle(self, theta, ang):
+        u = np.zeros(2)
+        v = np.array([math.cos(ang), math.sin(ang)])
+        assert sector_of(theta, u, v) == SectorPartition(theta).index_of_angle(ang)

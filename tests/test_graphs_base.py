@@ -1,0 +1,158 @@
+"""Tests for the :class:`GeometricGraph` container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.base import GeometricGraph, canonical_edges
+
+
+@pytest.fixture
+def triangle() -> GeometricGraph:
+    pts = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0]])
+    return GeometricGraph(pts, [(0, 1), (1, 2), (2, 0)], kappa=2.0, name="tri")
+
+
+class TestCanonicalEdges:
+    def test_orientation_normalized(self):
+        e = canonical_edges([(2, 1), (0, 1)], 3)
+        assert e.tolist() == [[0, 1], [1, 2]]
+
+    def test_duplicates_removed(self):
+        e = canonical_edges([(0, 1), (1, 0), (0, 1)], 2)
+        assert e.tolist() == [[0, 1]]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_edges([(1, 1)], 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_edges([(0, 5)], 3)
+
+    def test_empty(self):
+        assert canonical_edges([], 3).shape == (0, 2)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_edges(np.zeros((2, 3), dtype=int), 5)
+
+
+class TestBasics:
+    def test_counts(self, triangle):
+        assert triangle.n_nodes == 3
+        assert triangle.n_edges == 3
+
+    def test_repr_contains_name(self, triangle):
+        assert "tri" in repr(triangle)
+
+    def test_points_readonly(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.points[0, 0] = 9.0
+
+    def test_edges_readonly(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.edges[0, 0] = 2
+
+    def test_kappa_bounds(self):
+        pts = np.zeros((2, 2))
+        pts[1, 0] = 1
+        with pytest.raises(ValueError):
+            GeometricGraph(pts, [(0, 1)], kappa=1.5)
+        with pytest.raises(ValueError):
+            GeometricGraph(pts, [(0, 1)], kappa=5.0)
+
+
+class TestLengthsAndCosts:
+    def test_edge_lengths(self, triangle):
+        # canonical order: (0,1), (0,2), (1,2)
+        assert triangle.edge_lengths == pytest.approx([3.0, 4.0, 5.0])
+
+    def test_edge_costs_kappa2(self, triangle):
+        assert triangle.edge_costs == pytest.approx([9.0, 16.0, 25.0])
+
+    def test_with_kappa(self, triangle):
+        g3 = triangle.with_kappa(3.0)
+        assert g3.edge_costs == pytest.approx([27.0, 64.0, 125.0])
+        # Original untouched.
+        assert triangle.kappa == 2.0
+
+    def test_cost_lookup(self, triangle):
+        assert triangle.cost(1, 0) == pytest.approx(9.0)
+        assert triangle.length(2, 1) == pytest.approx(5.0)
+
+    def test_cost_missing_edge(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        g = GeometricGraph(pts, [(0, 1)])
+        with pytest.raises(KeyError):
+            g.cost(0, 2)
+
+    def test_total_cost(self, triangle):
+        assert triangle.total_cost == pytest.approx(50.0)
+
+
+class TestAdjacency:
+    def test_has_edge_symmetric(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert triangle.has_edge(1, 0)
+
+    def test_adjacency_symmetric(self, triangle):
+        a = triangle.adjacency.toarray()
+        assert np.allclose(a, a.T)
+        assert a[0, 1] == pytest.approx(3.0)
+
+    def test_cost_adjacency_weights(self, triangle):
+        a = triangle.cost_adjacency.toarray()
+        assert a[1, 2] == pytest.approx(25.0)
+
+    def test_neighbors(self, triangle):
+        assert triangle.neighbors(0).tolist() == [1, 2]
+
+    def test_neighbors_isolated(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        g = GeometricGraph(pts, [(0, 1)])
+        assert g.neighbors(2).tolist() == []
+
+    def test_directed_edge_array(self, triangle):
+        d = triangle.directed_edge_array()
+        assert len(d) == 6
+        assert {(int(a), int(b)) for a, b in d} == {
+            (0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1),
+        }
+
+    def test_empty_graph(self):
+        g = GeometricGraph(np.zeros((0, 2)), [])
+        assert g.n_nodes == 0
+        assert g.directed_edge_array().shape == (0, 2)
+
+
+class TestConversions:
+    def test_to_networkx(self, triangle):
+        g = triangle.to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 3
+        assert g[0][1]["length"] == pytest.approx(3.0)
+        assert g[1][2]["cost"] == pytest.approx(25.0)
+        assert g.nodes[0]["pos"] == (0.0, 0.0)
+
+    def test_subgraph_with_edges(self, triangle):
+        sub = triangle.subgraph_with_edges([(0, 1)], name="sub")
+        assert sub.n_edges == 1
+        assert sub.n_nodes == 3
+        assert sub.name == "sub"
+        assert sub.kappa == triangle.kappa
+
+    @given(
+        st.integers(2, 15),
+        st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_edge_id_roundtrip(self, n, raw_edges):
+        pts = np.random.default_rng(0).random((n, 2)) * 10
+        edges = [(a % n, b % n) for a, b in raw_edges if a % n != b % n]
+        g = GeometricGraph(pts, edges)
+        for k, (i, j) in enumerate(g.edges):
+            assert g.edge_id(int(i), int(j)) == k
+            assert g.edge_id(int(j), int(i)) == k

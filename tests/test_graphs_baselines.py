@@ -1,0 +1,166 @@
+"""Tests for the proximity-graph baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.baselines import (
+    euclidean_mst,
+    gabriel_graph,
+    knn_graph,
+    relative_neighborhood_graph,
+    restricted_delaunay_graph,
+)
+from repro.graphs.metrics import degrees, energy_stretch, is_connected
+from repro.graphs.transmission import transmission_graph
+
+
+class TestGabriel:
+    def test_triangle_keeps_all_edges(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]])
+        g = gabriel_graph(pts)
+        assert g.n_edges == 3
+
+    def test_midpoint_blocks_edge(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 0.0]])
+        g = gabriel_graph(pts)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+        assert g.has_edge(1, 2)
+
+    def test_definition_holds(self):
+        pts = uniform_points(40, rng=0)
+        g = gabriel_graph(pts)
+        d2 = np.square(pts[:, None, :] - pts[None, :, :]).sum(-1)
+        for i, j in g.edges:
+            inside = d2[i] + d2[j] < d2[i, j] * (1 - 1e-12)
+            inside[i] = inside[j] = False
+            assert not inside.any()
+
+    def test_contains_mst(self):
+        """Gabriel ⊇ MST (classical inclusion)."""
+        pts = uniform_points(50, rng=1)
+        g = gabriel_graph(pts)
+        mst = euclidean_mst(pts)
+        for i, j in mst.edges:
+            assert g.has_edge(int(i), int(j))
+
+    def test_energy_optimal_kappa2(self):
+        """Gabriel graph has energy-stretch 1 for κ = 2 vs the complete graph."""
+        pts = uniform_points(30, rng=2)
+        g = gabriel_graph(pts)
+        complete = transmission_graph(pts, 10.0)
+        es = energy_stretch(g, complete)
+        assert es.max_stretch == pytest.approx(1.0, abs=1e-9)
+
+    def test_range_restriction(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        g = gabriel_graph(pts, max_range=0.5)
+        assert g.n_edges == 0
+
+
+class TestRNG:
+    def test_subset_of_gabriel(self):
+        pts = uniform_points(50, rng=3)
+        rng_g = relative_neighborhood_graph(pts)
+        gab = gabriel_graph(pts)
+        for i, j in rng_g.edges:
+            assert gab.has_edge(int(i), int(j))
+
+    def test_contains_mst(self):
+        pts = uniform_points(50, rng=4)
+        rng_g = relative_neighborhood_graph(pts)
+        mst = euclidean_mst(pts)
+        for i, j in mst.edges:
+            assert rng_g.has_edge(int(i), int(j))
+
+    def test_lune_definition(self):
+        pts = uniform_points(30, rng=5)
+        g = relative_neighborhood_graph(pts)
+        d = np.sqrt(np.square(pts[:, None, :] - pts[None, :, :]).sum(-1))
+        for i, j in g.edges:
+            blocked = np.maximum(d[i], d[j]) < d[i, j] * (1 - 1e-12)
+            blocked[i] = blocked[j] = False
+            assert not blocked.any()
+
+    def test_equilateral_lune(self):
+        """A witness exactly on the lune boundary does not block."""
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        g = relative_neighborhood_graph(pts)
+        assert g.n_edges == 3
+
+
+class TestRestrictedDelaunay:
+    def test_planar_edge_count(self):
+        pts = uniform_points(60, rng=6)
+        g = restricted_delaunay_graph(pts, 10.0)
+        assert g.n_edges <= 3 * 60 - 6
+
+    def test_connected_with_full_range(self):
+        pts = uniform_points(60, rng=7)
+        g = restricted_delaunay_graph(pts, 10.0)
+        assert is_connected(g)
+
+    def test_long_edges_removed(self):
+        pts = uniform_points(60, rng=8)
+        g = restricted_delaunay_graph(pts, 0.2)
+        assert (g.edge_lengths <= 0.2 + 1e-9).all()
+
+    def test_collinear_fallback(self):
+        pts = np.column_stack([np.linspace(0, 1, 8), np.zeros(8)])
+        g = restricted_delaunay_graph(pts, 0.5)
+        assert is_connected(g)
+        assert g.n_edges == 7
+
+
+class TestKnn:
+    def test_degree_at_least_k_possible(self):
+        pts = uniform_points(40, rng=9)
+        g = knn_graph(pts, 3)
+        assert (degrees(g) >= 3).all()  # undirected union ⇒ ≥ k for interior
+
+    def test_k_one_is_nearest_neighbor_graph(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        g = knn_graph(pts, 1)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 3)
+        assert not is_connected(g)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            knn_graph(np.zeros((3, 2)), 0)
+
+    def test_range_restriction(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.5, 0.0]])
+        g = knn_graph(pts, 2, max_range=1.2)
+        assert not g.has_edge(0, 2)
+
+
+class TestMST:
+    def test_tree_edge_count(self):
+        pts = uniform_points(30, rng=10)
+        g = euclidean_mst(pts)
+        assert g.n_edges == 29
+        assert is_connected(g)
+
+    @given(st.integers(3, 40), st.integers(0, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_spanning_tree(self, n, seed):
+        pts = uniform_points(n, rng=seed)
+        g = euclidean_mst(pts)
+        assert g.n_edges == n - 1
+        assert is_connected(g)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        pts = uniform_points(25, rng=11)
+        g = euclidean_mst(pts)
+        complete = transmission_graph(pts, 10.0)
+        t = nx.minimum_spanning_tree(complete.to_networkx(), weight="length")
+        assert g.total_cost == pytest.approx(
+            sum(d["cost"] for _, _, d in t.edges(data=True))
+        )

@@ -1,0 +1,159 @@
+"""Tests for degree/connectivity/stretch metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.base import GeometricGraph
+from repro.graphs.metrics import (
+    connected_components,
+    degrees,
+    distance_stretch,
+    energy_stretch,
+    is_connected,
+    max_degree,
+    shortest_path_costs,
+    stretch_summary,
+)
+
+
+@pytest.fixture
+def path4() -> GeometricGraph:
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+    return GeometricGraph(pts, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def square_with_diagonal() -> tuple[GeometricGraph, GeometricGraph]:
+    """Reference: square + diagonal; subgraph: square only."""
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    ref = GeometricGraph(pts, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    sub = GeometricGraph(pts, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    return sub, ref
+
+
+class TestDegrees:
+    def test_path_degrees(self, path4):
+        assert degrees(path4).tolist() == [1, 2, 2, 1]
+        assert max_degree(path4) == 2
+
+    def test_empty(self):
+        g = GeometricGraph(np.zeros((0, 2)), [])
+        assert max_degree(g) == 0
+        assert degrees(g).tolist() == []
+
+
+class TestConnectivity:
+    def test_connected_path(self, path4):
+        assert is_connected(path4)
+
+    def test_disconnected(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        g = GeometricGraph(pts, [(0, 1)])
+        assert not is_connected(g)
+        n, labels = connected_components(g)
+        assert n == 2
+        assert labels[0] == labels[1] != labels[2]
+
+    def test_single_node_connected(self):
+        g = GeometricGraph(np.zeros((1, 2)), [])
+        assert is_connected(g)
+
+    def test_empty_graph(self):
+        g = GeometricGraph(np.zeros((0, 2)), [])
+        assert is_connected(g)
+
+
+class TestShortestPaths:
+    def test_length_weights(self, path4):
+        d = shortest_path_costs(path4, weight="length")
+        assert d[0, 3] == pytest.approx(3.0)
+
+    def test_cost_weights(self, path4):
+        # Each unit hop costs 1^2; 3 hops cost 3 (vs |uv|^2 = 9 direct).
+        d = shortest_path_costs(path4, weight="cost")
+        assert d[0, 3] == pytest.approx(3.0)
+
+    def test_unreachable_inf(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [9.0, 9.0]])
+        g = GeometricGraph(pts, [(0, 1)])
+        d = shortest_path_costs(g)
+        assert np.isinf(d[0, 2])
+
+    def test_selected_sources(self, path4):
+        d = shortest_path_costs(path4, sources=np.array([1]))
+        assert d.shape == (1, 4)
+        assert d[0, 3] == pytest.approx(2.0)
+
+    def test_bad_weight(self, path4):
+        with pytest.raises(ValueError):
+            shortest_path_costs(path4, weight="hops")
+
+
+class TestStretch:
+    def test_identical_graph_stretch_one(self, path4):
+        es = energy_stretch(path4, path4)
+        assert es.max_stretch == pytest.approx(1.0)
+        assert es.mean_stretch == pytest.approx(1.0)
+        assert es.disconnected_pairs == 0
+
+    def test_square_distance_stretch(self, square_with_diagonal):
+        sub, ref = square_with_diagonal
+        ds = distance_stretch(sub, ref)
+        # 0-2 via two sides: 2 vs √2 direct.
+        assert ds.max_stretch == pytest.approx(np.sqrt(2.0))
+
+    def test_square_energy_stretch(self, square_with_diagonal):
+        sub, ref = square_with_diagonal
+        es = energy_stretch(sub, ref)
+        # 0-2 energy: two unit edges = 2 vs diagonal (√2)² = 2 → stretch 1.
+        assert es.max_stretch == pytest.approx(1.0)
+
+    def test_edge_stretch_covers_reference_edges(self, square_with_diagonal):
+        sub, ref = square_with_diagonal
+        es = energy_stretch(sub, ref)
+        assert es.max_edge_stretch == pytest.approx(1.0)
+
+    def test_disconnected_pairs_counted(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        ref = GeometricGraph(pts, [(0, 1), (1, 2)])
+        sub = GeometricGraph(pts, [(0, 1)])
+        es = energy_stretch(sub, ref)
+        assert es.disconnected_pairs > 0
+
+    def test_node_set_mismatch_rejected(self, path4):
+        other = GeometricGraph(np.zeros((2, 2)) + [[0, 0], [1, 1]], [(0, 1)])
+        with pytest.raises(ValueError):
+            energy_stretch(path4, other)
+
+    def test_sampled_sources(self):
+        pts = np.random.default_rng(0).random((40, 2))
+        from repro.graphs.transmission import transmission_graph
+
+        ref = transmission_graph(pts, 0.5)
+        sampled = energy_stretch(ref, ref, max_sources=10, rng=np.random.default_rng(1))
+        assert sampled.max_stretch == pytest.approx(1.0)
+
+    def test_single_node(self):
+        g = GeometricGraph(np.zeros((1, 2)), [])
+        es = energy_stretch(g, g)
+        assert es.max_stretch == 1.0
+        assert es.n_pairs == 0
+
+
+class TestStretchSummary:
+    def test_keys_present(self, square_with_diagonal):
+        sub, ref = square_with_diagonal
+        s = stretch_summary(sub, ref)
+        for key in (
+            "n_nodes",
+            "max_degree",
+            "connected",
+            "energy_stretch_max",
+            "distance_stretch_max",
+            "disconnected_pairs",
+        ):
+            assert key in s
+        assert s["connected"] == 1.0
+        assert s["disconnected_pairs"] == 0.0

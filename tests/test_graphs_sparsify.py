@@ -1,0 +1,91 @@
+"""Tests for the global-ranking spanner baselines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.metrics import distance_stretch, is_connected, max_degree
+from repro.graphs.sparsify import global_yao_sparsification, greedy_spanner
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+from repro.graphs.yao import yao_graph
+
+
+@pytest.fixture(scope="module")
+def dense_world():
+    pts = uniform_points(60, rng=3)
+    d = max_range_for_connectivity(pts, slack=2.0)
+    return pts, d, transmission_graph(pts, d)
+
+
+class TestGreedySpanner:
+    def test_is_subgraph(self, dense_world):
+        _, _, g = dense_world
+        sp = greedy_spanner(g, 1.5)
+        for i, j in sp.edges:
+            assert g.has_edge(int(i), int(j))
+
+    def test_stretch_guarantee(self, dense_world):
+        _, _, g = dense_world
+        t = 1.5
+        sp = greedy_spanner(g, t)
+        ds = distance_stretch(sp, g)
+        assert ds.disconnected_pairs == 0
+        assert ds.max_stretch <= t + 1e-9
+
+    def test_sparser_than_input(self, dense_world):
+        _, _, g = dense_world
+        sp = greedy_spanner(g, 2.0)
+        assert sp.n_edges < g.n_edges
+
+    def test_t1_keeps_structure(self):
+        """t=1 keeps every edge that is the unique shortest connection."""
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 0.9]])
+        g = transmission_graph(pts, 3.0)
+        sp = greedy_spanner(g, 1.0)
+        assert is_connected(sp)
+
+    def test_bad_factor(self, dense_world):
+        _, _, g = dense_world
+        with pytest.raises(ValueError):
+            greedy_spanner(g, 0.9)
+
+
+class TestGlobalYaoSparsification:
+    def test_connected_and_spanner(self, dense_world):
+        pts, d, gstar = dense_world
+        y = yao_graph(pts, math.pi / 6, d)
+        sparse = global_yao_sparsification(y, 2.0)
+        assert is_connected(sparse)
+        ds = distance_stretch(sparse, y)
+        assert ds.max_stretch <= 2.0 + 1e-9
+
+    def test_removes_edges(self, dense_world):
+        pts, d, _ = dense_world
+        y = yao_graph(pts, math.pi / 6, d)
+        sparse = global_yao_sparsification(y, 3.0)
+        assert sparse.n_edges <= y.n_edges
+
+    def test_comparable_quality_to_thetaalg(self, dense_world):
+        """The global baseline and ΘALG trade the same quality — the
+        paper's point is locality, not quality."""
+        from repro.core.theta import theta_algorithm
+        from repro.graphs.metrics import energy_stretch
+
+        pts, d, gstar = dense_world
+        y = yao_graph(pts, math.pi / 9, d)
+        sparse = global_yao_sparsification(y, 2.0)
+        topo = theta_algorithm(pts, math.pi / 9, d)
+        es_global = energy_stretch(sparse, gstar)
+        es_theta = energy_stretch(topo.graph, gstar)
+        assert es_global.max_stretch < 4.0
+        assert es_theta.max_stretch < 4.0
+
+    def test_bad_factor(self, dense_world):
+        pts, d, _ = dense_world
+        y = yao_graph(pts, math.pi / 6, d)
+        with pytest.raises(ValueError):
+            global_yao_sparsification(y, 0.5)

@@ -1,0 +1,75 @@
+"""Tests for the transmission graph G*."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.metrics import is_connected
+from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+
+
+class TestTransmissionGraph:
+    def test_known_edges(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        g = transmission_graph(pts, 1.5)
+        assert g.edges.tolist() == [[0, 1]]
+
+    def test_range_inclusive(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        g = transmission_graph(pts, 1.0)
+        assert g.n_edges == 1
+
+    def test_matches_bruteforce(self):
+        pts = uniform_points(80, rng=0)
+        d = 0.3
+        g = transmission_graph(pts, d)
+        want = set()
+        for i in range(80):
+            for j in range(i + 1, 80):
+                if np.hypot(*(pts[i] - pts[j])) <= d + 1e-12:
+                    want.add((i, j))
+        assert {tuple(e) for e in g.edges} == want
+
+    def test_kappa_propagated(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        g = transmission_graph(pts, 2.0, kappa=3.0)
+        assert g.kappa == 3.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            transmission_graph(np.zeros((1, 2)), 0.0)
+
+    @given(st.integers(2, 50), st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_complete_at_max_distance(self, n, seed):
+        pts = uniform_points(n, rng=seed)
+        g = transmission_graph(pts, np.sqrt(2.0) + 1e-9)
+        assert g.n_edges == n * (n - 1) // 2
+
+
+class TestMaxRangeForConnectivity:
+    def test_connects_exactly(self):
+        pts = uniform_points(50, rng=3)
+        d = max_range_for_connectivity(pts)
+        assert is_connected(transmission_graph(pts, d))
+
+    def test_slightly_below_disconnects(self):
+        pts = uniform_points(50, rng=3)
+        d = max_range_for_connectivity(pts)
+        assert not is_connected(transmission_graph(pts, d * 0.999))
+
+    def test_slack_scales(self):
+        pts = uniform_points(20, rng=1)
+        assert max_range_for_connectivity(pts, slack=2.0) == pytest.approx(
+            2.0 * max_range_for_connectivity(pts)
+        )
+
+    def test_trivial_inputs(self):
+        assert max_range_for_connectivity(np.zeros((1, 2))) == 0.0
+
+    def test_two_points(self):
+        pts = np.array([[0.0, 0.0], [0.0, 2.5]])
+        assert max_range_for_connectivity(pts) == pytest.approx(2.5)

@@ -1,0 +1,113 @@
+"""Tests for the Yao graph (phase 1 of ΘALG)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.pointsets import star_points, uniform_points
+from repro.geometry.sectors import SectorPartition, sector_of
+from repro.graphs.metrics import degrees, is_connected
+from repro.graphs.transmission import max_range_for_connectivity
+from repro.graphs.yao import yao_graph, yao_out_edges
+
+
+class TestYaoOutEdges:
+    def test_two_points(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        e = yao_out_edges(pts, math.pi / 6, 2.0)
+        assert {tuple(x) for x in e} == {(0, 1), (1, 0)}
+
+    def test_out_of_range_ignored(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0]])
+        e = yao_out_edges(pts, math.pi / 6, 1.0)
+        assert len(e) == 0
+
+    def test_one_choice_per_sector(self):
+        pts = uniform_points(50, rng=0)
+        theta = math.pi / 6
+        e = yao_out_edges(pts, theta, 2.0)
+        part = SectorPartition(theta)
+        seen: set[tuple[int, int]] = set()
+        for u, v in e:
+            s = sector_of(theta, pts[u], pts[v])
+            assert (int(u), s) not in seen
+            seen.add((int(u), s))
+        del part
+
+    def test_choice_is_nearest_in_sector(self):
+        pts = uniform_points(40, rng=1)
+        theta = math.pi / 6
+        d = 2.0
+        e = yao_out_edges(pts, theta, d)
+        chosen = {(int(u), sector_of(theta, pts[u], pts[v])): int(v) for u, v in e}
+        for u in range(len(pts)):
+            for w in range(len(pts)):
+                if u == w:
+                    continue
+                duw = float(np.hypot(*(pts[u] - pts[w])))
+                if duw > d:
+                    continue
+                s = sector_of(theta, pts[u], pts[w])
+                v = chosen[(u, s)]
+                dv = float(np.hypot(*(pts[u] - pts[v])))
+                assert dv <= duw + 1e-12
+
+    def test_out_degree_bounded_by_sectors(self):
+        pts = uniform_points(100, rng=2)
+        theta = math.pi / 9
+        e = yao_out_edges(pts, theta, 1.0)
+        part = SectorPartition(theta)
+        counts = np.bincount(e[:, 0], minlength=len(pts))
+        assert counts.max() <= part.n_sectors
+
+    def test_deterministic_tie_breaking(self):
+        """Four symmetric points: repeated runs give identical edges."""
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0]])
+        a = yao_out_edges(pts, math.pi / 4, 3.0)
+        b = yao_out_edges(pts, math.pi / 4, 3.0)
+        assert np.array_equal(a, b)
+
+
+class TestYaoGraph:
+    def test_connected_when_gstar_connected(self):
+        pts = uniform_points(80, rng=5)
+        d = max_range_for_connectivity(pts, slack=1.2)
+        g = yao_graph(pts, math.pi / 6, d)
+        assert is_connected(g)
+
+    @given(st.integers(5, 60), st.integers(0, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_connected(self, n, seed):
+        pts = uniform_points(n, rng=seed)
+        d = max_range_for_connectivity(pts, slack=1.0)
+        g = yao_graph(pts, math.pi / 4, d)
+        assert is_connected(g)
+
+    def test_star_in_degree_linear(self):
+        """The hub of the star configuration has Θ(n) Yao degree —
+        the pathology ΘALG's phase 2 removes."""
+        n = 60
+        pts = star_points(n, rng=0)
+        g = yao_graph(pts, math.pi / 6, 2.0)
+        assert degrees(g)[0] >= n * 0.8
+
+    def test_single_node(self):
+        g = yao_graph(np.zeros((1, 2)), math.pi / 6, 1.0)
+        assert g.n_edges == 0
+
+    def test_spanner_on_uniform(self):
+        """Yao graph distance-stretch is modest on random inputs."""
+        from repro.graphs.metrics import distance_stretch
+        from repro.graphs.transmission import transmission_graph
+
+        pts = uniform_points(60, rng=7)
+        d = max_range_for_connectivity(pts, slack=1.5)
+        g = yao_graph(pts, math.pi / 6, d)
+        ref = transmission_graph(pts, d)
+        ds = distance_stretch(g, ref)
+        assert ds.disconnected_pairs == 0
+        assert ds.max_stretch < 4.0

@@ -1,0 +1,169 @@
+"""Cross-module integration tests: the full paper stack end to end."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.routing_experiments import (
+    ring_graph,
+    run_balancing_on_scenario,
+)
+from repro.core.interference_mac import RandomActivationMAC
+from repro.core.theta_paths import path_congestion, replace_schedule_edges
+from repro.sim.adversary import stream_scenario
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture(scope="module")
+def world():
+    pts = repro.uniform_points(70, rng=42)
+    d = repro.max_range_for_connectivity(pts, slack=1.5)
+    gstar = repro.transmission_graph(pts, d)
+    topo = repro.theta_algorithm(pts, math.pi / 9, d)
+    return pts, d, gstar, topo
+
+
+class TestTheorem31Integration:
+    """Theorem 3.1 bounds measured on a witnessed stream workload."""
+
+    def test_throughput_cost_space_within_bounds(self):
+        scen = stream_scenario(ring_graph(16), 3, 600, rng=0)
+        eps = 0.25
+        report, router = run_balancing_on_scenario(scen, epsilon=eps, drain_factor=1.0)
+        # Throughput: within (1-ε) minus the finite-horizon ramp.
+        assert report.throughput_ratio >= (1 - eps) - 0.15
+        # Cost: within the theorem's 1 + 2/ε factor (with a lot of room).
+        assert report.cost_ratio <= 1 + 2 / eps
+        # Space: within the theorem's blowup bound.
+        from repro.core.competitive import theorem31_parameters
+        from repro.graphs.metrics import max_degree
+
+        params = theorem31_parameters(
+            opt_buffer=scen.witness_buffer,
+            avg_path_length=scen.witness_avg_path_length,
+            avg_cost=scen.witness_avg_cost,
+            epsilon=eps,
+            delta_frequencies=max_degree(scen.graph),
+        )
+        assert report.max_height_online <= params["max_height"]
+
+    def test_longer_horizon_improves_ratio(self):
+        short = stream_scenario(ring_graph(16), 3, 150, rng=1)
+        long = stream_scenario(ring_graph(16), 3, 900, rng=1)
+        r_short, _ = run_balancing_on_scenario(short, epsilon=0.25)
+        r_long, _ = run_balancing_on_scenario(long, epsilon=0.25)
+        assert r_long.throughput_ratio >= r_short.throughput_ratio - 0.02
+
+
+class TestTheorem33Integration:
+    def test_tgi_beats_floor_on_theta_topology(self, world):
+        pts, d, gstar, topo = world
+        graph = topo.graph
+        scen = stream_scenario(graph, 3, 1500, rng=2)
+        mac = RandomActivationMAC(graph, 0.5, rng=3)
+        from repro.core.balancing import BalancingConfig, BalancingRouter
+        from repro.core.competitive import theorem33_parameters
+
+        big_i = max(1, mac.interference_number)
+        params = theorem33_parameters(
+            opt_buffer=scen.witness_buffer,
+            avg_path_length=scen.witness_avg_path_length,
+            avg_cost=scen.witness_avg_cost,
+            epsilon=0.25,
+            interference_bound=big_i,
+        )
+        router = BalancingRouter(
+            graph.n_nodes,
+            scen.destinations,
+            BalancingConfig(params["threshold"], params["gamma"], int(params["max_height"])),
+        )
+        engine = SimulationEngine(
+            router,
+            lambda t: mac.active_edges(),
+            scen.injections,
+            success_fn=mac.success_mask,
+        )
+        engine.run(scen.duration, drain=scen.duration * 3)
+        ratio = router.stats.delivered / scen.witness_delivered
+        assert ratio >= params["target_fraction"]
+
+    def test_failed_transmissions_conserve_packets(self, world):
+        _, _, _, topo = world
+        graph = topo.graph
+        scen = stream_scenario(graph, 2, 200, rng=4)
+        mac = RandomActivationMAC(graph, 0.5, rng=5)
+        from repro.core.balancing import BalancingConfig, BalancingRouter
+
+        router = BalancingRouter(
+            graph.n_nodes, scen.destinations, BalancingConfig(1.0, 0.0, 128)
+        )
+        engine = SimulationEngine(
+            router,
+            lambda t: mac.active_edges(),
+            scen.injections,
+            success_fn=mac.success_mask,
+        )
+        engine.run(scen.duration, drain=100)
+        st = router.stats
+        assert st.accepted == st.delivered + router.total_packets()
+
+
+class TestTheorem28Integration:
+    def test_gstar_schedule_simulated_on_n(self, world):
+        """A whole greedy non-interfering schedule of G* maps to N with
+        bounded per-step congestion — the constructive core of Thm 2.8."""
+        pts, d, gstar, topo = world
+        from repro.interference.conflict import greedy_interference_schedule
+
+        rounds = greedy_interference_schedule(gstar, 0.5)
+        worst = 0
+        for r in rounds[:10]:
+            paths = replace_schedule_edges(topo, gstar.edges[r])
+            cong = path_congestion(topo, paths)
+            worst = max(worst, max(cong.values(), default=0))
+        assert worst <= 6
+
+    def test_greedy_rounds_bounded_by_interference(self, world):
+        pts, d, gstar, topo = world
+        from repro.interference.conflict import (
+            greedy_interference_schedule,
+            interference_number,
+        )
+
+        rounds = greedy_interference_schedule(topo.graph, 0.5)
+        assert len(rounds) <= interference_number(topo.graph, 0.5) + 1
+
+
+class TestMobilityIntegration:
+    def test_balancing_survives_topology_churn(self):
+        """Rebuild the ΘALG topology as nodes move; the router keeps
+        delivering without invariant violations (the adversarial-model
+        point: the router never needs to know why edges changed)."""
+        from repro.core.balancing import BalancingConfig, BalancingRouter
+        from repro.sim.mobility import RandomWalkMobility
+
+        pts0 = repro.uniform_points(35, rng=6)
+        mob = RandomWalkMobility(pts0, step_sigma=0.005, rng=7)
+        n = len(pts0)
+        dests = [0, 1, 2]
+        router = BalancingRouter(n, dests, BalancingConfig(1.0, 0.0, 64))
+        gen = np.random.default_rng(8)
+        for t in range(150):
+            pts = mob.advance()
+            d = repro.max_range_for_connectivity(pts, slack=1.5)
+            topo = repro.theta_algorithm(pts, math.pi / 6, d)
+            g = topo.graph
+            edges = g.directed_edge_array()
+            costs = np.concatenate([g.edge_costs, g.edge_costs])
+            injections = []
+            if t < 100:
+                s = int(gen.integers(3, n))
+                injections.append((s, int(gen.choice(dests)), 1))
+            router.run_step(edges, costs, injections)
+            assert (router.heights >= 0).all()
+        assert router.stats.delivered > 0
+        assert router.stats.accepted == router.stats.delivered + router.total_packets()

@@ -1,0 +1,173 @@
+"""Tests for the guard-zone interference model and conflict machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.base import GeometricGraph
+from repro.interference.conflict import (
+    conflict_graph,
+    greedy_interference_schedule,
+    interference_degrees,
+    interference_number,
+    interference_sets,
+)
+from repro.interference.model import (
+    InterferenceModel,
+    edges_interfere,
+    interference_radius,
+    successful_transmissions,
+)
+
+
+def line_graph(xs: list[float]) -> GeometricGraph:
+    """Nodes on a line at given x positions, consecutive edges."""
+    pts = np.column_stack([np.asarray(xs, float), np.zeros(len(xs))])
+    edges = [(i, i + 1) for i in range(len(xs) - 1)]
+    return GeometricGraph(pts, edges)
+
+
+class TestModelBasics:
+    def test_radius(self):
+        assert interference_radius(2.0, 0.5) == pytest.approx(3.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(-0.1)
+
+    def test_region_contains_open_disk(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.5, 0.0], [1.4, 0.0]])
+        m = InterferenceModel(0.5)  # guard radius 1.5 around 0 and 1
+        inside = m.region_contains(pts, (0, 1), pts[[2, 3]])
+        assert not inside[0]  # at exactly 1.5 from node 1 → boundary → outside
+        assert inside[1]
+
+    def test_pair_interferes_symmetric_api(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.2, 0.0], [2.2, 0.0]])
+        m = InterferenceModel(0.5)
+        assert m.pair_interferes(pts, (0, 1), (2, 3))
+        assert m.pair_interferes(pts, (2, 3), (0, 1))
+
+    def test_far_apart_no_interference(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        assert not edges_interfere(pts, (0, 1), (2, 3), 0.5)
+
+    def test_asymmetric_interference_possible(self):
+        """A long edge can interfere with a short one, not vice versa."""
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [5.5, 0.0], [5.6, 0.0]])
+        m = InterferenceModel(0.5)
+        mat = m.interference_matrix(pts, np.array([[0, 1], [2, 3]]))
+        # Edge 0 (long, guard 6) covers both endpoints of edge 1.
+        assert mat[1, 0]
+        # Edge 1 (short, guard 0.15) covers no endpoint of edge 0.
+        assert not mat[0, 1]
+
+
+class TestSuccessMask:
+    def test_both_fail_when_mutually_interfering(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.2, 0.0], [2.2, 0.0]])
+        ok = successful_transmissions(pts, np.array([[0, 1], [2, 3]]), 0.5)
+        assert not ok.any()
+
+    def test_one_sided_interference_kills_victim_only(self):
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [5.5, 0.0], [5.6, 0.0]])
+        ok = successful_transmissions(pts, np.array([[0, 1], [2, 3]]), 0.5)
+        assert ok[0] and not ok[1]
+
+    def test_singleton_succeeds(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        ok = successful_transmissions(pts, np.array([[0, 1]]), 0.5)
+        assert ok.all()
+
+    def test_empty(self):
+        ok = successful_transmissions(np.zeros((2, 2)), np.empty((0, 2), int), 0.5)
+        assert len(ok) == 0
+
+
+class TestInterferenceSets:
+    def test_line_adjacent_edges_interfere(self):
+        g = line_graph([0.0, 1.0, 2.0, 3.0])
+        sets = interference_sets(g, 0.5)
+        # Middle edge interferes with both neighbors.
+        assert set(sets[1].tolist()) == {0, 2}
+
+    def test_symmetric_closure(self):
+        g = line_graph([0.0, 1.0, 1.5, 4.0, 5.0])
+        sets = interference_sets(g, 0.5)
+        for k, s in enumerate(sets):
+            for other in s:
+                assert k in sets[int(other)]
+
+    def test_matches_dense_matrix(self, small_world):
+        _, _, _, topo = small_world
+        g = topo.graph
+        m = InterferenceModel(0.5)
+        mat = m.interference_matrix(g.points, g.edges)
+        sym = mat | mat.T
+        sets = interference_sets(g, 0.5)
+        for k in range(g.n_edges):
+            assert set(sets[k].tolist()) == set(np.nonzero(sym[k])[0].tolist())
+
+    def test_interference_number(self):
+        g = line_graph([0.0, 1.0, 2.0, 3.0])
+        assert interference_number(g, 0.5) == 2
+
+    def test_empty_graph(self):
+        g = GeometricGraph(np.zeros((2, 2)) + [[0, 0], [5, 5]], [])
+        assert interference_number(g, 0.5) == 0
+        assert interference_sets(g, 0.5) == []
+
+    def test_degrees_align(self):
+        g = line_graph([0.0, 1.0, 2.0, 3.0, 4.0])
+        deg = interference_degrees(g, 0.5)
+        assert len(deg) == g.n_edges
+        assert deg.max() == interference_number(g, 0.5)
+
+
+class TestConflictScheduling:
+    def test_conflict_graph_structure(self):
+        g = line_graph([0.0, 1.0, 2.0, 3.0])
+        cg = conflict_graph(g, 0.5)
+        assert cg.number_of_nodes() == 3
+        assert cg.has_edge(0, 1) and cg.has_edge(1, 2)
+
+    def test_schedule_covers_all_edges(self, small_world):
+        _, _, _, topo = small_world
+        rounds = greedy_interference_schedule(topo.graph, 0.5)
+        covered = sorted(int(e) for r in rounds for e in r)
+        assert covered == list(range(topo.graph.n_edges))
+
+    def test_rounds_conflict_free(self, small_world):
+        _, _, _, topo = small_world
+        g = topo.graph
+        m = InterferenceModel(0.5)
+        for r in greedy_interference_schedule(g, 0.5):
+            if len(r) > 1:
+                assert not m.interference_matrix(g.points, g.edges[r]).any()
+
+    def test_round_count_bounded(self, small_world):
+        _, _, _, topo = small_world
+        rounds = greedy_interference_schedule(topo.graph, 0.5)
+        assert len(rounds) <= interference_number(topo.graph, 0.5) + 1
+
+    def test_empty_graph_schedule(self):
+        g = GeometricGraph(np.zeros((1, 2)), [])
+        assert greedy_interference_schedule(g, 0.5) == []
+
+
+class TestScalingSanity:
+    @given(st.integers(20, 80), st.integers(0, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_interference_number_bounded_by_edge_count(self, n, seed):
+        from repro.geometry.pointsets import uniform_points
+        from repro.graphs.transmission import max_range_for_connectivity
+        from repro.core.theta import theta_algorithm
+        import math
+
+        pts = uniform_points(n, rng=seed)
+        d = max_range_for_connectivity(pts, slack=1.3)
+        topo = theta_algorithm(pts, math.pi / 6, d)
+        i_num = interference_number(topo.graph, 0.5)
+        assert 0 <= i_num < topo.graph.n_edges

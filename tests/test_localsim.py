@@ -1,0 +1,139 @@
+"""Tests for the 3-round local message-passing protocol (E11)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.theta import theta_algorithm
+from repro.geometry.pointsets import DISTRIBUTIONS, uniform_points
+from repro.graphs.transmission import max_range_for_connectivity
+from repro.localsim.messages import ConnectionMessage, NeighborhoodMessage, PositionMessage
+from repro.localsim.node import LocalNode
+from repro.localsim.runtime import LocalRuntime
+
+
+class TestLocalNode:
+    def test_round1_broadcast_contains_position(self):
+        node = LocalNode(3, (1.5, 2.5), math.pi / 6, 1.0)
+        msg = node.round1_broadcast()
+        assert msg == PositionMessage(3, 1.5, 2.5)
+
+    def test_round1_receive_ignores_self(self):
+        node = LocalNode(0, (0, 0), math.pi / 6, 1.0)
+        node.round1_receive(PositionMessage(0, 5, 5))
+        assert node.known_positions == {}
+
+    def test_round2_unicast_targets_yao_choices(self):
+        node = LocalNode(0, (0, 0), math.pi / 6, 10.0)
+        node.round1_receive(PositionMessage(1, 1.0, 0.0))
+        node.round1_receive(PositionMessage(2, 2.0, 0.0))  # same sector, farther
+        node.round1_receive(PositionMessage(3, 0.0, 1.0))
+        msgs = node.round2_messages()
+        targets = {m.receiver for m in msgs}
+        assert targets == {1, 3}
+        for m in msgs:
+            assert set(m.neighborhood) == {1, 3}
+
+    def test_round2_receive_only_if_member(self):
+        node = LocalNode(5, (0, 0), math.pi / 6, 1.0)
+        for sender in (7, 8, 9):
+            node.round1_receive(PositionMessage(sender, 0.5, 0.1 * sender))
+        node.round2_receive(NeighborhoodMessage(7, 5, (5, 9)))
+        node.round2_receive(NeighborhoodMessage(8, 5, (9,)))  # 5 not a member
+        node.round2_receive(NeighborhoodMessage(9, 6, (5,)))  # unicast to 6
+        assert node.claimants == [7]
+
+    def test_round2_receive_unknown_position_ignored(self):
+        """Lossy-medium case: a claimant we never heard a Position from
+        cannot be evaluated and is skipped."""
+        node = LocalNode(5, (0, 0), math.pi / 6, 1.0)
+        node.round2_receive(NeighborhoodMessage(7, 5, (5,)))
+        assert node.claimants == []
+
+    def test_round3_admits_nearest_per_sector(self):
+        node = LocalNode(0, (0, 0), math.pi / 6, 10.0)
+        node.round1_receive(PositionMessage(1, 1.0, 0.0))
+        node.round1_receive(PositionMessage(2, 2.0, 0.0))
+        node.round2_receive(NeighborhoodMessage(1, 0, (0,)))
+        node.round2_receive(NeighborhoodMessage(2, 0, (0,)))
+        msgs = node.round3_messages()
+        assert [m.receiver for m in msgs] == [1]  # nearest claimant only
+        assert (0, 1) in node.edges
+
+    def test_round3_receive_records_edge(self):
+        node = LocalNode(4, (0, 0), math.pi / 6, 1.0)
+        node.round3_receive(ConnectionMessage(2, 4))
+        assert (2, 4) in node.edges
+        node.round3_receive(ConnectionMessage(9, 7))  # someone else's
+        assert (7, 9) not in node.edges
+
+
+class TestRuntimeEquivalence:
+    @pytest.mark.parametrize("dist_name", ["uniform", "clustered", "ring"])
+    def test_matches_centralized(self, dist_name):
+        pts = DISTRIBUTIONS[dist_name](70, rng=3)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        theta = math.pi / 9
+        local = LocalRuntime(pts, theta, d).run()
+        central = theta_algorithm(pts, theta, d)
+        assert np.array_equal(local.edges, central.graph.edges)
+
+    @given(st.integers(5, 50), st.integers(0, 8))
+    @settings(max_examples=12, deadline=None)
+    def test_property_equivalence(self, n, seed):
+        pts = uniform_points(n, rng=seed)
+        d = max_range_for_connectivity(pts, slack=1.3)
+        theta = math.pi / 6
+        local = LocalRuntime(pts, theta, d).run()
+        central = theta_algorithm(pts, theta, d)
+        assert np.array_equal(local.edges, central.graph.edges)
+
+    def test_offset_respected(self):
+        pts = uniform_points(40, rng=5)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        local = LocalRuntime(pts, math.pi / 9, d, offset=0.3).run()
+        central = theta_algorithm(pts, math.pi / 9, d, offset=0.3)
+        assert np.array_equal(local.edges, central.graph.edges)
+
+
+class TestTrace:
+    def test_position_messages_one_per_node(self):
+        pts = uniform_points(30, rng=6)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        rt = LocalRuntime(pts, math.pi / 9, d)
+        rt.run()
+        assert rt.trace.position_messages == 30
+        assert rt.trace.rounds == 3
+
+    def test_connection_messages_equal_edges(self):
+        pts = uniform_points(30, rng=7)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        rt = LocalRuntime(pts, math.pi / 9, d)
+        g = rt.run()
+        # One Connection message per admitted (receiver, sector) pair;
+        # each undirected edge may be confirmed from both sides.
+        assert g.n_edges <= rt.trace.connection_messages <= 2 * g.n_edges
+
+    def test_message_count_linear_in_n(self):
+        """Total messages = O(n) — the locality claim of E11."""
+        counts = {}
+        for n in (40, 80, 160):
+            pts = uniform_points(n, rng=8)
+            d = max_range_for_connectivity(pts, slack=1.4)
+            rt = LocalRuntime(pts, math.pi / 9, d)
+            rt.run()
+            counts[n] = rt.trace.total_messages / n
+        vals = list(counts.values())
+        assert max(vals) / min(vals) < 1.6  # per-node count roughly flat
+
+    def test_as_dict(self):
+        pts = uniform_points(10, rng=9)
+        rt = LocalRuntime(pts, math.pi / 9, 1.0)
+        rt.run()
+        d = rt.trace.as_dict()
+        assert d["n_nodes"] == 10.0
+        assert d["total_messages"] == float(rt.trace.total_messages)

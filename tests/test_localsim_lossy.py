@@ -1,0 +1,102 @@
+"""Failure-injection tests: ΘALG protocol over a lossy medium."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.theta import theta_algorithm
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.transmission import max_range_for_connectivity
+from repro.localsim.lossy import lossy_protocol_run
+
+
+@pytest.fixture(scope="module")
+def world():
+    pts = uniform_points(50, rng=17)
+    d = max_range_for_connectivity(pts, slack=1.4)
+    return pts, d
+
+
+class TestLossless:
+    def test_p_zero_equals_ideal(self, world):
+        pts, d = world
+        built, rep = lossy_protocol_run(pts, math.pi / 9, d, loss_prob=0.0, rng=0)
+        ideal = theta_algorithm(pts, math.pi / 9, d).graph
+        assert np.array_equal(built.edges, ideal.edges)
+        assert rep.missing_edges == 0
+        assert rep.spurious_edges == 0
+        assert rep.edge_recall == 1.0
+
+    def test_p_zero_transmission_count_minimal(self, world):
+        """Without loss every message is sent exactly once."""
+        from repro.localsim.runtime import LocalRuntime
+
+        pts, d = world
+        _, rep = lossy_protocol_run(pts, math.pi / 9, d, loss_prob=0.0, rng=0)
+        rt = LocalRuntime(pts, math.pi / 9, d)
+        rt.run()
+        assert rep.transmissions == rt.trace.total_messages
+
+
+class TestWithLoss:
+    def test_retries_recover_exact_topology(self, world):
+        """Moderate loss + generous retries reproduce the ideal N whp."""
+        pts, d = world
+        built, rep = lossy_protocol_run(
+            pts, math.pi / 9, d, loss_prob=0.2, retries=12, rng=1
+        )
+        assert rep.missing_edges == 0
+        assert rep.spurious_edges == 0
+        assert rep.connected
+
+    def test_loss_costs_extra_transmissions(self, world):
+        pts, d = world
+        _, clean = lossy_protocol_run(pts, math.pi / 9, d, loss_prob=0.0, rng=2)
+        _, lossy = lossy_protocol_run(pts, math.pi / 9, d, loss_prob=0.3, retries=8, rng=2)
+        assert lossy.transmissions > clean.transmissions
+
+    def test_no_retries_degrades_gracefully(self, world):
+        """Single-shot at heavy loss: edges go missing, recall reported."""
+        pts, d = world
+        built, rep = lossy_protocol_run(
+            pts, math.pi / 9, d, loss_prob=0.5, retries=0, rng=3
+        )
+        assert rep.missing_edges > 0
+        assert 0.0 <= rep.edge_recall < 1.0
+        assert built.n_edges == rep.built_edges
+
+    def test_recall_monotone_in_retries(self, world):
+        """More retries ⇒ (weakly) better recall on the same seed."""
+        pts, d = world
+        recalls = []
+        for retries in (0, 2, 8):
+            _, rep = lossy_protocol_run(
+                pts, math.pi / 9, d, loss_prob=0.4, retries=retries, rng=4
+            )
+            recalls.append(rep.edge_recall)
+        assert recalls[0] <= recalls[-1]
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=10, deadline=None)
+    def test_property_report_consistent(self, seed):
+        pts = uniform_points(30, rng=seed)
+        d = max_range_for_connectivity(pts, slack=1.3)
+        built, rep = lossy_protocol_run(
+            pts, math.pi / 9, d, loss_prob=0.3, retries=2, rng=seed
+        )
+        assert rep.built_edges == built.n_edges
+        assert rep.missing_edges <= rep.ideal_edges
+        assert rep.built_edges == rep.ideal_edges - rep.missing_edges + rep.spurious_edges
+
+    def test_parameter_validation(self, world):
+        pts, d = world
+        with pytest.raises(ValueError):
+            lossy_protocol_run(pts, math.pi / 9, d, loss_prob=1.0)
+        with pytest.raises(ValueError):
+            lossy_protocol_run(pts, math.pi / 9, d, loss_prob=-0.1)
+        with pytest.raises(ValueError):
+            lossy_protocol_run(pts, math.pi / 9, d, retries=-1)

@@ -1,0 +1,56 @@
+"""Extra lossy-protocol coverage: top-level exports and report math."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.transmission import max_range_for_connectivity
+from repro.localsim import LossyProtocolReport, lossy_protocol_run
+
+
+class TestExports:
+    def test_importable_from_localsim(self):
+        assert callable(lossy_protocol_run)
+        assert LossyProtocolReport.__dataclass_fields__
+
+
+class TestReportMath:
+    def test_recall_empty_ideal(self):
+        rep = LossyProtocolReport(
+            n_nodes=1,
+            loss_prob=0.0,
+            retries=0,
+            transmissions=0,
+            ideal_edges=0,
+            built_edges=0,
+            missing_edges=0,
+            spurious_edges=0,
+            connected=True,
+        )
+        assert rep.edge_recall == 1.0
+
+    def test_as_dict_roundtrip_fields(self):
+        pts = uniform_points(20, rng=0)
+        d = max_range_for_connectivity(pts, slack=1.3)
+        _, rep = lossy_protocol_run(pts, math.pi / 9, d, loss_prob=0.1, retries=1, rng=0)
+        dd = rep.as_dict()
+        assert dd["n_nodes"] == 20.0
+        assert dd["edge_recall"] == pytest.approx(rep.edge_recall)
+        assert set(dd) >= {
+            "loss_prob",
+            "retries",
+            "transmissions",
+            "missing_edges",
+            "spurious_edges",
+            "connected",
+        }
+
+    def test_deterministic_given_seed(self):
+        pts = uniform_points(25, rng=1)
+        d = max_range_for_connectivity(pts, slack=1.3)
+        _, a = lossy_protocol_run(pts, math.pi / 9, d, loss_prob=0.3, retries=1, rng=7)
+        _, b = lossy_protocol_run(pts, math.pi / 9, d, loss_prob=0.3, retries=1, rng=7)
+        assert a == b

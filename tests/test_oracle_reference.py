@@ -1,0 +1,162 @@
+"""Oracle tests: optimized kernels vs naive reference implementations.
+
+Each test re-implements a core computation in the most literal way
+possible (O(n²) scans, networkx calls) and checks the library agrees
+exactly.  These catch vectorization and spatial-index bugs that
+property tests on invariants can miss.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.theta import theta_algorithm
+from repro.geometry.pointsets import uniform_points
+from repro.geometry.sectors import SectorPartition
+from repro.graphs.metrics import is_connected, shortest_path_costs
+from repro.graphs.transmission import max_range_for_connectivity
+from repro.graphs.yao import yao_out_edges
+
+
+def naive_yao(pts: np.ndarray, theta: float, max_range: float) -> set[tuple[int, int]]:
+    """Literal phase-1: per node, per cone, nearest in-range node."""
+    part = SectorPartition(theta)
+    n = len(pts)
+    out = set()
+    for u in range(n):
+        best: dict[int, tuple[float, int]] = {}
+        for v in range(n):
+            if v == u:
+                continue
+            d = float(np.hypot(*(pts[v] - pts[u])))
+            if d > max_range + 1e-12:
+                continue
+            ang = math.atan2(pts[v][1] - pts[u][1], pts[v][0] - pts[u][0]) % (2 * math.pi)
+            s = int(part.index_of_angle(ang))
+            key = (d, v)
+            if s not in best or key < best[s]:
+                best[s] = key
+        for s, (_, v) in best.items():
+            out.add((u, v))
+    return out
+
+
+def naive_theta_edges(pts: np.ndarray, theta: float, max_range: float) -> set[tuple[int, int]]:
+    """Literal two-phase ΘALG over the naive Yao choices."""
+    part = SectorPartition(theta)
+    yao = naive_yao(pts, theta, max_range)
+    admitted: dict[tuple[int, int], tuple[float, int]] = {}
+    for (w, x) in yao:  # directed w -> x
+        ang = math.atan2(pts[w][1] - pts[x][1], pts[w][0] - pts[x][0]) % (2 * math.pi)
+        s = int(part.index_of_angle(ang))
+        d = float(np.hypot(*(pts[w] - pts[x])))
+        key = (x, s)
+        if key not in admitted or (d, w) < admitted[key]:
+            admitted[key] = (d, w)
+    edges = set()
+    for (x, _s), (_d, w) in admitted.items():
+        edges.add((min(w, x), max(w, x)))
+    return edges
+
+
+class TestYaoOracle:
+    @given(st.integers(4, 30), st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_naive(self, n, seed):
+        pts = uniform_points(n, rng=seed)
+        theta = math.pi / 6
+        d = 0.6
+        fast = {(int(a), int(b)) for a, b in yao_out_edges(pts, theta, d)}
+        assert fast == naive_yao(pts, theta, d)
+
+
+class TestThetaOracle:
+    @given(st.integers(4, 30), st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_naive(self, n, seed):
+        pts = uniform_points(n, rng=seed)
+        theta = math.pi / 6
+        d = 0.6
+        topo = theta_algorithm(pts, theta, d)
+        fast = {(int(a), int(b)) for a, b in topo.graph.edges}
+        assert fast == naive_theta_edges(pts, theta, d)
+
+
+class TestMetricsVsNetworkx:
+    @pytest.fixture(scope="class")
+    def world(self):
+        pts = uniform_points(50, rng=21)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        g = repro.transmission_graph(pts, d)
+        return g, g.to_networkx()
+
+    def test_connectivity(self, world):
+        g, nxg = world
+        assert is_connected(g) == nx.is_connected(nxg)
+
+    def test_shortest_path_costs(self, world):
+        g, nxg = world
+        ours = shortest_path_costs(g, weight="cost")
+        theirs = dict(nx.all_pairs_dijkstra_path_length(nxg, weight="cost"))
+        for s in range(g.n_nodes):
+            for t in range(g.n_nodes):
+                ref = theirs[s].get(t, float("inf"))
+                assert ours[s, t] == pytest.approx(ref, rel=1e-9, abs=1e-12)
+
+    def test_shortest_path_lengths(self, world):
+        g, nxg = world
+        ours = shortest_path_costs(g, weight="length")
+        ref = dict(nx.all_pairs_dijkstra_path_length(nxg, weight="length"))
+        for s in range(0, g.n_nodes, 7):
+            for t in range(0, g.n_nodes, 5):
+                assert ours[s, t] == pytest.approx(ref[s].get(t, float("inf")), rel=1e-9)
+
+    def test_degrees(self, world):
+        g, nxg = world
+        from repro.graphs.metrics import degrees
+
+        ours = degrees(g)
+        for v in range(g.n_nodes):
+            assert ours[v] == nxg.degree[v]
+
+
+class TestStretchVsNaive:
+    def test_energy_stretch_matches_direct_computation(self):
+        pts = uniform_points(30, rng=22)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        ref = repro.transmission_graph(pts, d)
+        sub = theta_algorithm(pts, math.pi / 9, d).graph
+        es = repro.energy_stretch(sub, ref)
+        d_sub = shortest_path_costs(sub, weight="cost")
+        d_ref = shortest_path_costs(ref, weight="cost")
+        worst = 1.0
+        for s in range(30):
+            for t in range(30):
+                if s != t and np.isfinite(d_ref[s, t]) and d_ref[s, t] > 0:
+                    worst = max(worst, d_sub[s, t] / d_ref[s, t])
+        assert es.max_stretch == pytest.approx(worst)
+
+
+class TestInterferenceVsNaive:
+    def test_sets_match_quadratic_scan(self, small_world):
+        _, _, _, topo = small_world
+        g = topo.graph
+        from repro.interference.conflict import interference_sets
+        from repro.interference.model import InterferenceModel
+
+        model = InterferenceModel(0.5)
+        fast = interference_sets(g, 0.5)
+        for e1 in range(0, g.n_edges, 5):
+            naive = {
+                e2
+                for e2 in range(g.n_edges)
+                if e2 != e1
+                and model.pair_interferes(g.points, tuple(g.edges[e1]), tuple(g.edges[e2]))
+            }
+            assert set(fast[e1].tolist()) == naive

@@ -1,0 +1,73 @@
+"""Extra hypothesis suites for the geometric substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.hexgrid import HexGrid
+from repro.geometry.pointsets import uniform_points
+from repro.geometry.primitives import pairwise_distances
+from repro.geometry.sectors import SectorPartition
+
+cells = st.tuples(st.integers(-20, 20), st.integers(-20, 20))
+
+
+class TestHexDistanceMetric:
+    @given(cells, cells, cells)
+    def test_triangle_inequality(self, a, b, c):
+        hg = HexGrid(1.0)
+        assert hg.cell_distance(a, c) <= hg.cell_distance(a, b) + hg.cell_distance(b, c)
+
+    @given(cells, cells)
+    def test_identity_and_positivity(self, a, b):
+        hg = HexGrid(1.0)
+        d = hg.cell_distance(a, b)
+        assert d >= 0
+        assert (d == 0) == (a == b)
+
+    @given(cells)
+    def test_neighbors_at_distance_one(self, a):
+        hg = HexGrid(1.0)
+        for nb in hg.neighbors_of(a):
+            assert hg.cell_distance(a, tuple(nb)) == 1
+
+    @given(cells, st.floats(0.3, 4.0))
+    def test_center_distance_proportional(self, a, side):
+        """Euclidean distance between centers ≥ hex distance × s·√3/... —
+        concretely, adjacent centers are exactly s·√3 apart, and k-away
+        centers are ≥ k·s·√3/2."""
+        hg = HexGrid(side)
+        b = (a[0] + 3, a[1] - 1)
+        k = hg.cell_distance(a, b)
+        euclid = float(np.hypot(*(hg.center_of(np.array(b)) - hg.center_of(np.array(a)))))
+        assert euclid >= k * side * math.sqrt(3) / 2 - 1e-9
+
+
+class TestSectorCoverage:
+    @given(st.floats(0.05, math.pi / 3), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_every_direction_has_exactly_one_sector(self, theta, k):
+        part = SectorPartition(theta)
+        ang = (k / 1000.0) * 2 * math.pi
+        idx = part.index_of_angle(ang)
+        lo, _hi = part.bounds(int(idx))
+        # Angle lies within [lo, lo + width) modulo 2π.
+        rel = (ang - lo) % (2 * math.pi)
+        assert rel < part.width + 1e-9
+
+
+class TestDistanceMatrixProperties:
+    @given(st.integers(2, 25), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_matrix(self, n, seed):
+        pts = uniform_points(n, rng=seed) * 10
+        d = pairwise_distances(pts)
+        # Sampled triangle checks (full O(n³) is overkill).
+        gen = np.random.default_rng(seed)
+        for _ in range(20):
+            i, j, k = gen.integers(0, n, size=3)
+            assert d[i, k] <= d[i, j] + d[j, k] + 1e-9

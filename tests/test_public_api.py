@@ -1,0 +1,72 @@
+"""Public-API surface checks: imports, __all__, and the quickstart flow."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "theta_algorithm",
+            "BalancingRouter",
+            "RandomActivationMAC",
+            "HoneycombRouter",
+            "InterferenceModel",
+            "LocalRuntime",
+            "SimulationEngine",
+        ):
+            assert name in repro.__all__
+
+
+class TestQuickstartFlow:
+    """The README quickstart, executed end to end."""
+
+    def test_topology_pipeline(self):
+        pts = repro.uniform_points(80, rng=0)
+        d = repro.max_range_for_connectivity(pts, slack=1.5)
+        topo = repro.theta_algorithm(pts, math.pi / 9, d)
+        gstar = repro.transmission_graph(pts, d)
+        assert repro.is_connected(topo.graph)
+        assert repro.max_degree(topo.graph) <= 4 * math.pi / (math.pi / 9) + 1
+        es = repro.energy_stretch(topo.graph, gstar)
+        assert es.max_stretch < 3.0
+
+    def test_routing_pipeline(self):
+        from repro import (
+            BalancingConfig,
+            BalancingRouter,
+            SimulationEngine,
+            stream_scenario,
+        )
+
+        pts = repro.uniform_points(40, rng=1)
+        d = repro.max_range_for_connectivity(pts, slack=1.5)
+        topo = repro.theta_algorithm(pts, math.pi / 9, d)
+        scen = stream_scenario(topo.graph, 2, 80, rng=2)
+        router = BalancingRouter(
+            topo.graph.n_nodes, scen.destinations, BalancingConfig(2.0, 0.0, 64)
+        )
+        result = SimulationEngine.for_scenario(router, scen).run(80, drain=160)
+        assert result.stats.delivered > 0
+
+    def test_interference_pipeline(self):
+        pts = repro.uniform_points(50, rng=3)
+        d = repro.max_range_for_connectivity(pts, slack=1.5)
+        topo = repro.theta_algorithm(pts, math.pi / 9, d)
+        i_num = repro.interference_number(topo.graph, 0.5)
+        assert i_num > 0
+        rounds = repro.greedy_interference_schedule(topo.graph, 0.5)
+        assert sum(len(r) for r in rounds) == topo.graph.n_edges

@@ -1,0 +1,157 @@
+"""Tests for the witnessed adversarial scenario generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.routing_experiments import grid_graph, ring_graph
+from repro.sim.adversary import (
+    WitnessedScenario,
+    flood_scenario,
+    hotspot_scenario,
+    hotspot_stream_scenario,
+    permutation_scenario,
+    random_scenario_on_graph,
+    stream_scenario,
+)
+from repro.sim.schedules import Schedule, schedules_conflict_free, validate_schedule
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ring_graph(12)
+
+
+class TestScenarioInvariants:
+    """Shared invariants every generator must satisfy."""
+
+    @pytest.fixture(
+        params=["permutation", "hotspot", "flood", "stream", "hotspot_stream", "random"]
+    )
+    def scenario(self, request, ring) -> WitnessedScenario:
+        make = {
+            "permutation": lambda: permutation_scenario(ring, 20, rng=0),
+            "hotspot": lambda: hotspot_scenario(ring, 20, rng=1),
+            "flood": lambda: flood_scenario(ring, 10, 2.0, rng=2),
+            "stream": lambda: stream_scenario(ring, 2, 30, rng=3),
+            "hotspot_stream": lambda: hotspot_stream_scenario(ring, 2, 30, rng=4),
+            "random": lambda: random_scenario_on_graph(ring, rate=0.5, duration=30, rng=5),
+        }
+        return make[request.param]()
+
+    def test_witness_schedules_valid(self, scenario):
+        for s in scenario.witness_schedules:
+            validate_schedule(s)
+
+    def test_witness_conflict_free(self, scenario):
+        assert schedules_conflict_free(scenario.witness_schedules)
+
+    def test_witness_hops_are_graph_edges(self, scenario):
+        for s in scenario.witness_schedules:
+            for (u, v), _ in s.hops:
+                assert scenario.graph.has_edge(int(u), int(v))
+
+    def test_witnessed_packets_subset_of_injections(self, scenario):
+        """Every witnessed delivery corresponds to an injected packet."""
+        offered: dict[tuple[int, int, int], int] = {}
+        for t, offers in scenario.injection_map.items():
+            for (node, dest, count) in offers:
+                key = (t, node, dest)
+                offered[key] = offered.get(key, 0) + count
+        used: dict[tuple[int, int, int], int] = {}
+        for s in scenario.witness_schedules:
+            key = (s.inject_time, s.source, s.dest)
+            used[key] = used.get(key, 0) + 1
+        for key, cnt in used.items():
+            assert offered.get(key, 0) >= cnt
+
+    def test_active_edges_cover_witness(self, scenario):
+        for s in scenario.witness_schedules:
+            for (u, v), t in s.hops:
+                edges, _ = scenario.active_edges(t)
+                assert [u, v] in edges.tolist()
+
+    def test_witness_facts_positive(self, scenario):
+        assert scenario.witness_delivered > 0
+        assert scenario.witness_buffer >= 1
+        assert scenario.witness_avg_path_length >= 1.0
+        assert scenario.witness_avg_cost > 0
+
+    def test_destinations_well_formed(self, scenario):
+        n = scenario.graph.n_nodes
+        for d in scenario.destinations:
+            assert 0 <= d < n
+
+
+class TestStreamScenario:
+    def test_disjoint_paths_small_buffer(self, ring):
+        scen = stream_scenario(ring, 3, 50, rng=0, disjoint=True)
+        assert scen.witness_buffer <= 2
+
+    def test_nondisjoint_allowed(self, ring):
+        scen = stream_scenario(ring, 4, 20, rng=0, disjoint=False)
+        assert scen.witness_delivered > 0
+
+    def test_explicit_pairs(self, ring):
+        scen = stream_scenario(ring, 0, 10, pairs=[(0, 3)])
+        srcs = {s.source for s in scen.witness_schedules}
+        assert srcs == {0}
+
+    def test_injection_rate(self, ring):
+        scen = stream_scenario(ring, 2, 25, rng=1)
+        counts = [sum(c for _, _, c in scen.injections(t)) for t in range(25)]
+        assert all(c == 2 for c in counts)
+
+    def test_bad_duration(self, ring):
+        with pytest.raises(ValueError):
+            stream_scenario(ring, 2, 0, rng=0)
+
+
+class TestFloodScenario:
+    def test_flood_exceeds_witness(self, ring):
+        scen = flood_scenario(ring, 10, 3.0, rng=0)
+        assert scen.total_injected > scen.witness_delivered
+
+
+class TestHotspotScenarios:
+    def test_single_destination(self, ring):
+        scen = hotspot_scenario(ring, 15, dest=4, rng=0)
+        assert all(s.dest == 4 for s in scen.witness_schedules)
+        assert scen.destinations == [4]
+
+    def test_hotspot_stream_horizon_trim(self, ring):
+        scen = hotspot_stream_scenario(ring, 3, 20, dest=0, rng=0)
+        assert all(s.finish_time <= 60 for s in scen.witness_schedules)
+
+
+class TestActivateAll:
+    def test_restricted_activation(self, ring):
+        scen = permutation_scenario(ring, 10, rng=3, activate_all=False)
+        # Only witness edges are active; step 0 has no moves (t0=0 < t1).
+        edges, costs = scen.active_edges(0)
+        assert len(edges) == len(costs)
+        used_at_1 = {
+            (u, v) for s in scen.witness_schedules for (u, v), t in s.hops if t == 1
+        }
+        e1, _ = scen.active_edges(1)
+        assert {tuple(e) for e in e1} == used_at_1
+
+    def test_full_activation_all_directed_edges(self, ring):
+        scen = permutation_scenario(ring, 10, rng=3, activate_all=True)
+        edges, costs = scen.active_edges(0)
+        assert len(edges) == 2 * ring.n_edges
+
+
+class TestGraphHelpers:
+    def test_ring_structure(self):
+        g = ring_graph(8)
+        assert g.n_edges == 8
+        from repro.graphs.metrics import degrees
+
+        assert (degrees(g) == 2).all()
+
+    def test_grid_structure(self):
+        g = grid_graph(4)
+        assert g.n_nodes == 16
+        assert g.n_edges == 2 * 4 * 3

@@ -1,0 +1,109 @@
+"""Tests for the OPT bounds (time-expanded max-flow, witness summary)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.routing_experiments import ring_graph
+from repro.graphs.base import GeometricGraph
+from repro.sim.adversary import permutation_scenario, stream_scenario
+from repro.sim.optimal import (
+    min_energy_cost_matrix,
+    time_expanded_max_throughput,
+    witness_cost_summary,
+)
+
+
+def line_graph(n: int) -> GeometricGraph:
+    pts = np.column_stack([np.arange(n, dtype=float), np.zeros(n)])
+    return GeometricGraph(pts, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestTimeExpandedFlow:
+    def test_single_packet_deliverable(self):
+        g = line_graph(3)
+        inj = {0: ((0, 2, 1),)}
+        assert time_expanded_max_throughput(g, inj, duration=4) == 1
+
+    def test_horizon_too_short(self):
+        g = line_graph(4)
+        inj = {0: ((0, 3, 1),)}
+        # Needs 3 hops; packet routable from step 1 → arrival ≥ 4.
+        assert time_expanded_max_throughput(g, inj, duration=3) == 0
+        assert time_expanded_max_throughput(g, inj, duration=5) == 1
+
+    def test_edge_capacity_limits_rate(self):
+        """k packets over one edge need k transmission slots: with
+        duration T the usable slots are t = 1 .. T-2."""
+        g = line_graph(2)
+        inj = {0: ((0, 1, 5),)}
+        assert time_expanded_max_throughput(g, inj, duration=3) == 1
+        assert time_expanded_max_throughput(g, inj, duration=4) == 2
+        assert time_expanded_max_throughput(g, inj, duration=7) == 5
+
+    def test_buffer_capacity_limits(self):
+        """Zero intermediate buffering blocks store-and-forward... holdover
+        capacity B bounds how many packets can wait at a node."""
+        g = line_graph(3)
+        inj = {0: ((0, 2, 4),)}
+        unlimited = time_expanded_max_throughput(g, inj, duration=8)
+        tight = time_expanded_max_throughput(g, inj, duration=8, buffer_size=1)
+        assert unlimited == 4
+        assert tight <= unlimited
+
+    def test_upper_bounds_witness(self):
+        """Max-flow ≥ the witness deliveries on the same horizon."""
+        g = ring_graph(8)
+        scen = permutation_scenario(g, 6, rng=0)
+        horizon = scen.witness_makespan + 2
+        ub = time_expanded_max_throughput(g, dict(scen.injection_map), horizon)
+        assert ub >= scen.witness_delivered
+
+    def test_no_injections(self):
+        g = line_graph(3)
+        assert time_expanded_max_throughput(g, {}, duration=5) == 0
+
+    def test_zero_duration(self):
+        g = line_graph(3)
+        assert time_expanded_max_throughput(g, {0: ((0, 2, 1),)}, duration=0) == 0
+
+    def test_custom_activation(self):
+        """With no edges ever active, nothing is delivered."""
+        g = line_graph(3)
+        inj = {0: ((0, 2, 1),)}
+        none_active = lambda t: (np.empty((0, 2), dtype=int), np.empty(0))
+        assert (
+            time_expanded_max_throughput(g, inj, duration=6, active_edges_fn=none_active)
+            == 0
+        )
+
+
+class TestMinEnergy:
+    def test_matrix_symmetric(self):
+        g = ring_graph(6)
+        m = min_energy_cost_matrix(g)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diag(m) == 0)
+
+    def test_line_costs_additive(self):
+        g = line_graph(4)
+        m = min_energy_cost_matrix(g)
+        assert m[0, 3] == pytest.approx(3.0)  # three unit edges at κ=2
+
+
+class TestWitnessSummary:
+    def test_empty(self):
+        s = witness_cost_summary([], ring_graph(5))
+        assert s["delivered"] == 0.0
+        assert s["buffer"] == 1.0
+
+    def test_matches_scenario_properties(self):
+        g = ring_graph(10)
+        scen = stream_scenario(g, 2, 20, rng=0)
+        s = witness_cost_summary(scen.witness_schedules, g)
+        assert s["delivered"] == scen.witness_delivered
+        assert s["buffer"] == scen.witness_buffer
+        assert s["avg_path_length"] == pytest.approx(scen.witness_avg_path_length)
+        assert s["avg_cost"] == pytest.approx(scen.witness_avg_cost)
+        assert s["makespan"] == scen.witness_makespan

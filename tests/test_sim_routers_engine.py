@@ -1,0 +1,188 @@
+"""Tests for baseline routers, mobility models, and the engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.routing_experiments import ring_graph
+from repro.core.balancing import BalancingConfig, BalancingRouter
+from repro.graphs.base import GeometricGraph
+from repro.sim.baseline_routers import RandomWalkRouter, ShortestPathRouter
+from repro.sim.engine import SimulationEngine
+from repro.sim.adversary import stream_scenario
+from repro.sim.mobility import (
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    StaticMobility,
+)
+
+
+def line_graph(n: int) -> GeometricGraph:
+    pts = np.column_stack([np.arange(n, dtype=float), np.zeros(n)])
+    return GeometricGraph(pts, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestShortestPathRouter:
+    def test_next_hop_on_line(self):
+        r = ShortestPathRouter(line_graph(4))
+        assert r.next_hop(0, 3) == 1
+        assert r.next_hop(2, 3) == 3
+        assert r.next_hop(3, 3) is None
+
+    def test_next_hop_unreachable(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [9.0, 9.0]])
+        g = GeometricGraph(pts, [(0, 1)])
+        r = ShortestPathRouter(g)
+        assert r.next_hop(0, 2) is None
+
+    def test_delivers_on_line(self):
+        g = line_graph(4)
+        r = ShortestPathRouter(g)
+        edges = g.directed_edge_array()
+        costs = np.concatenate([g.edge_costs, g.edge_costs])
+        r.inject(0, 3, 2)
+        for _ in range(12):
+            r.run_step(edges, costs)
+        assert r.stats.delivered == 2
+        assert r.total_packets() == 0
+
+    def test_one_packet_per_edge_per_step(self):
+        g = line_graph(2)
+        r = ShortestPathRouter(g)
+        r.inject(0, 1, 5)
+        edges = g.directed_edge_array()
+        costs = np.concatenate([g.edge_costs, g.edge_costs])
+        r.run_step(edges, costs)
+        assert r.stats.delivered == 1
+
+    def test_queue_limit_drops(self):
+        g = line_graph(2)
+        r = ShortestPathRouter(g, max_queue=3)
+        assert r.inject(0, 1, 10) == 3
+        assert r.stats.dropped == 7
+
+    def test_waits_when_edge_unavailable(self):
+        g = line_graph(3)
+        r = ShortestPathRouter(g)
+        r.inject(0, 2, 1)
+        # Only the second edge is active; packet's next hop (0→1) missing.
+        r.run_step(np.array([[1, 2]]), np.array([1.0]))
+        assert r.total_packets() == 1
+        assert r.stats.delivered == 0
+
+
+class TestRandomWalkRouter:
+    def test_eventually_delivers_on_tiny_graph(self):
+        g = line_graph(2)
+        r = RandomWalkRouter(g, rng=0)
+        edges = g.directed_edge_array()
+        costs = np.ones(len(edges))
+        r.inject(0, 1, 3)
+        for _ in range(100):
+            r.run_step(edges, costs)
+        assert r.stats.delivered == 3
+
+    def test_conservation(self):
+        g = ring_graph(6)
+        r = RandomWalkRouter(g, rng=1)
+        edges = g.directed_edge_array()
+        costs = np.ones(len(edges))
+        for i in range(6):
+            r.inject(i, (i + 3) % 6, 1)
+        for _ in range(50):
+            r.run_step(edges, costs)
+        assert r.stats.accepted == r.stats.delivered + r.total_packets() + r.stats.dropped - (r.stats.injected - r.stats.accepted)
+
+
+class TestMobility:
+    def test_static_never_moves(self):
+        pts = np.random.default_rng(0).random((10, 2))
+        m = StaticMobility(pts)
+        p0 = m.positions(0).copy()
+        m.advance()
+        assert np.array_equal(m.positions(5), p0)
+
+    def test_random_walk_stays_in_domain(self):
+        pts = np.random.default_rng(1).random((20, 2))
+        m = RandomWalkMobility(pts, step_sigma=0.3, side=1.0, rng=2)
+        for _ in range(50):
+            p = m.advance()
+            assert (p >= 0).all() and (p <= 1).all()
+
+    def test_random_walk_moves(self):
+        pts = np.zeros((5, 2)) + 0.5
+        m = RandomWalkMobility(pts, step_sigma=0.05, rng=3)
+        p0 = m.positions(0).copy()
+        m.advance()
+        assert not np.allclose(m.positions(1), p0)
+
+    def test_waypoint_step_length_bounded(self):
+        pts = np.random.default_rng(4).random((15, 2))
+        m = RandomWaypointMobility(pts, speed=0.07, rng=5)
+        prev = m.positions(0).copy()
+        for _ in range(30):
+            cur = m.advance()
+            step = np.hypot(*(cur - prev).T)
+            assert (step <= 0.07 + 1e-9).all()
+            assert (cur >= 0).all() and (cur <= 1).all()
+            prev = cur.copy()
+
+    def test_waypoint_reaches_targets(self):
+        pts = np.zeros((3, 2))
+        m = RandomWaypointMobility(pts, speed=0.5, side=1.0, rng=6)
+        for _ in range(200):
+            m.advance()
+        # After many steps nodes have moved well away from the origin corner.
+        assert m.positions(0).mean() > 0.1
+
+    def test_parameter_validation(self):
+        pts = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            RandomWalkMobility(pts, step_sigma=-1.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(pts, speed=0.0)
+
+
+class TestEngine:
+    def test_runs_scenario(self):
+        g = ring_graph(10)
+        scen = stream_scenario(g, 2, 40, rng=0)
+        router = BalancingRouter(
+            g.n_nodes, scen.destinations, BalancingConfig(1.0, 0.0, 64)
+        )
+        engine = SimulationEngine.for_scenario(router, scen)
+        result = engine.run(scen.duration, drain=scen.duration)
+        assert result.steps == 2 * scen.duration
+        assert result.stats.delivered > 0
+        assert result.leftover == router.total_packets()
+
+    def test_drain_has_no_injections(self):
+        g = ring_graph(8)
+        scen = stream_scenario(g, 1, 10, rng=1)
+        router = BalancingRouter(
+            g.n_nodes, scen.destinations, BalancingConfig(1.0, 0.0, 64)
+        )
+        engine = SimulationEngine.for_scenario(router, scen)
+        result = engine.run(10, drain=10)
+        # Injections only during the first 10 steps: 1/step.
+        assert result.stats.injected == 10
+
+    def test_negative_duration_rejected(self):
+        g = ring_graph(8)
+        scen = stream_scenario(g, 1, 10, rng=2)
+        router = BalancingRouter(g.n_nodes, scen.destinations, BalancingConfig(1.0, 0.0, 8))
+        engine = SimulationEngine.for_scenario(router, scen)
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+    def test_success_fn_blocks_all(self):
+        g = ring_graph(8)
+        scen = stream_scenario(g, 1, 10, rng=3)
+        router = BalancingRouter(g.n_nodes, scen.destinations, BalancingConfig(1.0, 0.0, 64))
+        engine = SimulationEngine.for_scenario(
+            router, scen, success_fn=lambda txs: [False] * len(txs)
+        )
+        result = engine.run(10, drain=5)
+        assert result.stats.delivered == 0
+        assert result.stats.interference_failures == result.stats.attempts

@@ -1,0 +1,93 @@
+"""Direct tests for the RoutingStats accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.stats import RoutingStats
+
+
+class TestInjectionAccounting:
+    def test_accept_all(self):
+        st = RoutingStats()
+        st.record_injection(5, 5)
+        assert st.injected == 5 and st.accepted == 5 and st.dropped == 0
+
+    def test_partial_accept(self):
+        st = RoutingStats()
+        st.record_injection(5, 2)
+        assert st.dropped == 3
+
+    def test_overaccept_rejected(self):
+        st = RoutingStats()
+        with pytest.raises(ValueError):
+            st.record_injection(2, 3)
+
+
+class TestAttemptAccounting:
+    def test_success_energy_split(self):
+        st = RoutingStats()
+        st.record_attempt(1.5, True)
+        st.record_attempt(2.5, False)
+        assert st.attempts == 2
+        assert st.successes == 1
+        assert st.interference_failures == 1
+        assert st.energy_attempted == pytest.approx(4.0)
+        assert st.energy_successful == pytest.approx(1.5)
+
+
+class TestDerivedQuantities:
+    def test_throughput(self):
+        st = RoutingStats()
+        st.record_delivery(6)
+        st.end_step(0, 6)
+        st.end_step(0, 0)
+        assert st.throughput == pytest.approx(3.0)
+
+    def test_throughput_no_steps(self):
+        assert RoutingStats().throughput == 0.0
+
+    def test_delivery_fraction_empty_is_one(self):
+        assert RoutingStats().delivery_fraction == 1.0
+
+    def test_average_cost_no_deliveries_with_spend(self):
+        st = RoutingStats()
+        st.record_attempt(1.0, True)
+        assert st.average_cost == float("inf")
+
+    def test_average_cost_nothing(self):
+        assert RoutingStats().average_cost == 0.0
+
+    def test_average_cost_counts_failed_attempts(self):
+        """Energy of interference-killed attempts is charged (§3.3)."""
+        st = RoutingStats()
+        st.record_attempt(1.0, False)
+        st.record_attempt(1.0, True)
+        st.record_delivery(1)
+        assert st.average_cost == pytest.approx(2.0)
+
+    def test_max_height_tracks_peak(self):
+        st = RoutingStats()
+        st.end_step(3, 0)
+        st.end_step(7, 0)
+        st.end_step(2, 0)
+        assert st.max_buffer_height == 7
+
+    def test_delivered_trace(self):
+        st = RoutingStats()
+        st.end_step(0, 2)
+        st.end_step(0, 5)
+        assert st.delivered_trace == [2, 5]
+
+    def test_as_dict_complete(self):
+        st = RoutingStats()
+        d = st.as_dict()
+        for key in (
+            "injected",
+            "delivered",
+            "throughput",
+            "average_cost",
+            "max_buffer_height",
+            "interference_failures",
+        ):
+            assert key in d
