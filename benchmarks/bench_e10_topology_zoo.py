@@ -27,7 +27,10 @@ def test_e10_topology_zoo(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e10_topology_zoo", render_table(rows, title="E10: §1.2 — topology comparison (degree / stretch / interference)"))
+    record_table(
+        "e10_topology_zoo",
+        render_table(rows, title="E10: §1.2 — topology comparison (degree / stretch / interference)"),
+    )
     by_key = {(r["distribution"], r["topology"]): r for r in rows}
     for dist in ("uniform", "civilized"):
         theta = by_key[(dist, "ThetaALG(N)")]

@@ -20,7 +20,10 @@ def test_e11_local_protocol(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e11_local_protocol", render_table(rows, title="E11: §2.1 — 3-round local protocol (message counts, equivalence)"))
+    record_table(
+        "e11_local_protocol",
+        render_table(rows, title="E11: §2.1 — 3-round local protocol (message counts, equivalence)"),
+    )
     for r in rows:
         assert r["matches_centralized"], r
         assert r["rounds"] == 3

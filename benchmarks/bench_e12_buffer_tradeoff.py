@@ -24,7 +24,10 @@ def test_e12_buffer_tradeoff(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e12_buffer_tradeoff", render_table(rows, title="E12: §3.2 — throughput/drops vs threshold T and buffer height H"))
+    record_table(
+        "e12_buffer_tradeoff",
+        render_table(rows, title="E12: §3.2 — throughput/drops vs threshold T and buffer height H"),
+    )
     # Monotone in H at fixed T=1.
     t1 = sorted((r for r in rows if r["threshold_T"] == 1), key=lambda r: r["height_H"])
     deliv = [r["delivered"] for r in t1]

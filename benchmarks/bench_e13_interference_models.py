@@ -19,7 +19,10 @@ def test_e13_interference_models(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e13_interference_models", render_table(rows, title="E13: protocol vs SINR interference — agreement and bias"))
+    record_table(
+        "e13_interference_models",
+        render_table(rows, title="E13: protocol vs SINR interference — agreement and bias"),
+    )
     for r in rows:
         assert r["agreement"] >= 0.5, r
     # For a matched decode threshold (β ≤ 2) a generous guard zone is

@@ -20,7 +20,10 @@ def test_e14_local_vs_global(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e14_local_vs_global", render_table(rows, title="E14: local ΘALG vs global sparsification — quality parity"))
+    record_table(
+        "e14_local_vs_global",
+        render_table(rows, title="E14: local ΘALG vs global sparsification — quality parity"),
+    )
     for r in rows:
         assert r["disconnected"] == 0, r
         assert r["energy_stretch"] < 4.0, r

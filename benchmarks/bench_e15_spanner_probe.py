@@ -23,7 +23,10 @@ def test_e15_spanner_probe(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e15_spanner_probe", render_table(rows, title="E15: open problem — worst distance-stretch of N by family and θ"))
+    record_table(
+        "e15_spanner_probe",
+        render_table(rows, title="E15: open problem — worst distance-stretch of N by family and θ"),
+    )
     # Connectivity always holds (stretch finite)…
     for r in rows:
         assert math.isfinite(r["worst_distance_stretch"]), r

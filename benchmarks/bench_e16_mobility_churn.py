@@ -19,7 +19,10 @@ def test_e16_mobility_churn(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e16_mobility_churn", render_table(rows, title="E16: delivery under mobility churn — balancing vs frozen tables"))
+    record_table(
+        "e16_mobility_churn",
+        render_table(rows, title="E16: delivery under mobility churn — balancing vs frozen tables"),
+    )
     static = rows[0]
     fastest = rows[-1]
     # Balancing keeps delivering at the highest churn…

@@ -20,7 +20,10 @@ def test_e17_geographic(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e17_geographic", render_table(rows, title="E17: greedy geographic routing — delivery rate vs sparsity"))
+    record_table(
+        "e17_geographic",
+        render_table(rows, title="E17: greedy geographic routing — delivery rate vs sparsity"),
+    )
     by_name = {r["topology"]: r for r in rows}
     # Density ordering: G* ≥ ΘALG ≥ MST in greedy deliverability.
     assert by_name["Gstar"]["greedy_delivery_rate"] >= by_name["ThetaALG(N)"]["greedy_delivery_rate"]

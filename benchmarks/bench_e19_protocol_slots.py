@@ -6,45 +6,22 @@ that time in guard-zone-feasible slots for uniform vs civilized inputs:
 on bounded-density (civilized) inputs the slot cost per round is flat
 in n (true locality), while at connectivity-critical uniform density it
 grows with the Θ(log n) local density.
+
+Rows come from the claim registry (the same parameters ``repro verify``
+gates on); the assertions mirror ``repro.harness.checks.check_e19``.
 """
 
 from __future__ import annotations
 
-import math
-
 from repro.analysis.tables import render_table
-from repro.geometry.pointsets import civilized_points, uniform_points
-from repro.graphs.transmission import max_range_for_connectivity
-from repro.localsim.timed import timed_protocol_cost
-from repro.utils.rng import spawn_rngs
 
 
-def _rows():
-    rows = []
-    for dist_name, maker in (
-        ("uniform", lambda n, r: uniform_points(n, rng=r)),
-        ("civilized", lambda n, r: civilized_points(n, lam=0.5, rng=r)),
-    ):
-        for n, child in zip((64, 128, 256), spawn_rngs(0, 3)):
-            pts = maker(n, child)
-            d = max_range_for_connectivity(pts, slack=1.3)
-            rep = timed_protocol_cost(pts, math.pi / 9, d, delta=0.5)
-            row = {"distribution": dist_name, "n": n}
-            row.update(
-                {
-                    "position_slots": rep.position_slots,
-                    "neighborhood_slots": rep.neighborhood_slots,
-                    "connection_slots": rep.connection_slots,
-                    "total_slots": rep.total_slots,
-                }
-            )
-            rows.append(row)
-    return rows
-
-
-def test_e19_protocol_slots(benchmark, record_table):
-    rows = benchmark.pedantic(_rows, iterations=1, rounds=1)
-    record_table("e19_protocol_slots", render_table(rows, title="E19: §2.1 — slot cost of the 3 protocol rounds under interference"))
+def test_e19_protocol_slots(benchmark, record_table, claim_rows):
+    rows = benchmark.pedantic(lambda: claim_rows("e19"), iterations=1, rounds=1)
+    record_table(
+        "e19_protocol_slots",
+        render_table(rows, title="E19: §2.1 — slot cost of the 3 protocol rounds under interference"),
+    )
     for r in rows:
         assert r["total_slots"] >= 3
     # Civilized inputs: slot cost roughly flat in n (bounded density).

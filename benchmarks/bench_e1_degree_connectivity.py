@@ -24,7 +24,10 @@ def test_e1_degree_connectivity(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e1_degree_connectivity", render_table(rows, title="E1: Lemma 2.1 — connectivity and degree bound of N"))
+    record_table(
+        "e1_degree_connectivity",
+        render_table(rows, title="E1: Lemma 2.1 — connectivity and degree bound of N"),
+    )
     for r in rows:
         assert r["N_connected"], r
         assert r["within_bound"], r

@@ -6,54 +6,29 @@ most ρ·w per w-window, ρ < 1) and the question is queue *stability*.
 This bench asks that classical question of the (T, γ)-balancing
 algorithm: buffer heights should stay bounded (no linear growth with
 the horizon) for subcritical ρ, growing with ρ but not with time.
+
+Rows come from the claim registry (the same parameters ``repro verify``
+gates on); the assertions mirror ``repro.harness.checks.check_e20``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.routing_experiments import grid_graph
 from repro.analysis.tables import render_table
-from repro.core.balancing import BalancingConfig, BalancingRouter
-from repro.sim.aqt import bounded_adversary_scenario, max_window_load
-from repro.sim.engine import SimulationEngine
 
 
-def _rows():
-    rows = []
-    g = grid_graph(5)
-    for rho in (0.25, 0.5, 0.75):
-        for duration in (200, 400):
-            scenario = bounded_adversary_scenario(
-                g, rho=rho, window=8, duration=duration, rng=0
-            )
-            router = BalancingRouter(
-                g.n_nodes,
-                scenario.destinations,
-                BalancingConfig(threshold=1.0, gamma=0.0, max_height=100_000),
-            )
-            SimulationEngine.for_scenario(router, scenario).run(scenario.duration)
-            rows.append(
-                {
-                    "rho": rho,
-                    "duration": duration,
-                    "measured_window_load": round(max_window_load(scenario, 8), 3),
-                    "injected": router.stats.injected,
-                    "delivered": router.stats.delivered,
-                    "max_buffer_height": router.stats.max_buffer_height,
-                    "in_flight_at_end": router.total_packets(),
-                }
-            )
-    return rows
-
-
-def test_e20_aqt_stability(benchmark, record_table):
-    rows = benchmark.pedantic(_rows, iterations=1, rounds=1)
-    record_table("e20_aqt_stability", render_table(rows, title="E20: stability of (T, γ)-balancing under (w, ρ)-bounded adversaries"))
+def test_e20_aqt_stability(benchmark, record_table, claim_rows):
+    rows = benchmark.pedantic(lambda: claim_rows("e20"), iterations=1, rounds=1)
+    record_table(
+        "e20_aqt_stability",
+        render_table(rows, title="E20: stability of (T, γ)-balancing under (w, ρ)-bounded adversaries"),
+    )
     for r in rows:
         assert r["measured_window_load"] <= r["rho"] + 1e-9, r
     # Stability: doubling the horizon must not double the peak height.
-    for rho in (0.25, 0.5, 0.75):
-        short = next(r for r in rows if r["rho"] == rho and r["duration"] == 200)
-        long = next(r for r in rows if r["rho"] == rho and r["duration"] == 400)
+    for rho in sorted({r["rho"] for r in rows}):
+        sub = [r for r in rows if r["rho"] == rho]
+        short = min(sub, key=lambda r: r["duration"])
+        long = max(sub, key=lambda r: r["duration"])
         assert long["max_buffer_height"] <= 1.5 * max(short["max_buffer_height"], 4), (
             short,
             long,

@@ -19,7 +19,10 @@ def test_e21_frequency_sweep(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e21_frequency_sweep", render_table(rows, title="E21: throughput vs δ (concurrent edges per node)"))
+    record_table(
+        "e21_frequency_sweep",
+        render_table(rows, title="E21: throughput vs δ (concurrent edges per node)"),
+    )
     ratios = [r["throughput_ratio"] for r in rows]
     # Monotone non-decreasing in δ (with a little noise slack).
     assert all(b >= a - 0.03 for a, b in zip(ratios, ratios[1:])), rows

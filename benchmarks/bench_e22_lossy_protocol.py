@@ -7,44 +7,22 @@ connectivity, and the transmission overhead retransmissions cost.
 Expected shape: a small retry budget buys back the exact construction
 at moderate loss (per-message failure decays geometrically), while the
 single-shot protocol degrades with p.
+
+Rows come from the claim registry (the same parameters ``repro verify``
+gates on); the assertions mirror ``repro.harness.checks.check_e22``.
 """
 
 from __future__ import annotations
 
-import math
-
 from repro.analysis.tables import render_table
-from repro.geometry.pointsets import uniform_points
-from repro.graphs.transmission import max_range_for_connectivity
-from repro.localsim.lossy import lossy_protocol_run
 
 
-def _rows():
-    pts = uniform_points(100, rng=5)
-    d = max_range_for_connectivity(pts, slack=1.4)
-    rows = []
-    for loss in (0.0, 0.2, 0.5):
-        for retries in (0, 4):
-            _, rep = lossy_protocol_run(
-                pts, math.pi / 9, d, loss_prob=loss, retries=retries, rng=9
-            )
-            r = {"loss_prob": loss, "retries": retries}
-            r.update(
-                {
-                    "transmissions": rep.transmissions,
-                    "edge_recall": round(rep.edge_recall, 3),
-                    "missing": rep.missing_edges,
-                    "spurious": rep.spurious_edges,
-                    "connected": rep.connected,
-                }
-            )
-            rows.append(r)
-    return rows
-
-
-def test_e22_lossy_protocol(benchmark, record_table):
-    rows = benchmark.pedantic(_rows, iterations=1, rounds=1)
-    record_table("e22_lossy_protocol", render_table(rows, title="E22: ΘALG protocol under message loss — recall vs retransmission budget"))
+def test_e22_lossy_protocol(benchmark, record_table, claim_rows):
+    rows = benchmark.pedantic(lambda: claim_rows("e22"), iterations=1, rounds=1)
+    record_table(
+        "e22_lossy_protocol",
+        render_table(rows, title="E22: ΘALG protocol under message loss — recall vs retransmission budget"),
+    )
     by = {(r["loss_prob"], r["retries"]): r for r in rows}
     assert by[(0.0, 0)]["edge_recall"] == 1.0
     assert by[(0.2, 4)]["edge_recall"] >= 0.99

@@ -31,7 +31,10 @@ def test_e2_energy_stretch(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e2_energy_stretch", render_table(rows, title="E2: Theorem 2.2 — energy-stretch of N (O(1), flat in n/distribution)"))
+    record_table(
+        "e2_energy_stretch",
+        render_table(rows, title="E2: Theorem 2.2 — energy-stretch of N (O(1), flat in n/distribution)"),
+    )
     for r in rows:
         assert r["disconnected_pairs"] == 0, r
         assert r["energy_stretch_max"] < STRETCH_CEILING, r

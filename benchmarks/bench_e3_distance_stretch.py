@@ -28,7 +28,10 @@ def test_e3_distance_stretch_civilized(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e3_distance_stretch", render_table(rows, title="E3: Theorem 2.7 — distance-stretch of N on civilized point sets"))
+    record_table(
+        "e3_distance_stretch",
+        render_table(rows, title="E3: Theorem 2.7 — distance-stretch of N on civilized point sets"),
+    )
     for r in rows:
         assert r["connected"], r
         assert r["distance_stretch_max"] < DISTANCE_STRETCH_CEILING, r

@@ -12,7 +12,6 @@ The bench sweeps n over three guard-zone parameters Δ, fits
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.tables import fit_log_slope, render_table
 from repro.analysis.topology_experiments import e4_interference_scaling

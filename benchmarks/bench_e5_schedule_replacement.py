@@ -24,7 +24,10 @@ def test_e5_schedule_replacement(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e5_schedule_replacement", render_table(rows, title="E5: Lemma 2.9 — θ-path congestion when simulating G* steps on N"))
+    record_table(
+        "e5_schedule_replacement",
+        render_table(rows, title="E5: Lemma 2.9 — θ-path congestion when simulating G* steps on N"),
+    )
     for r in rows:
         assert r["within_bound"], r
         assert r["paths_replaced"] > 0, r
@@ -38,7 +41,10 @@ def test_e5c_packet_transform(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e5c_packet_transform", render_table(rows, title="E5c: Theorem 2.8 — packet-schedule transform, makespan inflation"))
+    record_table(
+        "e5c_packet_transform",
+        render_table(rows, title="E5c: Theorem 2.8 — packet-schedule transform, makespan inflation"),
+    )
     for r in rows:
         assert r["inflation"] <= r["interference_I"] + 1, r
         assert r["makespan_N"] >= r["makespan_Gstar"] * 0.5, r
@@ -51,7 +57,10 @@ def test_e5b_full_simulation(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e5b_full_simulation", render_table(rows, title="E5b: Theorem 2.8 — slowdown of a complete G* schedule simulated on N"))
+    record_table(
+        "e5b_full_simulation",
+        render_table(rows, title="E5b: Theorem 2.8 — slowdown of a complete G* schedule simulated on N"),
+    )
     for r in rows:
         # Slowdown within the theorem's O(I) envelope, far under it.
         assert r["slowdown"] <= r["interference_I"], r

@@ -30,7 +30,10 @@ def test_e6_balancing_competitive(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e6_balancing_competitive", render_table(rows, title="E6: Theorem 3.1 — (t, s, c)-competitiveness of (T, γ)-balancing"))
+    record_table(
+        "e6_balancing_competitive",
+        render_table(rows, title="E6: Theorem 3.1 — (t, s, c)-competitiveness of (T, γ)-balancing"),
+    )
     theorem_rows = [
         r for r in rows if "[" not in r["workload"] and not math.isnan(r["epsilon"])
     ]

@@ -22,7 +22,10 @@ def test_e7_tgi_throughput(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e7_tgi_throughput", render_table(rows, title="E7: Theorem 3.3 — (T, γ, I)-balancing throughput vs the 1/(8I) floor"))
+    record_table(
+        "e7_tgi_throughput",
+        render_table(rows, title="E7: Theorem 3.3 — (T, γ, I)-balancing throughput vs the 1/(8I) floor"),
+    )
     assert sum(r["above_floor"] for r in rows) >= 2  # whp-style: most trials
     for r in rows:
         assert r["mac_success_rate"] >= 0.5, r  # Lemma 3.2 empirically

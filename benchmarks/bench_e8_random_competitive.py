@@ -20,7 +20,10 @@ def test_e8_random_competitive(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e8_random_competitive", render_table(rows, title="E8: Corollary 3.5 — throughput ratio × ln n across n (uniform random)"))
+    record_table(
+        "e8_random_competitive",
+        render_table(rows, title="E8: Corollary 3.5 — throughput ratio × ln n across n (uniform random)"),
+    )
     for r in rows:
         assert r["delivered"] > 0, r
     # I grows like log n times a constant; the ratio should not decay

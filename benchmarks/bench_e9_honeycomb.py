@@ -23,7 +23,10 @@ def test_e9_honeycomb(benchmark, record_table):
         iterations=1,
         rounds=1,
     )
-    record_table("e9_honeycomb", render_table(rows, title="E9: Theorem 3.8 — honeycomb algorithm at fixed transmission strength"))
+    record_table(
+        "e9_honeycomb",
+        render_table(rows, title="E9: Theorem 3.8 — honeycomb algorithm at fixed transmission strength"),
+    )
     for r in rows:
         assert r["above_floor"], r
     for r in rows:

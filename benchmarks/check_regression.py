@@ -1,0 +1,111 @@
+"""Gate pytest-benchmark results against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src pytest benchmarks/bench_perf_scaling.py --benchmark-json=bench.json
+    python benchmarks/check_regression.py bench.json                # gate (CI)
+    python benchmarks/check_regression.py --write-baseline bench.json  # refresh baseline
+
+Compares each benchmark's mean against ``BENCH_baseline.json`` and
+exits 1 if any exceeds ``regression_factor`` (default 3×) times its
+baseline mean.  The factor is deliberately loose: absolute speeds vary
+across runners, but a 3× blowup on the same workload is a real
+regression, not machine noise.  Benchmarks missing from the baseline
+are reported but do not fail the gate (so adding a bench does not
+require touching the baseline in the same commit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+
+
+def load_means(path: Path) -> "dict[str, float]":
+    """Means by test name, from either pytest-benchmark output or a baseline."""
+    data = json.loads(Path(path).read_text())
+    benches = data["benchmarks"]
+    if isinstance(benches, list):  # raw pytest-benchmark format
+        return {b["name"]: float(b["stats"]["mean"]) for b in benches}
+    return {name: float(b["mean_seconds"]) for name, b in benches.items()}
+
+
+def write_baseline(run_path: Path, baseline_path: Path) -> None:
+    means = load_means(run_path)
+    raw = json.loads(Path(run_path).read_text())
+    out = {
+        "comment": (
+            "Committed reference means for benchmarks/bench_perf_scaling.py. "
+            "Regenerate with: PYTHONPATH=src pytest benchmarks/bench_perf_scaling.py "
+            "--benchmark-json=bench.json && python benchmarks/check_regression.py "
+            "--write-baseline bench.json. CI fails a run whose mean exceeds "
+            "regression_factor x these values (absolute speeds vary by runner; the "
+            "factor is deliberately loose)."
+        ),
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw", "unknown"),
+        "regression_factor": 3.0,
+        "benchmarks": {n: {"mean_seconds": round(m, 6)} for n, m in means.items()},
+    }
+    baseline_path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"baseline written to {baseline_path} ({len(means)} benchmarks)")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=None,
+        help="override the baseline's regression_factor",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        write_baseline(args.results, args.baseline)
+        return 0
+
+    baseline_doc = json.loads(args.baseline.read_text())
+    factor = args.factor if args.factor is not None else float(
+        baseline_doc.get("regression_factor", 3.0)
+    )
+    baseline = load_means(args.baseline)
+    current = load_means(args.results)
+
+    failed = []
+    for name, mean in sorted(current.items()):
+        ref = baseline.get(name)
+        if ref is None:
+            print(f"NEW      {name}: {mean * 1e3:8.2f} ms (no baseline entry)")
+            continue
+        ratio = mean / ref
+        verdict = "OK" if ratio <= factor else "REGRESSED"
+        print(
+            f"{verdict:8s} {name}: {mean * 1e3:8.2f} ms vs baseline "
+            f"{ref * 1e3:8.2f} ms ({ratio:.2f}x, limit {factor:.1f}x)"
+        )
+        if ratio > factor:
+            failed.append(name)
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"MISSING  {name}: in baseline but not in this run")
+
+    if failed:
+        print(f"\n{len(failed)} benchmark(s) regressed beyond {factor:.1f}x", file=sys.stderr)
+        return 1
+    print(f"\nall {len(current)} benchmarks within {factor:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

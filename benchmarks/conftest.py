@@ -1,25 +1,40 @@
 """Shared plumbing for the experiment benchmarks.
 
 Every benchmark regenerates one experiment table (see DESIGN.md §2 for
-the experiment index), prints it, writes it under
-``benchmarks/results/``, and asserts the paper's claim for that
-experiment.  ``pytest benchmarks/ --benchmark-only`` runs everything;
-``-s`` shows the tables inline.
+the experiment index), prints it, writes it under the results
+directory, and asserts the paper's claim for that experiment.  ``pytest
+benchmarks/ --benchmark-only`` runs everything; ``-s`` shows the tables
+inline.
+
+The results directory defaults to ``benchmarks/results/`` next to this
+file and can be redirected with the ``REPRO_RESULTS_DIR`` environment
+variable (CI points it at the artifact staging dir).  The benches share
+the experiment definitions with ``python -m repro verify`` through the
+claim registry (:mod:`repro.harness.registry`), so a claim's "full"
+parameters exist in exactly one place.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
+from repro.harness.registry import REGISTRY, build_rows
+
+
+def _results_dir() -> Path:
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    return Path(env) if env else Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+    path = _results_dir()
+    path.mkdir(parents=True, exist_ok=True)
+    assert path.is_dir(), f"results dir {path} was not created"
+    return path
 
 
 @pytest.fixture
@@ -32,3 +47,17 @@ def record_table(results_dir):
         (results_dir / f"{name}.txt").write_text(table + "\n")
 
     return _record
+
+
+@pytest.fixture
+def claim_rows():
+    """Run a registry claim's harness at full (or quick) scale.
+
+    Lets a bench consume the same parameter sets ``repro verify``
+    gates on, instead of restating them.
+    """
+
+    def _rows(claim_id: str, profile: str = "full") -> list[dict]:
+        return build_rows(REGISTRY[claim_id], profile)
+
+    return _rows

@@ -16,7 +16,6 @@ Run:  python examples/anycast_replicas.py
 
 from __future__ import annotations
 
-import numpy as np
 
 import repro
 from repro.analysis.anycast_experiments import e18_anycast
@@ -25,7 +24,8 @@ from repro.analysis.tables import render_table
 
 def main() -> None:
     rows = e18_anycast(n=80, group_sizes=(1, 2, 4, 8), duration=400, rng=7)
-    print(render_table(rows, title="Anycast balancing vs fixed-member unicast (ΘALG topology, 4 client streams)"))
+    title = "Anycast balancing vs fixed-member unicast (ΘALG topology, 4 client streams)"
+    print(render_table(rows, title=title))
     m8 = max(rows, key=lambda r: r["group_size"])
     saving = m8["unicast_avg_cost"] / max(m8["anycast_avg_cost"], 1e-12)
     print(

@@ -3,229 +3,117 @@
 Regenerates any of the DESIGN.md §2 experiment tables from the command
 line without going through pytest:
 
-    python -m repro e1              # Lemma 2.1 table
-    python -m repro e4 --quick      # smaller parameters, fast
-    python -m repro all --quick     # everything
-    python -m repro list            # what exists
+    python -m repro e1               # Lemma 2.1 table
+    python -m repro e4 --quick       # smaller parameters, fast
+    python -m repro all --quick      # everything
+    python -m repro list             # what exists
 
-The same harness functions back the benchmark suite; ``--quick`` maps
-to the scaled-down parameter sets the test suite uses.
+and gates the paper's claims (the CI entry point):
+
+    python -m repro verify --quick --jobs 4      # all claims, parallel
+    python -m repro verify --only e4,e7          # a selection, full scale
+
+``verify`` evaluates every selected claim's tolerance/bound predicate
+(see :mod:`repro.harness.registry`), writes one JSON record per claim
+under ``benchmarks/results/`` (override with ``REPRO_RESULTS_DIR``),
+prints a summary table, and exits 1 if any claim no longer holds.
+
+The experiment thunks themselves live in the claim registry; ``--quick``
+maps to the scaled-down parameter sets the test suite uses.
 """
 
 from __future__ import annotations
 
 import argparse
-import math
+import functools
 import sys
 import time
 
-from repro.analysis import ablation_experiments as aexp
-from repro.analysis import anycast_experiments as axp
-from repro.analysis import geographic_experiments as gexp
-from repro.analysis import mobility_experiments as mexp
 from repro.analysis import tables
-from repro.analysis import routing_experiments as rexp
-from repro.analysis import topology_experiments as texp
+from repro.harness.registry import REGISTRY, build_rows, resolve_ids
+from repro.harness.results import write_result
+from repro.harness.runner import run_claims
 
-#: experiment id → (description, full-scale thunk, quick thunk)
+#: experiment id → (description, full-scale thunk, quick thunk).
+#: Kept for back-compatibility with callers of the pre-registry CLI.
 EXPERIMENTS = {
-    "e1": (
-        "Lemma 2.1 — connectivity and degree bound of N",
-        lambda: texp.e1_degree_connectivity(rng=0),
-        lambda: texp.e1_degree_connectivity(
-            ns=(48,), thetas=(math.pi / 6,), distributions=("uniform", "ring"), rng=0
-        ),
-    ),
-    "e2": (
-        "Theorem 2.2 — O(1) energy-stretch of N",
-        lambda: texp.e2_energy_stretch(rng=0),
-        lambda: texp.e2_energy_stretch(
-            ns=(48,), thetas=(math.pi / 9,), kappas=(2.0,), distributions=("uniform",), rng=0
-        ),
-    ),
-    "e3": (
-        "Theorem 2.7 — distance-stretch on civilized graphs",
-        lambda: texp.e3_distance_stretch_civilized(rng=0),
-        lambda: texp.e3_distance_stretch_civilized(ns=(48,), lams=(0.5,), thetas=(math.pi / 9,), rng=0),
-    ),
-    "e4": (
-        "Lemma 2.10 — interference number O(log n)",
-        lambda: texp.e4_interference_scaling(rng=0),
-        lambda: texp.e4_interference_scaling(ns=(48, 96), deltas=(0.5,), trials=1, rng=0),
-    ),
-    "e5": (
-        "Lemma 2.9 — θ-path congestion ≤ 6",
-        lambda: texp.e5_schedule_replacement(rng=0),
-        lambda: texp.e5_schedule_replacement(ns=(48,), steps=5, rng=0),
-    ),
-    "e6": (
-        "Theorem 3.1 — (T, γ)-balancing competitiveness",
-        lambda: rexp.e6_balancing_competitive(rng=0),
-        lambda: rexp.e6_balancing_competitive(epsilons=(0.25,), duration=200, rng=0),
-    ),
-    "e7": (
-        "Theorem 3.3 — (T, γ, I)-balancing vs the 1/(8I) floor",
-        lambda: rexp.e7_tgi_throughput(rng=0),
-        lambda: rexp.e7_tgi_throughput(trials=1, duration=1500, n=50, rng=0),
-    ),
-    "e8": (
-        "Corollary 3.5 — O(1/log n) competitiveness on random nodes",
-        lambda: rexp.e8_random_competitive(rng=0),
-        lambda: rexp.e8_random_competitive(ns=(48, 96), duration=1500, rng=0),
-    ),
-    "e9": (
-        "Theorem 3.8 — honeycomb algorithm at fixed power",
-        lambda: rexp.e9_honeycomb(rng=0),
-        lambda: rexp.e9_honeycomb(deltas=(0.5,), duration=300, rng=0),
-    ),
-    "e10": (
-        "§1.2 — topology zoo comparison",
-        lambda: texp.e10_topology_zoo(rng=0),
-        lambda: texp.e10_topology_zoo(n=80, distributions=("uniform",), rng=0),
-    ),
-    "e11": (
-        "§2.1 — 3-round local protocol",
-        lambda: texp.e11_local_protocol(rng=0),
-        lambda: texp.e11_local_protocol(ns=(48,), rng=0),
-    ),
-    "e12": (
-        "§3.2 — buffer/threshold trade-off",
-        lambda: rexp.e12_buffer_tradeoff(rng=0),
-        lambda: rexp.e12_buffer_tradeoff(thresholds=(1, 16), heights=(8, 128), duration=150, rng=0),
-    ),
-    "e13": (
-        "§2.4 remark — protocol vs SINR interference models",
-        lambda: aexp.e13_interference_models(rng=0),
-        lambda: aexp.e13_interference_models(
-            n=64, deltas=(0.5,), betas=(2.0,), sets_per_config=40, rng=0
-        ),
-    ),
-    "e14": (
-        "§2.1 remark — local ΘALG vs global sparsification",
-        lambda: aexp.e14_local_vs_global(rng=0),
-        lambda: aexp.e14_local_vs_global(ns=(64,), rng=0),
-    ),
-    "e15": (
-        "§2 open problem — worst distance-stretch probe",
-        lambda: aexp.e15_spanner_probe(rng=0),
-        lambda: aexp.e15_spanner_probe(n=64, thetas=(math.pi / 9,), trials=2, rng=0),
-    ),
-    "e16": (
-        "§1 motivation — routing under mobility churn",
-        lambda: mexp.e16_mobility_churn(rng=0),
-        lambda: mexp.e16_mobility_churn(n=30, speeds=(0.0, 0.01), steps=200, rng=0),
-    ),
-    "e17": (
-        "§1.2 context — greedy geographic routing vs sparsity",
-        lambda: gexp.e17_geographic_routing(rng=0),
-        lambda: gexp.e17_geographic_routing(n=80, n_pairs=80, rng=0),
-    ),
-    "e18": (
-        "extension — anycast balancing vs fixed-member unicast",
-        lambda: axp.e18_anycast(rng=0),
-        lambda: axp.e18_anycast(n=50, group_sizes=(1, 4), duration=200, rng=0),
-    ),
-    "e19": (
-        "§2.1 closing remark — slot cost of the 3 rounds under interference",
-        lambda: _e19_rows(ns=(64, 128, 256)),
-        lambda: _e19_rows(ns=(48,)),
-    ),
-    "e20": (
-        "§1.2 AQT lineage — stability under (w, ρ)-bounded adversaries",
-        lambda: _e20_rows(durations=(200, 400)),
-        lambda: _e20_rows(durations=(150,)),
-    ),
-    "e21": (
-        "Theorem 3.1's δ parameter — throughput vs per-node concurrency",
-        lambda: rexp.e21_frequency_sweep(rng=0),
-        lambda: rexp.e21_frequency_sweep(deltas=(1, 2), duration=200, rng=0),
-    ),
-    "e22": (
-        "failure injection — the protocol under message loss",
-        lambda: _e22_rows(n=100),
-        lambda: _e22_rows(n=40),
-    ),
+    claim.id: (
+        f"{claim.paper_ref} — {claim.title}",
+        functools.partial(build_rows, claim, "full"),
+        functools.partial(build_rows, claim, "quick"),
+    )
+    for claim in REGISTRY.values()
 }
 
 
-def _e22_rows(n: int) -> list[dict]:
-    from repro.geometry.pointsets import uniform_points
-    from repro.graphs.transmission import max_range_for_connectivity
-    from repro.localsim.lossy import lossy_protocol_run
+def _verify(args: argparse.Namespace) -> int:
+    try:
+        ids = resolve_ids(args.only)
+    except KeyError as exc:
+        print(f"{exc.args[0]}; try 'list'", file=sys.stderr)
+        return 2
+    profile = "quick" if args.quick else "full"
+    t0 = time.perf_counter()
+    results = run_claims(ids, profile=profile, jobs=args.jobs)
+    wall = time.perf_counter() - t0
 
-    pts = uniform_points(n, rng=5)
-    d = max_range_for_connectivity(pts, slack=1.4)
-    rows = []
-    for loss in (0.0, 0.2, 0.5):
-        for retries in (0, 4):
-            _, rep = lossy_protocol_run(
-                pts, math.pi / 9, d, loss_prob=loss, retries=retries, rng=9
-            )
-            rows.append({"loss_prob": loss, "retries": retries, **rep.as_dict()})
-    return rows
-
-
-def _e20_rows(durations) -> list[dict]:
-    from repro.analysis.routing_experiments import grid_graph
-    from repro.core.balancing import BalancingConfig, BalancingRouter
-    from repro.sim.aqt import bounded_adversary_scenario, max_window_load
-    from repro.sim.engine import SimulationEngine
-
-    rows = []
-    g = grid_graph(5)
-    for rho in (0.25, 0.5, 0.75):
-        for duration in durations:
-            scenario = bounded_adversary_scenario(
-                g, rho=rho, window=8, duration=duration, rng=0
-            )
-            router = BalancingRouter(
-                g.n_nodes,
-                scenario.destinations,
-                BalancingConfig(threshold=1.0, gamma=0.0, max_height=100_000),
-            )
-            SimulationEngine.for_scenario(router, scenario).run(scenario.duration)
-            rows.append(
-                {
-                    "rho": rho,
-                    "duration": duration,
-                    "window_load": round(max_window_load(scenario, 8), 3),
-                    "max_buffer_height": router.stats.max_buffer_height,
-                    "delivered": router.stats.delivered,
-                }
-            )
-    return rows
-
-
-def _e19_rows(ns) -> list[dict]:
-    from repro.geometry.pointsets import civilized_points, uniform_points
-    from repro.graphs.transmission import max_range_for_connectivity
-    from repro.localsim.timed import timed_protocol_cost
-    from repro.utils.rng import spawn_rngs
-
-    rows = []
-    for dist_name, maker in (
-        ("uniform", lambda n, r: uniform_points(n, rng=r)),
-        ("civilized", lambda n, r: civilized_points(n, lam=0.5, rng=r)),
-    ):
-        for n, child in zip(ns, spawn_rngs(0, len(ns))):
-            pts = maker(n, child)
-            d = max_range_for_connectivity(pts, slack=1.3)
-            rep = timed_protocol_cost(pts, math.pi / 9, d, delta=0.5)
-            rows.append({"distribution": dist_name, "n": n, **rep.as_dict()})
-    return rows
+    summary = []
+    for res in results:
+        path = write_result(res)
+        summary.append(
+            {
+                "claim": res.claim.upper(),
+                "paper_ref": res.paper_ref,
+                "title": res.title,
+                "rows": len(res.rows),
+                "passed": res.passed,
+                "violations": len(res.failures),
+                "seconds": round(res.runtime_seconds, 2),
+                "json": str(path),
+            }
+        )
+    n_failed = sum(not res.passed for res in results)
+    print(
+        tables.render_table(
+            summary,
+            title=f"repro verify — {profile} profile, {len(results)} claims, "
+            f"--jobs {args.jobs}, {wall:.1f}s wall",
+        )
+    )
+    for res in results:
+        for msg in res.failures:
+            print(f"FAIL {res.claim}: {msg}", file=sys.stderr)
+    if n_failed:
+        print(f"\n{n_failed}/{len(results)} claims FAILED", file=sys.stderr)
+        return 1
+    print(f"\nall {len(results)} claims hold")
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper-reproduction experiment tables.",
+        description="Regenerate and verify the paper-reproduction experiment tables.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e12), 'all', or 'list'",
+        help="experiment id (e1..e22), 'all', 'list', or 'verify'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down parameters (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="verify: run claims across N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="IDS",
+        help="verify: comma-separated claim ids to check (default: all)",
     )
     args = parser.parse_args(argv)
 
@@ -233,6 +121,9 @@ def main(argv: "list[str] | None" = None) -> int:
         for key, (desc, _, _) in EXPERIMENTS.items():
             print(f"{key:4s} {desc}")
         return 0
+
+    if args.experiment == "verify":
+        return _verify(args)
 
     keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment.lower()]
     unknown = [k for k in keys if k not in EXPERIMENTS]

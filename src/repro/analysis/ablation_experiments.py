@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import math
 
-from repro.core.theta import theta_algorithm
 from repro.geometry.pointsets import (
     DISTRIBUTIONS,
     star_points,
@@ -33,8 +32,8 @@ from repro.geometry.pointsets import (
 )
 from repro.graphs.metrics import distance_stretch, energy_stretch, max_degree
 from repro.graphs.sparsify import global_yao_sparsification, greedy_spanner
-from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
 from repro.graphs.yao import yao_graph
+from repro.harness.cache import cached_range, cached_theta_topology, cached_transmission_graph
 from repro.interference.model import InterferenceModel
 from repro.interference.physical import PhysicalInterferenceModel
 from repro.utils.rng import as_rng, spawn_rngs
@@ -66,8 +65,8 @@ def e13_interference_models(
     """
     gen = as_rng(rng)
     pts = uniform_points(n, rng=gen)
-    d = max_range_for_connectivity(pts, slack=1.5)
-    topo = theta_algorithm(pts, theta, d)
+    d = cached_range(pts, 1.5)
+    topo = cached_theta_topology(pts, theta, d)
     g = topo.graph
     rows = []
     for delta in deltas:
@@ -115,11 +114,11 @@ def e14_local_vs_global(
     rows = []
     for n, child in zip(ns, spawn_rngs(gen, len(ns))):
         pts = uniform_points(n, rng=child)
-        d = max_range_for_connectivity(pts, slack=1.5)
-        gstar = transmission_graph(pts, d)
+        d = cached_range(pts, 1.5)
+        gstar = cached_transmission_graph(pts, d)
         yao = yao_graph(pts, theta, d)
         candidates = {
-            "ThetaALG (local, 3 rounds)": theta_algorithm(pts, theta, d).graph,
+            "ThetaALG (local, 3 rounds)": cached_theta_topology(pts, theta, d).graph,
             "global Yao sparsify (diameter rounds)": global_yao_sparsification(yao, 2.0),
             "greedy spanner (global ranking)": greedy_spanner(gstar, 1.5),
         }
@@ -169,9 +168,9 @@ def e15_spanner_probe(
                     pts = two_cluster_bridge_points(n, rng=child)
                 else:
                     pts = DISTRIBUTIONS[fam](n, rng=child)
-                d = max_range_for_connectivity(pts, slack=1.5)
-                gstar = transmission_graph(pts, d)
-                topo = theta_algorithm(pts, theta, d)
+                d = cached_range(pts, 1.5)
+                gstar = cached_transmission_graph(pts, d)
+                topo = cached_theta_topology(pts, theta, d)
                 ds = distance_stretch(topo.graph, gstar, max_sources=max_sources, rng=child)
                 if ds.disconnected_pairs:
                     worst[fam] = float("inf")

@@ -18,9 +18,8 @@ import numpy as np
 
 from repro.core.anycast import AnycastBalancingRouter
 from repro.core.balancing import BalancingConfig, BalancingRouter
-from repro.core.theta import theta_algorithm
 from repro.geometry.pointsets import uniform_points
-from repro.graphs.transmission import max_range_for_connectivity
+from repro.harness.cache import cached_range, cached_theta_topology
 from repro.utils.rng import as_rng, spawn_rngs
 
 __all__ = ["e18_anycast"]
@@ -47,8 +46,8 @@ def e18_anycast(
     rows = []
     for m, child in zip(group_sizes, spawn_rngs(gen, len(group_sizes))):
         pts = uniform_points(n, rng=child)
-        d = max_range_for_connectivity(pts, slack=1.5)
-        topo = theta_algorithm(pts, theta, d)
+        d = cached_range(pts, 1.5)
+        topo = cached_theta_topology(pts, theta, d)
         g = topo.graph
         edges = g.directed_edge_array()
         costs = np.concatenate([g.edge_costs, g.edge_costs])

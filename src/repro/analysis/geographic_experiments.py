@@ -17,10 +17,9 @@ import math
 import numpy as np
 from scipy.sparse.csgraph import dijkstra
 
-from repro.core.theta import theta_algorithm
 from repro.geometry.pointsets import uniform_points
 from repro.graphs.baselines import euclidean_mst, gabriel_graph, relative_neighborhood_graph
-from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+from repro.harness.cache import cached_range, cached_theta_topology, cached_transmission_graph
 from repro.sim.geographic import greedy_geographic_path
 from repro.utils.rng import as_rng
 
@@ -43,9 +42,9 @@ def e17_geographic_routing(
     """
     gen = as_rng(rng)
     pts = uniform_points(n, rng=gen)
-    d = max_range_for_connectivity(pts, slack=1.5)
-    gstar = transmission_graph(pts, d)
-    topo = theta_algorithm(pts, theta, d)
+    d = cached_range(pts, 1.5)
+    gstar = cached_transmission_graph(pts, d)
+    topo = cached_theta_topology(pts, theta, d)
     zoo = {
         "Gstar": gstar,
         "ThetaALG(N)": topo.graph,

@@ -24,9 +24,8 @@ import math
 import numpy as np
 
 from repro.core.balancing import BalancingConfig, BalancingRouter
-from repro.core.theta import theta_algorithm
 from repro.geometry.pointsets import uniform_points
-from repro.graphs.transmission import max_range_for_connectivity
+from repro.harness.cache import cached_range, cached_theta_topology
 from repro.sim.baseline_routers import ShortestPathRouter
 from repro.sim.mobility import RandomWaypointMobility
 from repro.utils.rng import as_rng, spawn_rngs
@@ -62,13 +61,15 @@ def e16_mobility_churn(
         balancing = BalancingRouter(
             n, dests, BalancingConfig(threshold=1.0, gamma=0.0, max_height=128)
         )
-        d0 = max_range_for_connectivity(pts0, slack=1.5)
-        frozen = ShortestPathRouter(theta_algorithm(pts0, theta, d0).graph)
+        d0 = cached_range(pts0, 1.5)
+        frozen = ShortestPathRouter(cached_theta_topology(pts0, theta, d0).graph)
         inject_until = steps * 2 // 3
         for t in range(steps):
             pts = mobility.advance() if speed > 0 else pts0
-            d = max_range_for_connectivity(pts, slack=1.5)
-            topo = theta_algorithm(pts, theta, d)
+            # Memoized: the static (speed 0) case rebuilds an identical
+            # topology every step and hits the cache after step one.
+            d = cached_range(pts, 1.5)
+            topo = cached_theta_topology(pts, theta, d)
             g = topo.graph
             edges = g.directed_edge_array()
             costs = np.concatenate([g.edge_costs, g.edge_costs])

@@ -1,4 +1,4 @@
-"""Harnesses for the routing-side experiments (E6–E9, E12).
+"""Harnesses for the routing-side experiments (E6–E9, E12, E20, E21).
 
 The competitive experiments share one pattern:
 
@@ -31,11 +31,10 @@ from repro.core.competitive import (
 )
 from repro.core.honeycomb import HoneycombConfig, HoneycombRouter
 from repro.core.interference_mac import RandomActivationMAC
-from repro.core.theta import theta_algorithm
 from repro.geometry.pointsets import uniform_points
 from repro.graphs.base import GeometricGraph
 from repro.graphs.metrics import max_degree
-from repro.graphs.transmission import max_range_for_connectivity
+from repro.harness.cache import cached_range, cached_theta_topology
 from repro.sim.adversary import (
     WitnessedScenario,
     hotspot_stream_scenario,
@@ -54,6 +53,7 @@ __all__ = [
     "e8_random_competitive",
     "e9_honeycomb",
     "e12_buffer_tradeoff",
+    "e20_aqt_stability",
     "e21_frequency_sweep",
 ]
 
@@ -268,8 +268,8 @@ def e7_tgi_throughput(
     rows = []
     for trial, child in enumerate(spawn_rngs(gen, trials)):
         pts = uniform_points(n, rng=child)
-        d = max_range_for_connectivity(pts, slack=1.5)
-        topo = theta_algorithm(pts, theta, d)
+        d = cached_range(pts, 1.5)
+        topo = cached_theta_topology(pts, theta, d)
         graph = topo.graph
         scenario = stream_scenario(graph, n_streams, duration, rng=child, max_hops=3)
         router, mac, params = _tgi_run(
@@ -312,8 +312,8 @@ def e8_random_competitive(
     rows = []
     for n, child in zip(ns, spawn_rngs(gen, len(ns))):
         pts = uniform_points(n, rng=child)
-        d = max_range_for_connectivity(pts, slack=1.5)
-        topo = theta_algorithm(pts, theta, d)
+        d = cached_range(pts, 1.5)
+        topo = cached_theta_topology(pts, theta, d)
         graph = topo.graph
         scenario = stream_scenario(graph, n_streams, duration, rng=child, max_hops=3)
         router, mac, params = _tgi_run(
@@ -508,6 +508,54 @@ def e12_buffer_tradeoff(
                     "dropped": st.dropped,
                     "max_buffer": st.max_buffer_height,
                     "avg_cost": round(st.average_cost, 4),
+                }
+            )
+    return rows
+
+
+def e20_aqt_stability(
+    *,
+    rhos=(0.25, 0.5, 0.75),
+    durations=(200, 400),
+    window=8,
+    side=5,
+    rng=None,
+) -> list[dict]:
+    """E20 — §1.2 AQT lineage: stability under (w, ρ)-bounded adversaries.
+
+    The balancing results descend from adversarial queuing theory,
+    where injections must be (w, ρ)-feasible and the question is queue
+    *stability*: for subcritical ρ, buffer heights grow with ρ but not
+    with the horizon.
+    """
+    from repro.sim.aqt import bounded_adversary_scenario, max_window_load
+
+    gen = as_rng(rng)
+    rows = []
+    g = grid_graph(side)
+    for rho, child in zip(rhos, spawn_rngs(gen, len(rhos))):
+        # One adversary seed per ρ so the duration sweep extends the
+        # same injection pattern rather than resampling it.
+        seed = int(child.integers(2**31))
+        for duration in durations:
+            scenario = bounded_adversary_scenario(
+                g, rho=rho, window=window, duration=duration, rng=seed
+            )
+            router = BalancingRouter(
+                g.n_nodes,
+                scenario.destinations,
+                BalancingConfig(threshold=1.0, gamma=0.0, max_height=100_000),
+            )
+            SimulationEngine.for_scenario(router, scenario).run(scenario.duration)
+            rows.append(
+                {
+                    "rho": rho,
+                    "duration": duration,
+                    "measured_window_load": round(max_window_load(scenario, window), 3),
+                    "injected": router.stats.injected,
+                    "delivered": router.stats.delivered,
+                    "max_buffer_height": router.stats.max_buffer_height,
+                    "in_flight_at_end": router.total_packets(),
                 }
             )
     return rows

@@ -111,7 +111,9 @@ def clustered_points(
     return np.clip(pts, 0.0, side)
 
 
-def ring_points(n: int, *, radius: float = 0.5, center=(0.5, 0.5), jitter: float = 0.0, rng=None) -> np.ndarray:
+def ring_points(
+    n: int, *, radius: float = 0.5, center=(0.5, 0.5), jitter: float = 0.0, rng=None
+) -> np.ndarray:
     """``n`` points evenly spaced on a circle, optionally jittered radially."""
     n = _require_n(n)
     check_positive("radius", radius)

@@ -203,8 +203,8 @@ class GeometricGraph:
             for i, (x, y) in enumerate(self._points)
         )
         g.add_edges_from(
-            (int(i), int(j), {"length": float(l), "cost": float(c)})
-            for (i, j), l, c in zip(self._edges, self.edge_lengths, self.edge_costs)
+            (int(i), int(j), {"length": float(length), "cost": float(c)})
+            for (i, j), length, c in zip(self._edges, self.edge_lengths, self.edge_costs)
         )
         return g
 

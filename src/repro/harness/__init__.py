@@ -1,0 +1,26 @@
+"""Claim-verification harness: registry, parallel runner, JSON results.
+
+The harness turns the E1–E22 experiment suite into a machine-checkable
+gate: every experiment is declared as a :class:`~repro.harness.registry.Claim`
+with a paper reference, full and ``--quick`` parameter sets, and a
+tolerance/bound predicate; :mod:`repro.harness.runner` executes selected
+claims across a process pool; :mod:`repro.harness.results` persists one
+versioned JSON record per claim for CI to consume.
+
+``python -m repro verify [--quick] [--jobs N] [--only e4,e7]`` is the
+command-line entry point; it exits nonzero if any claim predicate fails.
+"""
+
+from repro.harness.registry import REGISTRY, Claim, build_rows
+from repro.harness.results import ClaimResult, default_results_dir, write_result
+from repro.harness.runner import run_claims
+
+__all__ = [
+    "REGISTRY",
+    "Claim",
+    "ClaimResult",
+    "build_rows",
+    "default_results_dir",
+    "run_claims",
+    "write_result",
+]

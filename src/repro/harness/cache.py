@@ -1,0 +1,127 @@
+"""Content-keyed memoization for expensive experiment substrates.
+
+Several experiments build the same objects from the same inputs — a
+point set drawn from a seeded generator, its connectivity-critical
+transmission range, the transmission graph G*, the ΘALG topology N.
+E1 and E2 (quick tier), for example, draw the identical n=48 uniform
+point set from seed 0 and then both compute its range and G*; E1 full
+rebuilds G* once per θ even though G* does not depend on θ.
+
+The cache keys substrates by a digest of the point coordinates plus the
+construction parameters, so sharing needs no coordination between
+experiments: any two call sites that would build the same object get
+the same cached instance.  All cached objects are treated as immutable
+by convention (the graph types never mutate after construction).
+
+Scope: the cache is per-process.  Under ``repro verify --jobs N`` each
+pool worker keeps its own cache, warmed across the claims that worker
+executes; with ``--jobs 1`` (and inside the test/bench suites) it is
+global.  Entries are evicted FIFO beyond ``max_entries``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+__all__ = [
+    "SubstrateCache",
+    "GLOBAL_CACHE",
+    "cache_stats",
+    "cached_range",
+    "cached_theta_topology",
+    "cached_transmission_graph",
+    "clear_cache",
+    "points_digest",
+]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+
+@dataclass
+class SubstrateCache:
+    """A bounded FIFO memo table keyed by hashable construction keys."""
+
+    max_entries: int = 512
+    _store: "dict[Hashable, Any]" = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def get_or_build(self, key: Hashable, builder: "Callable[[], Any]") -> Any:
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.stats.misses += 1
+            value = builder()
+            self._store[key] = value
+            while len(self._store) > self.max_entries:
+                self._store.pop(next(iter(self._store)))
+                self.stats.evictions += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats = CacheStats()
+
+
+#: Process-wide cache instance used by the helpers below.
+GLOBAL_CACHE = SubstrateCache()
+
+
+def points_digest(points: np.ndarray) -> str:
+    """Stable content digest of a coordinate array."""
+    arr = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    h = hashlib.sha1(arr.tobytes())
+    h.update(str(arr.shape).encode())
+    return h.hexdigest()
+
+
+def cached_range(points: np.ndarray, slack: float) -> float:
+    """Memoized ``max_range_for_connectivity(points, slack=slack)``."""
+    from repro.graphs.transmission import max_range_for_connectivity
+
+    key = ("range", points_digest(points), float(slack))
+    return GLOBAL_CACHE.get_or_build(
+        key, lambda: max_range_for_connectivity(points, slack=slack)
+    )
+
+
+def cached_transmission_graph(points: np.ndarray, d: float, kappa: float = 2.0):
+    """Memoized ``transmission_graph(points, d, kappa=kappa)`` (G*)."""
+    from repro.graphs.transmission import transmission_graph
+
+    key = ("gstar", points_digest(points), float(d), float(kappa))
+    return GLOBAL_CACHE.get_or_build(key, lambda: transmission_graph(points, d, kappa=kappa))
+
+
+def cached_theta_topology(points: np.ndarray, theta: float, d: float, kappa: float = 2.0):
+    """Memoized ``theta_algorithm(points, theta, d, kappa=kappa)`` (ΘALG)."""
+    from repro.core.theta import theta_algorithm
+
+    key = ("theta", points_digest(points), float(theta), float(d), float(kappa))
+    return GLOBAL_CACHE.get_or_build(key, lambda: theta_algorithm(points, theta, d, kappa=kappa))
+
+
+def clear_cache() -> None:
+    """Drop every cached substrate and reset the counters."""
+    GLOBAL_CACHE.clear()
+
+
+def cache_stats() -> dict:
+    """Current hit/miss/eviction counters (for result records and tests)."""
+    return GLOBAL_CACHE.stats.as_dict()

@@ -1,0 +1,105 @@
+"""Versioned JSON result records for claim verification runs.
+
+Each verified claim produces one ``<claim>.json`` under the results
+directory (``benchmarks/results/`` by default, overridable through the
+``REPRO_RESULTS_DIR`` environment variable so CI can redirect
+artifacts).  The schema, ``repro-claim-result/v1``:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-claim-result/v1",
+      "claim": "e2",
+      "title": "O(1) energy-stretch of N",
+      "paper_ref": "Theorem 2.2",
+      "profile": "quick",
+      "seed": 0,
+      "params": {"ns": [48], "...": "..."},
+      "rows": [{"...": "..."}],
+      "n_rows": 4,
+      "passed": true,
+      "failures": [],
+      "runtime_seconds": 1.73,
+      "cache": {"hits": 2, "misses": 3, "evictions": 0}
+    }
+
+Non-finite floats (the tables use ``inf``/``nan`` for absent bounds)
+are serialized as the strings ``"inf"``, ``"-inf"`` and ``"nan"`` so
+the files stay strict JSON; numpy scalars are unwrapped to their
+Python equivalents.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+SCHEMA = "repro-claim-result/v1"
+
+__all__ = ["SCHEMA", "ClaimResult", "default_results_dir", "jsonify", "write_result"]
+
+
+@dataclass
+class ClaimResult:
+    """Outcome of verifying one claim under one parameter profile."""
+
+    claim: str
+    title: str
+    paper_ref: str
+    profile: str
+    seed: int
+    params: dict
+    rows: "list[dict]"
+    failures: "list[str]"
+    runtime_seconds: float
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def record(self) -> dict:
+        rec = {"schema": SCHEMA, **asdict(self)}
+        rec["n_rows"] = len(self.rows)
+        rec["passed"] = self.passed
+        return jsonify(rec)
+
+
+def jsonify(obj):
+    """Recursively convert a result payload to strict-JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(v) for v in obj]
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "nan"
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        return obj
+    if isinstance(obj, (int, str)) or obj is None:
+        return obj
+    item = getattr(obj, "item", None)  # numpy scalars (incl. np.bool_)
+    if callable(item):
+        return jsonify(item())
+    return str(obj)
+
+
+def default_results_dir() -> Path:
+    """``$REPRO_RESULTS_DIR`` if set, else ``benchmarks/results`` (cwd-relative)."""
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    return Path(env) if env else Path("benchmarks") / "results"
+
+
+def write_result(result: ClaimResult, results_dir: "Path | None" = None) -> Path:
+    """Persist one claim result as ``<results_dir>/<claim>.json``."""
+    out_dir = Path(results_dir) if results_dir is not None else default_results_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.claim}.json"
+    path.write_text(json.dumps(result.record(), indent=2, allow_nan=False) + "\n")
+    return path

@@ -19,8 +19,8 @@ style cost comparisons) and a witness cost summary helper.
 
 from __future__ import annotations
 
-import numpy as np
 import networkx as nx
+import numpy as np
 from scipy.sparse.csgraph import dijkstra
 
 from repro.graphs.base import GeometricGraph

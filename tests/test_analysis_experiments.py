@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.analysis.routing_experiments import (
     e6_balancing_competitive,

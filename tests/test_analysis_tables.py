@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
@@ -24,7 +23,7 @@ class TestRenderTable:
         lines = out.splitlines()
         assert len(lines) == 4  # header, separator, 2 rows
         assert lines[0].startswith("name")
-        assert all(len(l) == len(lines[0]) for l in lines[1:])
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
 
     def test_union_of_keys(self):
         rows = [{"a": 1}, {"b": 2}]

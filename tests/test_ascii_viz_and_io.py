@@ -41,7 +41,7 @@ class TestAsciiViz:
         out = render_graph_ascii(g, width=40)
         assert out.count("o") == 8
         lines = out.splitlines()
-        assert all(len(l) == len(lines[0]) for l in lines)
+        assert all(len(line) == len(lines[0]) for line in lines)
 
     def test_width_validation(self):
         with pytest.raises(ValueError):

@@ -1,10 +1,14 @@
-"""Tests for the ``python -m repro`` experiment runner."""
+"""Tests for the ``python -m repro`` experiment runner and verify gate."""
 
 from __future__ import annotations
+
+import dataclasses
+import json
 
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
+from repro.harness.registry import REGISTRY
 
 
 class TestCli:
@@ -40,3 +44,50 @@ class TestCli:
         for key, (_, _, quick) in EXPERIMENTS.items():
             rows = quick()
             assert rows, key
+
+
+@pytest.fixture
+def results_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestVerify:
+    def test_verify_quick_passes_and_writes_json(self, capsys, results_env):
+        assert main(["verify", "--quick", "--only", "e1,e11"]) == 0
+        out = capsys.readouterr().out
+        assert "all 2 claims hold" in out
+        for cid in ("e1", "e11"):
+            rec = json.loads((results_env / f"{cid}.json").read_text())
+            assert rec["claim"] == cid
+            assert rec["passed"] is True
+            assert rec["profile"] == "quick"
+            assert rec["rows"], cid
+
+    def test_only_filters_claims(self, capsys, results_env):
+        assert main(["verify", "--quick", "--only", "e5"]) == 0
+        capsys.readouterr()
+        assert (results_env / "e5.json").exists()
+        assert not (results_env / "e1.json").exists()
+
+    def test_malformed_id_exits_2(self, capsys, results_env):
+        assert main(["verify", "--quick", "--only", "e1,bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_failing_claim_exits_1(self, capsys, results_env, monkeypatch):
+        broken = dataclasses.replace(
+            REGISTRY["e1"], check=lambda rows, profile: ["deliberately broken"]
+        )
+        monkeypatch.setitem(REGISTRY, "e1", broken)
+        assert main(["verify", "--quick", "--only", "e1"]) == 1
+        err = capsys.readouterr().err
+        assert "FAIL e1: deliberately broken" in err
+        rec = json.loads((results_env / "e1.json").read_text())
+        assert rec["passed"] is False
+        assert rec["failures"] == ["deliberately broken"]
+
+    def test_jobs_parallel_path(self, capsys, results_env):
+        assert main(["verify", "--quick", "--jobs", "2", "--only", "e1,e5"]) == 0
+        assert "all 2 claims hold" in capsys.readouterr().out
+        assert (results_env / "e1.json").exists()
+        assert (results_env / "e5.json").exists()

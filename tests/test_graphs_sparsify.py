@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.geometry.pointsets import uniform_points
-from repro.graphs.metrics import distance_stretch, is_connected, max_degree
+from repro.graphs.metrics import distance_stretch, is_connected
 from repro.graphs.sparsify import global_yao_sparsification, greedy_spanner
 from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
 from repro.graphs.yao import yao_graph

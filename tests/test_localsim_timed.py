@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from repro.geometry.pointsets import star_points, uniform_points
 from repro.graphs.transmission import max_range_for_connectivity

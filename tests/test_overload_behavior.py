@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.routing_experiments import ring_graph
 from repro.core.balancing import BalancingConfig, BalancingRouter

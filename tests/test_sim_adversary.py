@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.routing_experiments import grid_graph, ring_graph
@@ -15,7 +14,7 @@ from repro.sim.adversary import (
     random_scenario_on_graph,
     stream_scenario,
 )
-from repro.sim.schedules import Schedule, schedules_conflict_free, validate_schedule
+from repro.sim.schedules import schedules_conflict_free, validate_schedule
 
 
 @pytest.fixture(scope="module")

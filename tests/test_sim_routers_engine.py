@@ -8,9 +8,9 @@ import pytest
 from repro.analysis.routing_experiments import ring_graph
 from repro.core.balancing import BalancingConfig, BalancingRouter
 from repro.graphs.base import GeometricGraph
+from repro.sim.adversary import stream_scenario
 from repro.sim.baseline_routers import RandomWalkRouter, ShortestPathRouter
 from repro.sim.engine import SimulationEngine
-from repro.sim.adversary import stream_scenario
 from repro.sim.mobility import (
     RandomWalkMobility,
     RandomWaypointMobility,
@@ -92,7 +92,9 @@ class TestRandomWalkRouter:
             r.inject(i, (i + 3) % 6, 1)
         for _ in range(50):
             r.run_step(edges, costs)
-        assert r.stats.accepted == r.stats.delivered + r.total_packets() + r.stats.dropped - (r.stats.injected - r.stats.accepted)
+        assert r.stats.accepted == r.stats.delivered + r.total_packets() + r.stats.dropped - (
+            r.stats.injected - r.stats.accepted
+        )
 
 
 class TestMobility:
