@@ -4,6 +4,15 @@ Not a paper claim — engineering due diligence per the optimize-after-
 measuring workflow: these benches time the hot construction paths
 (transmission graph, ΘALG, interference sets, a balancing step) at a
 realistic size so regressions surface in `--benchmark-compare` runs.
+
+Two tiers:
+
+* the n=512 tier runs every kernel with full pytest-benchmark
+  statistics (several rounds each);
+* the scaling tier times transmission-graph and interference-set
+  construction at n ∈ {2 000, 10 000, 30 000} with a single round per
+  size (``benchmark.pedantic``), checking that the vectorized kernels
+  stay usable at production scale inside the CI smoke budget.
 """
 
 from __future__ import annotations
@@ -65,3 +74,41 @@ def test_perf_balancing_step(benchmark, world):
 
     benchmark(step)
     assert router.stats.steps > 0
+
+
+# ---------------------------------------------------------------------------
+# Scaling tier: one timed round per size (setup dominates otherwise).
+# ---------------------------------------------------------------------------
+
+SCALING_NS = [2_000, 10_000, 30_000]
+
+
+@pytest.fixture(scope="module")
+def scaling_world():
+    """Lazily built (points, range, G*) per size, shared across benches."""
+    cache: dict[int, tuple] = {}
+
+    def get(n: int):
+        if n not in cache:
+            # Scale the unit square by sqrt(n) so node density stays
+            # constant and the connectivity range is size-independent.
+            pts = uniform_points(n, rng=1) * math.sqrt(n)
+            d = max_range_for_connectivity(pts, method="sparse")
+            cache[n] = (pts, d, transmission_graph(pts, d))
+        return cache[n]
+
+    return get
+
+
+@pytest.mark.parametrize("n", SCALING_NS)
+def test_scaling_transmission_graph(benchmark, scaling_world, n):
+    pts, d, _ = scaling_world(n)
+    g = benchmark.pedantic(lambda: transmission_graph(pts, d), rounds=1, iterations=1)
+    assert g.n_edges >= n - 1
+
+
+@pytest.mark.parametrize("n", SCALING_NS)
+def test_scaling_interference_sets(benchmark, scaling_world, n):
+    _, _, g = scaling_world(n)
+    sets = benchmark.pedantic(lambda: interference_sets(g, 0.5), rounds=1, iterations=1)
+    assert len(sets) == g.n_edges

@@ -69,6 +69,11 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="refresh the baseline from this run instead of gating",
     )
+    parser.add_argument(
+        "--report-improvements",
+        action="store_true",
+        help="also print a speedup factor for benchmarks faster than baseline",
+    )
     args = parser.parse_args(argv)
 
     if args.write_baseline:
@@ -89,6 +94,13 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"NEW      {name}: {mean * 1e3:8.2f} ms (no baseline entry)")
             continue
         ratio = mean / ref
+        if args.report_improvements and ratio < 1.0:
+            verdict = "IMPROVED"
+            print(
+                f"{verdict:8s} {name}: {mean * 1e3:8.2f} ms vs baseline "
+                f"{ref * 1e3:8.2f} ms ({1.0 / ratio:.2f}x faster)"
+            )
+            continue
         verdict = "OK" if ratio <= factor else "REGRESSED"
         print(
             f"{verdict:8s} {name}: {mean * 1e3:8.2f} ms vs baseline "

@@ -32,8 +32,12 @@ from repro.graphs.metrics import (
     max_degree,
 )
 from repro.graphs.yao import yao_graph
-from repro.harness.cache import cached_range, cached_theta_topology, cached_transmission_graph
-from repro.interference.conflict import interference_number
+from repro.harness.cache import (
+    cached_interference_sets,
+    cached_range,
+    cached_theta_topology,
+    cached_transmission_graph,
+)
 from repro.interference.model import InterferenceModel
 from repro.localsim.runtime import LocalRuntime
 from repro.utils.rng import as_rng, spawn_rngs
@@ -199,9 +203,9 @@ def e4_interference_scaling(
             for child in spawn_rngs(gen, trials):
                 pts = uniform_points(n, rng=child)
                 gstar, topo, d = _build(pts, theta)
-                vals.append(interference_number(topo.graph, delta))
+                vals.append(cached_interference_sets(topo.graph, delta).max_degree())
                 if include_gstar:
-                    gstar_vals.append(interference_number(gstar, delta))
+                    gstar_vals.append(cached_interference_sets(gstar, delta).max_degree())
             row = {
                 "delta": delta,
                 "n": n,
@@ -291,10 +295,7 @@ def e5b_full_simulation(
     slots, and reports the slowdown ratio — Theorem 2.8 bounds it by
     O(I) (+ the n² additive term).
     """
-    from repro.interference.conflict import (
-        greedy_interference_schedule,
-        interference_number,
-    )
+    from repro.interference.conflict import greedy_interference_schedule
     from repro.localsim.timed import pack_unicast_slots
 
     gen = as_rng(rng)
@@ -310,7 +311,7 @@ def e5b_full_simulation(
                 (a, b) for p in paths for a, b in zip(p[:-1], p[1:])
             ]
             n_slots_total += pack_unicast_slots(pts, messages, delta)
-        big_i = interference_number(topo.graph, delta)
+        big_i = cached_interference_sets(topo.graph, delta).max_degree()
         rows.append(
             {
                 "n": n,
@@ -342,7 +343,6 @@ def e5c_packet_transform(
         transform_schedules,
         verify_interference_free,
     )
-    from repro.interference.conflict import interference_number
     from repro.sim.adversary import permutation_scenario
 
     gen = as_rng(rng)
@@ -356,7 +356,7 @@ def e5c_packet_transform(
         verify_interference_free(topo, outs, delta)
         t_in = max(s.finish_time for s in ins)
         t_out = max(s.finish_time for s in outs)
-        big_i = interference_number(topo.graph, delta)
+        big_i = cached_interference_sets(topo.graph, delta).max_degree()
         rows.append(
             {
                 "n": n,
@@ -413,7 +413,7 @@ def e10_topology_zoo(
                     "distance_stretch": round(ds.max_stretch, 3)
                     if ds.disconnected_pairs == 0
                     else float("inf"),
-                    "interference_number": interference_number(g, delta),
+                    "interference_number": cached_interference_sets(g, delta).max_degree(),
                 }
             )
     return rows

@@ -162,8 +162,7 @@ class BalancingRouter:
             return []
         cfg = self.config
         h0 = self.heights  # beginning-of-step heights for decisions
-        # Remaining packets available for sending this step, per buffer.
-        avail = h0.copy()
+        ncols = h0.shape[1]
 
         # Vectorized candidate selection: for all edges at once compute
         # the best destination column and its potential drop.
@@ -171,25 +170,61 @@ class BalancingRouter:
         best_col = np.argmax(diff, axis=1)
         best_val = diff[np.arange(len(edges)), best_col]
         candidates = np.nonzero(best_val > cfg.threshold)[0]
+        if len(candidates) == 0:
+            return []
+        src = edges[candidates, 0]
+        chosen_col = best_col[candidates]
 
-        out: list[Transmission] = []
-        for k in candidates:
-            v, w = int(edges[k, 0]), int(edges[k, 1])
-            # Re-pick the best destination among buffers that still have
-            # packets available (earlier edges may have claimed them).
-            row = h0[v, :] - h0[w, :] - cfg.gamma * costs[k]
-            usable = avail[v, :] > 0
-            if not usable.any():
-                continue
-            masked = np.where(usable, row, -np.inf)
-            col = int(np.argmax(masked))
-            if masked[col] <= cfg.threshold:
-                continue
-            avail[v, col] -= 1
-            out.append(
-                Transmission(src=v, dst=w, dest=int(self.destinations[col]), cost=float(costs[k]))
+        # A candidate's best column always has a packet at step start
+        # (drop > threshold ≥ 0 forces h0[v, col] ≥ 1), so the chosen
+        # columns stand as long as no buffer is over-demanded: each pick
+        # then still finds its first-argmax column available.  One
+        # grouped count per touched buffer detects the exception.
+        buf = src * np.intp(ncols) + chosen_col
+        uniq, cnt = np.unique(buf, return_counts=True)
+        supply = h0[uniq // ncols, uniq % ncols]
+        over = cnt > supply
+        if over.any():
+            # Rare path: some buffer has more takers than packets.  Redo
+            # only the candidates of the affected sources with the exact
+            # sequential semantics (edge order, per-buffer claims);
+            # other sources are unaffected because availability only
+            # couples candidates sharing a source.
+            bad_sources = np.unique(uniq[over] // ncols)
+            redo = np.nonzero(np.isin(src, bad_sources))[0]
+            keep = np.ones(len(candidates), dtype=bool)
+            avail: dict[int, np.ndarray] = {}
+            for i in redo.tolist():
+                k = int(candidates[i])
+                v, w = int(edges[k, 0]), int(edges[k, 1])
+                arow = avail.get(v)
+                if arow is None:
+                    arow = h0[v, :].copy()
+                    avail[v] = arow
+                row = h0[v, :] - h0[w, :] - cfg.gamma * costs[k]
+                usable = arow > 0
+                if not usable.any():
+                    keep[i] = False
+                    continue
+                masked = np.where(usable, row, -np.inf)
+                col = int(np.argmax(masked))
+                if masked[col] <= cfg.threshold:
+                    keep[i] = False
+                    continue
+                arow[col] -= 1
+                chosen_col[i] = col
+            candidates = candidates[keep]
+            chosen_col = chosen_col[keep]
+
+        dests = self.destinations[chosen_col]
+        return [
+            Transmission(src=v, dst=w, dest=d, cost=c)
+            for (v, w), d, c in zip(
+                edges[candidates].tolist(),
+                dests.tolist(),
+                costs[candidates].tolist(),
             )
-        return out
+        ]
 
     # ------------------------------------------------------------------
     # Step phase 2: commit moves, absorb, inject
@@ -213,23 +248,38 @@ class BalancingRouter:
         success = np.asarray(success, dtype=bool).reshape(-1)
         if len(success) != len(transmissions):
             raise ValueError("success mask length mismatch")
-        delivered = 0
-        for tx, ok in zip(transmissions, success):
-            self.stats.record_attempt(tx.cost, bool(ok))
-            if not ok:
-                continue
-            col = self._dest_col[tx.dest]
-            if self.heights[tx.src, col] <= 0:
-                raise RuntimeError(
-                    f"balancing invariant violated: sending from empty buffer "
-                    f"Q_({tx.src},{tx.dest})"
-                )
-            self.heights[tx.src, col] -= 1
-            if tx.dst == tx.dest:
-                delivered += 1
-                self.stats.record_delivery()
-            else:
-                self.heights[tx.dst, col] += 1
+        k = len(transmissions)
+        if k == 0:
+            return 0
+        src = np.fromiter((tx.src for tx in transmissions), dtype=np.intp, count=k)
+        dst = np.fromiter((tx.dst for tx in transmissions), dtype=np.intp, count=k)
+        dest = np.fromiter((tx.dest for tx in transmissions), dtype=np.intp, count=k)
+        cost = np.fromiter((tx.cost for tx in transmissions), dtype=np.float64, count=k)
+        col = np.searchsorted(self.destinations, dest)
+        col[col == len(self.destinations)] = 0
+        bad = self.destinations[col] != dest
+        if bad.any():
+            raise KeyError(f"{int(dest[np.nonzero(bad)[0][0]])} is not a registered destination")
+
+        self.stats.record_attempts(cost, success)
+        src_ok, dst_ok, col_ok = src[success], dst[success], col[success]
+        # Invariant: no buffer sends more packets than it held at the
+        # start of the step (decide() guarantees this by construction).
+        buf, cnt = np.unique(src_ok * np.intp(self.heights.shape[1]) + col_ok, return_counts=True)
+        b_row, b_col = buf // self.heights.shape[1], buf % self.heights.shape[1]
+        short = cnt > self.heights[b_row, b_col]
+        if short.any():
+            v = int(b_row[np.nonzero(short)[0][0]])
+            d = int(self.destinations[b_col[np.nonzero(short)[0][0]]])
+            raise RuntimeError(
+                f"balancing invariant violated: sending from empty buffer Q_({v},{d})"
+            )
+        np.subtract.at(self.heights, (src_ok, col_ok), 1)
+        absorbed = dst_ok == dest[success]
+        np.add.at(self.heights, (dst_ok[~absorbed], col_ok[~absorbed]), 1)
+        delivered = int(np.count_nonzero(absorbed))
+        if delivered:
+            self.stats.record_delivery(delivered)
         return delivered
 
     def inject(self, node: int, dest: int, count: int = 1) -> int:

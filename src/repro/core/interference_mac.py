@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.base import GeometricGraph
-from repro.interference.conflict import interference_degrees, interference_sets
+from repro.interference.conflict import InterferenceSets, interference_sets
 from repro.interference.model import InterferenceModel
 from repro.sim.packets import Transmission
 from repro.utils.rng import as_rng
@@ -32,6 +32,7 @@ def estimate_edge_interference(
     delta: float,
     *,
     mode: str = "own",
+    sets: "InterferenceSets | None" = None,
 ) -> np.ndarray:
     """Per-edge activation bounds ``I_e`` (clamped below at 1).
 
@@ -44,20 +45,18 @@ def estimate_edge_interference(
       far more often.
     * ``"neighborhood"`` — ``I_e = max(|I(e)|, max_{e' ∈ I(e)} |I(e')|)``,
       the conservative bound needed in spaces with obstacles.
+
+    ``sets`` lets callers that already hold the interference sets (e.g.
+    :class:`RandomActivationMAC`) skip recomputing them.
     """
-    sets = interference_sets(graph, delta)
-    sizes = np.asarray([len(s) for s in sets], dtype=np.float64)
+    if sets is None:
+        sets = interference_sets(graph, delta)
+    sizes = sets.degrees.astype(np.float64)
     if mode == "own":
         return np.maximum(sizes, 1.0)
     if mode != "neighborhood":
         raise ValueError(f"mode must be 'own' or 'neighborhood', got {mode!r}")
-    out = np.empty(len(sets))
-    for k, s in enumerate(sets):
-        local = sizes[k]
-        if len(s):
-            local = max(local, float(sizes[s].max()))
-        out[k] = max(local, 1.0)
-    return out
+    return np.maximum(np.maximum(sizes, sets.neighborhood_max(sizes)), 1.0)
 
 
 class RandomActivationMAC:
@@ -92,8 +91,13 @@ class RandomActivationMAC:
         self.graph = graph
         self.delta = float(delta)
         self.rng = as_rng(rng)
+        self._sets: "InterferenceSets | None" = None
         if interference_bounds is None:
-            interference_bounds = estimate_edge_interference(graph, delta, mode=bound_mode)
+            # Computed once and cached: interference_number reuses it.
+            self._sets = interference_sets(graph, delta)
+            interference_bounds = estimate_edge_interference(
+                graph, delta, mode=bound_mode, sets=self._sets
+            )
         bounds = np.asarray(interference_bounds, dtype=np.float64).reshape(-1)
         if len(bounds) != graph.n_edges:
             raise ValueError("interference_bounds length must equal the edge count")
@@ -105,9 +109,15 @@ class RandomActivationMAC:
 
     @property
     def interference_number(self) -> int:
-        """``I`` — the maximum interference-set size over all edges."""
-        deg = interference_degrees(self.graph, self.delta)
-        return int(deg.max()) if len(deg) else 0
+        """``I`` — the maximum interference-set size over all edges.
+
+        The sets are computed at most once per instance (the constructor
+        already builds them when it derives the activation bounds) and
+        cached, rather than re-run on every property access.
+        """
+        if self._sets is None:
+            self._sets = interference_sets(self.graph, self.delta)
+        return self._sets.max_degree()
 
     def active_edges(self) -> tuple[np.ndarray, np.ndarray]:
         """Sample this step's active edges.

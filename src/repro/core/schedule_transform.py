@@ -157,10 +157,15 @@ def _compatible(
 
 
 def _interference_guess(topo: ThetaTopology, delta: float) -> int:
-    """Cheap upper estimate of the interference number for the horizon."""
-    from repro.interference.conflict import interference_number
+    """Cheap upper estimate of the interference number for the horizon.
 
-    return max(1, interference_number(topo.graph, delta))
+    Cached: the calling experiments recompute I for the same topology
+    and Δ when reporting, so the CSR sets are shared via the substrate
+    cache instead of rebuilt.
+    """
+    from repro.harness.cache import cached_interference_sets
+
+    return max(1, cached_interference_sets(topo.graph, delta).max_degree())
 
 
 def verify_interference_free(

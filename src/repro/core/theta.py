@@ -36,6 +36,7 @@ import numpy as np
 from repro.geometry.primitives import TWO_PI, as_points
 from repro.geometry.sectors import SectorPartition
 from repro.graphs.base import GeometricGraph
+from repro.utils.arrays import run_starts
 from repro.utils.validation import check_positive
 
 __all__ = ["ThetaTopology", "theta_algorithm"]
@@ -141,17 +142,23 @@ def theta_algorithm(
 
     directed = yao_out_edges(pts, theta, max_range, offset=offset)
 
-    # Phase-1 bookkeeping: (u, sector-of-u-containing-v) -> v.
+    # Phase-1 bookkeeping: (u, sector-of-u-containing-v) -> v, built in
+    # one shot from the directed choices (one sector per (u, v) row).
     yao_nearest: dict[tuple[int, int], int] = {}
+    kept_edges: np.ndarray = np.empty((0, 2), dtype=np.intp)
     if len(directed):
-        d = pts[directed[:, 1]] - pts[directed[:, 0]]
+        src, dst = directed[:, 0], directed[:, 1]
+        d = pts[dst] - pts[src]
         ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
         sec = np.atleast_1d(part.index_of_angle(ang))
-        for (u, v), s in zip(directed, sec):
-            yao_nearest[(int(u), int(s))] = int(v)
+        yao_nearest = dict(
+            zip(zip(src.tolist(), sec.tolist()), dst.tolist())
+        )
 
     # Phase 2: for each receiver x, group incoming Yao edges w -> x by
     # the cone of x containing w; admit only the nearest w per cone.
+    # Lexsort by (receiver, receiver-sector, distance, source-id); the
+    # first row of each (receiver, sector) run is the admitted edge.
     admitted: dict[tuple[int, int], int] = {}
     if len(directed):
         src, dst = directed[:, 0], directed[:, 1]
@@ -159,17 +166,12 @@ def theta_algorithm(
         ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
         sec_in = np.atleast_1d(part.index_of_angle(ang))
         dist = np.hypot(d[:, 0], d[:, 1])
-        # Sort by (receiver, receiver-sector, distance, source-id): the
-        # first row of each (receiver, sector) run is the admitted edge.
         order = np.lexsort((src, dist, sec_in, dst))
-        prev_key: tuple[int, int] | None = None
-        for k in order:
-            key = (int(dst[k]), int(sec_in[k]))
-            if key != prev_key:
-                admitted[key] = int(src[k])
-                prev_key = key
-
-    kept_edges = [(w, x) for (x, _), w in admitted.items()]
+        sel = order[run_starts(dst[order], sec_in[order])]
+        admitted = dict(
+            zip(zip(dst[sel].tolist(), sec_in[sel].tolist()), src[sel].tolist())
+        )
+        kept_edges = np.column_stack([src[sel], dst[sel]])
     graph = GeometricGraph(pts, kept_edges, kappa=kappa, name=f"ThetaALG(θ={theta:.4g})")
     n1 = GeometricGraph(pts, directed, kappa=kappa, name=f"Yao(θ={theta:.4g})")
 

@@ -7,9 +7,13 @@ point, which is O(1 + output) for bounded-density inputs and never worse
 than the brute-force scan.
 
 The index is built once over a static point set (node positions are
-snapshotted per simulation step; mobility re-builds the index, which at
-the n ≤ few-thousand scale of the experiments is cheap and keeps the
-code allocation-free inside queries).
+snapshotted per simulation step; mobility re-builds the index).  The
+bulk entry points — :meth:`GridIndex.all_pairs_within` and
+:meth:`GridIndex.query_radius_many` — process whole cells against their
+neighborhoods with broadcasted distance blocks instead of looping one
+Python iteration per point, which is what lets transmission-graph
+construction scale to tens of thousands of nodes (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -19,9 +23,13 @@ import math
 import numpy as np
 
 from repro.geometry.primitives import as_points
+from repro.utils.arrays import ragged_arange
 from repro.utils.validation import check_positive
 
 __all__ = ["GridIndex"]
+
+#: Cap on candidate pairs materialized per broadcast block (memory bound).
+_PAIR_BUDGET = 1 << 22
 
 
 class GridIndex:
@@ -47,17 +55,34 @@ class GridIndex:
         keys = self._cell_keys(pts)
         order = np.lexsort((keys[:, 1], keys[:, 0]))
         self._order = order
+        self._sorted_points = pts[order] if len(pts) else pts
         sorted_keys = keys[order]
-        # Group boundaries of equal (cx, cy) runs in the sorted order.
         if len(pts):
+            # Unique occupied cells with the start/count of their runs in
+            # the sorted order.  Cells are encoded as a single int64 code
+            # cx * ny + cy (both shifted non-negative), which preserves
+            # the (cx, cy) lexicographic order of the sort above.
             change = np.any(np.diff(sorted_keys, axis=0) != 0, axis=1)
-            starts = np.concatenate([[0], np.nonzero(change)[0] + 1])
-            ends = np.concatenate([starts[1:], [len(pts)]])
+            starts = np.concatenate([[0], np.nonzero(change)[0] + 1]).astype(np.intp)
+            counts = np.diff(np.concatenate([starts, [len(pts)]])).astype(np.intp)
+            cells = sorted_keys[starts]
+            self._key_min = keys.min(axis=0)
+            self._key_max = keys.max(axis=0)
+            self._ny = int(self._key_max[1] - self._key_min[1] + 1)
+            self._cell_codes = self._encode(cells)
+            self._cell_starts = starts
+            self._cell_counts = counts
             self._buckets = {
-                (int(sorted_keys[s, 0]), int(sorted_keys[s, 1])): (int(s), int(e))
-                for s, e in zip(starts, ends)
+                (int(cx), int(cy)): (int(s), int(s + c))
+                for (cx, cy), s, c in zip(cells, starts, counts)
             }
         else:
+            self._key_min = np.zeros(2, dtype=np.int64)
+            self._key_max = np.zeros(2, dtype=np.int64)
+            self._ny = 1
+            self._cell_codes = np.empty(0, dtype=np.int64)
+            self._cell_starts = np.empty(0, dtype=np.intp)
+            self._cell_counts = np.empty(0, dtype=np.intp)
             self._buckets = {}
 
     @property
@@ -77,6 +102,37 @@ class GridIndex:
 
     def _cell_keys(self, pts: np.ndarray) -> np.ndarray:
         return np.floor((pts - self._origin) / self._cell).astype(np.int64)
+
+    def _encode(self, keys: np.ndarray) -> np.ndarray:
+        """Map (cx, cy) cell keys to sorted scalar codes (see __init__)."""
+        return (keys[:, 0] - self._key_min[0]) * np.int64(self._ny) + (
+            keys[:, 1] - self._key_min[1]
+        )
+
+    def _lookup_cells(self, keys: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Per query cell key, the (start, count) of its sorted run.
+
+        Unoccupied (or out-of-range) cells get count 0.
+        """
+        starts = np.zeros(len(keys), dtype=np.intp)
+        counts = np.zeros(len(keys), dtype=np.intp)
+        if len(self._cell_codes) == 0 or len(keys) == 0:
+            return starts, counts
+        # cy outside the indexed strip would alias another cell's code.
+        valid = (
+            (keys[:, 1] >= self._key_min[1])
+            & (keys[:, 1] <= self._key_max[1])
+            & (keys[:, 0] >= self._key_min[0])
+            & (keys[:, 0] <= self._key_max[0])
+        )
+        codes = self._encode(keys[valid])
+        pos = np.searchsorted(self._cell_codes, codes)
+        pos[pos == len(self._cell_codes)] = 0
+        found = self._cell_codes[pos] == codes
+        vidx = np.nonzero(valid)[0][found]
+        starts[vidx] = self._cell_starts[pos[found]]
+        counts[vidx] = self._cell_counts[pos[found]]
+        return starts, counts
 
     def _candidates(self, center: np.ndarray, radius: float) -> np.ndarray:
         """Indices of all points in cells intersecting the query disk."""
@@ -112,26 +168,124 @@ class GridIndex:
             out = out[out != exclude]
         return np.sort(out)
 
+    def query_radius_many(
+        self, centers: np.ndarray, radius: float
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Batched :meth:`query_radius` over many centers at once.
+
+        Parameters
+        ----------
+        centers:
+            ``(q, 2)`` array of query positions.
+        radius:
+            Shared query radius (inclusive, same epsilon as
+            :meth:`query_radius`).
+
+        Returns
+        -------
+        ``(indptr, indices)`` in CSR layout: the hits of query ``k`` are
+        ``indices[indptr[k]:indptr[k + 1]]``, sorted ascending — exactly
+        what ``query_radius`` returns for that center (no ``exclude``).
+        """
+        check_positive("radius", radius)
+        centers = as_points(np.atleast_2d(centers))
+        q = len(centers)
+        indptr = np.zeros(q + 1, dtype=np.intp)
+        if q == 0 or len(self._points) == 0:
+            return indptr, np.empty(0, dtype=np.intp)
+        reach = int(math.ceil(radius / self._cell))
+        ckeys = self._cell_keys(centers)
+        r2 = radius * radius + 1e-12
+        qid_chunks: list[np.ndarray] = []
+        hit_chunks: list[np.ndarray] = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                starts, counts = self._lookup_cells(ckeys + np.array([dx, dy]))
+                occupied = np.nonzero(counts)[0]
+                if len(occupied) == 0:
+                    continue
+                qids = np.repeat(occupied, counts[occupied])
+                spos = ragged_arange(starts[occupied], counts[occupied])
+                d = self._sorted_points[spos] - centers[qids]
+                mask = d[:, 0] ** 2 + d[:, 1] ** 2 <= r2
+                qid_chunks.append(qids[mask])
+                hit_chunks.append(self._order[spos[mask]])
+        if not qid_chunks:
+            return indptr, np.empty(0, dtype=np.intp)
+        qids = np.concatenate(qid_chunks)
+        hits = np.concatenate(hit_chunks)
+        order = np.lexsort((hits, qids))
+        np.cumsum(np.bincount(qids, minlength=q), out=indptr[1:])
+        return indptr, hits[order]
+
     def all_pairs_within(self, radius: float) -> np.ndarray:
         """All index pairs ``(i, j), i < j`` with distance ≤ ``radius``.
 
-        Returns an ``(m, 2)`` intp array.  This is the workhorse for
-        transmission-graph construction.
+        Returns an ``(m, 2)`` intp array sorted lexicographically.  This
+        is the workhorse for transmission-graph construction: instead of
+        one query per point, each occupied cell is compared against the
+        half of its neighborhood with a larger cell code (plus itself),
+        so every unordered cell pair is broadcast exactly once.
         """
         check_positive("radius", radius)
         n = len(self._points)
-        pairs: list[np.ndarray] = []
-        r2 = radius * radius + 1e-12
-        for i in range(n):
-            cand = self._candidates(self._points[i], radius)
-            cand = cand[cand > i]
-            if len(cand) == 0:
-                continue
-            d = self._points[cand] - self._points[i]
-            mask = d[:, 0] ** 2 + d[:, 1] ** 2 <= r2
-            hits = cand[mask]
-            if len(hits):
-                pairs.append(np.column_stack([np.full(len(hits), i, dtype=np.intp), hits]))
-        if not pairs:
+        if n < 2 or len(self._cell_codes) == 0:
             return np.empty((0, 2), dtype=np.intp)
-        return np.vstack(pairs)
+        reach = int(math.ceil(radius / self._cell))
+        cells = np.column_stack(
+            [
+                self._cell_codes // self._ny + self._key_min[0],
+                self._cell_codes % self._ny + self._key_min[1],
+            ]
+        )
+        # Half neighborhood: (0, 0) handles intra-cell pairs; the rest
+        # covers each unordered cell pair once.
+        offsets = [(0, 0)]
+        offsets += [(0, dy) for dy in range(1, reach + 1)]
+        offsets += [
+            (dx, dy) for dx in range(1, reach + 1) for dy in range(-reach, reach + 1)
+        ]
+        r2 = radius * radius + 1e-12
+        chunks: list[np.ndarray] = []
+        for off in offsets:
+            nb_starts, nb_counts = self._lookup_cells(cells + np.array(off))
+            pair_counts = self._cell_counts * nb_counts
+            live = np.nonzero(pair_counts)[0]
+            if len(live) == 0:
+                continue
+            # Chunk cell pairs so one broadcast block stays within budget.
+            cum = np.cumsum(pair_counts[live])
+            lo = 0
+            while lo < len(live):
+                base = cum[lo - 1] if lo else 0
+                hi = int(np.searchsorted(cum, base + _PAIR_BUDGET))
+                hi = max(hi, lo + 1)
+                block = live[lo:hi]
+                lo = hi
+                a_starts = self._cell_starts[block]
+                a_counts = self._cell_counts[block]
+                b_starts = nb_starts[block]
+                b_counts = nb_counts[block]
+                # Left side: every point of cell A, each repeated |B| times.
+                a_pos = ragged_arange(a_starts, a_counts)
+                reps = np.repeat(b_counts, a_counts)
+                left = np.repeat(a_pos, reps)
+                # Right side: the full B block per A point.
+                right = ragged_arange(np.repeat(b_starts, a_counts), reps)
+                d = self._sorted_points[left] - self._sorted_points[right]
+                mask = d[:, 0] ** 2 + d[:, 1] ** 2 <= r2
+                li = self._order[left[mask]]
+                ri = self._order[right[mask]]
+                keep = li < ri if off == (0, 0) else li != ri
+                # off == (0, 0) broadcasts A×A, so keep each unordered
+                # pair once; other offsets see each pair exactly once but
+                # in arbitrary orientation.
+                lo_idx = np.minimum(li[keep], ri[keep])
+                hi_idx = np.maximum(li[keep], ri[keep])
+                if len(lo_idx):
+                    chunks.append(np.column_stack([lo_idx, hi_idx]))
+        if not chunks:
+            return np.empty((0, 2), dtype=np.intp)
+        pairs = np.vstack(chunks)
+        order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+        return pairs[order]

@@ -161,24 +161,27 @@ def _stretch(
         max_stretch = mean_stretch = 1.0
         n_pairs = 0
 
-    # Per-edge stretch over reference edges (Theorem 2.2's reduction).
+    # Per-edge stretch over reference edges (Theorem 2.2's reduction),
+    # as one gather d_sub[row_of_source, edge_target] over all edges.
     max_edge_stretch = 1.0
     if ref.n_edges:
         ew = ref.edge_costs if weight == "cost" else ref.edge_lengths
-        # Shortest-path rows for all edge sources we have available.
-        src_pos = {int(s): k for k, s in enumerate(sources)}
-        for (u, v), w in zip(ref.edges, ew):
-            row = src_pos.get(int(u))
-            if row is None:
-                row = src_pos.get(int(v))
-                if row is None:
-                    continue
-                target = int(u)
-            else:
-                target = int(v)
-            dsub = d_sub[row, target]
-            if np.isfinite(dsub) and w > 0:
-                max_edge_stretch = max(max_edge_stretch, float(dsub / w))
+        src_pos = np.full(n, -1, dtype=np.intp)
+        src_pos[sources] = np.arange(len(sources))
+        u, v = ref.edges[:, 0], ref.edges[:, 1]
+        row_u, row_v = src_pos[u], src_pos[v]
+        use_u = row_u >= 0
+        row = np.where(use_u, row_u, row_v)
+        target = np.where(use_u, v, u)
+        covered = row >= 0  # at least one endpoint is a Dijkstra source
+        if covered.any():
+            dsub = d_sub[row[covered], target[covered]]
+            w = ew[covered]
+            valid_edge = np.isfinite(dsub) & (w > 0)
+            if valid_edge.any():
+                max_edge_stretch = max(
+                    max_edge_stretch, float((dsub[valid_edge] / w[valid_edge]).max())
+                )
     return StretchResult(max_stretch, mean_stretch, max_edge_stretch, n_pairs, disconnected)
 
 

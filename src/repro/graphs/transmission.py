@@ -10,7 +10,9 @@ Euclidean MST), which experiment sweeps use to pick realistic ranges.
 from __future__ import annotations
 
 import numpy as np
-from scipy.sparse.csgraph import minimum_spanning_tree
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components, minimum_spanning_tree
+from scipy.spatial import cKDTree
 from scipy.spatial.distance import pdist, squareform
 
 from repro.geometry.primitives import as_points
@@ -19,6 +21,10 @@ from repro.graphs.base import GeometricGraph
 from repro.utils.validation import check_positive
 
 __all__ = ["transmission_graph", "max_range_for_connectivity"]
+
+#: Below this size the dense MST is cheap and serves as the oracle the
+#: sparse path is tested against.
+_DENSE_CUTOFF = 1024
 
 
 def transmission_graph(
@@ -49,17 +55,71 @@ def transmission_graph(
     return GeometricGraph(pts, edges, kappa=kappa, name=name)
 
 
-def max_range_for_connectivity(points: np.ndarray, *, slack: float = 1.0) -> float:
+def max_range_for_connectivity(
+    points: np.ndarray, *, slack: float = 1.0, method: str = "auto"
+) -> float:
     """Smallest D for which G* is connected, times ``slack``.
 
     This is the bottleneck (longest) edge of the Euclidean minimum
-    spanning tree.  For n ≤ a few thousand the dense MST is fast and
-    simple; the experiments never exceed that scale.
+    spanning tree.
+
+    Parameters
+    ----------
+    method:
+        ``"auto"`` (default) picks ``"dense"`` below ~2k points and
+        ``"sparse"`` above; the explicit values force one path.  The
+        dense path materializes the full ``squareform(pdist(...))``
+        matrix — O(n²) memory, simple and exact, fine for experiment
+        scale.  The sparse path never builds a dense matrix: a KD-tree
+        nearest-neighbor pass seeds a candidate radius (the largest
+        1-NN distance, a lower bound on the answer), the disk graph at
+        that radius is built sparsely, and the radius doubles until the
+        disk graph is connected — which guarantees it contains the
+        whole Euclidean MST, so the sparse MST's longest edge equals
+        the dense answer.
     """
     pts = as_points(points)
-    if len(pts) < 2:
+    n = len(pts)
+    if n < 2:
         return 0.0
-    dm = squareform(pdist(pts))
-    mst = minimum_spanning_tree(dm)
-    longest = float(mst.data.max()) if mst.nnz else 0.0
-    return longest * float(slack)
+    if method not in ("auto", "dense", "sparse"):
+        raise ValueError(f"method must be 'auto', 'dense' or 'sparse', got {method!r}")
+    if method == "dense" or (method == "auto" and n <= _DENSE_CUTOFF):
+        dm = squareform(pdist(pts))
+        mst = minimum_spanning_tree(dm)
+        longest = float(mst.data.max()) if mst.nnz else 0.0
+        return longest * float(slack)
+    return _bottleneck_range_sparse(pts) * float(slack)
+
+
+def _bottleneck_range_sparse(pts: np.ndarray) -> float:
+    """Longest Euclidean-MST edge without the dense distance matrix."""
+    n = len(pts)
+    tree = cKDTree(pts)
+    # Largest nearest-neighbor distance: any smaller radius leaves some
+    # node isolated, so this lower-bounds the bottleneck.
+    nn = tree.query(pts, k=2)[0][:, 1]
+    r = float(nn.max())
+    if r == 0.0:
+        # Coincident points (degenerate input): they cost nothing to
+        # connect; restart from the smallest positive NN distance.
+        positive = nn[nn > 0]
+        if len(positive) == 0:
+            return 0.0
+        r = float(positive.min())
+    while True:
+        pairs = tree.query_pairs(r, output_type="ndarray")
+        if len(pairs):
+            d = pts[pairs[:, 0]] - pts[pairs[:, 1]]
+            w = np.hypot(d[:, 0], d[:, 1])
+            # Zero-length edges (coincident points) must stay explicit
+            # entries or the sparse graph loses them; nudge to a tiny
+            # positive weight that can never become the bottleneck.
+            w = np.maximum(w, 1e-300)
+            g = sp.coo_matrix((w, (pairs[:, 0], pairs[:, 1])), shape=(n, n))
+            n_comp, _ = connected_components(g, directed=False)
+            if n_comp == 1:
+                mst = minimum_spanning_tree(g.tocsr())
+                longest = float(mst.data.max()) if mst.nnz else 0.0
+                return 0.0 if longest <= 1e-300 else longest
+        r *= 2.0

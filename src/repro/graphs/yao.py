@@ -19,6 +19,7 @@ from repro.geometry.primitives import TWO_PI, as_points
 from repro.geometry.sectors import SectorPartition
 from repro.geometry.spatialindex import GridIndex
 from repro.graphs.base import GeometricGraph
+from repro.utils.arrays import run_starts
 from repro.utils.validation import check_positive
 
 __all__ = ["yao_out_edges", "yao_graph"]
@@ -37,9 +38,15 @@ def yao_out_edges(
     realizes the paper's "unique pairwise distances" assumption for
     degenerate inputs such as exact lattices.
 
+    All in-range candidate pairs come from one bulk
+    :meth:`GridIndex.all_pairs_within` call; one global lexsort by
+    (source, sector, distance, target id) then picks the nearest
+    candidate per (source, sector) run — no per-node Python loop.
+
     Returns
     -------
-    ``(m, 2)`` intp array of directed edges (source, target).
+    ``(m, 2)`` intp array of directed edges (source, target), sorted by
+    (source, sector).
     """
     pts = as_points(points)
     check_positive("max_range", max_range)
@@ -47,28 +54,20 @@ def yao_out_edges(
     n = len(pts)
     if n < 2:
         return np.empty((0, 2), dtype=np.intp)
-    index = GridIndex(pts, cell=max_range)
-    out: list[tuple[int, int]] = []
-    for u in range(n):
-        cand = index.query_radius(pts[u], max_range, exclude=u)
-        if len(cand) == 0:
-            continue
-        d = pts[cand] - pts[u]
-        dist = np.hypot(d[:, 0], d[:, 1])
-        ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
-        sec = part.index_of_angle(ang)
-        # Nearest candidate per sector: lexsort by (sector, dist, node id)
-        # and keep the first row of each sector run.  Including the node
-        # id in the key makes tie-breaking deterministic.
-        order = np.lexsort((cand, dist, sec))
-        sec_sorted = sec[order]
-        first = np.ones(len(order), dtype=bool)
-        first[1:] = sec_sorted[1:] != sec_sorted[:-1]
-        for k in order[first]:
-            out.append((u, int(cand[k])))
-    if not out:
+    pairs = GridIndex(pts, cell=max_range).all_pairs_within(max_range)
+    if len(pairs) == 0:
         return np.empty((0, 2), dtype=np.intp)
-    return np.asarray(out, dtype=np.intp)
+    # Mirror to directed candidates: every in-range pair seen from both ends.
+    src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    d = pts[dst] - pts[src]
+    dist = np.hypot(d[:, 0], d[:, 1])
+    ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
+    sec = np.atleast_1d(part.index_of_angle(ang))
+    order = np.lexsort((dst, dist, sec, src))
+    first = run_starts(src[order], sec[order])
+    sel = order[first]
+    return np.column_stack([src[sel], dst[sel]])
 
 
 def yao_graph(

@@ -31,6 +31,7 @@ __all__ = [
     "SubstrateCache",
     "GLOBAL_CACHE",
     "cache_stats",
+    "cached_interference_sets",
     "cached_range",
     "cached_theta_topology",
     "cached_transmission_graph",
@@ -115,6 +116,26 @@ def cached_theta_topology(points: np.ndarray, theta: float, d: float, kappa: flo
 
     key = ("theta", points_digest(points), float(theta), float(d), float(kappa))
     return GLOBAL_CACHE.get_or_build(key, lambda: theta_algorithm(points, theta, d, kappa=kappa))
+
+
+def cached_interference_sets(graph, delta: float):
+    """Memoized ``interference_sets(graph, delta)`` for a cached graph.
+
+    Keyed by the graph's point digest plus its edge set digest, so two
+    topologies over the same nodes (e.g. G* and ΘALG's N) cache
+    separately.  The returned :class:`~repro.interference.conflict.InterferenceSets`
+    is read-only, matching the cache's immutability convention.
+    """
+    from repro.interference.conflict import interference_sets
+
+    edges = np.ascontiguousarray(graph.edges)
+    key = (
+        "isets",
+        points_digest(graph.points),
+        hashlib.sha1(edges.tobytes() + str(edges.shape).encode()).hexdigest(),
+        float(delta),
+    )
+    return GLOBAL_CACHE.get_or_build(key, lambda: interference_sets(graph, delta))
 
 
 def clear_cache() -> None:

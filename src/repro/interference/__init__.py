@@ -21,6 +21,7 @@ from repro.interference.model import (
     successful_transmissions,
 )
 from repro.interference.conflict import (
+    InterferenceSets,
     interference_sets,
     interference_degrees,
     interference_number,
@@ -34,6 +35,7 @@ __all__ = [
     "interference_radius",
     "edges_interfere",
     "successful_transmissions",
+    "InterferenceSets",
     "interference_sets",
     "interference_degrees",
     "interference_number",

@@ -75,7 +75,9 @@ def _greedy_broadcast_slots(points: np.ndarray, reach: float) -> int:
     if n == 0:
         return 0
     index = GridIndex(pts, cell=max(reach, 1e-9))
-    neighbors = [index.query_radius(pts[u], reach, exclude=u) for u in range(n)]
+    indptr, hits = index.query_radius_many(pts, reach)
+    neighbors = [hits[indptr[u] : indptr[u + 1]] for u in range(n)]
+    neighbors = [nb[nb != u] for u, nb in enumerate(neighbors)]
     order = sorted(range(n), key=lambda u: -len(neighbors[u]))
     color = np.full(n, -1, dtype=np.int64)
     for u in order:

@@ -50,6 +50,21 @@ class RoutingStats:
         else:
             self.interference_failures += 1
 
+    def record_attempts(self, costs, successes) -> None:
+        """Batch :meth:`record_attempt` over aligned cost/success arrays."""
+        import numpy as np
+
+        costs = np.asarray(costs, dtype=np.float64).reshape(-1)
+        ok = np.asarray(successes, dtype=bool).reshape(-1)
+        if len(costs) != len(ok):
+            raise ValueError("costs and successes must have equal length")
+        self.attempts += len(costs)
+        self.energy_attempted += float(costs.sum())
+        n_ok = int(np.count_nonzero(ok))
+        self.successes += n_ok
+        self.energy_successful += float(costs[ok].sum())
+        self.interference_failures += len(costs) - n_ok
+
     def record_delivery(self, count: int = 1) -> None:
         """``count`` packets absorbed at their destination this step."""
         self.delivered += count

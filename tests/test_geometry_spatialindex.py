@@ -91,3 +91,47 @@ class TestAllPairs:
         pts = np.array([[0.0, 0.0], [9.0, 9.0]])
         pairs = GridIndex(pts, cell=1.0).all_pairs_within(1.0)
         assert pairs.shape == (0, 2)
+
+
+class TestQueryRadiusMany:
+    def test_matches_single_queries(self):
+        pts = np.random.default_rng(5).uniform(0, 10, (120, 2))
+        idx = GridIndex(pts, cell=1.0)
+        centers = pts[::7]
+        indptr, indices = idx.query_radius_many(centers, 1.7)
+        assert len(indptr) == len(centers) + 1
+        for q, c in enumerate(centers):
+            got = indices[indptr[q] : indptr[q + 1]]
+            assert np.array_equal(got, idx.query_radius(c, 1.7))
+
+    def test_off_grid_centers(self):
+        pts = np.random.default_rng(6).uniform(0, 4, (50, 2))
+        idx = GridIndex(pts, cell=0.5)
+        centers = np.array([[-3.0, -3.0], [2.0, 2.0], [99.0, 99.0]])
+        indptr, indices = idx.query_radius_many(centers, 0.9)
+        assert np.array_equal(
+            indices[indptr[1] : indptr[2]], idx.query_radius(centers[1], 0.9)
+        )
+        assert indptr[1] - indptr[0] == 0  # far outside the grid
+        assert indptr[3] - indptr[2] == 0
+
+    def test_empty_centers(self):
+        idx = GridIndex(np.zeros((3, 2)), cell=1.0)
+        indptr, indices = idx.query_radius_many(np.empty((0, 2)), 1.0)
+        assert indptr.tolist() == [0]
+        assert len(indices) == 0
+
+    def test_empty_index(self):
+        idx = GridIndex(np.empty((0, 2)), cell=1.0)
+        indptr, indices = idx.query_radius_many(np.array([[0.0, 0.0]]), 1.0)
+        assert indptr.tolist() == [0, 0]
+        assert len(indices) == 0
+
+    def test_radius_exceeds_cell(self):
+        pts = np.random.default_rng(7).uniform(0, 10, (100, 2))
+        idx = GridIndex(pts, cell=0.4)
+        centers = pts[:10]
+        indptr, indices = idx.query_radius_many(centers, 2.5)
+        for q, c in enumerate(centers):
+            got = indices[indptr[q] : indptr[q + 1]]
+            assert np.array_equal(got, idx.query_radius(c, 2.5))

@@ -73,3 +73,52 @@ class TestMaxRangeForConnectivity:
     def test_two_points(self):
         pts = np.array([[0.0, 0.0], [0.0, 2.5]])
         assert max_range_for_connectivity(pts) == pytest.approx(2.5)
+
+
+class TestSparseBottleneck:
+    """The KD-tree doubling-radius path must agree with the dense oracle."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agrees_with_dense(self, seed):
+        n = 30 + 17 * seed
+        pts = uniform_points(n, rng=seed)
+        dense = max_range_for_connectivity(pts, method="dense")
+        sparse = max_range_for_connectivity(pts, method="sparse")
+        assert sparse == pytest.approx(dense, rel=1e-12)
+
+    def test_two_far_clusters(self):
+        """The bottleneck (the long bridge) forces many radius doublings."""
+        rng = np.random.default_rng(0)
+        a = rng.random((40, 2))
+        b = rng.random((40, 2)) + [50.0, 0.0]
+        pts = np.vstack([a, b])
+        dense = max_range_for_connectivity(pts, method="dense")
+        sparse = max_range_for_connectivity(pts, method="sparse")
+        assert sparse == pytest.approx(dense, rel=1e-12)
+        assert sparse > 45.0
+
+    def test_collinear(self):
+        pts = np.column_stack([np.cumsum(np.arange(1.0, 9.0)), np.zeros(8)])
+        dense = max_range_for_connectivity(pts, method="dense")
+        sparse = max_range_for_connectivity(pts, method="sparse")
+        assert sparse == dense == pytest.approx(8.0)
+
+    def test_coincident_points(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [3.0, 0.0]])
+        assert max_range_for_connectivity(pts, method="sparse") == pytest.approx(
+            max_range_for_connectivity(pts, method="dense")
+        )
+
+    def test_all_coincident(self):
+        pts = np.zeros((5, 2))
+        assert max_range_for_connectivity(pts, method="sparse") == 0.0
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError):
+            max_range_for_connectivity(np.zeros((3, 2)), method="fastest")
+
+    def test_slack_applies_to_sparse(self):
+        pts = uniform_points(40, rng=2)
+        assert max_range_for_connectivity(pts, slack=2.0, method="sparse") == pytest.approx(
+            2.0 * max_range_for_connectivity(pts, method="sparse")
+        )
