@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Gate: disabled-mode observability overhead < 5% on the e4/e6 quick runs.
+
+The engine, balancing router, MAC, and protocol runtime carry permanent
+``repro.obs`` instrumentation that collapses to a no-op singleton while
+tracing is off.  This bench proves the collapse is cheap three ways:
+
+1. **A/B wall clock** (the gate): each quick workload runs with the
+   instrumentation in its normal disabled state, and again with the
+   ``trace.span`` / ``trace.active`` / ``metrics.active`` entry points
+   stubbed out to constant-return functions — the closest executable
+   stand-in for an uninstrumented build.  Modes are interleaved and the
+   min over N repeats compared, so scheduler noise largely cancels.
+2. **Analytic estimate**: per-call disabled span cost (microbenchmark)
+   × the span count of an enabled run, as a fraction of the runtime.
+3. **Enabled-mode ratio**, reported for context (not gated): what a
+   ``--trace`` run actually costs.
+
+Exit status 1 if any workload's A/B ratio exceeds the threshold
+(default 5%), so CI can run this file directly::
+
+    python benchmarks/bench_obs_overhead.py --repeats 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.tables import render_table
+from repro.harness.cache import clear_cache
+from repro.harness.registry import REGISTRY, build_rows
+from repro.obs import metrics, trace
+
+WORKLOADS = ("e4", "e6")
+
+
+def _run(cid: str) -> None:
+    # Cold substrate cache every run: otherwise e4 degenerates to pure
+    # cache hits and the timing measures nothing.
+    clear_cache()
+    build_rows(REGISTRY[cid], "quick")
+
+
+def _timed(cid: str) -> float:
+    t0 = time.perf_counter()
+    _run(cid)
+    return time.perf_counter() - t0
+
+
+class _Uninstrumented:
+    """Stub the obs entry points to constant-return functions."""
+
+    def __enter__(self):
+        self._saved = (trace.span, trace.active, metrics.active)
+        noop = trace.NOOP_SPAN
+        trace.span = lambda name, **args: noop
+        trace.active = lambda: None
+        metrics.active = lambda: None
+        return self
+
+    def __exit__(self, *exc):
+        trace.span, trace.active, metrics.active = self._saved
+        return False
+
+
+def _per_span_call_ns(iters: int = 200_000) -> float:
+    """Cost of one disabled ``with trace.span(...)`` round trip."""
+    assert trace.active() is None
+    t0 = time.perf_counter_ns()
+    for _ in range(iters):
+        with trace.span("bench.noop", step=0):
+            pass
+    return (time.perf_counter_ns() - t0) / iters
+
+
+def _span_calls_per_run(cid: str) -> int:
+    """Span count of one traced run (ring events + drops)."""
+    tracer = trace.enable(fresh=True)
+    metrics.enable(fresh=True)
+    try:
+        _run(cid)
+        return tracer.total_appended
+    finally:
+        trace.disable()
+        metrics.disable()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=7, metavar="N")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="max allowed disabled/uninstrumented slowdown (default 0.05 = 5%%)",
+    )
+    args = parser.parse_args(argv)
+
+    trace.disable()
+    metrics.disable()
+    per_call = _per_span_call_ns()
+
+    rows, failed = [], False
+    for cid in WORKLOADS:
+        _run(cid)  # warm the substrate cache once, outside timing
+        disabled, stubbed, enabled = [], [], []
+        for _ in range(args.repeats):
+            disabled.append(_timed(cid))
+            with _Uninstrumented():
+                stubbed.append(_timed(cid))
+            trace.enable(fresh=True)
+            metrics.enable(fresh=True)
+            try:
+                enabled.append(_timed(cid))
+            finally:
+                trace.disable()
+                metrics.disable()
+        spans = _span_calls_per_run(cid)
+        best_dis, best_stub = min(disabled), min(stubbed)
+        ratio = best_dis / best_stub
+        estimate = spans * per_call / 1e9 / best_dis
+        ok = ratio <= 1.0 + args.threshold
+        failed |= not ok
+        rows.append(
+            {
+                "workload": f"{cid} quick",
+                "uninstrumented_ms": round(best_stub * 1e3, 2),
+                "disabled_ms": round(best_dis * 1e3, 2),
+                "enabled_ms": round(min(enabled) * 1e3, 2),
+                "overhead": f"{(ratio - 1) * 100:+.2f}%",
+                "span_calls": spans,
+                "analytic_est": f"{estimate * 100:.3f}%",
+                "gate": "pass" if ok else "FAIL",
+            }
+        )
+
+    print(
+        render_table(
+            rows,
+            title=(
+                f"obs disabled-mode overhead — min of {args.repeats} repeats, "
+                f"gate at +{args.threshold * 100:.0f}%, "
+                f"disabled span call ≈ {per_call:.0f} ns"
+            ),
+        )
+    )
+    if failed:
+        print(
+            f"\nFAIL: disabled-mode tracing costs more than {args.threshold:.0%} "
+            "over the uninstrumented baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("\ndisabled-mode overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -115,6 +115,9 @@ from repro.sim import (
     time_expanded_max_throughput,
 )
 
+# observability (off by default; see docs/observability.md)
+from repro import obs
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -172,6 +175,8 @@ __all__ = [
     "greedy_interference_schedule",
     # localsim
     "LocalRuntime",
+    # observability
+    "obs",
     # sim
     "SimulationEngine",
     "SimulationResult",

@@ -8,15 +8,28 @@ line without going through pytest:
     python -m repro all --quick      # everything
     python -m repro list             # what exists
 
-and gates the paper's claims (the CI entry point):
+gates the paper's claims (the CI entry point):
 
     python -m repro verify --quick --jobs 4      # all claims, parallel
     python -m repro verify --only e4,e7          # a selection, full scale
+    python -m repro verify --list                # claim table, no runs
+
+and captures/inspects observability traces (:mod:`repro.obs`):
+
+    python -m repro e6 --quick --trace /tmp/t    # span trace + step series
+    python -m repro verify --quick --trace /tmp/t
+    python -m repro report /tmp/t                # phase/series breakdown
 
 ``verify`` evaluates every selected claim's tolerance/bound predicate
 (see :mod:`repro.harness.registry`), writes one JSON record per claim
 under ``benchmarks/results/`` (override with ``REPRO_RESULTS_DIR``),
 prints a summary table, and exits 1 if any claim no longer holds.
+
+``--trace DIR`` (or the ``REPRO_TRACE=DIR`` environment variable)
+enables the span tracer and per-step series recorder for the run and
+exports ``trace.jsonl``, ``trace.chrome.json`` (loadable in Perfetto /
+``chrome://tracing``), ``series.json`` and ``metrics.json`` into DIR —
+see ``docs/observability.md``.
 
 The experiment thunks themselves live in the claim registry; ``--quick``
 maps to the scaled-down parameter sets the test suite uses.
@@ -26,13 +39,17 @@ from __future__ import annotations
 
 import argparse
 import functools
+import os
 import sys
 import time
 
+from repro import obs
 from repro.analysis import tables
-from repro.harness.registry import REGISTRY, build_rows, resolve_ids
+from repro.harness.registry import REGISTRY, build_rows, claim_ids, resolve_ids
 from repro.harness.results import write_result
 from repro.harness.runner import run_claims
+from repro.obs import trace
+from repro.obs.report import render_report
 
 #: experiment id → (description, full-scale thunk, quick thunk).
 #: Kept for back-compatibility with callers of the pre-registry CLI.
@@ -46,15 +63,49 @@ EXPERIMENTS = {
 }
 
 
-def _verify(args: argparse.Namespace) -> int:
+def _claim_table() -> str:
+    """The registry as a table (``verify --list``)."""
+    rows = [
+        {
+            "claim": claim.id,
+            "paper_ref": claim.paper_ref,
+            "title": claim.title,
+            "seed": claim.seed,
+            "harness": f"{claim.module.rsplit('.', 1)[-1]}.{claim.func}",
+        }
+        for claim in REGISTRY.values()
+    ]
+    return tables.render_table(rows, title=f"claim registry — {len(rows)} claims")
+
+
+def _export_trace(trace_dir: str) -> None:
+    """Write the active tracer's capture and say where it went."""
+    paths = obs.export(trace_dir)
+    print(f"\ntrace written to {trace_dir}/ "
+          f"({', '.join(p.name for p in paths.values())}); "
+          f"open {paths['chrome'].name} in Perfetto or run "
+          f"'python -m repro report {trace_dir}'")
+
+
+def _verify(args: argparse.Namespace, trace_dir: "str | None") -> int:
+    if args.list:
+        print(_claim_table())
+        return 0
     try:
         ids = resolve_ids(args.only)
     except KeyError as exc:
-        print(f"{exc.args[0]}; try 'list'", file=sys.stderr)
+        print(
+            f"{exc.args[0]}\nvalid claim ids: {', '.join(claim_ids())}",
+            file=sys.stderr,
+        )
         return 2
     profile = "quick" if args.quick else "full"
+    if trace_dir:
+        obs.enable()
     t0 = time.perf_counter()
-    results = run_claims(ids, profile=profile, jobs=args.jobs)
+    results = run_claims(
+        ids, profile=profile, jobs=args.jobs, collect_trace=bool(trace_dir)
+    )
     wall = time.perf_counter() - t0
 
     summary = []
@@ -83,6 +134,14 @@ def _verify(args: argparse.Namespace) -> int:
     for res in results:
         for msg in res.failures:
             print(f"FAIL {res.claim}: {msg}", file=sys.stderr)
+    if trace_dir:
+        # Merge what the claims captured (in-process or in pool workers)
+        # into this process's tracer, then export one trace directory.
+        tracer = trace.active()
+        for res in results:
+            tracer.ingest(res.trace.get("events", []))
+            tracer.ingest_series(res.trace.get("series", []))
+        _export_trace(trace_dir)
     if n_failed:
         print(f"\n{n_failed}/{len(results)} claims FAILED", file=sys.stderr)
         return 1
@@ -97,7 +156,13 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e22), 'all', 'list', or 'verify'",
+        help="experiment id (e1..e22), 'all', 'list', 'verify', or 'report'",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="report: the trace directory to summarize",
     )
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down parameters (seconds, not minutes)"
@@ -115,15 +180,38 @@ def main(argv: "list[str] | None" = None) -> int:
         metavar="IDS",
         help="verify: comma-separated claim ids to check (default: all)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="verify: print the claim table without running anything",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="capture a span trace + per-step series into DIR "
+        "(also enabled by REPRO_TRACE=DIR)",
+    )
     args = parser.parse_args(argv)
+    trace_dir = args.trace or os.environ.get("REPRO_TRACE") or None
 
     if args.experiment == "list":
         for key, (desc, _, _) in EXPERIMENTS.items():
             print(f"{key:4s} {desc}")
         return 0
 
+    if args.experiment == "report":
+        if not args.path:
+            print("usage: python -m repro report DIR", file=sys.stderr)
+            return 2
+        if not os.path.isdir(args.path):
+            print(f"no such trace directory: {args.path}", file=sys.stderr)
+            return 2
+        print(render_report(args.path))
+        return 0
+
     if args.experiment == "verify":
-        return _verify(args)
+        return _verify(args, trace_dir)
 
     keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment.lower()]
     unknown = [k for k in keys if k not in EXPERIMENTS]
@@ -131,13 +219,18 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; try 'list'", file=sys.stderr)
         return 2
 
+    if trace_dir:
+        obs.enable()
     for key in keys:
         desc, full, quick = EXPERIMENTS[key]
         t0 = time.perf_counter()
-        rows = (quick if args.quick else full)()
+        with trace.span(f"experiment.{key}", profile="quick" if args.quick else "full"):
+            rows = (quick if args.quick else full)()
         elapsed = time.perf_counter() - t0
         print(tables.render_table(rows, title=f"{key.upper()}: {desc}"))
         print(f"[{key} completed in {elapsed:.1f}s]\n")
+    if trace_dir:
+        _export_trace(trace_dir)
     return 0
 
 

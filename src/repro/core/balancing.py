@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics, trace
 from repro.sim.packets import Transmission
 from repro.sim.stats import RoutingStats
 from repro.utils.validation import check_nonnegative, check_positive
@@ -326,10 +327,23 @@ class BalancingRouter:
         -------
         Packets delivered this step.
         """
-        txs = self.decide(directed_edges, costs)
+        reg = metrics.active()
+        if reg is not None:
+            fail0, drop0 = self.stats.interference_failures, self.stats.dropped
+        with trace.span("balancing.decide"):
+            txs = self.decide(directed_edges, costs)
         mask = None if success_fn is None else success_fn(txs)
-        delivered = self.apply(txs, mask)
+        with trace.span("balancing.apply", attempts=len(txs)):
+            delivered = self.apply(txs, mask)
         for node, dest, count in injections or []:
             self.inject(node, dest, count)
         self.end_step(delivered)
+        if reg is not None:
+            st = self.stats
+            reg.counter("balancing.steps").inc()
+            reg.counter("balancing.attempts").inc(len(txs))
+            reg.counter("balancing.delivered").inc(delivered)
+            reg.counter("balancing.interference_failures").inc(st.interference_failures - fail0)
+            reg.counter("balancing.dropped").inc(st.dropped - drop0)
+            reg.gauge("balancing.total_buffer").set(self.total_packets())
         return delivered

@@ -21,6 +21,7 @@ import numpy as np
 from repro.graphs.base import GeometricGraph
 from repro.interference.conflict import InterferenceSets, interference_sets
 from repro.interference.model import InterferenceModel
+from repro.obs import metrics, trace
 from repro.sim.packets import Transmission
 from repro.utils.rng import as_rng
 
@@ -131,11 +132,17 @@ class RandomActivationMAC:
         m = self.graph.n_edges
         if m == 0:
             return np.empty((0, 2), dtype=np.intp), np.empty(0)
-        mask = self.rng.random(m) < self.activation_probs
-        e = self.graph.edges[mask]
-        c = self.graph.edge_costs[mask]
-        directed = np.vstack([e, e[:, ::-1]]) if len(e) else np.empty((0, 2), dtype=np.intp)
-        costs = np.concatenate([c, c]) if len(c) else np.empty(0)
+        with trace.span("mac.activate", edges=m) as sp:
+            mask = self.rng.random(m) < self.activation_probs
+            e = self.graph.edges[mask]
+            c = self.graph.edge_costs[mask]
+            directed = np.vstack([e, e[:, ::-1]]) if len(e) else np.empty((0, 2), dtype=np.intp)
+            costs = np.concatenate([c, c]) if len(c) else np.empty(0)
+            sp.set(activated=len(e))
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("mac.activation_rounds").inc()
+            reg.counter("mac.activated_edges").inc(len(e))
         return directed, costs
 
     def success_mask(self, transmissions: list[Transmission]) -> np.ndarray:
@@ -148,14 +155,21 @@ class RandomActivationMAC:
         k = len(transmissions)
         if k == 0:
             return np.ones(0, dtype=bool)
-        # Collapse to undirected edges for the pairwise check.
-        und = np.asarray(
-            [(min(t.src, t.dst), max(t.src, t.dst)) for t in transmissions], dtype=np.intp
-        )
-        uniq, inverse = np.unique(und, axis=0, return_inverse=True)
-        mat = self._model.interference_matrix(self.graph.points, uniq)
-        if mat.size:
-            edge_ok = ~mat.any(axis=1)
-        else:
-            edge_ok = np.ones(len(uniq), dtype=bool)
-        return edge_ok[inverse]
+        with trace.span("mac.resolve", attempts=k) as sp:
+            # Collapse to undirected edges for the pairwise check.
+            und = np.asarray(
+                [(min(t.src, t.dst), max(t.src, t.dst)) for t in transmissions], dtype=np.intp
+            )
+            uniq, inverse = np.unique(und, axis=0, return_inverse=True)
+            mat = self._model.interference_matrix(self.graph.points, uniq)
+            if mat.size:
+                edge_ok = ~mat.any(axis=1)
+            else:
+                edge_ok = np.ones(len(uniq), dtype=bool)
+            ok = edge_ok[inverse]
+            sp.set(succeeded=int(np.count_nonzero(ok)))
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("mac.resolved_attempts").inc(k)
+            reg.counter("mac.collision_failures").inc(k - int(np.count_nonzero(ok)))
+        return ok

@@ -56,6 +56,11 @@ class ClaimResult:
     failures: "list[str]"
     runtime_seconds: float
     cache: dict = field(default_factory=dict)
+    #: observability capture for this claim (``{"events": [...],
+    #: "series": [...]}``); empty unless the run was traced.  Events are
+    #: plain dicts so the record survives the process pool and lands in
+    #: the JSON, where merged Chrome traces are rebuilt from them.
+    trace: dict = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -87,6 +92,9 @@ def jsonify(obj):
     item = getattr(obj, "item", None)  # numpy scalars (incl. np.bool_)
     if callable(item):
         return jsonify(item())
+    to_dict = getattr(obj, "to_dict", None)  # RoutingStats, StepSeries, ...
+    if callable(to_dict):
+        return jsonify(to_dict())
     return str(obj)
 
 

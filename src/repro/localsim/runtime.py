@@ -18,7 +18,8 @@ len(N(u)) ids, Connection = 1 id) for experiment E11.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from repro.geometry.primitives import as_points
 from repro.geometry.spatialindex import GridIndex
 from repro.graphs.base import GeometricGraph
 from repro.localsim.node import LocalNode
+from repro.obs import metrics, trace
 from repro.utils.validation import check_positive
 
 __all__ = ["LocalRuntime", "ProtocolTrace"]
@@ -43,13 +45,15 @@ class ProtocolTrace:
     #: crude payload model: ids/floats transmitted per message type
     payload_units: int = 0
     max_messages_per_node: int = 0
+    #: wall-clock seconds per protocol round, filled by the runtime
+    round_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_messages(self) -> int:
         return self.position_messages + self.neighborhood_messages + self.connection_messages
 
     def as_dict(self) -> dict[str, float]:
-        return {
+        out = {
             "n_nodes": float(self.n_nodes),
             "rounds": float(self.rounds),
             "position_messages": float(self.position_messages),
@@ -59,6 +63,9 @@ class ProtocolTrace:
             "payload_units": float(self.payload_units),
             "max_messages_per_node": float(self.max_messages_per_node),
         }
+        for name, secs in self.round_seconds.items():
+            out[f"{name}_seconds"] = float(secs)
+        return out
 
 
 class LocalRuntime:
@@ -98,38 +105,55 @@ class LocalRuntime:
         per_node = np.zeros(len(self.nodes), dtype=np.int64)
 
         # Round 1: position broadcasts.
-        for node in self.nodes:
-            msg = node.round1_broadcast()
-            self.trace.position_messages += 1
-            self.trace.payload_units += 2
-            per_node[node.node_id] += 1
-            for rid in self._in_range(node.node_id):
-                self.nodes[rid].round1_receive(msg)
+        t0 = time.perf_counter()
+        with trace.span("protocol.round1", n_nodes=len(self.nodes)) as sp:
+            for node in self.nodes:
+                msg = node.round1_broadcast()
+                self.trace.position_messages += 1
+                self.trace.payload_units += 2
+                per_node[node.node_id] += 1
+                for rid in self._in_range(node.node_id):
+                    self.nodes[rid].round1_receive(msg)
+            sp.set(messages=self.trace.position_messages)
+        self.trace.round_seconds["round1"] = time.perf_counter() - t0
 
         # Round 2: neighborhood unicasts.
-        for node in self.nodes:
-            for msg in node.round2_messages():
-                dist = np.hypot(
-                    *(self.points[msg.receiver] - self.points[msg.sender])
-                )
-                if dist > self.max_range + 1e-9:
-                    raise AssertionError(
-                        f"protocol bug: node {msg.sender} unicast out of range to {msg.receiver}"
+        t0 = time.perf_counter()
+        with trace.span("protocol.round2", n_nodes=len(self.nodes)) as sp:
+            for node in self.nodes:
+                for msg in node.round2_messages():
+                    dist = np.hypot(
+                        *(self.points[msg.receiver] - self.points[msg.sender])
                     )
-                self.trace.neighborhood_messages += 1
-                self.trace.payload_units += len(msg.neighborhood)
-                per_node[msg.sender] += 1
-                self.nodes[msg.receiver].round2_receive(msg)
+                    if dist > self.max_range + 1e-9:
+                        raise AssertionError(
+                            f"protocol bug: node {msg.sender} unicast out of range to {msg.receiver}"
+                        )
+                    self.trace.neighborhood_messages += 1
+                    self.trace.payload_units += len(msg.neighborhood)
+                    per_node[msg.sender] += 1
+                    self.nodes[msg.receiver].round2_receive(msg)
+            sp.set(messages=self.trace.neighborhood_messages)
+        self.trace.round_seconds["round2"] = time.perf_counter() - t0
 
         # Round 3: connection unicasts.
-        for node in self.nodes:
-            for msg in node.round3_messages():
-                self.trace.connection_messages += 1
-                self.trace.payload_units += 1
-                per_node[msg.sender] += 1
-                self.nodes[msg.receiver].round3_receive(msg)
+        t0 = time.perf_counter()
+        with trace.span("protocol.round3", n_nodes=len(self.nodes)) as sp:
+            for node in self.nodes:
+                for msg in node.round3_messages():
+                    self.trace.connection_messages += 1
+                    self.trace.payload_units += 1
+                    per_node[msg.sender] += 1
+                    self.nodes[msg.receiver].round3_receive(msg)
+            sp.set(messages=self.trace.connection_messages)
+        self.trace.round_seconds["round3"] = time.perf_counter() - t0
 
         self.trace.max_messages_per_node = int(per_node.max()) if len(per_node) else 0
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("protocol.runs").inc()
+            reg.counter("protocol.messages").inc(self.trace.total_messages)
+            reg.counter("protocol.payload_units").inc(self.trace.payload_units)
 
         edges = sorted(set().union(*(n.edges for n in self.nodes)) if self.nodes else set())
         return GeometricGraph(

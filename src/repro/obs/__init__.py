@@ -1,0 +1,86 @@
+"""repro.obs — structured tracing and metrics for the simulation stack.
+
+Everything here is **off by default**: the engine, routers, MAC,
+protocol runtime, and verify harness are instrumented with
+:func:`repro.obs.trace.span` calls and registry counters that collapse
+to a no-op singleton / ``None`` check until :func:`enable` installs a
+process-wide tracer and metrics registry.
+
+Typical use (what ``python -m repro <exp> --trace DIR`` does)::
+
+    from repro import obs
+    obs.enable()
+    ...  # run experiments; spans + step series accumulate in memory
+    paths = obs.export("trace-dir")   # trace.jsonl, trace.chrome.json,
+                                      # series.json, metrics.json
+
+``trace.chrome.json`` loads directly in Perfetto / ``chrome://tracing``;
+``python -m repro report trace-dir`` renders the ASCII phase-time
+breakdown and per-step series summary.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import metrics, trace
+
+__all__ = [
+    "SERIES_SCHEMA",
+    "disable",
+    "enable",
+    "export",
+    "is_enabled",
+    "metrics",
+    "trace",
+]
+
+SERIES_SCHEMA = "repro-step-series/v1"
+
+
+def enable(capacity: int = trace.DEFAULT_CAPACITY, *, fresh: bool = False) -> trace.Tracer:
+    """Turn on tracing and metrics for this process; returns the tracer."""
+    metrics.enable(fresh=fresh)
+    return trace.enable(capacity, fresh=fresh)
+
+
+def disable() -> None:
+    """Turn both layers off; instrumentation reverts to no-ops."""
+    trace.disable()
+    metrics.disable()
+
+
+def is_enabled() -> bool:
+    return trace.is_enabled()
+
+
+def export(directory: "str | Path", *, tracer: "trace.Tracer | None" = None) -> "dict[str, Path]":
+    """Write every capture of the active (or given) tracer to ``directory``.
+
+    Produces ``trace.jsonl``, ``trace.chrome.json``, ``series.json``
+    and ``metrics.json``; returns the paths keyed by artifact name.
+    """
+    tr = tracer if tracer is not None else trace.active()
+    if tr is None:
+        raise RuntimeError("tracing is not enabled; call repro.obs.enable() first")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    events = tr.events()
+    paths = {
+        "jsonl": trace.write_jsonl(events, directory / "trace.jsonl"),
+        "chrome": trace.write_chrome_trace(events, directory / "trace.chrome.json"),
+    }
+    series_doc = {
+        "schema": SERIES_SCHEMA,
+        "dropped_events": tr.dropped,
+        "runs": tr.series_records(),
+    }
+    paths["series"] = directory / "series.json"
+    paths["series"].write_text(json.dumps(series_doc, default=str) + "\n")
+    reg = metrics.active()
+    paths["metrics"] = directory / "metrics.json"
+    paths["metrics"].write_text(
+        json.dumps(reg.snapshot() if reg is not None else {}, default=str, indent=2) + "\n"
+    )
+    return paths

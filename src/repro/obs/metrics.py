@@ -1,0 +1,294 @@
+"""Counters, gauges, histograms, and per-step series recording.
+
+Two layers:
+
+* a :class:`MetricsRegistry` of named :class:`Counter` / :class:`Gauge`
+  / :class:`Histogram` instruments, enabled per process alongside the
+  tracer (instrumented code checks :func:`active` once and skips all
+  bookkeeping when it returns ``None``);
+* :class:`StepSeries`, the per-step recorder the simulation engine
+  feeds: one cumulative snapshot of the run's
+  :class:`~repro.sim.stats.RoutingStats` counters per step, plus the
+  two buffer gauges, compacted into numpy arrays on demand.
+
+``StepSeries`` stores *cumulative* values, so the reconciliation
+``series.cumulative[field][-1] == final_stats[field]`` is exact (no
+float re-summation), while :meth:`StepSeries.deltas` still yields the
+per-step increments the paper's per-round accounting style wants
+(buffer heights of §3.2, interference failures of §3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StepSeries",
+    "active",
+    "disable",
+    "enable",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (also tracks the maximum it ever held)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = -math.inf
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self.value > self.max_value:
+            self.max_value = self.value
+
+
+class Histogram:
+    """Streaming count/sum/min/max/mean of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by name; snapshot to a flat dict."""
+
+    def __init__(self) -> None:
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every instrument."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {
+                k: {"value": g.value, "max": g.max_value} for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                k: {"count": h.count, "total": h.total, "mean": h.mean, "min": h.min, "max": h.max}
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Module-global registry (one per process, enabled with the tracer)
+# ----------------------------------------------------------------------
+_ACTIVE: "MetricsRegistry | None" = None
+
+
+def active() -> "MetricsRegistry | None":
+    """The process registry, or ``None`` when metrics are off."""
+    return _ACTIVE
+
+
+def enable(*, fresh: bool = False) -> MetricsRegistry:
+    global _ACTIVE
+    if _ACTIVE is None or fresh:
+        _ACTIVE = MetricsRegistry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+# ----------------------------------------------------------------------
+# Per-step series
+# ----------------------------------------------------------------------
+class StepSeries:
+    """Per-step cumulative snapshots of one simulation run.
+
+    The engine calls :meth:`record_step` once per step *after* the
+    router closed the step, passing the run's live ``RoutingStats`` and
+    the two buffer gauges.  Counter fields are stored cumulatively —
+    the final row equals the run's final stats exactly, which is what
+    ``python -m repro report`` reconciles.
+    """
+
+    #: RoutingStats counters snapshotted cumulatively each step.
+    COUNTER_FIELDS = (
+        "injected",
+        "accepted",
+        "dropped",
+        "delivered",
+        "attempts",
+        "successes",
+        "interference_failures",
+    )
+    #: float accumulators snapshotted cumulatively each step.
+    ENERGY_FIELDS = ("energy_attempted", "energy_successful")
+    #: point-in-time values per step (not cumulative).
+    GAUGE_FIELDS = ("total_buffer", "max_buffer_height")
+
+    def __init__(self) -> None:
+        self._cols: "dict[str, list]" = {
+            name: [] for name in self.COUNTER_FIELDS + self.ENERGY_FIELDS + self.GAUGE_FIELDS
+        }
+
+    def __len__(self) -> int:
+        return len(self._cols["delivered"])
+
+    def record_step(self, stats, *, total_buffer: int, max_buffer: int) -> None:
+        """Snapshot ``stats`` (a ``RoutingStats``) at the end of one step."""
+        cols = self._cols
+        for name in self.COUNTER_FIELDS:
+            cols[name].append(int(getattr(stats, name)))
+        for name in self.ENERGY_FIELDS:
+            cols[name].append(float(getattr(stats, name)))
+        cols["total_buffer"].append(int(total_buffer))
+        cols["max_buffer_height"].append(int(max_buffer))
+
+    # ------------------------------------------------------------------
+    def arrays(self) -> "dict[str, np.ndarray]":
+        """Compact cumulative/gauge arrays (int64 counters, float64 energy)."""
+        out: "dict[str, np.ndarray]" = {}
+        for name in self.COUNTER_FIELDS + self.GAUGE_FIELDS:
+            out[name] = np.asarray(self._cols[name], dtype=np.int64)
+        for name in self.ENERGY_FIELDS:
+            out[name] = np.asarray(self._cols[name], dtype=np.float64)
+        return out
+
+    def deltas(self) -> "dict[str, np.ndarray]":
+        """Per-step increments for counters/energy; gauges pass through.
+
+        Integer counter deltas telescope exactly: their sum equals the
+        final cumulative value.
+        """
+        arr = self.arrays()
+        out: "dict[str, np.ndarray]" = {}
+        for name in self.COUNTER_FIELDS + self.ENERGY_FIELDS:
+            col = arr[name]
+            out[name] = np.diff(col, prepend=col.dtype.type(0)) if len(col) else col
+        for name in self.GAUGE_FIELDS:
+            out[name] = arr[name]
+        return out
+
+    def final(self, field: str):
+        """Last cumulative value of ``field`` (0 when no steps recorded)."""
+        col = self._cols[field]
+        return col[-1] if col else 0
+
+    def summary(self) -> dict:
+        """One row per run for the report table."""
+        row: dict = {"steps": len(self)}
+        for name in self.COUNTER_FIELDS + self.ENERGY_FIELDS:
+            row[name] = self.final(name)
+        for name in self.GAUGE_FIELDS:
+            col = self._cols[name]
+            row[f"peak_{name}"] = max(col) if col else 0
+        return row
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload (lists, not arrays)."""
+        return {"steps": len(self), "series": {k: list(v) for k, v in self._cols.items()}}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StepSeries":
+        inst = cls()
+        series = payload.get("series", {})
+        n = int(payload.get("steps", 0))
+        for name, col in inst._cols.items():
+            vals = series.get(name, [])
+            if len(vals) != n:
+                raise ValueError(f"series {name!r} has {len(vals)} rows, expected {n}")
+            col.extend(vals)
+        return inst
+
+    def reconcile(self, final_stats: dict) -> "list[str]":
+        """Mismatches between the last snapshot and a final-stats dict.
+
+        Empty list == the series accounts for every counter exactly.
+        """
+        problems = []
+        for name in self.COUNTER_FIELDS:
+            if name in final_stats and int(self.final(name)) != int(final_stats[name]):
+                problems.append(
+                    f"{name}: series ends at {self.final(name)}, stats say {final_stats[name]}"
+                )
+        for name in self.ENERGY_FIELDS:
+            if name in final_stats and float(self.final(name)) != float(final_stats[name]):
+                problems.append(
+                    f"{name}: series ends at {self.final(name)!r}, stats say {final_stats[name]!r}"
+                )
+        return problems
+
+
+def merge_summaries(rows: "Iterable[dict]") -> dict:
+    """Column-wise total of :meth:`StepSeries.summary` rows."""
+    total: dict = {}
+    for row in rows:
+        for key, val in row.items():
+            if isinstance(val, (int, float)):
+                total[key] = total.get(key, 0) + val
+    return total

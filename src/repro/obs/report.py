@@ -1,0 +1,165 @@
+"""Render a captured trace directory as ASCII tables.
+
+``python -m repro report DIR`` loads the artifacts written by
+:func:`repro.obs.export` and prints
+
+* a **phase-time breakdown** — one row per span name with call count,
+  total/mean/max duration and the share of total traced time, across
+  every process that contributed events;
+* a **per-step series summary** — one row per recorded simulation run
+  (steps, delivered, dropped, energy, peak buffer heights) with an
+  exactness check against the run's final ``RoutingStats``, plus a
+  merged TOTAL row built with :meth:`RoutingStats.merge`;
+* the metrics-registry snapshot, when any counters were recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.tables import render_table
+from repro.obs.metrics import StepSeries
+from repro.sim.stats import RoutingStats
+
+__all__ = [
+    "load_events",
+    "load_series_runs",
+    "phase_breakdown_rows",
+    "render_report",
+    "series_summary_rows",
+]
+
+
+def load_events(directory: "str | Path") -> "list[dict]":
+    """Events from ``trace.jsonl`` (empty list when absent)."""
+    path = Path(directory) / "trace.jsonl"
+    if not path.is_file():
+        return []
+    return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+
+def load_series_runs(directory: "str | Path") -> "list[dict]":
+    """Run records from ``series.json`` (empty list when absent)."""
+    path = Path(directory) / "series.json"
+    if not path.is_file():
+        return []
+    return json.loads(path.read_text()).get("runs", [])
+
+
+def phase_breakdown_rows(events: "list[dict]") -> "list[dict]":
+    """Aggregate span events by name, longest total first."""
+    agg: "dict[str, dict]" = {}
+    for ev in events:
+        rec = agg.get(ev["name"])
+        dur = int(ev.get("dur_ns", 0))
+        if rec is None:
+            agg[ev["name"]] = {
+                "calls": 1,
+                "total_ns": dur,
+                "max_ns": dur,
+                "pids": {ev.get("pid", 0)},
+            }
+        else:
+            rec["calls"] += 1
+            rec["total_ns"] += dur
+            if dur > rec["max_ns"]:
+                rec["max_ns"] = dur
+            rec["pids"].add(ev.get("pid", 0))
+    grand_total = sum(rec["total_ns"] for rec in agg.values()) or 1
+    rows = []
+    for name, rec in sorted(agg.items(), key=lambda kv: -kv[1]["total_ns"]):
+        rows.append(
+            {
+                "span": name,
+                "calls": rec["calls"],
+                "total_ms": round(rec["total_ns"] / 1e6, 3),
+                "mean_us": round(rec["total_ns"] / rec["calls"] / 1e3, 2),
+                "max_us": round(rec["max_ns"] / 1e3, 2),
+                "share": f"{100.0 * rec['total_ns'] / grand_total:.1f}%",
+                "procs": len(rec["pids"]),
+            }
+        )
+    return rows
+
+
+def series_summary_rows(runs: "list[dict]") -> "tuple[list[dict], RoutingStats | None]":
+    """One row per recorded run plus the merged ``RoutingStats`` total.
+
+    Each row carries ``reconciled`` — whether the per-step cumulative
+    series ends exactly at the run's final stats counters.
+    """
+    rows: "list[dict]" = []
+    merged: "RoutingStats | None" = None
+    for rec in runs:
+        series = StepSeries.from_dict(rec)
+        summary = series.summary()
+        final = rec.get("final_stats") or {}
+        row = {
+            "run": rec.get("name", "?"),
+            "steps": summary["steps"],
+            "delivered": summary["delivered"],
+            "dropped": summary["dropped"],
+            "interference_failures": summary["interference_failures"],
+            "energy": round(summary["energy_attempted"], 4),
+            "peak_total_buffer": summary["peak_total_buffer"],
+            "peak_max_height": summary["peak_max_buffer_height"],
+            "reconciled": not series.reconcile(final) if final else None,
+        }
+        rows.append(row)
+        if final:
+            stats = RoutingStats.from_dict(final)
+            merged = stats if merged is None else merged.merge(stats)
+    return rows, merged
+
+
+def render_report(directory: "str | Path") -> str:
+    """The full report for one trace directory, as printable text."""
+    directory = Path(directory)
+    sections = []
+
+    events = load_events(directory)
+    if events:
+        sections.append(
+            render_table(
+                phase_breakdown_rows(events),
+                title=f"phase-time breakdown — {len(events)} span events",
+            )
+        )
+    else:
+        sections.append(f"(no trace.jsonl under {directory})")
+
+    runs = load_series_runs(directory)
+    if runs:
+        rows, merged = series_summary_rows(runs)
+        if merged is not None:
+            total = merged.to_dict()
+            rows.append(
+                {
+                    "run": "TOTAL (merged)",
+                    "steps": total["steps"],
+                    "delivered": total["delivered"],
+                    "dropped": total["dropped"],
+                    "interference_failures": total["interference_failures"],
+                    "energy": round(total["energy_attempted"], 4),
+                    "peak_max_height": total["max_buffer_height"],
+                }
+            )
+        sections.append(
+            render_table(rows, title=f"per-step series summary — {len(runs)} runs")
+        )
+    else:
+        sections.append(f"(no series.json under {directory})")
+
+    metrics_path = directory / "metrics.json"
+    if metrics_path.is_file():
+        snap = json.loads(metrics_path.read_text())
+        counters = snap.get("counters") or {}
+        if counters:
+            sections.append(
+                render_table(
+                    [{"counter": k, "value": v} for k, v in counters.items()],
+                    title="metrics counters",
+                )
+            )
+    return "\n\n".join(sections)

@@ -11,12 +11,22 @@ One engine step = one time step of the paper's model:
 The engine is agnostic to which router runs — (T, γ)-balancing, the
 baselines, or the honeycomb router (which fuses steps 1–4 internally
 and is driven through the same interface via a thin adapter).
+
+Observability: each step runs under an ``engine.step`` span, and when
+tracing is enabled (or a :class:`~repro.obs.metrics.StepSeries` is
+passed explicitly) the engine snapshots the router's cumulative
+``RoutingStats`` counters plus the two buffer gauges after every step.
+Auto-created series register themselves with the active tracer, so a
+``--trace`` run exports them for ``python -m repro report``.  All of
+this collapses to a handful of no-op checks when tracing is off.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import metrics, trace
+from repro.obs.metrics import StepSeries
 from repro.sim.stats import RoutingStats
 
 __all__ = ["SimulationEngine", "SimulationResult"]
@@ -30,6 +40,8 @@ class SimulationResult:
     steps: int
     leftover: int = 0
     """Packets still buffered somewhere when the run ended."""
+    series: "StepSeries | None" = None
+    """Per-step series, when recording was on for this run."""
 
 
 class SimulationEngine:
@@ -48,6 +60,9 @@ class SimulationEngine:
         ``t → iterable of (node, dest, count)``.
     success_fn:
         Optional ``transmissions → bool mask`` (interference layer).
+    step_series:
+        Optional explicit per-step recorder; when omitted one is created
+        automatically for each :meth:`run` while tracing is enabled.
     """
 
     def __init__(
@@ -57,11 +72,13 @@ class SimulationEngine:
         injections_fn,
         *,
         success_fn=None,
+        step_series: "StepSeries | None" = None,
     ) -> None:
         self.router = router
         self.active_edges_fn = active_edges_fn
         self.injections_fn = injections_fn
         self.success_fn = success_fn
+        self.step_series = step_series
 
     @classmethod
     def for_scenario(cls, router, scenario, *, success_fn=None) -> "SimulationEngine":
@@ -83,12 +100,43 @@ class SimulationEngine:
         """
         if duration < 0 or drain < 0:
             raise ValueError("duration and drain must be >= 0")
-        for t in range(duration + drain):
-            edges, costs = self.active_edges_fn(t)
-            injections = list(self.injections_fn(t)) if t < duration else []
-            self.router.run_step(edges, costs, injections, self.success_fn)
+        tracer = trace.active()
+        series = self.step_series
+        if series is None and tracer is not None:
+            series = StepSeries()
+        router = self.router
+        max_height_fn = getattr(router, "max_height", None) if series is not None else None
+        with trace.span(
+            "engine.run",
+            router=type(router).__name__,
+            duration=duration,
+            drain=drain,
+        ):
+            for t in range(duration + drain):
+                with trace.span("engine.step", step=t):
+                    edges, costs = self.active_edges_fn(t)
+                    injections = list(self.injections_fn(t)) if t < duration else []
+                    router.run_step(edges, costs, injections, self.success_fn)
+                if series is not None:
+                    series.record_step(
+                        router.stats,
+                        total_buffer=router.total_packets(),
+                        max_buffer=max_height_fn() if max_height_fn else router.stats.max_buffer_height,
+                    )
+        if series is not None and tracer is not None:
+            tracer.add_series(
+                tracer.next_run_label(type(router).__name__),
+                series,
+                final_stats=router.stats.to_dict(),
+            )
+        if tracer is not None:
+            reg = metrics.active()
+            if reg is not None:
+                reg.counter("engine.runs").inc()
+                reg.counter("engine.steps").inc(duration + drain)
         return SimulationResult(
-            stats=self.router.stats,
+            stats=router.stats,
             steps=duration + drain,
-            leftover=self.router.total_packets(),
+            leftover=router.total_packets(),
+            series=series,
         )

@@ -93,21 +93,75 @@ class RoutingStats:
             return float("inf") if self.energy_attempted > 0 else 0.0
         return self.energy_attempted / self.delivered
 
-    def as_dict(self) -> dict[str, float]:
-        """Flat dict for result tables."""
-        return {
-            "injected": float(self.injected),
-            "accepted": float(self.accepted),
-            "dropped": float(self.dropped),
-            "delivered": float(self.delivered),
-            "attempts": float(self.attempts),
-            "successes": float(self.successes),
-            "interference_failures": float(self.interference_failures),
+    def to_dict(self, *, include_trace: bool = False) -> dict:
+        """Raw counters with native types (ints stay ints).
+
+        The canonical serialization: :meth:`from_dict` round-trips it,
+        the engine attaches it to exported step series, and the report
+        command reconciles per-step series against it.
+        """
+        out: dict = {
+            "injected": self.injected,
+            "accepted": self.accepted,
+            "dropped": self.dropped,
+            "delivered": self.delivered,
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "interference_failures": self.interference_failures,
             "energy_attempted": self.energy_attempted,
             "energy_successful": self.energy_successful,
-            "steps": float(self.steps),
-            "throughput": self.throughput,
-            "delivery_fraction": self.delivery_fraction,
-            "average_cost": self.average_cost,
-            "max_buffer_height": float(self.max_buffer_height),
+            "steps": self.steps,
+            "max_buffer_height": self.max_buffer_height,
         }
+        if include_trace:
+            out["delivered_trace"] = list(self.delivered_trace)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoutingStats":
+        """Rebuild a stats object from :meth:`to_dict` output."""
+        inst = cls(
+            injected=int(payload.get("injected", 0)),
+            accepted=int(payload.get("accepted", 0)),
+            dropped=int(payload.get("dropped", 0)),
+            delivered=int(payload.get("delivered", 0)),
+            attempts=int(payload.get("attempts", 0)),
+            successes=int(payload.get("successes", 0)),
+            interference_failures=int(payload.get("interference_failures", 0)),
+            energy_attempted=float(payload.get("energy_attempted", 0.0)),
+            energy_successful=float(payload.get("energy_successful", 0.0)),
+            steps=int(payload.get("steps", 0)),
+            max_buffer_height=int(payload.get("max_buffer_height", 0)),
+        )
+        inst.delivered_trace = [int(v) for v in payload.get("delivered_trace", [])]
+        return inst
+
+    def merge(self, other: "RoutingStats") -> "RoutingStats":
+        """Fold another run's counters into this one (in place).
+
+        Counts and energies add, ``max_buffer_height`` takes the max,
+        and the per-step traces concatenate (the merged object reads as
+        the runs executed back to back).  Returns ``self`` so merges
+        chain: ``total = a.merge(b).merge(c)``.
+        """
+        self.injected += other.injected
+        self.accepted += other.accepted
+        self.dropped += other.dropped
+        self.delivered += other.delivered
+        self.attempts += other.attempts
+        self.successes += other.successes
+        self.interference_failures += other.interference_failures
+        self.energy_attempted += other.energy_attempted
+        self.energy_successful += other.energy_successful
+        self.steps += other.steps
+        self.max_buffer_height = max(self.max_buffer_height, other.max_buffer_height)
+        self.delivered_trace.extend(other.delivered_trace)
+        return self
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat all-float dict for result tables (adds derived ratios)."""
+        out = {k: float(v) for k, v in self.to_dict().items()}
+        out["throughput"] = self.throughput
+        out["delivery_fraction"] = self.delivery_fraction
+        out["average_cost"] = self.average_cost
+        return out

@@ -137,3 +137,31 @@ class TestTrace:
         d = rt.trace.as_dict()
         assert d["n_nodes"] == 10.0
         assert d["total_messages"] == float(rt.trace.total_messages)
+
+    def test_round_seconds_recorded(self):
+        pts = uniform_points(10, rng=9)
+        rt = LocalRuntime(pts, math.pi / 9, 1.0)
+        rt.run()
+        assert set(rt.trace.round_seconds) == {"round1", "round2", "round3"}
+        assert all(s >= 0.0 for s in rt.trace.round_seconds.values())
+
+    def test_payload_byte_accounting(self):
+        """payload_units follows the stated size model exactly:
+
+        Position = 2 floats per node, Neighborhood = |N(u)| ids per
+        unicast (one unicast per member, so |N(u)|² units per node),
+        Connection = 1 id per message.
+        """
+        pts = uniform_points(40, rng=11)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        rt = LocalRuntime(pts, math.pi / 9, d)
+        rt.run()
+        n = len(rt.nodes)
+        # Reconstruct per-round sizes from the post-run node state.
+        nbhd_sizes = [len(set(nd.yao_choices.values())) for nd in rt.nodes]
+        conn_counts = [len(set(nd.admitted.values())) for nd in rt.nodes]
+        assert rt.trace.position_messages == n
+        assert rt.trace.neighborhood_messages == sum(nbhd_sizes)
+        assert rt.trace.connection_messages == sum(conn_counts)
+        expected_payload = 2 * n + sum(s * s for s in nbhd_sizes) + sum(conn_counts)
+        assert rt.trace.payload_units == expected_payload

@@ -1,0 +1,343 @@
+"""Tests for repro.obs: tracer, metrics, StepSeries, export, report."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.balancing import BalancingConfig, BalancingRouter
+from repro.obs import metrics, trace
+from repro.obs.metrics import StepSeries
+from repro.obs.report import phase_breakdown_rows, render_report, series_summary_rows
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import RoutingStats
+
+
+@pytest.fixture(autouse=True)
+def _obs_off_after():
+    """Never leak an enabled tracer/registry into other tests."""
+    yield
+    obs.disable()
+
+
+def _line_graph_run(*, success_fn=None, duration=30, drain=30):
+    """A 3-node path carrying one stream, as a tiny engine workload."""
+    edges = np.array([(0, 1), (1, 0), (1, 2), (2, 1)], dtype=np.intp)
+    costs = np.ones(len(edges))
+    router = BalancingRouter(3, [2], BalancingConfig(0.0, 0.0, 8))
+    engine = SimulationEngine(
+        router,
+        lambda t: (edges, costs),
+        lambda t: [(0, 2, 1)],
+        success_fn=success_fn,
+    )
+    return engine.run(duration, drain=drain), router
+
+
+class TestTracer:
+    def test_disabled_span_is_noop_singleton(self):
+        assert trace.active() is None
+        sp = trace.span("x", step=1)
+        assert sp is trace.NOOP_SPAN
+        with sp:
+            sp.set(late=2)  # accepted and dropped
+
+    def test_spans_record_events(self):
+        tracer = trace.enable(fresh=True)
+        with trace.span("alpha", k=1):
+            with trace.span("beta"):
+                pass
+        events = tracer.events()
+        assert [e["name"] for e in events] == ["beta", "alpha"]  # exit order
+        assert events[1]["args"] == {"k": 1}
+        assert all(e["dur_ns"] >= 0 for e in events)
+        assert all(e["pid"] == tracer.pid for e in events)
+
+    def test_span_set_attaches_args(self):
+        tracer = trace.enable(fresh=True)
+        with trace.span("work") as sp:
+            sp.set(result=42)
+        assert tracer.events()[-1]["args"]["result"] == 42
+
+    def test_ring_bound_drops_oldest(self):
+        tracer = trace.Tracer(capacity=4)
+        for i in range(10):
+            tracer.instant(f"e{i}")
+        assert len(tracer.events()) == 4
+        assert tracer.total_appended == 10
+        assert tracer.dropped == 6
+        assert tracer.events()[0]["name"] == "e6"
+
+    def test_events_since_marker(self):
+        tracer = trace.enable(fresh=True)
+        tracer.instant("before")
+        mark = tracer.total_appended
+        tracer.instant("after1")
+        tracer.instant("after2")
+        names = [e["name"] for e in tracer.events_since(mark)]
+        assert names == ["after1", "after2"]
+        assert tracer.events_since(tracer.total_appended) == []
+
+    def test_ingest_foreign_events(self):
+        tracer = trace.enable(fresh=True)
+        n = tracer.ingest([{"name": "w", "ts_ns": 1, "dur_ns": 2, "pid": 999, "args": {}}])
+        assert n == 1
+        assert tracer.events()[-1]["pid"] == 999
+
+    def test_enable_idempotent_and_fresh(self):
+        t1 = trace.enable()
+        assert trace.enable() is t1
+        t2 = trace.enable(fresh=True)
+        assert t2 is not t1
+        trace.disable()
+        assert trace.active() is None
+
+    def test_chrome_trace_format(self, tmp_path):
+        tracer = trace.enable(fresh=True)
+        with trace.span("phase", n=3):
+            pass
+        path = trace.write_chrome_trace(tracer.events(), tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        (ev,) = doc["traceEvents"]
+        assert ev["ph"] == "X"
+        assert ev["name"] == "phase"
+        assert ev["pid"] == ev["tid"] == tracer.pid
+        assert ev["dur"] == pytest.approx(tracer.events()[0]["dur_ns"] / 1000.0)
+        assert ev["args"] == {"n": 3}
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = trace.enable(fresh=True)
+        tracer.instant("m", tag="x")
+        path = trace.write_jsonl(tracer.events(), tmp_path / "t.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == tracer.events()
+
+
+class TestMetrics:
+    def test_disabled_by_default(self):
+        assert metrics.active() is None
+
+    def test_counter_gauge_histogram(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(2.0)
+        reg.histogram("h").observe(4.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 3.5
+        assert snap["gauges"]["g"] == {"value": 1.0, "max": 3.0}
+        assert snap["histograms"]["h"]["mean"] == 3.0
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            metrics.Counter("c").inc(-1)
+
+
+class TestStepSeries:
+    def test_length_equals_steps_and_reconciles(self):
+        """Satellite: len(series) == steps, sums match final RoutingStats."""
+        obs.enable(fresh=True)
+        result, router = _line_graph_run()
+        series = result.series
+        assert series is not None
+        assert len(series) == result.steps == 60
+        final = router.stats.to_dict()
+        assert series.reconcile(final) == []
+        # Per-step deltas telescope exactly to the finals.
+        deltas = series.deltas()
+        assert int(deltas["delivered"].sum()) == router.stats.delivered
+        assert int(deltas["dropped"].sum()) == router.stats.dropped
+        assert int(deltas["attempts"].sum()) == router.stats.attempts
+        assert router.stats.delivered > 0
+
+    def test_reconciles_with_interference_failures(self):
+        obs.enable(fresh=True)
+        fail_everything = lambda txs: np.zeros(len(txs), dtype=bool)  # noqa: E731
+        result, router = _line_graph_run(success_fn=fail_everything)
+        assert router.stats.interference_failures > 0
+        assert result.series.reconcile(router.stats.to_dict()) == []
+
+    def test_explicit_series_without_tracing(self):
+        series = StepSeries()
+        edges = np.array([(0, 1), (1, 0)], dtype=np.intp)
+        router = BalancingRouter(2, [1], BalancingConfig(0.0, 0.0, 8))
+        engine = SimulationEngine(
+            router,
+            lambda t: (edges, np.ones(2)),
+            lambda t: [(0, 1, 1)],
+            step_series=series,
+        )
+        result = engine.run(10, drain=5)
+        assert trace.active() is None  # tracing never turned on
+        assert result.series is series
+        assert len(series) == 15
+
+    def test_mismatch_detected(self):
+        obs.enable(fresh=True)
+        result, router = _line_graph_run(duration=10, drain=0)
+        final = router.stats.to_dict()
+        final["delivered"] += 1
+        assert any("delivered" in p for p in result.series.reconcile(final))
+
+    def test_to_dict_from_dict_roundtrip(self):
+        obs.enable(fresh=True)
+        result, _ = _line_graph_run(duration=10, drain=0)
+        payload = result.series.to_dict()
+        clone = StepSeries.from_dict(payload)
+        assert len(clone) == len(result.series)
+        for name, col in clone.arrays().items():
+            assert np.array_equal(col, result.series.arrays()[name]), name
+
+    def test_from_dict_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            StepSeries.from_dict({"steps": 2, "series": {"delivered": [1]}})
+
+    def test_gauges_track_buffer_occupancy(self):
+        obs.enable(fresh=True)
+        result, router = _line_graph_run()
+        arr = result.series.arrays()
+        assert arr["max_buffer_height"].max() == router.stats.max_buffer_height
+        assert arr["total_buffer"][-1] == router.total_packets()
+
+    def test_run_registered_with_tracer(self):
+        tracer = obs.enable(fresh=True)
+        _line_graph_run(duration=5, drain=0)
+        (rec,) = tracer.series_records()
+        assert rec["name"].endswith("BalancingRouter")
+        assert rec["steps"] == 5
+        assert rec["final_stats"]["steps"] == 5
+
+
+class TestExportAndReport:
+    def test_export_requires_enabled(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            obs.export(tmp_path)
+
+    def test_export_writes_all_artifacts(self, tmp_path):
+        obs.enable(fresh=True)
+        _line_graph_run(duration=5, drain=0)
+        paths = obs.export(tmp_path)
+        for key in ("jsonl", "chrome", "series", "metrics"):
+            assert paths[key].is_file(), key
+        doc = json.loads((tmp_path / "series.json").read_text())
+        assert doc["schema"] == obs.SERIES_SCHEMA
+        assert len(doc["runs"]) == 1
+        snap = json.loads((tmp_path / "metrics.json").read_text())
+        assert snap["counters"]["engine.steps"] == 5.0
+        assert snap["counters"]["balancing.steps"] == 5.0
+
+    def test_phase_breakdown_aggregates(self):
+        events = [
+            {"name": "a", "ts_ns": 0, "dur_ns": 3000, "pid": 1, "args": {}},
+            {"name": "a", "ts_ns": 0, "dur_ns": 1000, "pid": 2, "args": {}},
+            {"name": "b", "ts_ns": 0, "dur_ns": 4000, "pid": 1, "args": {}},
+        ]
+        rows = phase_breakdown_rows(events)
+        by_name = {r["span"]: r for r in rows}
+        assert by_name["a"]["calls"] == 2
+        assert by_name["a"]["procs"] == 2
+        assert by_name["a"]["max_us"] == 3.0
+        assert by_name["b"]["share"] == "50.0%"
+
+    def test_series_summary_and_merge(self):
+        obs.enable(fresh=True)
+        _line_graph_run(duration=5, drain=0)
+        _line_graph_run(duration=7, drain=0)
+        runs = trace.active().series_records()
+        rows, merged = series_summary_rows(runs)
+        assert [r["steps"] for r in rows] == [5, 7]
+        assert all(r["reconciled"] for r in rows)
+        assert merged.steps == 12
+        assert merged.delivered == rows[0]["delivered"] + rows[1]["delivered"]
+
+    def test_render_report_end_to_end(self, tmp_path):
+        obs.enable(fresh=True)
+        _line_graph_run(duration=5, drain=0)
+        obs.export(tmp_path)
+        text = render_report(tmp_path)
+        assert "phase-time breakdown" in text
+        assert "per-step series summary" in text
+        assert "engine.step" in text
+        assert "TOTAL (merged)" in text
+
+    def test_render_report_empty_dir(self, tmp_path):
+        text = render_report(tmp_path)
+        assert "no trace.jsonl" in text
+        assert "no series.json" in text
+
+
+class TestInstrumentationCoverage:
+    def test_mac_spans_and_counters(self):
+        from repro.core.interference_mac import RandomActivationMAC
+        from repro.geometry.pointsets import uniform_points
+        from repro.graphs.transmission import max_range_for_connectivity, transmission_graph
+
+        pts = uniform_points(30, rng=0)
+        g = transmission_graph(pts, max_range_for_connectivity(pts, slack=1.5))
+        tracer = obs.enable(fresh=True)
+        mac = RandomActivationMAC(g, 0.5, rng=1)
+        for _ in range(20):
+            edges, costs = mac.active_edges()
+        names = {e["name"] for e in tracer.events()}
+        assert "mac.activate" in names
+        assert metrics.active().snapshot()["counters"]["mac.activation_rounds"] == 20.0
+
+    def test_protocol_round_spans_and_seconds(self):
+        from repro.geometry.pointsets import uniform_points
+        from repro.graphs.transmission import max_range_for_connectivity
+        from repro.localsim.runtime import LocalRuntime
+
+        pts = uniform_points(20, rng=3)
+        d = max_range_for_connectivity(pts, slack=1.4)
+        tracer = obs.enable(fresh=True)
+        rt = LocalRuntime(pts, math.pi / 9, d)
+        rt.run()
+        names = [e["name"] for e in tracer.events()]
+        for round_name in ("protocol.round1", "protocol.round2", "protocol.round3"):
+            assert round_name in names
+        assert set(rt.trace.round_seconds) == {"round1", "round2", "round3"}
+        assert all(v >= 0 for v in rt.trace.round_seconds.values())
+        assert rt.trace.as_dict()["round1_seconds"] == rt.trace.round_seconds["round1"]
+
+
+class TestRoutingStatsHelpers:
+    def test_to_dict_native_types_and_roundtrip(self):
+        st = RoutingStats()
+        st.record_injection(5, 4)
+        st.record_attempt(1.5, True)
+        st.record_attempt(2.0, False)
+        st.record_delivery(1)
+        st.end_step(3, 1)
+        d = st.to_dict()
+        assert isinstance(d["delivered"], int)
+        assert d["dropped"] == 1
+        assert d["energy_attempted"] == 3.5
+        assert "delivered_trace" not in d
+        clone = RoutingStats.from_dict(st.to_dict(include_trace=True))
+        assert clone.to_dict() == d
+        assert clone.delivered_trace == st.delivered_trace
+
+    def test_merge_sums_and_maxes(self):
+        a, b = RoutingStats(), RoutingStats()
+        a.record_injection(3, 3)
+        a.record_attempt(1.0, True)
+        a.end_step(5, 0)
+        b.record_injection(2, 1)
+        b.record_attempt(2.0, False)
+        b.end_step(9, 0)
+        out = a.merge(b)
+        assert out is a
+        assert a.injected == 5
+        assert a.dropped == 1
+        assert a.attempts == 2
+        assert a.energy_attempted == 3.0
+        assert a.steps == 2
+        assert a.max_buffer_height == 9
+        assert a.delivered_trace == [0, 0]
