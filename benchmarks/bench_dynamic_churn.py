@@ -1,0 +1,84 @@
+"""Performance bench: incremental ΘALG repair vs. from-scratch rebuild.
+
+The payoff of the dynamic subsystem (ISSUE E23, ``docs/dynamics.md``):
+at production scale an event repairs a bounded disk, while a rebuild
+pays for the whole network.  This bench drives a 1%-churn mixed trace
+(``0.01 · n`` events) through :class:`repro.dynamic.incremental.
+IncrementalTheta` at n = 10 000 and **gates the speedup**: the mean
+per-event repair must be at least 5× faster than one from-scratch
+:func:`~repro.core.theta.theta_algorithm` run on the live node set.
+
+Runs in the CI bench-smoke job next to ``bench_perf_scaling.py``; the
+wall-clock means land in ``BENCH_baseline.json`` under the usual 3×
+regression gate.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.theta import theta_algorithm
+from repro.dynamic.events import random_event_trace
+from repro.dynamic.incremental import IncrementalTheta
+from repro.geometry.pointsets import uniform_points
+from repro.graphs.transmission import max_range_for_connectivity
+
+THETA = math.pi / 9
+SPEEDUP_FLOOR = 5.0
+
+
+def _world(n: int, *, rng: int = 2):
+    # Scale the square by sqrt(n): constant density, size-independent D.
+    side = math.sqrt(n)
+    pts = uniform_points(n, rng=rng) * side
+    d = max_range_for_connectivity(pts, method="sparse")
+    return pts, d, side
+
+
+@pytest.mark.parametrize("n", [10_000])
+def test_churn_incremental_vs_rebuild(benchmark, n):
+    pts, d, side = _world(n)
+    trace = random_event_trace(
+        pts, max(1, round(0.01 * n)), side=side, move_sigma=d / 2.0, rng=3
+    )
+    inc = IncrementalTheta(pts, THETA, d)
+
+    # Events mutate the maintainer, so exactly one timed round.
+    stats = benchmark.pedantic(lambda: inc.apply_trace(trace), rounds=1, iterations=1)
+    assert len(stats) == len(trace)
+    per_event = float(np.mean([s.wall_time for s in stats]))
+
+    live = inc.live_points()
+    t_rebuild = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        theta_algorithm(live, THETA, d)
+        t_rebuild.append(time.perf_counter() - t0)
+    rebuild = float(np.mean(t_rebuild))
+
+    speedup = rebuild / per_event
+    print(
+        f"\nn={n}: {len(stats)} events, {per_event * 1e3:.3f} ms/event vs "
+        f"{rebuild * 1e3:.1f} ms/rebuild — {speedup:.1f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental repair only {speedup:.1f}x faster than a full rebuild "
+        f"at n={n} (floor: {SPEEDUP_FLOOR}x)"
+    )
+    # And it stayed correct while being fast.
+    assert not inc.check_full_equivalence()
+
+
+@pytest.mark.parametrize("n", [10_000])
+def test_churn_full_rebuild_baseline(benchmark, n):
+    # The comparison partner as its own tracked series, so the baseline
+    # JSON records both sides of the E23 speedup claim.
+    pts, d, _ = _world(n)
+    topo = benchmark.pedantic(
+        lambda: theta_algorithm(pts, THETA, d), rounds=1, iterations=1
+    )
+    assert topo.graph.n_edges > 0

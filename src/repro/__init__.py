@@ -87,6 +87,22 @@ from repro.interference import (
     greedy_interference_schedule,
 )
 from repro.localsim import LocalRuntime
+from repro.dynamic import (
+    EventTrace,
+    NodeJoin,
+    NodeLeave,
+    NodeMove,
+    FailStop,
+    Recover,
+    poisson_churn_trace,
+    failstop_trace,
+    mobility_trace,
+    random_event_trace,
+    merge_traces,
+    IncrementalTheta,
+    DynamicTopology,
+    RepairStats,
+)
 from repro.sim import (
     SimulationEngine,
     SimulationResult,
@@ -107,6 +123,8 @@ from repro.sim import (
     greedy_geographic_path,
     save_scenario,
     load_scenario,
+    save_event_trace,
+    load_event_trace,
     bounded_adversary_scenario,
     max_window_load,
     StaticMobility,
@@ -177,6 +195,21 @@ __all__ = [
     "LocalRuntime",
     # observability
     "obs",
+    # dynamic networks
+    "EventTrace",
+    "NodeJoin",
+    "NodeLeave",
+    "NodeMove",
+    "FailStop",
+    "Recover",
+    "poisson_churn_trace",
+    "failstop_trace",
+    "mobility_trace",
+    "random_event_trace",
+    "merge_traces",
+    "IncrementalTheta",
+    "DynamicTopology",
+    "RepairStats",
     # sim
     "SimulationEngine",
     "SimulationResult",
@@ -197,6 +230,8 @@ __all__ = [
     "greedy_geographic_path",
     "save_scenario",
     "load_scenario",
+    "save_event_trace",
+    "load_event_trace",
     "bounded_adversary_scenario",
     "max_window_load",
     "StaticMobility",

@@ -14,11 +14,18 @@ gates the paper's claims (the CI entry point):
     python -m repro verify --only e4,e7          # a selection, full scale
     python -m repro verify --list                # claim table, no runs
 
-and captures/inspects observability traces (:mod:`repro.obs`):
+captures/inspects observability traces (:mod:`repro.obs`):
 
     python -m repro e6 --quick --trace /tmp/t    # span trace + step series
     python -m repro verify --quick --trace /tmp/t
     python -m repro report /tmp/t                # phase/series breakdown
+
+and exercises the dynamic-network subsystem (:mod:`repro.dynamic`)
+directly — one network, one churn trace, the E23 locality-of-update
+table for that single configuration:
+
+    python -m repro dynamic --n 1000 --churn 0.01 --steps 100
+    python -m repro dynamic --n 500 --churn 0.02 --steps 50 --trace /tmp/t
 
 ``verify`` evaluates every selected claim's tolerance/bound predicate
 (see :mod:`repro.harness.registry`), writes one JSON record per claim
@@ -149,6 +156,92 @@ def _verify(args: argparse.Namespace, trace_dir: "str | None") -> int:
     return 0
 
 
+def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
+    """The ``dynamic`` subcommand: churn one network, report repair cost.
+
+    Runs the same measurement as claim E23 but for a single
+    user-chosen configuration: ``--churn`` is the per-node per-step
+    event probability, so the trace holds ``n * churn * steps`` mixed
+    events (moves 40%, join/leave/fail/recover 15% each).
+    """
+    import math
+
+    import numpy as np
+
+    from repro.core.theta import theta_algorithm
+    from repro.dynamic import IncrementalTheta, event_kind, random_event_trace
+    from repro.geometry.pointsets import uniform_points
+    from repro.harness.cache import cached_range
+    from repro.utils.rng import as_rng
+
+    if args.n < 4:
+        print("dynamic: --n must be at least 4", file=sys.stderr)
+        return 2
+    if args.churn <= 0 or args.steps <= 0:
+        print("dynamic: --churn and --steps must be positive", file=sys.stderr)
+        return 2
+    if trace_dir:
+        obs.enable()
+
+    gen = as_rng(args.seed)
+    pts = uniform_points(args.n, rng=gen)
+    d0 = cached_range(pts, 1.5)
+    n_events = max(1, round(args.churn * args.n * args.steps))
+    events = random_event_trace(pts, n_events, move_sigma=d0 / 2.0, rng=gen)
+    inc = IncrementalTheta(pts, math.pi / 9, d0)
+
+    touched: "list[int]" = []
+    radii: "list[float]" = []
+    flipped: "list[int]" = []
+    wall: "list[float]" = []
+    kinds: "dict[str, int]" = {}
+    for ev in events.events():
+        stats = inc.apply(ev)
+        touched.append(stats.nodes_touched)
+        radii.append(stats.update_radius)
+        flipped.append(stats.edges_flipped)
+        wall.append(stats.wall_time)
+        kinds[event_kind(ev)] = kinds.get(event_kind(ev), 0) + 1
+    mismatches = 1 if inc.check_full_equivalence() else 0
+
+    live = inc.live_points()
+    t0 = time.perf_counter()
+    theta_algorithm(live, math.pi / 9, d0)
+    full_ms = (time.perf_counter() - t0) * 1e3
+    event_ms = float(np.mean(wall)) * 1e3
+    touched_arr = np.asarray(touched, dtype=np.float64)
+    row = {
+        "n": int(args.n),
+        "live_n": int(inc.n_alive),
+        "events": len(touched),
+        "mean_touched": float(touched_arr.mean()),
+        "p95_touched": float(np.percentile(touched_arr, 95)),
+        "max_touched": int(touched_arr.max()),
+        "touched_per_n": float(touched_arr.mean() / args.n),
+        "mean_update_radius_over_D": float(np.mean(radii) / d0),
+        "max_update_radius_over_D": float(np.max(radii) / d0),
+        "edges_flipped_per_event": float(np.mean(flipped)),
+        "ms_per_event": event_ms,
+        "full_rebuild_ms": full_ms,
+        "rebuild_speedup": full_ms / event_ms if event_ms > 0 else float("inf"),
+        "equality_mismatches": mismatches,
+    }
+    mix = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    print(
+        tables.render_table(
+            [row],
+            title=f"dynamic churn — n={args.n}, churn={args.churn:g}/node/step, "
+            f"steps={args.steps}, seed={args.seed}",
+        )
+    )
+    print(f"event mix: {mix}")
+    backstop = "edge-for-edge equal" if not mismatches else "MISMATCH vs from-scratch ΘALG"
+    print(f"final topology vs full rebuild: {backstop}")
+    if trace_dir:
+        _export_trace(trace_dir)
+    return 1 if mismatches else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -156,7 +249,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e22), 'all', 'list', 'verify', or 'report'",
+        help="experiment id (e1..e23), 'all', 'list', 'verify', 'report', or 'dynamic'",
     )
     parser.add_argument(
         "path",
@@ -192,6 +285,34 @@ def main(argv: "list[str] | None" = None) -> int:
         help="capture a span trace + per-step series into DIR "
         "(also enabled by REPRO_TRACE=DIR)",
     )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="dynamic: number of nodes (default 1000)",
+    )
+    parser.add_argument(
+        "--churn",
+        type=float,
+        default=0.01,
+        metavar="RATE",
+        help="dynamic: per-node per-step event probability (default 0.01)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=100,
+        metavar="T",
+        help="dynamic: number of simulated steps (default 100)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=23,
+        metavar="S",
+        help="dynamic: RNG seed for points and the event trace (default 23)",
+    )
     args = parser.parse_args(argv)
     trace_dir = args.trace or os.environ.get("REPRO_TRACE") or None
 
@@ -212,6 +333,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.experiment == "verify":
         return _verify(args, trace_dir)
+
+    if args.experiment == "dynamic":
+        return _dynamic(args, trace_dir)
 
     keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment.lower()]
     unknown = [k for k in keys if k not in EXPERIMENTS]

@@ -1,0 +1,119 @@
+"""E23 — locality of update under churn (§1, §2.1 locality argument).
+
+The paper's central design argument is that ΘALG is *local*: each node
+decides its neighborhood from information within transmission range
+only.  The dynamic consequence — the reason locality matters for ad hoc
+networks at all — is that a topology change (join, leave, move, crash)
+requires repairing only a bounded region around the event, while any
+global construction (MST, global sparsification, or simply rebuilding
+from scratch) pays for the whole network every time.
+
+This experiment drives :class:`repro.dynamic.incremental.IncrementalTheta`
+with seeded mixed event traces at increasing n and measures:
+
+* ``mean_touched`` / ``p95_touched`` — nodes whose ΘALG state was
+  recomputed per event.  Under constant-density scaling (D tied to the
+  connectivity bottleneck) this stays roughly flat in n, while the
+  touched *fraction* of the network vanishes;
+* ``update_radius_over_D`` — repair never reaches past 2D by
+  construction; measured radii confirm it;
+* ``ms_per_event`` vs ``full_rebuild_ms`` — incremental repair against
+  a from-scratch :func:`~repro.core.theta.theta_algorithm` per event;
+* ``equality_mismatches`` — the correctness backstop: after every
+  ``check_every``-th event the maintained topology is compared
+  edge-for-edge against the from-scratch rebuild on the live node set.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.theta import theta_algorithm
+from repro.dynamic.events import random_event_trace
+from repro.dynamic.incremental import IncrementalTheta
+from repro.geometry.pointsets import uniform_points
+from repro.harness.cache import cached_range
+from repro.utils.rng import as_rng, spawn_rngs
+
+__all__ = ["e23_locality_of_update"]
+
+
+def e23_locality_of_update(
+    *,
+    ns=(250, 500, 1000, 2000),
+    events_per_n=300,
+    theta=math.pi / 9,
+    slack=1.5,
+    check_every=1,
+    rebuild_reps=3,
+    rng=None,
+) -> list[dict]:
+    """Per-event repair cost vs. network size under mixed churn.
+
+    Parameters
+    ----------
+    ns:
+        Network sizes; one row per size.
+    events_per_n:
+        Events in each random trace (moves 40%, join/leave/fail/recover
+        15% each).
+    check_every:
+        Run the edge-for-edge equivalence backstop after every k-th
+        event (1 = after every event).
+    rebuild_reps:
+        Repetitions when timing the from-scratch rebuild baseline.
+    """
+    gen = as_rng(rng)
+    rows: list[dict] = []
+    for n, child in zip(ns, spawn_rngs(gen, len(ns))):
+        pts = uniform_points(n, rng=child)
+        d0 = cached_range(pts, slack)
+        inc = IncrementalTheta(pts, theta, d0)
+        trace = random_event_trace(pts, events_per_n, move_sigma=d0 / 2.0, rng=child)
+
+        touched: list[int] = []
+        radii: list[float] = []
+        flipped: list[int] = []
+        wall: list[float] = []
+        mismatches = 0
+        for k, ev in enumerate(trace.events()):
+            stats = inc.apply(ev)
+            touched.append(stats.nodes_touched)
+            radii.append(stats.update_radius)
+            flipped.append(stats.edges_flipped)
+            wall.append(stats.wall_time)
+            if (k + 1) % check_every == 0 and inc.check_full_equivalence():
+                mismatches += 1
+
+        live = inc.live_points()
+        t_rebuild = []
+        for _ in range(rebuild_reps):
+            t0 = time.perf_counter()
+            theta_algorithm(live, theta, d0)
+            t_rebuild.append(time.perf_counter() - t0)
+        full_ms = float(np.mean(t_rebuild)) * 1e3
+        event_ms = float(np.mean(wall)) * 1e3
+
+        touched_arr = np.asarray(touched, dtype=np.float64)
+        rows.append(
+            {
+                "n": int(n),
+                "live_n": int(inc.n_alive),
+                "events": len(touched),
+                "mean_touched": float(touched_arr.mean()),
+                "p95_touched": float(np.percentile(touched_arr, 95)),
+                "max_touched": int(touched_arr.max()),
+                "touched_per_n": float(touched_arr.mean() / n),
+                "mean_update_radius_over_D": float(np.mean(radii) / d0),
+                "max_update_radius_over_D": float(np.max(radii) / d0),
+                "edges_flipped_per_event": float(np.mean(flipped)),
+                "ms_per_event": event_ms,
+                "full_rebuild_ms": full_ms,
+                "rebuild_speedup": full_ms / event_ms if event_ms > 0 else float("inf"),
+                "equality_mismatches": int(mismatches),
+            }
+        )
+    return rows

@@ -105,6 +105,15 @@ class ThetaTopology:
         """``N(u)`` of the paper: nodes u points to after phase 1."""
         return {v for (uu, _), v in self.yao_nearest.items() if uu == u}
 
+    def edge_set(self) -> set[tuple[int, int]]:
+        """The topology N as canonical ``(lo, hi)`` pairs.
+
+        The comparison form used by the incremental maintainer's
+        equivalence backstop (:mod:`repro.dynamic.incremental`) and the
+        kernel-equivalence tests.
+        """
+        return {(int(a), int(b)) if a < b else (int(b), int(a)) for a, b in self.graph.edges}
+
 
 def theta_algorithm(
     points: np.ndarray,

@@ -1,0 +1,51 @@
+"""Dynamic networks: typed churn events, incremental ΘALG maintenance,
+and fault injection (see ``docs/dynamics.md`` and experiment E23)."""
+
+from repro.dynamic.events import (
+    Event,
+    EventTrace,
+    FailStop,
+    NodeJoin,
+    NodeLeave,
+    NodeMove,
+    Recover,
+    event_kind,
+    event_trace_from_dict,
+    event_trace_to_dict,
+    failstop_trace,
+    merge_traces,
+    mobility_trace,
+    poisson_churn_trace,
+    random_event_trace,
+)
+from repro.dynamic.faults import drop_buffered_packets, filter_injections
+from repro.dynamic.incremental import (
+    DynamicTopology,
+    IncrementalTheta,
+    RepairStats,
+    StepChurn,
+)
+
+__all__ = [
+    "Event",
+    "EventTrace",
+    "NodeJoin",
+    "NodeLeave",
+    "NodeMove",
+    "FailStop",
+    "Recover",
+    "event_kind",
+    "event_trace_to_dict",
+    "event_trace_from_dict",
+    "poisson_churn_trace",
+    "failstop_trace",
+    "mobility_trace",
+    "random_event_trace",
+    "merge_traces",
+    "IncrementalTheta",
+    "DynamicTopology",
+    "RepairStats",
+    "StepChurn",
+    "drop_buffered_packets",
+    "filter_injections",
+]

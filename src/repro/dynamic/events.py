@@ -1,0 +1,410 @@
+"""Typed topology-change events and seeded churn-trace generators.
+
+The paper's locality argument (§1, §2.1) is about *change*: each node
+builds its ΘALG neighborhood from information within transmission
+range, so a topology event — a node joining, leaving, moving, or
+crashing — should only ever require repair inside a bounded disk
+around it.  This module defines the event vocabulary that the
+incremental maintainer (:mod:`repro.dynamic.incremental`) consumes:
+
+* :class:`NodeJoin` — a new node appears at a position (or a departed
+  slot is re-populated);
+* :class:`NodeLeave` — a node departs permanently;
+* :class:`NodeMove` — a live node changes position (mobility);
+* :class:`FailStop` — a node crashes: it vanishes from the topology
+  and loses every packet buffered at it, but keeps its identity and
+  position so it may :class:`Recover` later;
+* :class:`Recover` — a previously failed node comes back up (with
+  empty buffers).
+
+An :class:`EventTrace` is a time-ordered sequence of ``(step, event)``
+pairs with a versioned JSON form, so a churn workload can be saved
+next to experiment outputs and replayed bit-for-bit
+(:func:`repro.sim.scenario_io.save_event_trace`).
+
+All generators take the usual ``rng`` argument (seed, generator, or
+``None``) and are deterministic for a fixed seed, mirroring the
+adversary/scenario plumbing in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+from repro.geometry.primitives import as_points
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "NodeJoin",
+    "NodeLeave",
+    "NodeMove",
+    "FailStop",
+    "Recover",
+    "Event",
+    "EventTrace",
+    "event_trace_to_dict",
+    "event_trace_from_dict",
+    "poisson_churn_trace",
+    "failstop_trace",
+    "mobility_trace",
+    "random_event_trace",
+    "merge_traces",
+]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class NodeJoin:
+    """Node ``node`` appears at position ``(x, y)``.
+
+    ``node`` must be either the next unused id (the network grows) or
+    the id of a departed/failed node (the slot is re-populated at a new
+    position).
+    """
+
+    node: int
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class NodeLeave:
+    """Node ``node`` departs gracefully and permanently."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class NodeMove:
+    """Node ``node`` moves to ``(x, y)``.
+
+    Moving a *failed* node is legal — a crashed device still moves
+    physically — and only updates the position it will
+    :class:`Recover` at.  Moving a departed node is an error.
+    """
+
+    node: int
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class FailStop:
+    """Node ``node`` crashes: topology edges and buffered packets are
+    lost, identity and position are retained for a later recovery."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class Recover:
+    """Previously failed node ``node`` comes back up in place."""
+
+    node: int
+
+
+Event = Union[NodeJoin, NodeLeave, NodeMove, FailStop, Recover]
+
+#: wire-format tag per event class (stable across releases).
+_KIND = {NodeJoin: "join", NodeLeave: "leave", NodeMove: "move", FailStop: "fail", Recover: "recover"}
+_BY_KIND = {v: k for k, v in _KIND.items()}
+
+
+def event_kind(event: Event) -> str:
+    """The wire-format tag (``join``/``leave``/``move``/``fail``/``recover``)."""
+    try:
+        return _KIND[type(event)]
+    except KeyError:
+        raise TypeError(f"{type(event).__name__} is not a topology event") from None
+
+
+class EventTrace:
+    """A time-ordered sequence of ``(step, event)`` pairs.
+
+    Parameters
+    ----------
+    items:
+        Iterable of ``(t, event)`` with integer ``t >= 0``.  Stored
+        sorted by ``t`` (stable, so same-step events keep their
+        relative order — the order they are applied in).
+    horizon:
+        Number of steps the trace spans; defaults to ``max(t) + 1``.
+    """
+
+    def __init__(self, items: "Iterable[tuple[int, Event]]", *, horizon: "int | None" = None) -> None:
+        pairs = [(int(t), ev) for t, ev in items]
+        for t, ev in pairs:
+            if t < 0:
+                raise ValueError(f"event time must be >= 0, got {t}")
+            event_kind(ev)  # type-check
+        pairs.sort(key=lambda p: p[0])
+        self._pairs: "tuple[tuple[int, Event], ...]" = tuple(pairs)
+        inferred = (self._pairs[-1][0] + 1) if self._pairs else 0
+        self.horizon = int(horizon) if horizon is not None else inferred
+        if self.horizon < inferred:
+            raise ValueError(f"horizon {self.horizon} smaller than last event time {inferred - 1}")
+        self._by_time: "dict[int, list[Event]]" = {}
+        for t, ev in self._pairs:
+            self._by_time.setdefault(t, []).append(ev)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> "Iterator[tuple[int, Event]]":
+        return iter(self._pairs)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, EventTrace)
+            and self._pairs == other._pairs
+            and self.horizon == other.horizon
+        )
+
+    def at(self, t: int) -> "list[Event]":
+        """Events scheduled for step ``t`` (application order)."""
+        return list(self._by_time.get(int(t), ()))
+
+    def events(self) -> "list[Event]":
+        """All events, time-ordered, without their timestamps."""
+        return [ev for _, ev in self._pairs]
+
+    def counts(self) -> "dict[str, int]":
+        """Event count per kind tag (for tables and sanity checks)."""
+        out: "dict[str, int]" = {}
+        for _, ev in self._pairs:
+            k = event_kind(ev)
+            out[k] = out.get(k, 0) + 1
+        return out
+
+
+def event_trace_to_dict(trace: EventTrace) -> dict:
+    """Plain-JSON-types representation of a trace (versioned)."""
+    rows = []
+    for t, ev in trace:
+        row: "dict[str, object]" = {"t": t, "kind": event_kind(ev), "node": ev.node}
+        if isinstance(ev, (NodeJoin, NodeMove)):
+            row["pos"] = [float(ev.x), float(ev.y)]
+        rows.append(row)
+    return {"format_version": _FORMAT_VERSION, "horizon": trace.horizon, "events": rows}
+
+
+def event_trace_from_dict(data: dict) -> EventTrace:
+    """Inverse of :func:`event_trace_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported event-trace format version: {version!r}")
+    items: "list[tuple[int, Event]]" = []
+    for row in data["events"]:
+        cls = _BY_KIND.get(row["kind"])
+        if cls is None:
+            raise ValueError(f"unknown event kind: {row['kind']!r}")
+        node = int(row["node"])
+        if cls in (NodeJoin, NodeMove):
+            x, y = row["pos"]
+            ev: Event = cls(node, float(x), float(y))
+        else:
+            ev = cls(node)
+        items.append((int(row["t"]), ev))
+    return EventTrace(items, horizon=int(data["horizon"]))
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def poisson_churn_trace(
+    n0: int,
+    steps: int,
+    *,
+    arrival_rate: float,
+    departure_rate: float,
+    side: float = 1.0,
+    min_alive: int = 2,
+    rng=None,
+) -> EventTrace:
+    """Poisson arrivals/departures: the classic open-network churn model.
+
+    Each step draws ``Poisson(arrival_rate)`` joins (fresh ids, uniform
+    positions in ``[0, side]²``) and ``Poisson(departure_rate)``
+    permanent leaves of uniformly chosen live nodes, never dropping the
+    population below ``min_alive``.
+    """
+    check_nonnegative("arrival_rate", arrival_rate)
+    check_nonnegative("departure_rate", departure_rate)
+    check_positive("side", side)
+    gen = as_rng(rng)
+    alive = list(range(int(n0)))
+    next_id = int(n0)
+    items: "list[tuple[int, Event]]" = []
+    for t in range(int(steps)):
+        for _ in range(int(gen.poisson(arrival_rate))):
+            x, y = gen.uniform(0.0, side, size=2)
+            items.append((t, NodeJoin(next_id, float(x), float(y))))
+            alive.append(next_id)
+            next_id += 1
+        for _ in range(int(gen.poisson(departure_rate))):
+            if len(alive) <= min_alive:
+                break
+            victim = alive.pop(int(gen.integers(len(alive))))
+            items.append((t, NodeLeave(victim)))
+    return EventTrace(items, horizon=int(steps))
+
+
+def failstop_trace(
+    n0: int,
+    steps: int,
+    *,
+    fail_rate: float,
+    mean_downtime: float = 10.0,
+    min_alive: int = 2,
+    rng=None,
+) -> EventTrace:
+    """Fail-stop crashes with exponentially distributed recovery.
+
+    Each step, ``Poisson(fail_rate)`` currently-up nodes crash; each
+    crashed node schedules its :class:`Recover` ``1 +
+    Exponential(mean_downtime)`` steps later.  Recoveries landing past
+    the horizon are dropped (the node stays down at trace end).
+    """
+    check_nonnegative("fail_rate", fail_rate)
+    check_positive("mean_downtime", mean_downtime)
+    gen = as_rng(rng)
+    up = list(range(int(n0)))
+    recover_at: "dict[int, list[int]]" = {}
+    items: "list[tuple[int, Event]]" = []
+    for t in range(int(steps)):
+        for node in recover_at.pop(t, ()):
+            items.append((t, Recover(node)))
+            up.append(node)
+        for _ in range(int(gen.poisson(fail_rate))):
+            if len(up) <= min_alive:
+                break
+            victim = up.pop(int(gen.integers(len(up))))
+            items.append((t, FailStop(victim)))
+            back = t + 1 + int(gen.exponential(mean_downtime))
+            if back < steps:
+                recover_at.setdefault(back, []).append(victim)
+    return EventTrace(items, horizon=int(steps))
+
+
+def mobility_trace(mobility, steps: int, *, every: int = 1) -> EventTrace:
+    """Move batches driven by a :mod:`repro.sim.mobility` model.
+
+    Advances ``mobility`` once per step and, every ``every`` steps,
+    emits one :class:`NodeMove` per node that actually changed position
+    since the last emitted batch — the event-stream equivalent of the
+    engine's old rebuild-every-step loop.
+    """
+    check_positive("every", every)
+    last = as_points(mobility.positions(0)).copy()
+    items: "list[tuple[int, Event]]" = []
+    for t in range(int(steps)):
+        cur = as_points(mobility.advance())
+        if (t + 1) % every:
+            continue
+        moved = np.nonzero(np.any(cur != last, axis=1))[0]
+        for i in moved.tolist():
+            items.append((t, NodeMove(int(i), float(cur[i, 0]), float(cur[i, 1]))))
+        last = cur.copy()
+    return EventTrace(items, horizon=int(steps))
+
+
+def random_event_trace(
+    points: np.ndarray,
+    n_events: int,
+    *,
+    side: float = 1.0,
+    move_sigma: "float | None" = None,
+    weights: "dict[str, float] | None" = None,
+    min_alive: int = 3,
+    rng=None,
+) -> EventTrace:
+    """A mixed random trace interleaving every event kind (one per step).
+
+    The workhorse of the E23 experiment and the equivalence property
+    tests: starting from ``points``, each of the ``n_events`` steps
+    draws one event kind from ``weights`` (default: moves 40%, the
+    other four kinds 15% each), tracks the live/failed population so
+    every emitted event is valid, and keeps at least ``min_alive``
+    nodes up.  Moves are Gaussian jitter of scale ``move_sigma``
+    (default ``side / 20``) reflected into the domain; joins are
+    uniform in ``[0, side]²``.
+    """
+    pts = as_points(points)
+    check_positive("side", side)
+    gen = as_rng(rng)
+    sigma = float(move_sigma) if move_sigma is not None else side / 20.0
+    w = {"join": 0.15, "leave": 0.15, "move": 0.40, "fail": 0.15, "recover": 0.15}
+    if weights:
+        unknown = set(weights) - set(w)
+        if unknown:
+            raise ValueError(f"unknown event kinds in weights: {sorted(unknown)}")
+        w.update(weights)
+    kinds = sorted(w)
+    p = np.asarray([w[k] for k in kinds], dtype=np.float64)
+    if p.sum() <= 0:
+        raise ValueError("event weights must not all be zero")
+    p = p / p.sum()
+
+    pos = {i: (float(x), float(y)) for i, (x, y) in enumerate(pts)}
+    alive = list(range(len(pts)))
+    failed: "list[int]" = []
+    next_id = len(pts)
+    items: "list[tuple[int, Event]]" = []
+    for t in range(int(n_events)):
+        kind = kinds[int(gen.choice(len(kinds), p=p))]
+        if kind in ("leave", "fail") and len(alive) <= min_alive:
+            kind = "join"
+        if kind == "recover" and not failed:
+            kind = "move"
+        if kind == "join":
+            x, y = (float(v) for v in gen.uniform(0.0, side, size=2))
+            items.append((t, NodeJoin(next_id, x, y)))
+            pos[next_id] = (x, y)
+            alive.append(next_id)
+            next_id += 1
+        elif kind == "leave":
+            victim = alive.pop(int(gen.integers(len(alive))))
+            items.append((t, NodeLeave(victim)))
+        elif kind == "fail":
+            victim = alive.pop(int(gen.integers(len(alive))))
+            items.append((t, FailStop(victim)))
+            failed.append(victim)
+        elif kind == "recover":
+            node = failed.pop(int(gen.integers(len(failed))))
+            items.append((t, Recover(node)))
+            alive.append(node)
+        else:  # move
+            node = alive[int(gen.integers(len(alive)))]
+            x0, y0 = pos[node]
+            x = _reflect_scalar(x0 + float(gen.normal(0.0, sigma)), side)
+            y = _reflect_scalar(y0 + float(gen.normal(0.0, sigma)), side)
+            pos[node] = (x, y)
+            items.append((t, NodeMove(node, x, y)))
+    return EventTrace(items, horizon=int(n_events))
+
+
+def merge_traces(*traces: EventTrace) -> EventTrace:
+    """Interleave several traces into one (stable per-step ordering).
+
+    Same-step events keep trace-argument order, so e.g. a mobility
+    trace merged after a churn trace applies its moves after that
+    step's joins/leaves.  The caller is responsible for the merged
+    stream being consistent (no two traces claiming the same node id).
+    """
+    items: "list[tuple[int, Event]]" = []
+    for tr in traces:
+        items.extend(tr)
+    horizon = max((tr.horizon for tr in traces), default=0)
+    items.sort(key=lambda pair: pair[0])
+    return EventTrace(items, horizon=horizon)
+
+
+def _reflect_scalar(v: float, side: float) -> float:
+    """Reflect a coordinate into ``[0, side]`` (single bounce pair)."""
+    v = v % (2.0 * side)
+    return 2.0 * side - v if v > side else v

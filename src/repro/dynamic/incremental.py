@@ -1,0 +1,500 @@
+"""Incremental ΘALG maintenance under topology events.
+
+The locality claim made concrete (E23): because every ΘALG decision of
+a node depends only on nodes within transmission range D, a topology
+event at position *p* can only change
+
+* phase-1 (Yao) choices of live nodes within D of *p* — the **dirty
+  set** A; and
+* phase-2 (in-degree pruning) outcomes at receivers whose incoming
+  Yao-edge multiset changed, or whose distance to an in-neighbor
+  changed — every such receiver is a (current or former) Yao target of
+  some node in A, hence within 2D of *p*.
+
+:class:`IncrementalTheta` maintains the exact ΘALG output under
+:mod:`repro.dynamic.events` streams by re-running both phases on that
+bounded region only.  It replicates the vectorized kernels'
+arithmetic bit-for-bit — same subtraction orientation, same
+``np.hypot``/``np.arctan2`` expressions, same in-range epsilon
+(``d² ≤ D² + 1e-12``), same (distance, node-id) tie-breaking — so the
+maintained topology is **edge-for-edge identical** to
+:func:`repro.core.theta.theta_algorithm` recomputed from scratch on
+the live node set after every event (asserted by
+:meth:`IncrementalTheta.check_full_equivalence` and the property tests
+in ``tests/test_dynamic_incremental.py``).
+
+:class:`DynamicTopology` packages a maintainer with an
+:class:`~repro.dynamic.events.EventTrace` for consumption by
+:class:`repro.sim.engine.SimulationEngine`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.theta import theta_algorithm
+from repro.dynamic.events import (
+    Event,
+    EventTrace,
+    FailStop,
+    NodeJoin,
+    NodeLeave,
+    NodeMove,
+    Recover,
+    event_kind,
+)
+from repro.geometry.primitives import TWO_PI, as_points
+from repro.geometry.sectors import SectorPartition
+from repro.geometry.spatialindex import DynamicGridIndex
+from repro.obs import trace
+from repro.utils.arrays import run_starts
+
+__all__ = ["RepairStats", "IncrementalTheta", "DynamicTopology", "StepChurn"]
+
+
+@dataclass(frozen=True)
+class RepairStats:
+    """Per-event repair accounting (the E23 measurands).
+
+    Attributes
+    ----------
+    kind:
+        Event kind tag (``join``/``leave``/``move``/``fail``/``recover``).
+    node:
+        The event's node id.
+    update_radius:
+        Largest distance from an event anchor to any touched node
+        (0 when nothing was touched).  Bounded by 2D by construction.
+    nodes_touched:
+        Number of distinct nodes whose phase-1 or phase-2 state was
+        recomputed (the dirty set plus re-pruned receivers).
+    edges_flipped:
+        Undirected topology edges added plus removed by this event.
+    wall_time:
+        Repair wall-clock seconds (``time.perf_counter`` based).
+    """
+
+    kind: str
+    node: int
+    update_radius: float
+    nodes_touched: int
+    edges_flipped: int
+    wall_time: float
+
+
+class IncrementalTheta:
+    """Maintain the exact ΘALG topology under join/leave/move/fail events.
+
+    Parameters mirror :func:`repro.core.theta.theta_algorithm`; the
+    initial state is seeded from one full vectorized run.  Node ids are
+    *global and stable*: survivors keep their id across events, joins
+    take fresh ids (or re-populate a departed slot), and all reported
+    edges are in global-id space.
+
+    State kept per live node ``u``:
+
+    * ``_out[u]``: ``{sector → target}`` — u's phase-1 Yao choices;
+    * ``_in[x]``: ``{sources w with x ∈ N(w)}`` — reverse index;
+    * ``_admit[x]``: ``{sector → admitted source}`` — phase-2 result;
+    * ``_edge_dirs[(lo, hi)]``: 1 or 2 — how many of the two directed
+      choices of undirected edge ``{lo, hi}`` survived pruning.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        theta: float,
+        max_range: float,
+        *,
+        kappa: float = 2.0,
+        offset: float = 0.0,
+    ) -> None:
+        pts = as_points(points)
+        self.theta = float(theta)
+        self.max_range = float(max_range)
+        self.kappa = float(kappa)
+        self.offset = float(offset)
+        self._part = SectorPartition(self.theta, self.offset)
+        self._index = DynamicGridIndex(pts, cell=self.max_range)
+        self._failed: "set[int]" = set()
+
+        topo = theta_algorithm(pts, self.theta, self.max_range, kappa=self.kappa, offset=self.offset)
+        self._out: "dict[int, dict[int, int]]" = {}
+        self._in: "dict[int, set[int]]" = {}
+        for (u, sec), v in topo.yao_nearest.items():
+            self._out.setdefault(u, {})[sec] = v
+            self._in.setdefault(v, set()).add(u)
+        self._admit: "dict[int, dict[int, int]]" = {}
+        self._edge_dirs: "dict[tuple[int, int], int]" = {}
+        for (x, sec), w in topo.admitted.items():
+            self._admit.setdefault(x, {})[sec] = w
+            key = (w, x) if w < x else (x, w)
+            self._edge_dirs[key] = self._edge_dirs.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_alive(self) -> int:
+        return len(self._index)
+
+    @property
+    def size(self) -> int:
+        """One past the highest node id ever seen (live or not)."""
+        return self._index.size
+
+    def alive_ids(self) -> np.ndarray:
+        """Sorted global ids of live nodes."""
+        return self._index.alive_ids()
+
+    def failed_ids(self) -> "set[int]":
+        """Ids currently down due to :class:`FailStop` (may recover)."""
+        return set(self._failed)
+
+    def live_points(self) -> np.ndarray:
+        """Live node positions in :meth:`alive_ids` order."""
+        return self._index.live_points()
+
+    def position(self, node: int) -> np.ndarray:
+        return self._index.position(node)
+
+    def position_array(self, ids: np.ndarray) -> np.ndarray:
+        """Positions for an array of global ids (vectorized)."""
+        return self._index.positions_of(ids)
+
+    def edge_set(self) -> "set[tuple[int, int]]":
+        """The maintained topology N as undirected global-id pairs."""
+        return set(self._edge_dirs)
+
+    def edge_array(self) -> np.ndarray:
+        """``(m, 2)`` sorted intp array of the undirected edges."""
+        if not self._edge_dirs:
+            return np.empty((0, 2), dtype=np.intp)
+        edges = np.array(sorted(self._edge_dirs), dtype=np.intp)
+        return edges
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply(self, event: Event) -> RepairStats:
+        """Apply one event and locally repair the topology."""
+        kind = event_kind(event)
+        with trace.span("dynamic.apply_event", kind=kind, node=event.node):
+            t0 = time.perf_counter()
+            node = int(event.node)
+            if isinstance(event, NodeJoin):
+                if node in self._failed:
+                    raise ValueError(f"node {node} is failed; use Recover, not NodeJoin")
+                p = np.array([event.x, event.y], dtype=np.float64)
+                self._index.insert(node, p)
+                anchors = [p]
+            elif isinstance(event, NodeMove):
+                if node in self._failed:
+                    # A crashed device still moves physically: update the
+                    # retained position (where Recover brings it back up)
+                    # without touching the topology.
+                    p = np.array([event.x, event.y], dtype=np.float64)
+                    self._index.set_dead_position(node, p)
+                    return RepairStats(
+                        kind=kind,
+                        node=node,
+                        update_radius=0.0,
+                        nodes_touched=0,
+                        edges_flipped=0,
+                        wall_time=time.perf_counter() - t0,
+                    )
+                if not self._index.is_alive(node):
+                    raise ValueError(f"cannot move node {node}: not alive")
+                old_p = self._index.position(node)
+                p = np.array([event.x, event.y], dtype=np.float64)
+                self._index.move(node, p)
+                anchors = [old_p, p]
+            elif isinstance(event, (NodeLeave, FailStop)):
+                if not self._index.is_alive(node):
+                    raise ValueError(f"cannot remove node {node}: not alive")
+                p = self._index.position(node)
+                self._index.remove(node)
+                if isinstance(event, FailStop):
+                    self._failed.add(node)
+                anchors = [p]
+            elif isinstance(event, Recover):
+                if node not in self._failed:
+                    raise ValueError(f"cannot recover node {node}: not failed")
+                self._failed.discard(node)
+                p = self._index.position(node)
+                self._index.insert(node, p)
+                anchors = [p]
+            else:  # pragma: no cover - event_kind above already rejects
+                raise TypeError(f"unsupported event: {event!r}")
+
+            stats = self._repair(kind, node, anchors, event)
+            return RepairStats(
+                kind=stats.kind,
+                node=stats.node,
+                update_radius=stats.update_radius,
+                nodes_touched=stats.nodes_touched,
+                edges_flipped=stats.edges_flipped,
+                wall_time=time.perf_counter() - t0,
+            )
+
+    def apply_trace(self, events: "EventTrace | list[Event]") -> "list[RepairStats]":
+        """Apply a whole trace (or event list) in order."""
+        seq = events.events() if isinstance(events, EventTrace) else list(events)
+        return [self.apply(ev) for ev in seq]
+
+    # ------------------------------------------------------------------
+    # Repair machinery
+    # ------------------------------------------------------------------
+    def _repair(self, kind: str, node: int, anchors: "list[np.ndarray]", event: Event) -> RepairStats:
+        """Re-run both ΘALG phases on the dirty region around ``anchors``."""
+        with trace.span("dynamic.repair", kind=kind, node=node):
+            D = self.max_range
+            # Phase-1 dirty set A: live nodes whose candidate neighborhood
+            # intersects a disk of radius D around an anchor.
+            dirty: "set[int]" = set()
+            for p in anchors:
+                dirty.update(self._index.query_radius(p, D).tolist())
+            event_alive = self._index.is_alive(node)
+            if event_alive:
+                dirty.add(node)
+
+            receivers: "set[int]" = set()
+            flipped = 0
+            if event_alive:
+                receivers.add(node)
+            elif node in self._out:
+                # Departed node: retract its Yao choices; each former
+                # target loses an in-edge and must re-prune.
+                for v in self._out.pop(node).values():
+                    self._in[v].discard(node)
+                    receivers.add(v)
+
+            for u in sorted(dirty):
+                new_choices = self._yao_choices(u)
+                old_choices = self._out.get(u, {})
+                if u == node and kind == "move":
+                    # The mover's distances to even *unchanged* targets
+                    # shifted, so every old/new target must re-prune.
+                    receivers.update(old_choices.values())
+                    receivers.update(new_choices.values())
+                if new_choices != old_choices:
+                    # Diff by *target set*, not per sector: a target that
+                    # merely switched cones of u (possible only when u or
+                    # the target moved) keeps its in-edge, and the mover
+                    # is already in ``receivers``.
+                    old_targets = set(old_choices.values())
+                    new_targets = set(new_choices.values())
+                    for v in old_targets - new_targets:
+                        if v in self._in:
+                            self._in[v].discard(u)
+                        receivers.add(v)
+                    for v in new_targets - old_targets:
+                        self._in.setdefault(v, set()).add(u)
+                        receivers.add(v)
+                if new_choices:
+                    self._out[u] = new_choices
+                else:
+                    self._out.pop(u, None)
+
+            if not event_alive:
+                # Retract the departed node's own admissions and in-set.
+                for w in self._admit.pop(node, {}).values():
+                    flipped += self._drop_dir(w, node)
+                self._in.pop(node, None)
+                receivers.discard(node)
+
+            for x in sorted(receivers):
+                if self._index.is_alive(x):
+                    flipped += self._readmit(x)
+
+            touched = dirty | receivers
+            if not event_alive:
+                touched.add(node)
+            radius = 0.0
+            for t in touched:
+                q = self._index.position(t)
+                radius = max(radius, min(float(np.hypot(*(q - p))) for p in anchors))
+            return RepairStats(
+                kind=kind,
+                node=node,
+                update_radius=radius,
+                nodes_touched=len(touched),
+                edges_flipped=flipped,
+                wall_time=0.0,
+            )
+
+    def _yao_choices(self, u: int) -> "dict[int, int]":
+        """Phase 1 for one node: nearest in-range neighbor per cone.
+
+        Bit-for-bit the arithmetic of :func:`repro.graphs.yao.yao_out_edges`
+        restricted to source ``u``: ``d = pts[v] - pts[u]``,
+        ``dist = np.hypot``, sector from ``arctan2`` mod 2π, candidates
+        within ``D`` under the shared ``+1e-12`` epsilon, ties broken by
+        (distance, target id) via the same lexsort.
+        """
+        if not self._index.is_alive(u):
+            return {}
+        pu = self._index.position(u)
+        nbrs = self._index.query_radius(pu, self.max_range, exclude=u)
+        if len(nbrs) == 0:
+            return {}
+        d = self._index.positions_of(nbrs) - pu
+        dist = np.hypot(d[:, 0], d[:, 1])
+        ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
+        sec = np.atleast_1d(self._part.index_of_angle(ang))
+        order = np.lexsort((nbrs, dist, sec))
+        sel = order[run_starts(sec[order])]
+        return dict(zip(sec[sel].tolist(), nbrs[sel].tolist()))
+
+    def _readmit(self, x: int) -> int:
+        """Phase 2 for one receiver: re-prune its incoming Yao edges.
+
+        Mirrors the phase-2 lexsort of :func:`theta_algorithm`: group
+        in-neighbors by the cone of ``x`` containing them
+        (``d = pts[w] - pts[x]``), admit the (distance, source id)
+        minimum per cone.  Returns the number of undirected edges
+        flipped (added + removed).
+        """
+        sources = self._in.get(x)
+        old = self._admit.get(x, {})
+        if not sources:
+            new: "dict[int, int]" = {}
+        else:
+            src = np.fromiter(sources, dtype=np.intp, count=len(sources))
+            px = self._index.position(x)
+            d = self._index.positions_of(src) - px
+            ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
+            sec_in = np.atleast_1d(self._part.index_of_angle(ang))
+            dist = np.hypot(d[:, 0], d[:, 1])
+            order = np.lexsort((src, dist, sec_in))
+            sel = order[run_starts(sec_in[order])]
+            new = dict(zip(sec_in[sel].tolist(), src[sel].tolist()))
+        if new == old:
+            return 0
+        flipped = 0
+        for sec in set(old) | set(new):
+            ow, nw = old.get(sec), new.get(sec)
+            if ow == nw:
+                continue
+            if ow is not None:
+                flipped += self._drop_dir(ow, x)
+            if nw is not None:
+                flipped += self._add_dir(nw, x)
+        if new:
+            self._admit[x] = new
+        else:
+            self._admit.pop(x, None)
+        return flipped
+
+    def _add_dir(self, w: int, x: int) -> int:
+        """Record that the directed choice w→x is admitted; 1 if the
+        undirected edge {w, x} was created."""
+        key = (w, x) if w < x else (x, w)
+        c = self._edge_dirs.get(key, 0)
+        self._edge_dirs[key] = c + 1
+        return 1 if c == 0 else 0
+
+    def _drop_dir(self, w: int, x: int) -> int:
+        """Retract the admitted direction w→x; 1 if the undirected edge
+        {w, x} disappeared."""
+        key = (w, x) if w < x else (x, w)
+        c = self._edge_dirs[key]
+        if c == 1:
+            del self._edge_dirs[key]
+            return 1
+        self._edge_dirs[key] = c - 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Correctness backstop
+    # ------------------------------------------------------------------
+    def check_full_equivalence(self) -> "set[tuple[int, int]]":
+        """Symmetric difference vs. a from-scratch ΘALG on live nodes.
+
+        Returns the empty set when the maintained topology is
+        edge-for-edge identical to :func:`theta_algorithm` recomputed on
+        the live node set (edges mapped back to global ids).  This is
+        the E23 correctness backstop; tests assert it is empty after
+        every event.
+        """
+        ids = self.alive_ids()
+        if len(ids) < 2:
+            return self.edge_set()
+        topo = theta_algorithm(
+            self.live_points(), self.theta, self.max_range, kappa=self.kappa, offset=self.offset
+        )
+        scratch = {
+            (int(ids[a]), int(ids[b])) if ids[a] < ids[b] else (int(ids[b]), int(ids[a]))
+            for a, b in topo.graph.edges
+        }
+        return scratch ^ self.edge_set()
+
+
+@dataclass
+class StepChurn:
+    """What one engine step's worth of events did to the network."""
+
+    events_applied: int = 0
+    nodes_touched: int = 0
+    edges_flipped: int = 0
+    failed_nodes: "list[int]" = field(default_factory=list)
+    removed_nodes: "list[int]" = field(default_factory=list)
+    joined_nodes: "list[int]" = field(default_factory=list)
+    repairs: "list[RepairStats]" = field(default_factory=list)
+
+
+class DynamicTopology:
+    """An :class:`IncrementalTheta` driven by an event trace, for the engine.
+
+    :meth:`step` applies every event scheduled at step ``t`` and reports
+    a :class:`StepChurn` so :class:`repro.sim.engine.SimulationEngine`
+    can drop buffers at failed nodes and account churn counters;
+    :meth:`active_edges` exposes the maintained topology in global-id
+    space (stable across events), matching a router sized to
+    :attr:`capacity`.
+    """
+
+    def __init__(self, incremental: IncrementalTheta, events: EventTrace) -> None:
+        self.incremental = incremental
+        self.events = events
+        self.events_applied = 0
+        self.nodes_touched_total = 0
+        self.edges_flipped_total = 0
+        self.repairs: "list[RepairStats]" = []
+        max_id = incremental.size - 1
+        for _, ev in events:
+            max_id = max(max_id, ev.node)
+        #: Upper bound on node ids over the whole trace (router sizing).
+        self.capacity = max_id + 1
+
+    def step(self, t: int) -> StepChurn:
+        """Apply the events scheduled for step ``t``."""
+        churn = StepChurn()
+        for ev in self.events.at(t):
+            stats = self.incremental.apply(ev)
+            churn.events_applied += 1
+            churn.nodes_touched += stats.nodes_touched
+            churn.edges_flipped += stats.edges_flipped
+            churn.repairs.append(stats)
+            if isinstance(ev, FailStop):
+                churn.failed_nodes.append(ev.node)
+                churn.removed_nodes.append(ev.node)
+            elif isinstance(ev, NodeLeave):
+                churn.removed_nodes.append(ev.node)
+            elif isinstance(ev, (NodeJoin, Recover)):
+                churn.joined_nodes.append(ev.node)
+        self.events_applied += churn.events_applied
+        self.nodes_touched_total += churn.nodes_touched
+        self.edges_flipped_total += churn.edges_flipped
+        self.repairs.extend(churn.repairs)
+        return churn
+
+    def active_edges(self) -> np.ndarray:
+        """Current topology edges in global-id space."""
+        return self.incremental.edge_array()
+
+    def alive_ids(self) -> np.ndarray:
+        return self.incremental.alive_ids()

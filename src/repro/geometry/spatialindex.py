@@ -26,7 +26,7 @@ from repro.geometry.primitives import as_points
 from repro.utils.arrays import ragged_arange
 from repro.utils.validation import check_positive
 
-__all__ = ["GridIndex"]
+__all__ = ["GridIndex", "DynamicGridIndex"]
 
 #: Cap on candidate pairs materialized per broadcast block (memory bound).
 _PAIR_BUDGET = 1 << 22
@@ -289,3 +289,165 @@ class GridIndex:
         pairs = np.vstack(chunks)
         order = np.lexsort((pairs[:, 1], pairs[:, 0]))
         return pairs[order]
+
+class DynamicGridIndex:
+    """Incrementally updatable uniform grid over a mutable point set.
+
+    :class:`GridIndex` is built once over a frozen array; the dynamic
+    subsystem (:mod:`repro.dynamic`) instead needs a structure that
+    survives joins, leaves, and moves without an O(n) rebuild per
+    event.  This index keeps a growable position array plus per-cell
+    Python sets of live node ids: every mutation touches exactly one or
+    two cells, and a radius query scans the same O((r/cell)²) cell
+    block as the static index with the same inclusive epsilon
+    (``d² ≤ r² + 1e-12``), so query results agree bit-for-bit with
+    ``GridIndex`` built on the live snapshot.
+
+    Node ids are stable small integers.  :meth:`insert` accepts either
+    the next unused id (the set grows) or a previously removed id (the
+    slot is re-populated); :meth:`remove` keeps the position so a
+    failed node can recover in place.
+    """
+
+    def __init__(self, points: np.ndarray, cell: float) -> None:
+        pts = as_points(points)
+        check_positive("cell", cell)
+        self._cell = float(cell)
+        cap = max(len(pts), 16)
+        self._pos = np.zeros((cap, 2), dtype=np.float64)
+        self._pos[: len(pts)] = pts
+        self._alive = np.zeros(cap, dtype=bool)
+        self._alive[: len(pts)] = True
+        self._size = len(pts)  # ids ever seen are 0..size-1
+        self._n_alive = len(pts)
+        self._buckets: "dict[tuple[int, int], set[int]]" = {}
+        for i in range(len(pts)):
+            self._buckets.setdefault(self._key(pts[i]), set()).add(i)
+
+    def _key(self, p: np.ndarray) -> "tuple[int, int]":
+        return (int(math.floor(p[0] / self._cell)), int(math.floor(p[1] / self._cell)))
+
+    def __len__(self) -> int:
+        """Number of live nodes."""
+        return self._n_alive
+
+    @property
+    def size(self) -> int:
+        """One past the highest node id ever inserted."""
+        return self._size
+
+    @property
+    def cell(self) -> float:
+        """Cell side length."""
+        return self._cell
+
+    def is_alive(self, node: int) -> bool:
+        return 0 <= node < self._size and bool(self._alive[node])
+
+    def position(self, node: int) -> np.ndarray:
+        """Last known position of ``node`` (also valid while removed)."""
+        if not 0 <= node < self._size:
+            raise KeyError(f"unknown node id {node}")
+        return self._pos[node].copy()
+
+    def alive_ids(self) -> np.ndarray:
+        """Sorted array of live node ids."""
+        return np.nonzero(self._alive[: self._size])[0]
+
+    def positions_of(self, ids: np.ndarray) -> np.ndarray:
+        """Positions of the given node ids (vectorized, no copy checks)."""
+        return self._pos[np.asarray(ids, dtype=np.intp)]
+
+    def live_points(self) -> np.ndarray:
+        """Positions of live nodes, in :meth:`alive_ids` order."""
+        return self._pos[: self._size][self._alive[: self._size]].copy()
+
+    def _grow_to(self, node: int) -> None:
+        if node < len(self._alive):
+            return
+        cap = max(2 * len(self._alive), node + 1)
+        pos = np.zeros((cap, 2), dtype=np.float64)
+        pos[: len(self._alive)] = self._pos[: len(self._alive)]
+        alive = np.zeros(cap, dtype=bool)
+        alive[: len(self._alive)] = self._alive[: len(self._alive)]
+        self._pos, self._alive = pos, alive
+
+    def insert(self, node: int, p: np.ndarray) -> None:
+        """Add ``node`` at position ``p`` (new id or re-populated slot)."""
+        node = int(node)
+        if node < 0 or node > self._size:
+            raise ValueError(f"node id {node} skips ids (next unused is {self._size})")
+        if node < self._size and self._alive[node]:
+            raise ValueError(f"node {node} is already present")
+        p = np.asarray(p, dtype=np.float64).reshape(2)
+        self._grow_to(node)
+        self._pos[node] = p
+        self._alive[node] = True
+        self._size = max(self._size, node + 1)
+        self._n_alive += 1
+        self._buckets.setdefault(self._key(p), set()).add(node)
+
+    def remove(self, node: int) -> None:
+        """Remove ``node`` (position retained for a later re-insert)."""
+        node = int(node)
+        if not self.is_alive(node):
+            raise ValueError(f"node {node} is not present")
+        key = self._key(self._pos[node])
+        bucket = self._buckets[key]
+        bucket.discard(node)
+        if not bucket:
+            del self._buckets[key]
+        self._alive[node] = False
+        self._n_alive -= 1
+
+    def move(self, node: int, p: np.ndarray) -> None:
+        """Move live ``node`` to position ``p``."""
+        node = int(node)
+        if not self.is_alive(node):
+            raise ValueError(f"node {node} is not present")
+        p = np.asarray(p, dtype=np.float64).reshape(2)
+        old_key = self._key(self._pos[node])
+        new_key = self._key(p)
+        if new_key != old_key:
+            bucket = self._buckets[old_key]
+            bucket.discard(node)
+            if not bucket:
+                del self._buckets[old_key]
+            self._buckets.setdefault(new_key, set()).add(node)
+        self._pos[node] = p
+
+    def set_dead_position(self, node: int, p: np.ndarray) -> None:
+        """Update the retained position of a dead ``node`` (no buckets)."""
+        node = int(node)
+        if node >= self._size or self._alive[node]:
+            raise ValueError(f"node {node} is not a dead slot")
+        self._pos[node] = np.asarray(p, dtype=np.float64).reshape(2)
+
+    def query_radius(
+        self, center: np.ndarray, radius: float, *, exclude: "int | None" = None
+    ) -> np.ndarray:
+        """Sorted live node ids within ``radius`` of ``center`` (inclusive).
+
+        Matches :meth:`GridIndex.query_radius` on the live snapshot,
+        including the ``+1e-12`` epsilon on the squared distance.
+        """
+        check_positive("radius", radius)
+        center = np.asarray(center, dtype=np.float64).reshape(2)
+        reach = int(math.ceil(radius / self._cell))
+        cx = int(math.floor(center[0] / self._cell))
+        cy = int(math.floor(center[1] / self._cell))
+        cand: "list[int]" = []
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                bucket = self._buckets.get((cx + dx, cy + dy))
+                if bucket:
+                    cand.extend(bucket)
+        if not cand:
+            return np.empty(0, dtype=np.intp)
+        idx = np.asarray(cand, dtype=np.intp)
+        d = self._pos[idx] - center
+        mask = d[:, 0] ** 2 + d[:, 1] ** 2 <= radius * radius + 1e-12
+        out = idx[mask]
+        if exclude is not None:
+            out = out[out != exclude]
+        return np.sort(out)

@@ -1,6 +1,6 @@
 """Claim-verification harness: registry, parallel runner, JSON results.
 
-The harness turns the E1–E22 experiment suite into a machine-checkable
+The harness turns the E1–E23 experiment suite into a machine-checkable
 gate: every experiment is declared as a :class:`~repro.harness.registry.Claim`
 with a paper reference, full and ``--quick`` parameter sets, and a
 tolerance/bound predicate; :mod:`repro.harness.runner` executes selected

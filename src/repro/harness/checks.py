@@ -1,4 +1,4 @@
-"""Tolerance/bound predicates for the E1–E22 claims.
+"""Tolerance/bound predicates for the E1–E23 claims.
 
 Each ``check_eN(rows, profile)`` receives the structured rows an
 experiment harness returned and the parameter profile it ran under
@@ -49,6 +49,10 @@ E19_CIVILIZED_FLATNESS = 3.0
 E20_STABILITY_RATIO = 1.5
 E21_MONOTONE_SLACK = 0.03
 E22_RECALL_WITH_RETRIES = 0.99
+E23_TOUCH_CEILING = 90  # p95 nodes touched per event (measured ≈ 29–58)
+E23_FLATNESS_RATIO = 3.0  # p95 touched may grow ≤ 3× while n grows ≥ 8×
+E23_RADIUS_BOUND = 2.0  # update radius never exceeds 2D (construction)
+E23_SPEEDUP_FLOOR = 5.0  # incremental vs full rebuild, full profile only
 
 
 def _finite(x) -> bool:
@@ -448,6 +452,43 @@ def check_e22(rows, profile):
         fails.append(f"single-shot recall not monotone in loss: {single_shot}")
     if by[(losses[-1], budgets[-1])]["transmissions"] <= lossless["transmissions"]:
         fails.append("retries under loss cost no extra transmissions (implausible)")
+    return fails
+
+
+def check_e23(rows, profile):
+    fails = []
+    for r in rows:
+        if r["equality_mismatches"] != 0:
+            fails.append(
+                f"n={r['n']}: incremental topology diverged from full rebuild "
+                f"in {r['equality_mismatches']} checks"
+            )
+        if r["p95_touched"] > E23_TOUCH_CEILING:
+            fails.append(
+                f"n={r['n']}: p95 nodes touched {r['p95_touched']} > {E23_TOUCH_CEILING}"
+            )
+        if r["max_update_radius_over_D"] > E23_RADIUS_BOUND + 1e-9:
+            fails.append(
+                f"n={r['n']}: update radius {r['max_update_radius_over_D']}·D "
+                f"exceeds the {E23_RADIUS_BOUND}·D locality bound"
+            )
+    if len(rows) >= 2:
+        first, last = rows[0], rows[-1]
+        if last["p95_touched"] > E23_FLATNESS_RATIO * max(first["p95_touched"], 1.0):
+            fails.append(
+                f"touched-per-event not flat: p95 grew {first['p95_touched']} → "
+                f"{last['p95_touched']} while n grew {first['n']} → {last['n']}"
+            )
+        fractions = [r["touched_per_n"] for r in rows]
+        if any(b > a * 1.05 for a, b in zip(fractions, fractions[1:])):
+            fails.append(f"touched fraction of the network not decreasing in n: {fractions}")
+    if profile == "full" and rows:
+        # Timing gate only at full scale (quick-tier CI stays count-based).
+        if rows[-1]["rebuild_speedup"] < E23_SPEEDUP_FLOOR:
+            fails.append(
+                f"incremental repair only {rows[-1]['rebuild_speedup']:.1f}× faster than "
+                f"full rebuild at n={rows[-1]['n']} (need ≥ {E23_SPEEDUP_FLOOR}×)"
+            )
     return fails
 
 

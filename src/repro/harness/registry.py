@@ -1,4 +1,4 @@
-"""The claim registry: every E1–E22 experiment as a checkable record.
+"""The claim registry: every E1–E23 experiment as a checkable record.
 
 A :class:`Claim` binds an experiment id to
 
@@ -64,6 +64,7 @@ _ABLATE = "repro.analysis.ablation_experiments"
 _MOBILE = "repro.analysis.mobility_experiments"
 _GEO = "repro.analysis.geographic_experiments"
 _ANY = "repro.analysis.anycast_experiments"
+_DYN = "repro.analysis.dynamic_experiments"
 
 
 def _claims() -> "list[Claim]":
@@ -184,10 +185,16 @@ def _claims() -> "list[Claim]":
             full_params={"n": 100},
             quick_params={"n": 40},
         ),
+        Claim(
+            "e23", "locality of update under churn", "§1/§2.1 locality argument",
+            _DYN, "e23_locality_of_update", checks.check_e23,
+            quick_params={"ns": (120, 240), "events_per_n": 120},
+            seed=23,
+        ),
     ]
 
 
-#: experiment id → Claim, in E1..E22 order.
+#: experiment id → Claim, in E1..E23 order.
 REGISTRY: "dict[str, Claim]" = {c.id: c for c in _claims()}
 
 

@@ -184,22 +184,42 @@ class StepSeries:
         "attempts",
         "successes",
         "interference_failures",
+        "churn_drops",
     )
     #: float accumulators snapshotted cumulatively each step.
     ENERGY_FIELDS = ("energy_attempted", "energy_successful")
     #: point-in-time values per step (not cumulative).
     GAUGE_FIELDS = ("total_buffer", "max_buffer_height")
+    #: dynamic-topology counters (cumulative, fed by the engine when a
+    #: DynamicTopology drives the run; all-zero otherwise).
+    CHURN_FIELDS = ("events_applied", "repair_nodes_touched")
 
     def __init__(self) -> None:
         self._cols: "dict[str, list]" = {
-            name: [] for name in self.COUNTER_FIELDS + self.ENERGY_FIELDS + self.GAUGE_FIELDS
+            name: []
+            for name in (
+                self.COUNTER_FIELDS + self.ENERGY_FIELDS + self.GAUGE_FIELDS + self.CHURN_FIELDS
+            )
         }
 
     def __len__(self) -> int:
         return len(self._cols["delivered"])
 
-    def record_step(self, stats, *, total_buffer: int, max_buffer: int) -> None:
-        """Snapshot ``stats`` (a ``RoutingStats``) at the end of one step."""
+    def record_step(
+        self,
+        stats,
+        *,
+        total_buffer: int,
+        max_buffer: int,
+        events_applied: int = 0,
+        repair_nodes_touched: int = 0,
+    ) -> None:
+        """Snapshot ``stats`` (a ``RoutingStats``) at the end of one step.
+
+        ``events_applied`` / ``repair_nodes_touched`` are the *cumulative*
+        dynamic-topology counters at the end of the step (0 for static
+        runs).
+        """
         cols = self._cols
         for name in self.COUNTER_FIELDS:
             cols[name].append(int(getattr(stats, name)))
@@ -207,12 +227,14 @@ class StepSeries:
             cols[name].append(float(getattr(stats, name)))
         cols["total_buffer"].append(int(total_buffer))
         cols["max_buffer_height"].append(int(max_buffer))
+        cols["events_applied"].append(int(events_applied))
+        cols["repair_nodes_touched"].append(int(repair_nodes_touched))
 
     # ------------------------------------------------------------------
     def arrays(self) -> "dict[str, np.ndarray]":
         """Compact cumulative/gauge arrays (int64 counters, float64 energy)."""
         out: "dict[str, np.ndarray]" = {}
-        for name in self.COUNTER_FIELDS + self.GAUGE_FIELDS:
+        for name in self.COUNTER_FIELDS + self.GAUGE_FIELDS + self.CHURN_FIELDS:
             out[name] = np.asarray(self._cols[name], dtype=np.int64)
         for name in self.ENERGY_FIELDS:
             out[name] = np.asarray(self._cols[name], dtype=np.float64)
@@ -226,7 +248,7 @@ class StepSeries:
         """
         arr = self.arrays()
         out: "dict[str, np.ndarray]" = {}
-        for name in self.COUNTER_FIELDS + self.ENERGY_FIELDS:
+        for name in self.COUNTER_FIELDS + self.ENERGY_FIELDS + self.CHURN_FIELDS:
             col = arr[name]
             out[name] = np.diff(col, prepend=col.dtype.type(0)) if len(col) else col
         for name in self.GAUGE_FIELDS:
@@ -241,7 +263,7 @@ class StepSeries:
     def summary(self) -> dict:
         """One row per run for the report table."""
         row: dict = {"steps": len(self)}
-        for name in self.COUNTER_FIELDS + self.ENERGY_FIELDS:
+        for name in self.COUNTER_FIELDS + self.ENERGY_FIELDS + self.CHURN_FIELDS:
             row[name] = self.final(name)
         for name in self.GAUGE_FIELDS:
             col = self._cols[name]
@@ -259,7 +281,11 @@ class StepSeries:
         series = payload.get("series", {})
         n = int(payload.get("steps", 0))
         for name, col in inst._cols.items():
-            vals = series.get(name, [])
+            vals = series.get(name)
+            if vals is None:
+                # Column added after the payload was written (e.g. the
+                # churn counters): absent means identically zero.
+                vals = [0] * n
             if len(vals) != n:
                 raise ValueError(f"series {name!r} has {len(vals)} rows, expected {n}")
             col.extend(vals)

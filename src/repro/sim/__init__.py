@@ -40,7 +40,12 @@ from repro.sim.optimal import (
 )
 from repro.sim.baseline_routers import ShortestPathRouter, RandomWalkRouter
 from repro.sim.tracking import TrackedBalancingRouter
-from repro.sim.scenario_io import save_scenario, load_scenario
+from repro.sim.scenario_io import (
+    save_scenario,
+    load_scenario,
+    save_event_trace,
+    load_event_trace,
+)
 from repro.sim.geographic import GreedyGeographicRouter, greedy_geographic_path
 from repro.sim.aqt import bounded_adversary_scenario, max_window_load
 from repro.sim.mobility import StaticMobility, RandomWalkMobility, RandomWaypointMobility
@@ -69,6 +74,8 @@ __all__ = [
     "TrackedBalancingRouter",
     "save_scenario",
     "load_scenario",
+    "save_event_trace",
+    "load_event_trace",
     "GreedyGeographicRouter",
     "greedy_geographic_path",
     "bounded_adversary_scenario",

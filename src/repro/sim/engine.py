@@ -55,30 +55,44 @@ class SimulationEngine:
         :class:`repro.core.balancing.BalancingRouter` and the baseline
         routers qualify.
     active_edges_fn:
-        ``t → (directed_edges, costs)``.
+        ``t → (directed_edges, costs)``.  Optional when ``dynamic`` is
+        given: the engine then derives both directions of the maintained
+        topology with ``|uv|^κ`` costs.
     injections_fn:
-        ``t → iterable of (node, dest, count)``.
+        ``t → iterable of (node, dest, count)``; optional (no traffic).
     success_fn:
         Optional ``transmissions → bool mask`` (interference layer).
     step_series:
         Optional explicit per-step recorder; when omitted one is created
         automatically for each :meth:`run` while tracing is enabled.
+    dynamic:
+        Optional :class:`repro.dynamic.incremental.DynamicTopology`.
+        When given, each step first applies the step's topology events
+        via incremental maintenance (no full rebuild), drops packets
+        buffered at nodes that failed or left (charged to
+        ``stats.churn_drops``), and refuses injections whose source or
+        destination is down (charged as drops).  The per-step series
+        gains the cumulative churn columns.
     """
 
     def __init__(
         self,
         router,
-        active_edges_fn,
-        injections_fn,
+        active_edges_fn=None,
+        injections_fn=None,
         *,
         success_fn=None,
         step_series: "StepSeries | None" = None,
+        dynamic=None,
     ) -> None:
+        if active_edges_fn is None and dynamic is None:
+            raise ValueError("need active_edges_fn or a dynamic topology")
         self.router = router
         self.active_edges_fn = active_edges_fn
         self.injections_fn = injections_fn
         self.success_fn = success_fn
         self.step_series = step_series
+        self.dynamic = dynamic
 
     @classmethod
     def for_scenario(cls, router, scenario, *, success_fn=None) -> "SimulationEngine":
@@ -106,6 +120,7 @@ class SimulationEngine:
             series = StepSeries()
         router = self.router
         max_height_fn = getattr(router, "max_height", None) if series is not None else None
+        dynamic = self.dynamic
         with trace.span(
             "engine.run",
             router=type(router).__name__,
@@ -114,14 +129,27 @@ class SimulationEngine:
         ):
             for t in range(duration + drain):
                 with trace.span("engine.step", step=t):
-                    edges, costs = self.active_edges_fn(t)
-                    injections = list(self.injections_fn(t)) if t < duration else []
+                    if dynamic is not None:
+                        self._apply_churn(dynamic, t)
+                    if self.active_edges_fn is not None:
+                        edges, costs = self.active_edges_fn(t)
+                    else:
+                        edges, costs = self._dynamic_edges(dynamic)
+                    injections = (
+                        list(self.injections_fn(t))
+                        if self.injections_fn is not None and t < duration
+                        else []
+                    )
+                    if dynamic is not None and injections:
+                        injections = self._filter_injections(dynamic, injections)
                     router.run_step(edges, costs, injections, self.success_fn)
                 if series is not None:
                     series.record_step(
                         router.stats,
                         total_buffer=router.total_packets(),
                         max_buffer=max_height_fn() if max_height_fn else router.stats.max_buffer_height,
+                        events_applied=dynamic.events_applied if dynamic is not None else 0,
+                        repair_nodes_touched=dynamic.nodes_touched_total if dynamic is not None else 0,
                     )
         if series is not None and tracer is not None:
             tracer.add_series(
@@ -140,3 +168,39 @@ class SimulationEngine:
             leftover=router.total_packets(),
             series=series,
         )
+
+    # ------------------------------------------------------------------
+    # Dynamic-topology support
+    # ------------------------------------------------------------------
+    def _apply_churn(self, dynamic, t: int) -> None:
+        """Apply step ``t``'s events; drain buffers at removed nodes."""
+        from repro.dynamic.faults import drop_buffered_packets
+
+        churn = dynamic.step(t)
+        if churn.removed_nodes:
+            lost = drop_buffered_packets(self.router, churn.removed_nodes)
+            if lost:
+                self.router.stats.record_churn_drops(lost)
+
+    def _dynamic_edges(self, dynamic):
+        """Both directions of the maintained topology with |uv|^κ costs."""
+        import numpy as np
+
+        undirected = dynamic.active_edges()
+        if len(undirected) == 0:
+            empty = np.empty((0, 2), dtype=np.intp)
+            return empty, np.empty(0, dtype=np.float64)
+        directed = np.vstack([undirected, undirected[:, ::-1]])
+        inc = dynamic.incremental
+        d = inc.position_array(directed[:, 1]) - inc.position_array(directed[:, 0])
+        costs = np.hypot(d[:, 0], d[:, 1]) ** inc.kappa
+        return directed, costs
+
+    def _filter_injections(self, dynamic, injections):
+        """Refuse injections with a down endpoint (charged as drops)."""
+        from repro.dynamic.faults import filter_injections
+
+        usable, refused = filter_injections(injections, dynamic.alive_ids())
+        if refused:
+            self.router.stats.record_injection(refused, 0)
+        return usable

@@ -14,6 +14,11 @@ Models
   the domain boundary;
 * :class:`RandomWaypointMobility` — the classic ad-hoc benchmark: pick
   a waypoint uniformly, travel toward it at the node's speed, repeat.
+
+All models return *read-only views* of their internal position array
+from ``positions``/``advance``: callers snapshot or copy, never mutate
+(mutation would silently desynchronize the model's own state, e.g. the
+waypoint targets).
 """
 
 from __future__ import annotations
@@ -27,6 +32,13 @@ from repro.utils.validation import check_nonnegative, check_positive
 __all__ = ["StaticMobility", "RandomWalkMobility", "RandomWaypointMobility"]
 
 
+def _readonly(points: np.ndarray) -> np.ndarray:
+    """A read-only view: callers cannot corrupt the model's state."""
+    view = points.view()
+    view.flags.writeable = False
+    return view
+
+
 class StaticMobility:
     """Positions fixed for all time."""
 
@@ -34,12 +46,12 @@ class StaticMobility:
         self._points = as_points(points).copy()
 
     def positions(self, t: int) -> np.ndarray:
-        """Node positions at step ``t`` (same array every step)."""
-        return self._points
+        """Node positions at step ``t`` (same view every step)."""
+        return _readonly(self._points)
 
     def advance(self) -> np.ndarray:
         """No-op; returns current positions."""
-        return self._points
+        return _readonly(self._points)
 
 
 class RandomWalkMobility:
@@ -60,13 +72,13 @@ class RandomWalkMobility:
         self.rng = as_rng(rng)
 
     def positions(self, t: int) -> np.ndarray:
-        return self._points
+        return _readonly(self._points)
 
     def advance(self) -> np.ndarray:
         """Move every node one step; returns the new positions."""
         self._points += self.rng.normal(0.0, self.step_sigma, size=self._points.shape)
         self._points = _reflect(self._points, self.side)
-        return self._points
+        return _readonly(self._points)
 
 
 class RandomWaypointMobility:
@@ -87,7 +99,7 @@ class RandomWaypointMobility:
         self._targets = self.rng.uniform(0.0, side, size=self._points.shape)
 
     def positions(self, t: int) -> np.ndarray:
-        return self._points
+        return _readonly(self._points)
 
     def advance(self) -> np.ndarray:
         """Advance all nodes toward their waypoints; returns new positions."""
@@ -102,7 +114,7 @@ class RandomWaypointMobility:
         self._points[arrived] = self._targets[arrived]
         if arrived.any():
             self._targets[arrived] = self.rng.uniform(0.0, self.side, size=(int(arrived.sum()), 2))
-        return self._points
+        return _readonly(self._points)
 
 
 def _reflect(points: np.ndarray, side: float) -> np.ndarray:

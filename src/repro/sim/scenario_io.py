@@ -1,9 +1,11 @@
-"""JSON (de)serialization of witnessed scenarios.
+"""JSON (de)serialization of witnessed scenarios and event traces.
 
 Reproducibility plumbing: an adversarial scenario — graph, injections,
 witness schedules — can be saved next to experiment outputs and
 reloaded bit-for-bit, so a reported competitive ratio can be re-run
-against exactly the inputs that produced it.
+against exactly the inputs that produced it.  Churn workloads
+(:class:`repro.dynamic.events.EventTrace`) get the same treatment via
+:func:`save_event_trace`/:func:`load_event_trace`.
 """
 
 from __future__ import annotations
@@ -17,7 +19,14 @@ from repro.graphs.base import GeometricGraph
 from repro.sim.adversary import WitnessedScenario
 from repro.sim.schedules import Schedule
 
-__all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenario", "load_scenario"]
+__all__ = [
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+    "save_event_trace",
+    "load_event_trace",
+]
 
 _FORMAT_VERSION = 1
 
@@ -91,3 +100,17 @@ def save_scenario(scenario: WitnessedScenario, path: "str | Path") -> None:
 def load_scenario(path: "str | Path") -> WitnessedScenario:
     """Load a scenario previously written by :func:`save_scenario`."""
     return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_event_trace(trace, path: "str | Path") -> None:
+    """Write an :class:`~repro.dynamic.events.EventTrace` as JSON."""
+    from repro.dynamic.events import event_trace_to_dict
+
+    Path(path).write_text(json.dumps(event_trace_to_dict(trace)))
+
+
+def load_event_trace(path: "str | Path"):
+    """Load an event trace written by :func:`save_event_trace`."""
+    from repro.dynamic.events import event_trace_from_dict
+
+    return event_trace_from_dict(json.loads(Path(path).read_text()))

@@ -24,6 +24,8 @@ class RoutingStats:
     attempts: int = 0
     successes: int = 0
     interference_failures: int = 0
+    #: packets lost from buffers of failed/departed nodes (churn runs)
+    churn_drops: int = 0
     energy_attempted: float = 0.0
     energy_successful: float = 0.0
     steps: int = 0
@@ -64,6 +66,12 @@ class RoutingStats:
         self.successes += n_ok
         self.energy_successful += float(costs[ok].sum())
         self.interference_failures += len(costs) - n_ok
+
+    def record_churn_drops(self, count: int) -> None:
+        """``count`` buffered packets lost to a node failure/departure."""
+        if count < 0:
+            raise ValueError("churn drop count cannot be negative")
+        self.churn_drops += int(count)
 
     def record_delivery(self, count: int = 1) -> None:
         """``count`` packets absorbed at their destination this step."""
@@ -108,6 +116,7 @@ class RoutingStats:
             "attempts": self.attempts,
             "successes": self.successes,
             "interference_failures": self.interference_failures,
+            "churn_drops": self.churn_drops,
             "energy_attempted": self.energy_attempted,
             "energy_successful": self.energy_successful,
             "steps": self.steps,
@@ -128,6 +137,7 @@ class RoutingStats:
             attempts=int(payload.get("attempts", 0)),
             successes=int(payload.get("successes", 0)),
             interference_failures=int(payload.get("interference_failures", 0)),
+            churn_drops=int(payload.get("churn_drops", 0)),
             energy_attempted=float(payload.get("energy_attempted", 0.0)),
             energy_successful=float(payload.get("energy_successful", 0.0)),
             steps=int(payload.get("steps", 0)),
@@ -151,6 +161,7 @@ class RoutingStats:
         self.attempts += other.attempts
         self.successes += other.successes
         self.interference_failures += other.interference_failures
+        self.churn_drops += other.churn_drops
         self.energy_attempted += other.energy_attempted
         self.energy_successful += other.energy_successful
         self.steps += other.steps

@@ -88,6 +88,23 @@ class TrackedBalancingRouter:
         self._check_consistency()
         return delivered
 
+    def drop_buffered_packets(self, nodes) -> int:
+        """Discard packets *and their timestamps* buffered at ``nodes``.
+
+        Called by :func:`repro.dynamic.faults.drop_buffered_packets`
+        when a tracked node fails or leaves; clearing both sides keeps
+        the stamps-mirror-heights invariant intact.
+        """
+        h = self.router.heights
+        lost = 0
+        for v in (int(v) for v in nodes):
+            if v < h.shape[0]:
+                lost += int(h[v].sum())
+                h[v] = 0
+                for bucket in self._stamps[v]:
+                    bucket.clear()
+        return lost
+
     def _check_consistency(self) -> None:
         """Timestamps must mirror heights exactly (debug invariant)."""
         h = self.router.heights

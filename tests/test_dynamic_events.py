@@ -1,0 +1,215 @@
+"""Event vocabulary, churn generators, and trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EventTrace,
+    FailStop,
+    NodeJoin,
+    NodeLeave,
+    NodeMove,
+    RandomWaypointMobility,
+    Recover,
+    failstop_trace,
+    load_event_trace,
+    merge_traces,
+    mobility_trace,
+    poisson_churn_trace,
+    random_event_trace,
+    save_event_trace,
+    uniform_points,
+)
+from repro.dynamic.events import (
+    event_kind,
+    event_trace_from_dict,
+    event_trace_to_dict,
+)
+
+
+class TestEventTrace:
+    def test_sorted_by_time_stable(self):
+        tr = EventTrace(
+            [(2, NodeLeave(0)), (0, NodeJoin(5, 0.1, 0.2)), (2, FailStop(1))]
+        )
+        assert [t for t, _ in tr] == [0, 2, 2]
+        # Same-step events keep their construction order.
+        assert tr.at(2) == [NodeLeave(0), FailStop(1)]
+        assert tr.at(1) == []
+        assert tr.horizon == 3
+        assert len(tr) == 3
+
+    def test_events_and_counts(self):
+        tr = EventTrace([(0, NodeMove(1, 0.5, 0.5)), (1, Recover(2)), (2, NodeMove(1, 0.6, 0.5))])
+        assert tr.events() == [NodeMove(1, 0.5, 0.5), Recover(2), NodeMove(1, 0.6, 0.5)]
+        assert tr.counts() == {"move": 2, "recover": 1}
+
+    def test_rejects_negative_time_and_bad_horizon(self):
+        with pytest.raises(ValueError):
+            EventTrace([(-1, NodeLeave(0))])
+        with pytest.raises(ValueError):
+            EventTrace([(5, NodeLeave(0))], horizon=3)
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            EventTrace([(0, "leave")])
+        with pytest.raises(TypeError):
+            event_kind(object())
+
+
+class TestSerialization:
+    def _mixed(self):
+        return EventTrace(
+            [
+                (0, NodeJoin(3, 0.25, 0.75)),
+                (1, NodeMove(0, 0.5, 0.125)),
+                (1, FailStop(1)),
+                (4, Recover(1)),
+                (5, NodeLeave(2)),
+            ],
+            horizon=10,
+        )
+
+    def test_dict_round_trip(self):
+        tr = self._mixed()
+        data = event_trace_to_dict(tr)
+        assert data["format_version"] == 1
+        assert data["horizon"] == 10
+        assert event_trace_from_dict(data) == tr
+
+    def test_file_round_trip(self, tmp_path):
+        tr = self._mixed()
+        path = tmp_path / "trace.json"
+        save_event_trace(tr, path)
+        assert load_event_trace(path) == tr
+
+    def test_positions_survive_exactly(self, tmp_path):
+        # Bit-exact floats through JSON (repr round-trip).
+        x, y = 0.1 + 0.2, 1.0 / 3.0
+        tr = EventTrace([(0, NodeJoin(0, x, y))])
+        path = tmp_path / "t.json"
+        save_event_trace(tr, path)
+        ev = load_event_trace(path).events()[0]
+        assert (ev.x, ev.y) == (x, y)
+
+    def test_rejects_unknown_version_and_kind(self):
+        data = event_trace_to_dict(self._mixed())
+        with pytest.raises(ValueError):
+            event_trace_from_dict({**data, "format_version": 99})
+        bad = {**data, "events": [{"t": 0, "kind": "teleport", "node": 0}]}
+        with pytest.raises(ValueError):
+            event_trace_from_dict(bad)
+
+    def test_generator_round_trip(self, tmp_path):
+        tr = random_event_trace(uniform_points(20, rng=0), 60, rng=1)
+        path = tmp_path / "gen.json"
+        save_event_trace(tr, path)
+        assert load_event_trace(path) == tr
+
+
+class TestGenerators:
+    def test_poisson_deterministic_and_min_alive(self):
+        a = poisson_churn_trace(10, 50, arrival_rate=0.5, departure_rate=1.5, min_alive=4, rng=7)
+        b = poisson_churn_trace(10, 50, arrival_rate=0.5, departure_rate=1.5, min_alive=4, rng=7)
+        assert a == b
+        assert set(a.counts()) <= {"join", "leave"}
+        alive = set(range(10))
+        for _, ev in a:
+            if isinstance(ev, NodeJoin):
+                assert ev.node not in alive
+                alive.add(ev.node)
+            else:
+                assert ev.node in alive
+                alive.discard(ev.node)
+                assert len(alive) >= 4
+
+    def test_failstop_pairs_and_ordering(self):
+        tr = failstop_trace(12, 80, fail_rate=0.4, mean_downtime=5.0, rng=3)
+        assert set(tr.counts()) <= {"fail", "recover"}
+        down = set()
+        for _, ev in tr:
+            if isinstance(ev, FailStop):
+                assert ev.node not in down
+                down.add(ev.node)
+            else:
+                assert ev.node in down
+                down.discard(ev.node)
+        # Recoveries never outnumber failures.
+        counts = tr.counts()
+        assert counts.get("recover", 0) <= counts.get("fail", 0)
+
+    def test_mobility_trace_only_moves(self):
+        pts = uniform_points(8, rng=2)
+        mob = RandomWaypointMobility(pts, speed=0.05, rng=4)
+        tr = mobility_trace(mob, 10)
+        assert set(tr.counts()) <= {"move"}
+        assert all(isinstance(ev, NodeMove) for ev in tr.events())
+        assert len(tr) > 0
+        assert tr.horizon == 10
+
+    def test_mobility_trace_every_batches(self):
+        pts = uniform_points(6, rng=5)
+        mob = RandomWaypointMobility(pts, speed=0.05, rng=6)
+        tr = mobility_trace(mob, 10, every=5)
+        assert {t for t, _ in tr} <= {4, 9}
+
+    def test_random_event_trace_valid_by_construction(self):
+        pts = uniform_points(15, rng=8)
+        tr = random_event_trace(pts, 200, min_alive=3, rng=9)
+        assert len(tr) == 200
+        alive = set(range(15))
+        failed = set()
+        for _, ev in tr:
+            if isinstance(ev, NodeJoin):
+                assert ev.node not in alive and ev.node not in failed
+                assert 0.0 <= ev.x <= 1.0 and 0.0 <= ev.y <= 1.0
+                alive.add(ev.node)
+            elif isinstance(ev, NodeMove):
+                assert ev.node in alive
+                assert 0.0 <= ev.x <= 1.0 and 0.0 <= ev.y <= 1.0
+            elif isinstance(ev, NodeLeave):
+                assert ev.node in alive
+                alive.discard(ev.node)
+            elif isinstance(ev, FailStop):
+                assert ev.node in alive
+                alive.discard(ev.node)
+                failed.add(ev.node)
+            else:
+                assert isinstance(ev, Recover)
+                assert ev.node in failed
+                failed.discard(ev.node)
+                alive.add(ev.node)
+            assert len(alive) >= 3
+
+    def test_random_event_trace_weights(self):
+        pts = uniform_points(10, rng=0)
+        only_moves = {"move": 1.0, "join": 0.0, "leave": 0.0, "fail": 0.0, "recover": 0.0}
+        tr = random_event_trace(pts, 50, weights=only_moves, rng=1)
+        assert tr.counts() == {"move": 50}
+        with pytest.raises(ValueError):
+            random_event_trace(pts, 5, weights={"teleport": 1.0}, rng=1)
+
+    def test_merge_traces_stable_interleave(self):
+        churn = EventTrace([(0, NodeLeave(1)), (2, NodeLeave(2))])
+        moves = EventTrace([(0, NodeMove(0, 0.3, 0.3))], horizon=5)
+        merged = merge_traces(churn, moves)
+        assert merged.horizon == 5
+        # Same-step: first-trace events come first.
+        assert merged.at(0) == [NodeLeave(1), NodeMove(0, 0.3, 0.3)]
+        assert len(merged) == 3
+
+
+class TestMobilityReadOnly:
+    def test_views_are_read_only(self):
+        pts = uniform_points(10, rng=11)
+        mob = RandomWaypointMobility(pts, speed=0.05, rng=12)
+        view = mob.advance()
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            mob.positions(0)[0, 0] = 99.0
+        # The model itself keeps advancing fine despite the frozen views.
+        nxt = mob.advance()
+        assert nxt.shape == (10, 2)
+        assert np.isfinite(nxt).all()

@@ -145,6 +145,18 @@ class TestMobility:
         with pytest.raises(ValueError):
             RandomWaypointMobility(pts, speed=0.0)
 
+    def test_all_models_return_read_only_views(self):
+        pts = np.random.default_rng(9).random((8, 2))
+        for m in (
+            StaticMobility(pts),
+            RandomWalkMobility(pts, step_sigma=0.01, rng=0),
+            RandomWaypointMobility(pts, speed=0.05, rng=1),
+        ):
+            for arr in (m.positions(0), m.advance()):
+                assert not arr.flags.writeable
+                with pytest.raises(ValueError):
+                    arr += 1.0
+
 
 class TestEngine:
     def test_runs_scenario(self):
