@@ -102,6 +102,12 @@ from repro.dynamic import (
     IncrementalTheta,
     DynamicTopology,
     RepairStats,
+    DynamicInterference,
+    DynamicMAC,
+    ConflictRepairStats,
+    BatchApplyStats,
+    apply_events_parallel,
+    group_events,
 )
 from repro.sim import (
     SimulationEngine,
@@ -210,6 +216,12 @@ __all__ = [
     "IncrementalTheta",
     "DynamicTopology",
     "RepairStats",
+    "DynamicInterference",
+    "DynamicMAC",
+    "ConflictRepairStats",
+    "BatchApplyStats",
+    "apply_events_parallel",
+    "group_events",
     # sim
     "SimulationEngine",
     "SimulationResult",

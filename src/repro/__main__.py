@@ -169,9 +169,16 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     import numpy as np
 
     from repro.core.theta import theta_algorithm
-    from repro.dynamic import IncrementalTheta, event_kind, random_event_trace
+    from repro.dynamic import (
+        DynamicInterference,
+        IncrementalTheta,
+        apply_events_parallel,
+        event_kind,
+        random_event_trace,
+    )
     from repro.geometry.pointsets import uniform_points
     from repro.harness.cache import cached_range
+    from repro.interference.conflict import interference_sets
     from repro.utils.rng import as_rng
 
     if args.n < 4:
@@ -189,31 +196,65 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     n_events = max(1, round(args.churn * args.n * args.steps))
     events = random_event_trace(pts, n_events, move_sigma=d0 / 2.0, rng=gen)
     inc = IncrementalTheta(pts, math.pi / 9, d0)
+    di = DynamicInterference(inc, args.delta) if args.mac else None
 
     touched: "list[int]" = []
     radii: "list[float]" = []
     flipped: "list[int]" = []
     wall: "list[float]" = []
+    conflict_rows: "list[int]" = []
+    conflict_entries: "list[int]" = []
+    conflict_wall: "list[float]" = []
     kinds: "dict[str, int]" = {}
-    for ev in events.events():
-        stats = inc.apply(ev)
-        touched.append(stats.nodes_touched)
-        radii.append(stats.update_radius)
-        flipped.append(stats.edges_flipped)
-        wall.append(stats.wall_time)
+    evs = list(events.events())
+    for ev in evs:
         kinds[event_kind(ev)] = kinds.get(event_kind(ev), 0) + 1
+    groups = 0
+    if args.parallel:
+        # One batch per simulated step (round(churn·n) events each),
+        # grouped by dirty-disk overlap and repaired group-by-group.
+        per_step = max(1, round(args.churn * args.n))
+        for lo in range(0, len(evs), per_step):
+            batch = apply_events_parallel(
+                inc, evs[lo : lo + per_step], interference=di, jobs=args.jobs
+            )
+            groups += batch.groups
+            wall.append(batch.wall_time)
+            for rs in batch.repairs:
+                touched.append(rs.nodes_touched)
+                radii.append(rs.update_radius)
+                flipped.append(rs.edges_flipped)
+            for cs in batch.conflict_repairs:
+                conflict_rows.append(cs.rows_recomputed)
+                conflict_entries.append(cs.entries_changed)
+                conflict_wall.append(cs.wall_time)
+    else:
+        for ev in evs:
+            stats = inc.apply(ev)
+            touched.append(stats.nodes_touched)
+            radii.append(stats.update_radius)
+            flipped.append(stats.edges_flipped)
+            wall.append(stats.wall_time)
+            if di is not None:
+                cs = di.update_event(stats)
+                conflict_rows.append(cs.rows_recomputed)
+                conflict_entries.append(cs.entries_changed)
+                conflict_wall.append(cs.wall_time)
     mismatches = 1 if inc.check_full_equivalence() else 0
+    conflict_mismatches = 0
+    if di is not None:
+        conflict_mismatches = 1 if di.check_full_equivalence() else 0
 
     live = inc.live_points()
     t0 = time.perf_counter()
     theta_algorithm(live, math.pi / 9, d0)
     full_ms = (time.perf_counter() - t0) * 1e3
-    event_ms = float(np.mean(wall)) * 1e3
+    event_ms = float(np.sum(wall)) / len(evs) * 1e3
     touched_arr = np.asarray(touched, dtype=np.float64)
     row = {
         "n": int(args.n),
         "live_n": int(inc.n_alive),
-        "events": len(touched),
+        "events": len(evs),
         "mean_touched": float(touched_arr.mean()),
         "p95_touched": float(np.percentile(touched_arr, 95)),
         "max_touched": int(touched_arr.max()),
@@ -226,20 +267,49 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
         "rebuild_speedup": full_ms / event_ms if event_ms > 0 else float("inf"),
         "equality_mismatches": mismatches,
     }
-    mix = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    mode = "parallel batches" if args.parallel else "serial events"
     print(
         tables.render_table(
             [row],
             title=f"dynamic churn — n={args.n}, churn={args.churn:g}/node/step, "
-            f"steps={args.steps}, seed={args.seed}",
+            f"steps={args.steps}, seed={args.seed} ({mode})",
         )
     )
+    if di is not None and conflict_rows:
+        t0 = time.perf_counter()
+        interference_sets(inc.snapshot_graph(), args.delta)
+        conflict_full_ms = (time.perf_counter() - t0) * 1e3
+        conflict_ms = float(np.sum(conflict_wall)) / len(evs) * 1e3
+        crow = {
+            "edges": int(di.n_edges),
+            "mean_conflict_rows": float(np.mean(conflict_rows)),
+            "p95_conflict_rows": float(np.percentile(conflict_rows, 95)),
+            "entries_changed_per_event": float(np.mean(conflict_entries)),
+            "conflict_ms_per_event": conflict_ms,
+            "conflict_rebuild_ms": conflict_full_ms,
+            "conflict_speedup": conflict_full_ms / conflict_ms
+            if conflict_ms > 0
+            else float("inf"),
+            "equality_mismatches": conflict_mismatches,
+        }
+        print()
+        print(tables.render_table([crow], title=f"conflict repair — delta={args.delta:g}"))
+    mix = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
     print(f"event mix: {mix}")
+    if args.parallel:
+        print(f"batch groups: {groups} across {math.ceil(len(evs) / max(1, round(args.churn * args.n)))} steps")
     backstop = "edge-for-edge equal" if not mismatches else "MISMATCH vs from-scratch ΘALG"
     print(f"final topology vs full rebuild: {backstop}")
+    if di is not None:
+        cb = (
+            "row-for-row equal"
+            if not conflict_mismatches
+            else "MISMATCH vs from-scratch interference_sets"
+        )
+        print(f"final conflict rows vs full rebuild: {cb}")
     if trace_dir:
         _export_trace(trace_dir)
-    return 1 if mismatches else 0
+    return 1 if mismatches or conflict_mismatches else 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -249,7 +319,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e23), 'all', 'list', 'verify', 'report', or 'dynamic'",
+        help="experiment id (e1..e24), 'all', 'list', 'verify', 'report', or 'dynamic'",
     )
     parser.add_argument(
         "path",
@@ -265,7 +335,8 @@ def main(argv: "list[str] | None" = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="verify: run claims across N worker processes (default 1)",
+        help="verify: run claims across N worker processes; "
+        "dynamic --parallel: repair threads per batch (default 1)",
     )
     parser.add_argument(
         "--only",
@@ -312,6 +383,25 @@ def main(argv: "list[str] | None" = None) -> int:
         default=23,
         metavar="S",
         help="dynamic: RNG seed for points and the event trace (default 23)",
+    )
+    parser.add_argument(
+        "--mac",
+        action="store_true",
+        help="dynamic: maintain §2.4 interference sets incrementally and "
+        "report per-event conflict-repair stats",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="dynamic: apply each step's events as disjoint-region batches "
+        "(--jobs threads repair independent groups concurrently)",
+    )
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=0.5,
+        metavar="D",
+        help="dynamic: guard-zone parameter Δ for --mac (default 0.5)",
     )
     args = parser.parse_args(argv)
     trace_dir = args.trace or os.environ.get("REPRO_TRACE") or None

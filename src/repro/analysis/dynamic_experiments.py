@@ -1,4 +1,4 @@
-"""E23 — locality of update under churn (§1, §2.1 locality argument).
+"""E23/E24 — locality of update under churn (§1, §2.1 locality argument).
 
 The paper's central design argument is that ΘALG is *local*: each node
 decides its neighborhood from information within transmission range
@@ -22,6 +22,13 @@ with seeded mixed event traces at increasing n and measures:
 * ``equality_mismatches`` — the correctness backstop: after every
   ``check_every``-th event the maintained topology is compared
   edge-for-edge against the from-scratch rebuild on the live node set.
+
+E24 extends the same argument one layer up, to the §2.4 interference
+machinery: a churn event should also repair only the conflict *rows*
+whose guard zones intersect the dirty region
+(:class:`repro.dynamic.interference.DynamicInterference`), instead of
+rebuilding the whole CSR ``interference_sets`` — with a bit-identical
+result, checked row-for-row against the from-scratch kernel.
 """
 
 from __future__ import annotations
@@ -34,11 +41,13 @@ import numpy as np
 from repro.core.theta import theta_algorithm
 from repro.dynamic.events import random_event_trace
 from repro.dynamic.incremental import IncrementalTheta
+from repro.dynamic.interference import DynamicInterference
 from repro.geometry.pointsets import uniform_points
 from repro.harness.cache import cached_range
+from repro.interference.conflict import interference_sets
 from repro.utils.rng import as_rng, spawn_rngs
 
-__all__ = ["e23_locality_of_update"]
+__all__ = ["e23_locality_of_update", "e24_interference_repair_locality"]
 
 
 def e23_locality_of_update(
@@ -110,6 +119,91 @@ def e23_locality_of_update(
                 "mean_update_radius_over_D": float(np.mean(radii) / d0),
                 "max_update_radius_over_D": float(np.max(radii) / d0),
                 "edges_flipped_per_event": float(np.mean(flipped)),
+                "ms_per_event": event_ms,
+                "full_rebuild_ms": full_ms,
+                "rebuild_speedup": full_ms / event_ms if event_ms > 0 else float("inf"),
+                "equality_mismatches": int(mismatches),
+            }
+        )
+    return rows
+
+
+def e24_interference_repair_locality(
+    *,
+    ns=(250, 500, 1000, 2000),
+    events_per_n=200,
+    theta=math.pi / 9,
+    delta=0.5,
+    slack=1.5,
+    check_every=5,
+    rebuild_reps=3,
+    rng=None,
+) -> list[dict]:
+    """Per-event conflict-row repair cost vs. network size under churn.
+
+    Drives an :class:`~repro.dynamic.incremental.IncrementalTheta` with
+    a mixed event trace while a
+    :class:`~repro.dynamic.interference.DynamicInterference` maintains
+    the §2.4 interference sets, and measures per event:
+
+    * ``mean_rows`` / ``p95_rows`` — conflict rows recomputed from
+      geometry (added edges + rows of a mover's persisting edges).
+      Locality says this tracks the *event's* edge flips, not m;
+    * ``rows_per_edge`` — recomputed fraction of all rows (vanishes
+      with n under constant-density scaling);
+    * ``ms_per_event`` vs ``full_rebuild_ms`` — incremental row repair
+      against a from-scratch :func:`interference_sets` per event;
+    * ``equality_mismatches`` — every ``check_every``-th event the
+      maintained rows are compared row-for-row against the from-scratch
+      kernel on the live topology (0 = bit-identical).
+
+    Parameters mirror :func:`e23_locality_of_update`; ``delta`` is the
+    guard-zone parameter Δ.
+    """
+    gen = as_rng(rng)
+    rows: list[dict] = []
+    for n, child in zip(ns, spawn_rngs(gen, len(ns))):
+        pts = uniform_points(n, rng=child)
+        d0 = cached_range(pts, slack)
+        inc = IncrementalTheta(pts, theta, d0)
+        di = DynamicInterference(inc, delta)
+        trace = random_event_trace(pts, events_per_n, move_sigma=d0 / 2.0, rng=child)
+
+        rows_touched: list[int] = []
+        entries: list[int] = []
+        wall: list[float] = []
+        mismatches = 0
+        for k, ev in enumerate(trace.events()):
+            stats = inc.apply(ev)
+            cs = di.update_event(stats)
+            rows_touched.append(cs.rows_recomputed)
+            entries.append(cs.entries_changed)
+            wall.append(stats.wall_time + cs.wall_time)
+            if (k + 1) % check_every == 0 and di.check_full_equivalence():
+                mismatches += 1
+
+        graph = inc.snapshot_graph()
+        t_rebuild = []
+        for _ in range(rebuild_reps):
+            t0 = time.perf_counter()
+            interference_sets(graph, delta)
+            t_rebuild.append(time.perf_counter() - t0)
+        full_ms = float(np.mean(t_rebuild)) * 1e3
+        event_ms = float(np.mean(wall)) * 1e3
+
+        rows_arr = np.asarray(rows_touched, dtype=np.float64)
+        m = max(di.n_edges, 1)
+        rows.append(
+            {
+                "n": int(n),
+                "live_n": int(inc.n_alive),
+                "edges": int(di.n_edges),
+                "events": len(rows_arr),
+                "mean_rows": float(rows_arr.mean()),
+                "p95_rows": float(np.percentile(rows_arr, 95)),
+                "max_rows": int(rows_arr.max()),
+                "rows_per_edge": float(rows_arr.mean() / m),
+                "entries_changed_per_event": float(np.mean(entries)),
                 "ms_per_event": event_ms,
                 "full_rebuild_ms": full_ms,
                 "rebuild_speedup": full_ms / event_ms if event_ms > 0 else float("inf"),

@@ -29,7 +29,7 @@ __all__ = ["estimate_edge_interference", "RandomActivationMAC"]
 
 
 def estimate_edge_interference(
-    graph: GeometricGraph,
+    graph: "GeometricGraph | None",
     delta: float,
     *,
     mode: str = "own",
@@ -48,9 +48,13 @@ def estimate_edge_interference(
       the conservative bound needed in spaces with obstacles.
 
     ``sets`` lets callers that already hold the interference sets (e.g.
-    :class:`RandomActivationMAC`) skip recomputing them.
+    :class:`RandomActivationMAC`, or the incrementally maintained
+    :class:`repro.dynamic.interference.DynamicInterference`) skip
+    recomputing them; with ``sets`` given, ``graph`` may be ``None``.
     """
     if sets is None:
+        if graph is None:
+            raise ValueError("need either a graph or precomputed sets")
         sets = interference_sets(graph, delta)
     sizes = sets.degrees.astype(np.float64)
     if mode == "own":
@@ -88,14 +92,18 @@ class RandomActivationMAC:
         rng=None,
         interference_bounds: np.ndarray | None = None,
         bound_mode: str = "own",
+        sets: "InterferenceSets | None" = None,
     ) -> None:
         self.graph = graph
         self.delta = float(delta)
         self.rng = as_rng(rng)
-        self._sets: "InterferenceSets | None" = None
+        # ``sets`` lets a caller holding a (possibly incrementally
+        # maintained) conflict structure seed the MAC without a rebuild.
+        self._sets: "InterferenceSets | None" = sets
         if interference_bounds is None:
-            # Computed once and cached: interference_number reuses it.
-            self._sets = interference_sets(graph, delta)
+            if self._sets is None:
+                # Computed once and cached: interference_number reuses it.
+                self._sets = interference_sets(graph, delta)
             interference_bounds = estimate_edge_interference(
                 graph, delta, mode=bound_mode, sets=self._sets
             )

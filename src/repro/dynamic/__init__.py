@@ -1,6 +1,14 @@
 """Dynamic networks: typed churn events, incremental ΘALG maintenance,
-and fault injection (see ``docs/dynamics.md`` and experiment E23)."""
+incremental interference-set maintenance, disjoint-region parallel
+event application, and fault injection (see ``docs/dynamics.md`` and
+experiments E23/E24)."""
 
+from repro.dynamic.batching import (
+    BatchApplyStats,
+    apply_events_parallel,
+    group_events,
+    independence_radius,
+)
 from repro.dynamic.events import (
     Event,
     EventTrace,
@@ -25,6 +33,11 @@ from repro.dynamic.incremental import (
     RepairStats,
     StepChurn,
 )
+from repro.dynamic.interference import (
+    ConflictRepairStats,
+    DynamicInterference,
+    DynamicMAC,
+)
 
 __all__ = [
     "Event",
@@ -46,6 +59,13 @@ __all__ = [
     "DynamicTopology",
     "RepairStats",
     "StepChurn",
+    "DynamicInterference",
+    "DynamicMAC",
+    "ConflictRepairStats",
+    "BatchApplyStats",
+    "apply_events_parallel",
+    "group_events",
+    "independence_radius",
     "drop_buffered_packets",
     "filter_injections",
 ]

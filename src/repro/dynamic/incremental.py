@@ -62,9 +62,10 @@ class RepairStats:
     Attributes
     ----------
     kind:
-        Event kind tag (``join``/``leave``/``move``/``fail``/``recover``).
+        Event kind tag (``join``/``leave``/``move``/``fail``/``recover``,
+        or ``batch`` for a merged-region batch repair).
     node:
-        The event's node id.
+        The event's node id (-1 for a batch).
     update_radius:
         Largest distance from an event anchor to any touched node
         (0 when nothing was touched).  Bounded by 2D by construction.
@@ -72,9 +73,17 @@ class RepairStats:
         Number of distinct nodes whose phase-1 or phase-2 state was
         recomputed (the dirty set plus re-pruned receivers).
     edges_flipped:
-        Undirected topology edges added plus removed by this event.
+        Undirected topology edges added plus removed by this event,
+        counting transient flips (an edge dropped and re-added during
+        one repair counts twice).
     wall_time:
         Repair wall-clock seconds (``time.perf_counter`` based).
+    edges_added / edges_removed:
+        The *net* changelog: undirected global-id edges present after
+        the repair but not before (and vice versa), sorted.  Transient
+        flips cancel out.  This is what
+        :class:`repro.dynamic.interference.DynamicInterference` consumes
+        to repair conflict rows.
     """
 
     kind: str
@@ -83,6 +92,8 @@ class RepairStats:
     nodes_touched: int
     edges_flipped: int
     wall_time: float
+    edges_added: "tuple[tuple[int, int], ...]" = ()
+    edges_removed: "tuple[tuple[int, int], ...]" = ()
 
 
 class IncrementalTheta:
@@ -120,6 +131,12 @@ class IncrementalTheta:
         self._part = SectorPartition(self.theta, self.offset)
         self._index = DynamicGridIndex(pts, cell=self.max_range)
         self._failed: "set[int]" = set()
+        #: Bumped after every state-changing event (or batch); lets
+        #: consumers (snapshot cache, DynamicInterference, the harness
+        #: substrate cache) key derived structures by topology state.
+        self.topology_version = 0
+        self._snapshot: "object | None" = None
+        self._snapshot_version = -1
 
         topo = theta_algorithm(pts, self.theta, self.max_range, kappa=self.kappa, offset=self.offset)
         self._out: "dict[int, dict[int, int]]" = {}
@@ -176,6 +193,34 @@ class IncrementalTheta:
         edges = np.array(sorted(self._edge_dirs), dtype=np.intp)
         return edges
 
+    def all_positions(self) -> np.ndarray:
+        """Positions of every id ever seen (read-only view, mutates)."""
+        return self._index.all_positions()
+
+    def snapshot_graph(self):
+        """The maintained topology as an immutable :class:`GeometricGraph`.
+
+        Node ids are global (dead slots keep their retained position and
+        simply have no incident edges), so edge indices of derived
+        structures — e.g. ``interference_sets`` rows — line up with
+        :meth:`edge_array`.  The snapshot is cached per
+        :attr:`topology_version` and carries that version as a
+        ``topology_version`` attribute, which
+        :func:`repro.harness.cache.cached_interference_sets` uses to key
+        conflict structures without re-digesting the coordinates.
+        """
+        from repro.graphs.base import GeometricGraph
+
+        v = self.topology_version
+        if self._snapshot is not None and self._snapshot_version == v:
+            return self._snapshot
+        g = GeometricGraph(
+            self._index.all_positions().copy(), self.edge_array(), kappa=self.kappa
+        )
+        g.topology_version = v
+        self._snapshot, self._snapshot_version = g, v
+        return g
+
     # ------------------------------------------------------------------
     # Event application
     # ------------------------------------------------------------------
@@ -185,52 +230,19 @@ class IncrementalTheta:
         with trace.span("dynamic.apply_event", kind=kind, node=event.node):
             t0 = time.perf_counter()
             node = int(event.node)
-            if isinstance(event, NodeJoin):
-                if node in self._failed:
-                    raise ValueError(f"node {node} is failed; use Recover, not NodeJoin")
-                p = np.array([event.x, event.y], dtype=np.float64)
-                self._index.insert(node, p)
-                anchors = [p]
-            elif isinstance(event, NodeMove):
-                if node in self._failed:
-                    # A crashed device still moves physically: update the
-                    # retained position (where Recover brings it back up)
-                    # without touching the topology.
-                    p = np.array([event.x, event.y], dtype=np.float64)
-                    self._index.set_dead_position(node, p)
-                    return RepairStats(
-                        kind=kind,
-                        node=node,
-                        update_radius=0.0,
-                        nodes_touched=0,
-                        edges_flipped=0,
-                        wall_time=time.perf_counter() - t0,
-                    )
-                if not self._index.is_alive(node):
-                    raise ValueError(f"cannot move node {node}: not alive")
-                old_p = self._index.position(node)
-                p = np.array([event.x, event.y], dtype=np.float64)
-                self._index.move(node, p)
-                anchors = [old_p, p]
-            elif isinstance(event, (NodeLeave, FailStop)):
-                if not self._index.is_alive(node):
-                    raise ValueError(f"cannot remove node {node}: not alive")
-                p = self._index.position(node)
-                self._index.remove(node)
-                if isinstance(event, FailStop):
-                    self._failed.add(node)
-                anchors = [p]
-            elif isinstance(event, Recover):
-                if node not in self._failed:
-                    raise ValueError(f"cannot recover node {node}: not failed")
-                self._failed.discard(node)
-                p = self._index.position(node)
-                self._index.insert(node, p)
-                anchors = [p]
-            else:  # pragma: no cover - event_kind above already rejects
-                raise TypeError(f"unsupported event: {event!r}")
-
-            stats = self._repair(kind, node, anchors, event)
+            ctx = self._mutate(event)
+            if ctx is None:
+                # Dead-slot move: position bookkeeping only, no repair.
+                return RepairStats(
+                    kind=kind,
+                    node=node,
+                    update_radius=0.0,
+                    nodes_touched=0,
+                    edges_flipped=0,
+                    wall_time=time.perf_counter() - t0,
+                )
+            stats = self._repair_batch([ctx], kind=kind, node=node)
+            self.topology_version += 1
             return RepairStats(
                 kind=stats.kind,
                 node=stats.node,
@@ -238,6 +250,8 @@ class IncrementalTheta:
                 nodes_touched=stats.nodes_touched,
                 edges_flipped=stats.edges_flipped,
                 wall_time=time.perf_counter() - t0,
+                edges_added=stats.edges_added,
+                edges_removed=stats.edges_removed,
             )
 
     def apply_trace(self, events: "EventTrace | list[Event]") -> "list[RepairStats]":
@@ -245,41 +259,150 @@ class IncrementalTheta:
         seq = events.events() if isinstance(events, EventTrace) else list(events)
         return [self.apply(ev) for ev in seq]
 
+    def apply_batch(self, events: "list[Event]") -> RepairStats:
+        """Apply several events as *one* merged-region repair.
+
+        Index mutations run serially in trace order; both ΘALG phases
+        then run once over the union of the events' dirty regions, so
+        nodes inside overlapping dirty disks are recomputed once instead
+        of once per event.  The final topology is identical to serial
+        :meth:`apply` of the same events (the repair re-establishes the
+        exact ΘALG of the final live positions; property-tested in
+        ``tests/test_dynamic_batching.py``).
+
+        For grouping a step's events into *independent* batches and
+        applying them concurrently, see
+        :func:`repro.dynamic.batching.apply_events_parallel`.
+        """
+        t0 = time.perf_counter()
+        contexts = [self._mutate(ev) for ev in events]
+        contexts = [c for c in contexts if c is not None]
+        if not contexts:
+            return RepairStats(
+                kind="batch",
+                node=-1,
+                update_radius=0.0,
+                nodes_touched=0,
+                edges_flipped=0,
+                wall_time=time.perf_counter() - t0,
+            )
+        stats = self._repair_batch(contexts, kind="batch", node=-1)
+        self.topology_version += 1
+        return RepairStats(
+            kind=stats.kind,
+            node=stats.node,
+            update_radius=stats.update_radius,
+            nodes_touched=stats.nodes_touched,
+            edges_flipped=stats.edges_flipped,
+            wall_time=time.perf_counter() - t0,
+            edges_added=stats.edges_added,
+            edges_removed=stats.edges_removed,
+        )
+
     # ------------------------------------------------------------------
     # Repair machinery
     # ------------------------------------------------------------------
-    def _repair(self, kind: str, node: int, anchors: "list[np.ndarray]", event: Event) -> RepairStats:
-        """Re-run both ΘALG phases on the dirty region around ``anchors``."""
+    def _mutate(self, event: Event) -> "tuple[str, int, list[np.ndarray]] | None":
+        """Apply ``event``'s index/bookkeeping mutation, *without* repair.
+
+        Returns the repair context ``(kind, node, anchors)``, or ``None``
+        for a move of a failed node (position bookkeeping only).  The
+        batching layer applies every mutation of a step serially in
+        trace order — join ids must appear in order and the grid index
+        is not safe for concurrent mutation — before repairing groups.
+        """
+        kind = event_kind(event)
+        node = int(event.node)
+        if isinstance(event, NodeJoin):
+            if node in self._failed:
+                raise ValueError(f"node {node} is failed; use Recover, not NodeJoin")
+            p = np.array([event.x, event.y], dtype=np.float64)
+            self._index.insert(node, p)
+            return kind, node, [p]
+        if isinstance(event, NodeMove):
+            if node in self._failed:
+                # A crashed device still moves physically: update the
+                # retained position (where Recover brings it back up)
+                # without touching the topology.
+                p = np.array([event.x, event.y], dtype=np.float64)
+                self._index.set_dead_position(node, p)
+                return None
+            if not self._index.is_alive(node):
+                raise ValueError(f"cannot move node {node}: not alive")
+            old_p = self._index.position(node)
+            p = np.array([event.x, event.y], dtype=np.float64)
+            self._index.move(node, p)
+            return kind, node, [old_p, p]
+        if isinstance(event, (NodeLeave, FailStop)):
+            if not self._index.is_alive(node):
+                raise ValueError(f"cannot remove node {node}: not alive")
+            p = self._index.position(node)
+            self._index.remove(node)
+            if isinstance(event, FailStop):
+                self._failed.add(node)
+            return kind, node, [p]
+        if isinstance(event, Recover):
+            if node not in self._failed:
+                raise ValueError(f"cannot recover node {node}: not failed")
+            self._failed.discard(node)
+            p = self._index.position(node)
+            self._index.insert(node, p)
+            return kind, node, [p]
+        raise TypeError(f"unsupported event: {event!r}")  # pragma: no cover
+
+    def _repair_batch(
+        self, contexts: "list[tuple[str, int, list[np.ndarray]]]", *, kind: str, node: int
+    ) -> RepairStats:
+        """Re-run both ΘALG phases on the union of dirty regions.
+
+        ``contexts`` are the ``(kind, node, anchors)`` tuples of already
+        *mutated* events.  With a single context this reproduces the
+        serial per-event repair exactly; with several it repairs the
+        merged region once.  Correctness rests on the repair invariant:
+        afterwards the maintained state equals the from-scratch ΘALG of
+        the current live positions on the touched region, whatever
+        sequence of mutations produced those positions.
+        """
         with trace.span("dynamic.repair", kind=kind, node=node):
             D = self.max_range
+            anchors: "list[np.ndarray]" = []
+            event_nodes: "list[int]" = []
+            seen: "set[int]" = set()
+            for _, nd, anchs in contexts:
+                anchors.extend(anchs)
+                if nd not in seen:
+                    seen.add(nd)
+                    event_nodes.append(nd)
+
             # Phase-1 dirty set A: live nodes whose candidate neighborhood
             # intersects a disk of radius D around an anchor.
             dirty: "set[int]" = set()
             for p in anchors:
                 dirty.update(self._index.query_radius(p, D).tolist())
-            event_alive = self._index.is_alive(node)
-            if event_alive:
-                dirty.add(node)
+            alive_nodes = [nd for nd in event_nodes if self._index.is_alive(nd)]
+            dead_nodes = [nd for nd in event_nodes if not self._index.is_alive(nd)]
+            dirty.update(alive_nodes)
 
             receivers: "set[int]" = set()
             flipped = 0
-            if event_alive:
-                receivers.add(node)
-            elif node in self._out:
-                # Departed node: retract its Yao choices; each former
-                # target loses an in-edge and must re-prune.
-                for v in self._out.pop(node).values():
-                    self._in[v].discard(node)
-                    receivers.add(v)
+            log: "dict[tuple[int, int], int]" = {}
+            # Targets of surviving event nodes *before* any recompute:
+            # their distances to even unchanged targets may have shifted
+            # (moves — including a leave/re-join at a new position inside
+            # one batch), so every old/new target must re-prune.
+            pre_targets = {nd: set(self._out.get(nd, {}).values()) for nd in alive_nodes}
+            receivers.update(alive_nodes)
+            for nd in dead_nodes:
+                if nd in self._out:
+                    # Departed node: retract its Yao choices; each former
+                    # target loses an in-edge and must re-prune.
+                    for v in self._out.pop(nd).values():
+                        self._in[v].discard(nd)
+                        receivers.add(v)
 
             for u in sorted(dirty):
                 new_choices = self._yao_choices(u)
                 old_choices = self._out.get(u, {})
-                if u == node and kind == "move":
-                    # The mover's distances to even *unchanged* targets
-                    # shifted, so every old/new target must re-prune.
-                    receivers.update(old_choices.values())
-                    receivers.update(new_choices.values())
                 if new_choices != old_choices:
                     # Diff by *target set*, not per sector: a target that
                     # merely switched cones of u (possible only when u or
@@ -299,24 +422,23 @@ class IncrementalTheta:
                 else:
                     self._out.pop(u, None)
 
-            if not event_alive:
+            for nd in alive_nodes:
+                receivers.update(pre_targets[nd])
+                receivers.update(self._out.get(nd, {}).values())
+
+            for nd in dead_nodes:
                 # Retract the departed node's own admissions and in-set.
-                for w in self._admit.pop(node, {}).values():
-                    flipped += self._drop_dir(w, node)
-                self._in.pop(node, None)
-                receivers.discard(node)
+                for w in self._admit.pop(nd, {}).values():
+                    flipped += self._drop_dir(w, nd, log)
+                self._in.pop(nd, None)
+                receivers.discard(nd)
 
             for x in sorted(receivers):
                 if self._index.is_alive(x):
-                    flipped += self._readmit(x)
+                    flipped += self._readmit(x, log)
 
-            touched = dirty | receivers
-            if not event_alive:
-                touched.add(node)
-            radius = 0.0
-            for t in touched:
-                q = self._index.position(t)
-                radius = max(radius, min(float(np.hypot(*(q - p))) for p in anchors))
+            touched = dirty | receivers | set(dead_nodes)
+            radius = self._touched_radius(touched, anchors)
             return RepairStats(
                 kind=kind,
                 node=node,
@@ -324,7 +446,29 @@ class IncrementalTheta:
                 nodes_touched=len(touched),
                 edges_flipped=flipped,
                 wall_time=0.0,
+                edges_added=tuple(k for k in sorted(log) if log[k] > 0),
+                edges_removed=tuple(k for k in sorted(log) if log[k] < 0),
             )
+
+    def _touched_radius(self, touched: "set[int]", anchors: "list[np.ndarray]") -> float:
+        """Max over touched nodes of the distance to the *nearest* anchor.
+
+        Chunked and vectorized: merged batches can touch thousands of
+        nodes against hundreds of anchors, where a per-node Python loop
+        would dominate the repair itself.
+        """
+        if not touched or not anchors:
+            return 0.0
+        tarr = np.fromiter(touched, dtype=np.intp, count=len(touched))
+        tpos = self._index.positions_of(tarr)
+        aarr = np.asarray(anchors, dtype=np.float64)
+        radius = 0.0
+        for lo in range(0, len(tarr), 1024):
+            blk = tpos[lo : lo + 1024]
+            d = blk[:, None, :] - aarr[None, :, :]
+            nearest = np.hypot(d[..., 0], d[..., 1]).min(axis=1)
+            radius = max(radius, float(nearest.max()))
+        return radius
 
     def _yao_choices(self, u: int) -> "dict[int, int]":
         """Phase 1 for one node: nearest in-range neighbor per cone.
@@ -349,14 +493,16 @@ class IncrementalTheta:
         sel = order[run_starts(sec[order])]
         return dict(zip(sec[sel].tolist(), nbrs[sel].tolist()))
 
-    def _readmit(self, x: int) -> int:
+    def _readmit(self, x: int, log: "dict[tuple[int, int], int] | None" = None) -> int:
         """Phase 2 for one receiver: re-prune its incoming Yao edges.
 
         Mirrors the phase-2 lexsort of :func:`theta_algorithm`: group
         in-neighbors by the cone of ``x`` containing them
         (``d = pts[w] - pts[x]``), admit the (distance, source id)
         minimum per cone.  Returns the number of undirected edges
-        flipped (added + removed).
+        flipped (added + removed); net creations/deletions are counted
+        into ``log`` when given (+1 created, -1 deleted, transients
+        cancel).
         """
         sources = self._in.get(x)
         old = self._admit.get(x, {})
@@ -380,30 +526,44 @@ class IncrementalTheta:
             if ow == nw:
                 continue
             if ow is not None:
-                flipped += self._drop_dir(ow, x)
+                flipped += self._drop_dir(ow, x, log)
             if nw is not None:
-                flipped += self._add_dir(nw, x)
+                flipped += self._add_dir(nw, x, log)
         if new:
             self._admit[x] = new
         else:
             self._admit.pop(x, None)
         return flipped
 
-    def _add_dir(self, w: int, x: int) -> int:
+    def _add_dir(self, w: int, x: int, log: "dict[tuple[int, int], int] | None" = None) -> int:
         """Record that the directed choice w→x is admitted; 1 if the
         undirected edge {w, x} was created."""
         key = (w, x) if w < x else (x, w)
         c = self._edge_dirs.get(key, 0)
         self._edge_dirs[key] = c + 1
-        return 1 if c == 0 else 0
+        if c == 0:
+            if log is not None:
+                bal = log.get(key, 0) + 1
+                if bal:
+                    log[key] = bal
+                else:
+                    del log[key]
+            return 1
+        return 0
 
-    def _drop_dir(self, w: int, x: int) -> int:
+    def _drop_dir(self, w: int, x: int, log: "dict[tuple[int, int], int] | None" = None) -> int:
         """Retract the admitted direction w→x; 1 if the undirected edge
         {w, x} disappeared."""
         key = (w, x) if w < x else (x, w)
         c = self._edge_dirs[key]
         if c == 1:
             del self._edge_dirs[key]
+            if log is not None:
+                bal = log.get(key, 0) - 1
+                if bal:
+                    log[key] = bal
+                else:
+                    del log[key]
             return 1
         self._edge_dirs[key] = c - 1
         return 0
@@ -444,6 +604,11 @@ class StepChurn:
     removed_nodes: "list[int]" = field(default_factory=list)
     joined_nodes: "list[int]" = field(default_factory=list)
     repairs: "list[RepairStats]" = field(default_factory=list)
+    #: Conflict rows recomputed / CSR entries spliced this step (0 when
+    #: no DynamicInterference is attached).
+    conflict_rows_touched: int = 0
+    conflict_entries_changed: int = 0
+    conflict_repairs: "list" = field(default_factory=list)
 
 
 class DynamicTopology:
@@ -455,14 +620,40 @@ class DynamicTopology:
     :meth:`active_edges` exposes the maintained topology in global-id
     space (stable across events), matching a router sized to
     :attr:`capacity`.
+
+    Parameters
+    ----------
+    interference:
+        Optional :class:`repro.dynamic.interference.DynamicInterference`
+        kept in lockstep with the topology: its conflict rows are
+        repaired after every event (or batch) from the repair's net edge
+        changelog.
+    parallel / jobs:
+        When ``parallel`` is true, each step's events are grouped by
+        dirty-region overlap (:func:`repro.dynamic.batching.apply_events_parallel`)
+        and independent groups are applied as merged-region batches,
+        across ``jobs`` worker threads when ``jobs > 1``.
     """
 
-    def __init__(self, incremental: IncrementalTheta, events: EventTrace) -> None:
+    def __init__(
+        self,
+        incremental: IncrementalTheta,
+        events: EventTrace,
+        *,
+        interference=None,
+        parallel: bool = False,
+        jobs: int = 1,
+    ) -> None:
         self.incremental = incremental
         self.events = events
+        self.interference = interference
+        self.parallel = bool(parallel)
+        self.jobs = int(jobs)
         self.events_applied = 0
         self.nodes_touched_total = 0
         self.edges_flipped_total = 0
+        self.conflict_rows_total = 0
+        self.conflict_entries_total = 0
         self.repairs: "list[RepairStats]" = []
         max_id = incremental.size - 1
         for _, ev in events:
@@ -473,12 +664,34 @@ class DynamicTopology:
     def step(self, t: int) -> StepChurn:
         """Apply the events scheduled for step ``t``."""
         churn = StepChurn()
-        for ev in self.events.at(t):
-            stats = self.incremental.apply(ev)
-            churn.events_applied += 1
-            churn.nodes_touched += stats.nodes_touched
-            churn.edges_flipped += stats.edges_flipped
-            churn.repairs.append(stats)
+        evs = list(self.events.at(t))
+        if self.parallel and len(evs) > 1:
+            from repro.dynamic.batching import apply_events_parallel
+
+            batch = apply_events_parallel(
+                self.incremental, evs, interference=self.interference, jobs=self.jobs
+            )
+            churn.events_applied = len(evs)
+            churn.nodes_touched = batch.nodes_touched
+            churn.edges_flipped = batch.edges_flipped
+            churn.repairs.extend(batch.repairs)
+            churn.conflict_repairs.extend(batch.conflict_repairs)
+            for cs in batch.conflict_repairs:
+                churn.conflict_rows_touched += cs.rows_recomputed
+                churn.conflict_entries_changed += cs.entries_changed
+        else:
+            for ev in evs:
+                stats = self.incremental.apply(ev)
+                churn.events_applied += 1
+                churn.nodes_touched += stats.nodes_touched
+                churn.edges_flipped += stats.edges_flipped
+                churn.repairs.append(stats)
+                if self.interference is not None:
+                    cs = self.interference.update_event(stats)
+                    churn.conflict_repairs.append(cs)
+                    churn.conflict_rows_touched += cs.rows_recomputed
+                    churn.conflict_entries_changed += cs.entries_changed
+        for ev in evs:
             if isinstance(ev, FailStop):
                 churn.failed_nodes.append(ev.node)
                 churn.removed_nodes.append(ev.node)
@@ -489,6 +702,8 @@ class DynamicTopology:
         self.events_applied += churn.events_applied
         self.nodes_touched_total += churn.nodes_touched
         self.edges_flipped_total += churn.edges_flipped
+        self.conflict_rows_total += churn.conflict_rows_touched
+        self.conflict_entries_total += churn.conflict_entries_changed
         self.repairs.extend(churn.repairs)
         return churn
 

@@ -1,0 +1,483 @@
+"""Incremental interference-set maintenance under churn (§2.4 made local).
+
+:class:`repro.dynamic.incremental.IncrementalTheta` repairs the ΘALG
+topology on a ≤2D dirty disk per event, but a routing step under the
+guard-zone MAC still had to rebuild the CSR ``interference_sets`` from
+scratch — ~10 s at n=30k, which made churned MAC experiments
+rebuild-bound.  This module makes the conflict structure as local as
+the topology repair:
+
+* a conflict *row* I(e) only changes when an edge inside it flips or an
+  endpoint inside its guard neighborhood moves.  Because the relation
+  is symmetric (``e' ∈ I(e) ⟺ e ∈ I(e')``), recomputing the rows of
+  exactly the *changed* edges — net added edges, net removed edges, and
+  edges incident to a moved node — and splicing the diffs into their
+  neighbors' rows repairs every affected row;
+* each row recompute is a pair of grid queries
+  (:class:`~repro.geometry.spatialindex.DynamicGridIndex`) at the
+  maximum possible guard reach, filtered by the *bit-identical*
+  predicate of the vectorized kernel
+  (:func:`repro.interference.conflict.interference_sets`): squared hit
+  distance ``≤`` squared shrunk guard radius
+  ``((1+Δ)·len·(1−1e-12))²``, inclusive at ties.
+
+The maintained rows materialize on demand into a CSR
+:class:`~repro.interference.conflict.InterferenceSets` aligned with
+``IncrementalTheta.edge_array()`` and **edge-for-edge identical** to a
+from-scratch rebuild on the live topology — asserted after every event
+of the acceptance traces in ``tests/test_dynamic_interference.py`` and
+re-checked by claim E24.
+
+:class:`DynamicMAC` closes the loop for the engine: §3.3 random edge
+activation with probabilities ``1/(2·I_e)`` sampled from the
+*maintained* conflict degrees, so a churned MAC step costs a local
+repair instead of a global rebuild.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.interference.conflict import InterferenceSets, interference_sets
+from repro.interference.model import InterferenceModel, interference_radius
+from repro.obs import metrics, trace
+from repro.utils.rng import as_rng
+
+__all__ = ["ConflictRepairStats", "DynamicInterference", "DynamicMAC"]
+
+_MASK = (1 << 32) - 1
+_EMPTY: "frozenset[int]" = frozenset()
+
+
+def _pack(lo: int, hi: int) -> int:
+    """One int64 key per undirected edge ``(lo, hi)``, lex-order preserving."""
+    return (lo << 32) | hi
+
+
+@dataclass(frozen=True)
+class ConflictRepairStats:
+    """Per-event (or per-batch) conflict-repair accounting (E24 measurands).
+
+    Attributes
+    ----------
+    rows_recomputed:
+        Conflict rows rebuilt from geometry (added edges plus persisting
+        edges incident to a moved node).
+    entries_changed:
+        Row entries spliced in or out across the whole structure,
+        counting both sides of each symmetric pair.
+    edges_added / edges_removed:
+        Net topology edges this repair reacted to.
+    wall_time:
+        Conflict-repair wall-clock seconds.
+    """
+
+    rows_recomputed: int
+    entries_changed: int
+    edges_added: int
+    edges_removed: int
+    wall_time: float
+
+
+class DynamicInterference:
+    """Maintain §2.4 interference sets I(e) over a churned ΘALG topology.
+
+    Parameters
+    ----------
+    incremental:
+        The :class:`~repro.dynamic.incremental.IncrementalTheta` whose
+        topology the conflict structure tracks.  The initial rows are
+        seeded from one vectorized from-scratch build.
+    delta:
+        Guard-zone parameter Δ of the interference model.
+
+    Protocol: after every ``incremental.apply(event)`` call
+    :meth:`update_event` with the returned
+    :class:`~repro.dynamic.incremental.RepairStats` (whose net
+    ``edges_added`` / ``edges_removed`` changelog drives the repair).
+    :class:`~repro.dynamic.incremental.DynamicTopology` and
+    :func:`repro.dynamic.batching.apply_events_parallel` do this
+    automatically.  :meth:`interference_sets` raises if the topology
+    advanced without a matching update, so a stale conflict structure
+    can never be served silently.
+    """
+
+    def __init__(self, incremental, delta: float) -> None:
+        self.inc = incremental
+        self.delta = float(delta)
+        self._index = incremental._index
+        D = float(incremental.max_range)
+        # Any topology edge satisfies d² ≤ D² + 1e-12 (the kernel's
+        # in-range epsilon), so no guard radius exceeds (1+Δ)·√(D²+1e-12):
+        # one candidate query radius covers both conflict directions.
+        self._r_in = (1.0 + self.delta) * float(np.sqrt(D * D + 1e-12))
+        self._rows: "dict[int, set[int]]" = {}
+        self._incident: "dict[int, set[int]]" = {}
+        self._rad2: "dict[int, float]" = {}
+        self._csr: "InterferenceSets | None" = None
+        self._synced_version = -1
+        self._seed_from_scratch()
+
+    # ------------------------------------------------------------------
+    # Seeding and introspection
+    # ------------------------------------------------------------------
+    def _seed_from_scratch(self) -> None:
+        """Build rows/incident maps from one vectorized full build."""
+        graph = self.inc.snapshot_graph()
+        sets = interference_sets(graph, self.delta)
+        edges = graph.edges
+        codes = (edges[:, 0].astype(np.int64) << 32) | edges[:, 1].astype(np.int64)
+        lengths = graph.edge_lengths
+        indptr, indices = sets.indptr, sets.indices
+        rows: "dict[int, set[int]]" = {}
+        incident: "dict[int, set[int]]" = {}
+        rad2: "dict[int, float]" = {}
+        code_list = codes.tolist()
+        for k, code in enumerate(code_list):
+            rows[code] = set(codes[indices[indptr[k] : indptr[k + 1]]].tolist())
+            r = float(interference_radius(lengths[k], self.delta) * (1.0 - 1e-12))
+            rad2[code] = r * r
+        for (lo, hi), code in zip(edges.tolist(), code_list):
+            incident.setdefault(lo, set()).add(code)
+            incident.setdefault(hi, set()).add(code)
+        self._rows, self._incident, self._rad2 = rows, incident, rad2
+        self._csr = sets
+        self._synced_version = self.inc.topology_version
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._rows)
+
+    def edge_codes(self) -> np.ndarray:
+        """Sorted packed ``(lo << 32) | hi`` keys of the tracked edges."""
+        return np.fromiter(sorted(self._rows), dtype=np.int64, count=len(self._rows))
+
+    # ------------------------------------------------------------------
+    # Incremental repair
+    # ------------------------------------------------------------------
+    def update_event(self, stats) -> ConflictRepairStats:
+        """Repair conflict rows after one serial ``IncrementalTheta.apply``.
+
+        ``stats`` is the event's :class:`RepairStats`; a surviving mover
+        additionally forces a recompute of its persisting incident rows
+        (their guard radii moved with it).
+        """
+        moved: "list[int]" = []
+        if stats.kind == "move" and self._index.is_alive(stats.node):
+            moved.append(int(stats.node))
+        return self.update(stats.edges_added, stats.edges_removed, moved)
+
+    def update(
+        self,
+        added,
+        removed,
+        moved_nodes,
+        *,
+        _sync: bool = True,
+    ) -> ConflictRepairStats:
+        """Splice a net topology diff into the maintained conflict rows.
+
+        Parameters
+        ----------
+        added / removed:
+            Net undirected global-id edge changes (``(lo, hi)`` pairs).
+        moved_nodes:
+            Live nodes whose position changed: their persisting incident
+            edges get recomputed rows too.
+        """
+        t0 = time.perf_counter()
+        with trace.span(
+            "dynamic.conflict_repair", added=len(added), removed=len(removed)
+        ) as sp:
+            rows = self._rows
+            incident = self._incident
+            entries = 0
+
+            removed_codes = [_pack(int(lo), int(hi)) for lo, hi in removed]
+            added_codes = [_pack(int(lo), int(hi)) for lo, hi in added]
+
+            # 1. Retract removed edges: drop their row and their
+            #    membership in every neighbor's row (symmetry gives us
+            #    the exact set of affected rows for free).
+            for c in removed_codes:
+                row = rows.pop(c, None)
+                self._rad2.pop(c, None)
+                for nd in (c >> 32, c & _MASK):
+                    s = incident.get(nd)
+                    if s is not None:
+                        s.discard(c)
+                        if not s:
+                            del incident[nd]
+                if row:
+                    entries += 2 * len(row)
+                    for nb in row:
+                        nb_row = rows.get(nb)
+                        if nb_row is not None:
+                            nb_row.discard(c)
+
+            # 2. Register added edges so row recomputes can see them.
+            for c in added_codes:
+                incident.setdefault(c >> 32, set()).add(c)
+                incident.setdefault(c & _MASK, set()).add(c)
+
+            # 3. Rows to rebuild from geometry: added edges, plus the
+            #    persisting edges whose guard zones moved with a mover.
+            recompute: "set[int]" = set(added_codes)
+            for nd in moved_nodes:
+                recompute.update(incident.get(int(nd), _EMPTY))
+            for c in recompute:
+                self._rad2[c] = self._edge_rad2(c)
+            for c in sorted(recompute):
+                new_row = self._recompute_row(c)
+                old_row = rows.get(c, _EMPTY)
+                for nb in old_row - new_row:
+                    nb_row = rows.get(nb)
+                    if nb_row is not None:
+                        nb_row.discard(c)
+                    entries += 2
+                for nb in new_row - old_row:
+                    nb_row = rows.get(nb)
+                    if nb_row is not None:
+                        nb_row.add(c)
+                    entries += 2
+                rows[c] = new_row
+
+            self._csr = None
+            if _sync:
+                self._synced_version = self.inc.topology_version
+            stats = ConflictRepairStats(
+                rows_recomputed=len(recompute),
+                entries_changed=entries,
+                edges_added=len(added_codes),
+                edges_removed=len(removed_codes),
+                wall_time=time.perf_counter() - t0,
+            )
+            sp.set(rows=stats.rows_recomputed, entries=entries)
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("dynamic.conflict_repairs").inc()
+            reg.counter("dynamic.conflict_rows_recomputed").inc(stats.rows_recomputed)
+        return stats
+
+    def _mark_synced(self) -> None:
+        """Batch applier hook: declare the structure current again."""
+        self._synced_version = self.inc.topology_version
+
+    def _edge_rad2(self, code: int) -> float:
+        """Squared shrunk guard radius of one edge, kernel arithmetic."""
+        pab = self._index.positions_of(np.array([code >> 32, code & _MASK], dtype=np.intp))
+        length = np.hypot(pab[0, 0] - pab[1, 0], pab[0, 1] - pab[1, 1])
+        r = float(interference_radius(length, self.delta) * (1.0 - 1e-12))
+        return r * r
+
+    def _recompute_row(self, code: int) -> "set[int]":
+        """I(code) from current geometry, bit-identical to the kernel.
+
+        Two grid queries (one per endpoint) at the shared maximum guard
+        reach produce a candidate superset; the exact kernel predicate —
+        squared hit distance ``≤`` squared shrunk radius, inclusive at
+        ties — then decides both conflict directions:
+
+        * ``d²(u, p) ≤ r²(code)``: every edge at node ``u`` has an
+          endpoint inside *code*'s guard zone (out-direction);
+        * ``d²(u, p) ≤ r²(k)`` for ``k`` incident to ``u``: *code*'s
+          endpoint ``p`` lies inside ``k``'s guard zone (in-direction).
+        """
+        idx = self._index
+        pab = idx.positions_of(np.array([code >> 32, code & _MASK], dtype=np.intp))
+        r2_own = self._rad2[code]
+        incident = self._incident
+        rad2 = self._rad2
+        row: "set[int]" = set()
+        for p in pab:
+            cand = idx.query_radius(p, self._r_in)
+            if len(cand) == 0:
+                continue
+            d = idx.positions_of(cand) - p
+            d2s = d[:, 0] * d[:, 0] + d[:, 1] * d[:, 1]
+            for u, d2 in zip(cand.tolist(), d2s.tolist()):
+                edges_u = incident.get(u)
+                if not edges_u:
+                    continue
+                if d2 <= r2_own:
+                    row.update(edges_u)
+                else:
+                    for k in edges_u:
+                        if k not in row and d2 <= rad2[k]:
+                            row.add(k)
+        row.discard(code)
+        return row
+
+    # ------------------------------------------------------------------
+    # Materialization and backstop
+    # ------------------------------------------------------------------
+    def _check_synced(self) -> None:
+        if self._synced_version != self.inc.topology_version:
+            raise RuntimeError(
+                "DynamicInterference is out of sync with its topology "
+                f"(synced at version {self._synced_version}, topology at "
+                f"{self.inc.topology_version}); call update() after every event"
+            )
+
+    def degree_array(self) -> np.ndarray:
+        """``|I(e)|`` aligned with ``edge_array()``, *without* CSR.
+
+        The MAC hot path only needs conflict degrees for its activation
+        bounds; reading row sizes straight off the maintained sets skips
+        the O(nnz) CSR materialization (nnz is ~10⁷ at n=10⁴).
+        """
+        self._check_synced()
+        rows = self._rows
+        return np.fromiter(
+            (len(rows[c]) for c in sorted(rows)), dtype=np.int64, count=len(rows)
+        )
+
+    def interference_sets(self) -> InterferenceSets:
+        """The maintained conflict structure as a CSR ``InterferenceSets``.
+
+        Rows align with ``IncrementalTheta.edge_array()`` (sorted
+        undirected global-id edges).  Materialization is cached until
+        the next :meth:`update`; a topology that advanced without a
+        matching update raises instead of serving stale rows.
+        """
+        self._check_synced()
+        if self._csr is None:
+            rows = self._rows
+            codes = sorted(rows)
+            keys = np.fromiter(codes, dtype=np.int64, count=len(codes))
+            self._csr = InterferenceSets.from_rows(keys, [rows[c] for c in codes])
+        return self._csr
+
+    def degrees(self) -> np.ndarray:
+        """``|I(e)|`` aligned with ``edge_array()`` (shared, read-only)."""
+        return self.interference_sets().degrees
+
+    def check_full_equivalence(self) -> int:
+        """Rows differing from a from-scratch rebuild (0 = bit-identical).
+
+        The E24 correctness backstop: rebuilds ``interference_sets`` on
+        the maintained topology snapshot and compares row-for-row.
+        """
+        ref = interference_sets(self.inc.snapshot_graph(), self.delta)
+        mine = self.interference_sets()
+        if mine == ref:
+            return 0
+        mism = abs(len(ref) - len(mine))
+        for k in range(min(len(ref), len(mine))):
+            if not np.array_equal(np.asarray(ref[k]), np.asarray(mine[k])):
+                mism += 1
+        return max(mism, 1)
+
+
+class DynamicMAC:
+    """§3.3 random edge activation over a *maintained* churned topology.
+
+    The static :class:`~repro.core.interference_mac.RandomActivationMAC`
+    computes interference sets once per graph; under churn that means a
+    full rebuild per step.  This wrapper samples activation probabilities
+    ``1/(2·I_e)`` from a :class:`DynamicInterference`'s maintained
+    degrees — refreshed per topology version, so a step after k events
+    costs k local conflict repairs plus one CSR materialization.
+
+    The per-step interface matches ``RandomActivationMAC``
+    (:meth:`active_edges` / :meth:`success_mask`), so
+    :class:`repro.sim.engine.SimulationEngine` drives either through the
+    same ``mac=`` hook.
+    """
+
+    def __init__(
+        self,
+        interference: DynamicInterference,
+        *,
+        rng=None,
+        bound_mode: str = "own",
+    ) -> None:
+        from repro.core.interference_mac import estimate_edge_interference
+
+        if bound_mode not in ("own", "neighborhood"):
+            raise ValueError(f"mode must be 'own' or 'neighborhood', got {bound_mode!r}")
+        self.interference = interference
+        self.inc = interference.inc
+        self.delta = interference.delta
+        self.bound_mode = bound_mode
+        self.rng = as_rng(rng)
+        self._estimate = estimate_edge_interference
+        self._model = InterferenceModel(self.delta)
+        self._cache_version = -1
+        self._edges = np.empty((0, 2), dtype=np.intp)
+        self._costs = np.empty(0)
+        self._probs = np.empty(0)
+
+    def _refresh(self) -> None:
+        """Re-derive edges/costs/activation probs once per topology version."""
+        v = self.inc.topology_version
+        if v == self._cache_version:
+            return
+        edges = self.inc.edge_array()
+        if self.bound_mode == "own":
+            # Degrees straight off the maintained rows — no CSR build.
+            bounds = np.maximum(self.interference.degree_array().astype(np.float64), 1.0)
+        else:
+            sets = self.interference.interference_sets()
+            bounds = self._estimate(None, self.delta, mode=self.bound_mode, sets=sets)
+        d = self.inc.position_array(edges[:, 0]) - self.inc.position_array(edges[:, 1])
+        lengths = np.hypot(d[:, 0], d[:, 1])
+        self._edges = edges
+        self._costs = lengths**self.inc.kappa
+        self._probs = 1.0 / (2.0 * bounds)
+        self._cache_version = v
+
+    @property
+    def interference_number(self) -> int:
+        """``I`` — max interference-set size of the current topology."""
+        arr = self.interference.degree_array()
+        return int(arr.max()) if len(arr) else 0
+
+    def active_edges(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Sample this step's active edges (both orientations + costs)."""
+        self._refresh()
+        m = len(self._edges)
+        if m == 0:
+            return np.empty((0, 2), dtype=np.intp), np.empty(0)
+        with trace.span("mac.activate", edges=m) as sp:
+            mask = self.rng.random(m) < self._probs
+            e = self._edges[mask]
+            c = self._costs[mask]
+            directed = np.vstack([e, e[:, ::-1]]) if len(e) else np.empty((0, 2), dtype=np.intp)
+            costs = np.concatenate([c, c]) if len(c) else np.empty(0)
+            sp.set(activated=len(e))
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("mac.activation_rounds").inc()
+            reg.counter("mac.activated_edges").inc(len(e))
+        return directed, costs
+
+    def success_mask(self, transmissions) -> np.ndarray:
+        """Resolve guard-zone interference among the attempts.
+
+        Same semantics as ``RandomActivationMAC.success_mask``, evaluated
+        on the *live* maintained positions (global-id space).
+        """
+        k = len(transmissions)
+        if k == 0:
+            return np.ones(0, dtype=bool)
+        with trace.span("mac.resolve", attempts=k) as sp:
+            und = np.asarray(
+                [(min(t.src, t.dst), max(t.src, t.dst)) for t in transmissions], dtype=np.intp
+            )
+            uniq, inverse = np.unique(und, axis=0, return_inverse=True)
+            mat = self._model.interference_matrix(self.inc.all_positions(), uniq)
+            if mat.size:
+                edge_ok = ~mat.any(axis=1)
+            else:
+                edge_ok = np.ones(len(uniq), dtype=bool)
+            ok = edge_ok[inverse]
+            sp.set(succeeded=int(np.count_nonzero(ok)))
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("mac.resolved_attempts").inc(k)
+            reg.counter("mac.collision_failures").inc(k - int(np.count_nonzero(ok)))
+        return ok

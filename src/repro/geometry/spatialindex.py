@@ -327,6 +327,16 @@ class DynamicGridIndex:
     def _key(self, p: np.ndarray) -> "tuple[int, int]":
         return (int(math.floor(p[0] / self._cell)), int(math.floor(p[1] / self._cell)))
 
+    def cell_key(self, p: np.ndarray) -> "tuple[int, int]":
+        """Grid-cell key ``(cx, cy)`` containing position ``p``.
+
+        Exposed for the dynamic batching layer, which unions events by
+        the cells their dirty disks can reach (see
+        :mod:`repro.dynamic.batching`).
+        """
+        p = np.asarray(p, dtype=np.float64).reshape(2)
+        return self._key(p)
+
     def __len__(self) -> int:
         """Number of live nodes."""
         return self._n_alive
@@ -361,6 +371,16 @@ class DynamicGridIndex:
     def live_points(self) -> np.ndarray:
         """Positions of live nodes, in :meth:`alive_ids` order."""
         return self._pos[: self._size][self._alive[: self._size]].copy()
+
+    def all_positions(self) -> np.ndarray:
+        """``(size, 2)`` positions of every id ever seen (read-only view).
+
+        Dead slots keep their last known position; callers that need a
+        stable snapshot must copy (the buffer mutates on later events).
+        """
+        v = self._pos[: self._size].view()
+        v.flags.writeable = False
+        return v
 
     def _grow_to(self, node: int) -> None:
         if node < len(self._alive):

@@ -121,13 +121,28 @@ def cached_theta_topology(points: np.ndarray, theta: float, d: float, kappa: flo
 def cached_interference_sets(graph, delta: float):
     """Memoized ``interference_sets(graph, delta)`` for a cached graph.
 
-    Keyed by the graph's point digest plus its edge set digest, so two
+    Static graphs are keyed by point digest plus edge-set digest, so two
     topologies over the same nodes (e.g. G* and ΘALG's N) cache
-    separately.  The returned :class:`~repro.interference.conflict.InterferenceSets`
-    is read-only, matching the cache's immutability convention.
+    separately.  Graphs carrying a ``topology_version`` attribute —
+    churned snapshots from
+    :meth:`repro.dynamic.incremental.IncrementalTheta.snapshot_graph` —
+    are keyed by identity *and* version instead: identity alone would
+    serve a stale conflict structure once the topology advances (and
+    re-digesting n coordinates per event would defeat the incremental
+    path).  The graph object is pinned inside the cache value so a
+    recycled ``id()`` can never alias a dead entry.  The returned
+    :class:`~repro.interference.conflict.InterferenceSets` is read-only,
+    matching the cache's immutability convention.
     """
     from repro.interference.conflict import interference_sets
 
+    version = getattr(graph, "topology_version", None)
+    if version is not None:
+        key = ("isets-dyn", id(graph), int(version), float(delta))
+        pinned = GLOBAL_CACHE.get_or_build(
+            key, lambda: (graph, interference_sets(graph, delta))
+        )
+        return pinned[1]
     edges = np.ascontiguousarray(graph.edges)
     key = (
         "isets",

@@ -1,4 +1,4 @@
-"""Tolerance/bound predicates for the E1–E23 claims.
+"""Tolerance/bound predicates for the E1–E24 claims.
 
 Each ``check_eN(rows, profile)`` receives the structured rows an
 experiment harness returned and the parameter profile it ran under
@@ -53,6 +53,9 @@ E23_TOUCH_CEILING = 90  # p95 nodes touched per event (measured ≈ 29–58)
 E23_FLATNESS_RATIO = 3.0  # p95 touched may grow ≤ 3× while n grows ≥ 8×
 E23_RADIUS_BOUND = 2.0  # update radius never exceeds 2D (construction)
 E23_SPEEDUP_FLOOR = 5.0  # incremental vs full rebuild, full profile only
+E24_ROW_CEILING = 40  # p95 conflict rows recomputed per event (measured ≈ 13–19)
+E24_FLATNESS_RATIO = 3.0  # p95 rows may grow ≤ 3× while n grows ≥ 8×
+E24_SPEEDUP_FLOOR = 5.0  # incremental row repair vs full rebuild, full profile only
 
 
 def _finite(x) -> bool:
@@ -488,6 +491,38 @@ def check_e23(rows, profile):
             fails.append(
                 f"incremental repair only {rows[-1]['rebuild_speedup']:.1f}× faster than "
                 f"full rebuild at n={rows[-1]['n']} (need ≥ {E23_SPEEDUP_FLOOR}×)"
+            )
+    return fails
+
+
+def check_e24(rows, profile):
+    fails = []
+    for r in rows:
+        if r["equality_mismatches"] != 0:
+            fails.append(
+                f"n={r['n']}: maintained conflict rows diverged from the "
+                f"from-scratch kernel in {r['equality_mismatches']} checks"
+            )
+        if r["p95_rows"] > E24_ROW_CEILING:
+            fails.append(
+                f"n={r['n']}: p95 conflict rows recomputed {r['p95_rows']} > {E24_ROW_CEILING}"
+            )
+    if len(rows) >= 2:
+        first, last = rows[0], rows[-1]
+        if last["p95_rows"] > E24_FLATNESS_RATIO * max(first["p95_rows"], 1.0):
+            fails.append(
+                f"rows-per-event not flat: p95 grew {first['p95_rows']} → "
+                f"{last['p95_rows']} while n grew {first['n']} → {last['n']}"
+            )
+        fractions = [r["rows_per_edge"] for r in rows]
+        if any(b > a * 1.05 for a, b in zip(fractions, fractions[1:])):
+            fails.append(f"recomputed fraction of conflict rows not decreasing in n: {fractions}")
+    if profile == "full" and rows:
+        # Timing gate only at full scale (quick-tier CI stays count-based).
+        if rows[-1]["rebuild_speedup"] < E24_SPEEDUP_FLOOR:
+            fails.append(
+                f"incremental conflict repair only {rows[-1]['rebuild_speedup']:.1f}× faster "
+                f"than full rebuild at n={rows[-1]['n']} (need ≥ {E24_SPEEDUP_FLOOR}×)"
             )
     return fails
 

@@ -1,4 +1,4 @@
-"""The claim registry: every E1–E23 experiment as a checkable record.
+"""The claim registry: every E1–E24 experiment as a checkable record.
 
 A :class:`Claim` binds an experiment id to
 
@@ -191,10 +191,16 @@ def _claims() -> "list[Claim]":
             quick_params={"ns": (120, 240), "events_per_n": 120},
             seed=23,
         ),
+        Claim(
+            "e24", "locality of interference repair", "§2.4 guard zones + locality argument",
+            _DYN, "e24_interference_repair_locality", checks.check_e24,
+            quick_params={"ns": (120, 240), "events_per_n": 80, "check_every": 1},
+            seed=24,
+        ),
     ]
 
 
-#: experiment id → Claim, in E1..E23 order.
+#: experiment id → Claim, in E1..E24 order.
 REGISTRY: "dict[str, Claim]" = {c.id: c for c in _claims()}
 
 

@@ -192,7 +192,7 @@ class StepSeries:
     GAUGE_FIELDS = ("total_buffer", "max_buffer_height")
     #: dynamic-topology counters (cumulative, fed by the engine when a
     #: DynamicTopology drives the run; all-zero otherwise).
-    CHURN_FIELDS = ("events_applied", "repair_nodes_touched")
+    CHURN_FIELDS = ("events_applied", "repair_nodes_touched", "conflict_rows_touched")
 
     def __init__(self) -> None:
         self._cols: "dict[str, list]" = {
@@ -213,12 +213,13 @@ class StepSeries:
         max_buffer: int,
         events_applied: int = 0,
         repair_nodes_touched: int = 0,
+        conflict_rows_touched: int = 0,
     ) -> None:
         """Snapshot ``stats`` (a ``RoutingStats``) at the end of one step.
 
-        ``events_applied`` / ``repair_nodes_touched`` are the *cumulative*
-        dynamic-topology counters at the end of the step (0 for static
-        runs).
+        ``events_applied`` / ``repair_nodes_touched`` /
+        ``conflict_rows_touched`` are the *cumulative* dynamic-topology
+        counters at the end of the step (0 for static runs).
         """
         cols = self._cols
         for name in self.COUNTER_FIELDS:
@@ -229,6 +230,7 @@ class StepSeries:
         cols["max_buffer_height"].append(int(max_buffer))
         cols["events_applied"].append(int(events_applied))
         cols["repair_nodes_touched"].append(int(repair_nodes_touched))
+        cols["conflict_rows_touched"].append(int(conflict_rows_touched))
 
     # ------------------------------------------------------------------
     def arrays(self) -> "dict[str, np.ndarray]":

@@ -73,6 +73,14 @@ class SimulationEngine:
         ``stats.churn_drops``), and refuses injections whose source or
         destination is down (charged as drops).  The per-step series
         gains the cumulative churn columns.
+    mac:
+        Optional :class:`repro.dynamic.interference.DynamicMAC` (or any
+        object with ``active_edges()`` / ``success_mask``).  Requires
+        ``dynamic`` and replaces the plain maintained-topology edge
+        derivation: each step's usable edges are the MAC's random
+        activations over the *incrementally maintained* conflict
+        structure, and ``success_fn`` defaults to the MAC's guard-zone
+        ``success_mask``.
     """
 
     def __init__(
@@ -84,7 +92,15 @@ class SimulationEngine:
         success_fn=None,
         step_series: "StepSeries | None" = None,
         dynamic=None,
+        mac=None,
     ) -> None:
+        if mac is not None:
+            if dynamic is None:
+                raise ValueError("mac requires a dynamic topology")
+            if active_edges_fn is not None:
+                raise ValueError("give either active_edges_fn or mac, not both")
+            if success_fn is None:
+                success_fn = mac.success_mask
         if active_edges_fn is None and dynamic is None:
             raise ValueError("need active_edges_fn or a dynamic topology")
         self.router = router
@@ -93,6 +109,7 @@ class SimulationEngine:
         self.success_fn = success_fn
         self.step_series = step_series
         self.dynamic = dynamic
+        self.mac = mac
 
     @classmethod
     def for_scenario(cls, router, scenario, *, success_fn=None) -> "SimulationEngine":
@@ -133,6 +150,8 @@ class SimulationEngine:
                         self._apply_churn(dynamic, t)
                     if self.active_edges_fn is not None:
                         edges, costs = self.active_edges_fn(t)
+                    elif self.mac is not None:
+                        edges, costs = self.mac.active_edges()
                     else:
                         edges, costs = self._dynamic_edges(dynamic)
                     injections = (
@@ -150,6 +169,7 @@ class SimulationEngine:
                         max_buffer=max_height_fn() if max_height_fn else router.stats.max_buffer_height,
                         events_applied=dynamic.events_applied if dynamic is not None else 0,
                         repair_nodes_touched=dynamic.nodes_touched_total if dynamic is not None else 0,
+                        conflict_rows_touched=dynamic.conflict_rows_total if dynamic is not None else 0,
                     )
         if series is not None and tracer is not None:
             tracer.add_series(

@@ -17,8 +17,8 @@ from repro.harness.runner import run_claims, verify_claim
 
 
 class TestRegistry:
-    def test_covers_e1_through_e22(self):
-        assert list(REGISTRY) == [f"e{i}" for i in range(1, 24)]
+    def test_covers_e1_through_e24(self):
+        assert list(REGISTRY) == [f"e{i}" for i in range(1, 25)]
 
     def test_claims_are_well_formed(self):
         for claim in REGISTRY.values():
