@@ -13,16 +13,25 @@ across runners, but a 3× blowup on the same workload is a real
 regression, not machine noise.  Benchmarks missing from the baseline
 are reported but do not fail the gate (so adding a bench does not
 require touching the baseline in the same commit).
+
+``--delta-json PATH`` additionally emits the per-benchmark deltas as a
+machine-readable document (``repro-bench-delta/v1``), and
+``--github-summary`` renders the same deltas as a Markdown table
+appended to ``$GITHUB_STEP_SUMMARY`` (a no-op outside GitHub Actions),
+so the CI job page shows the regression/improvement table without
+digging through logs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+DELTA_SCHEMA = "repro-bench-delta/v1"
 
 
 def load_means(path: Path) -> "dict[str, float]":
@@ -54,6 +63,94 @@ def write_baseline(run_path: Path, baseline_path: Path) -> None:
     print(f"baseline written to {baseline_path} ({len(means)} benchmarks)")
 
 
+def build_deltas(
+    current: "dict[str, float]", baseline: "dict[str, float]", factor: float
+) -> "list[dict]":
+    """Per-benchmark delta rows: mean, baseline, ratio, and a verdict.
+
+    Verdicts: ``regressed`` (ratio beyond the gate factor), ``improved``
+    (faster than baseline), ``ok``, and ``new`` (no baseline entry —
+    never gated).  Benchmarks only in the baseline come back as
+    ``missing`` with no mean.
+    """
+    rows = []
+    for name, mean in sorted(current.items()):
+        ref = baseline.get(name)
+        ratio = mean / ref if ref else None
+        if ref is None:
+            verdict = "new"
+        elif ratio > factor:
+            verdict = "regressed"
+        elif ratio < 1.0:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append(
+            {
+                "name": name,
+                "mean_seconds": mean,
+                "baseline_seconds": ref,
+                "ratio": ratio,
+                "verdict": verdict,
+            }
+        )
+    for name in sorted(set(baseline) - set(current)):
+        rows.append(
+            {
+                "name": name,
+                "mean_seconds": None,
+                "baseline_seconds": baseline[name],
+                "ratio": None,
+                "verdict": "missing",
+            }
+        )
+    return rows
+
+
+def write_delta_json(rows: "list[dict]", factor: float, path: Path) -> None:
+    doc = {
+        "schema": DELTA_SCHEMA,
+        "regression_factor": factor,
+        "n_regressed": sum(r["verdict"] == "regressed" for r in rows),
+        "benchmarks": rows,
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def render_markdown(rows: "list[dict]", factor: float) -> str:
+    """The delta table as GitHub-flavored Markdown for the job summary."""
+    icon = {"ok": "✅", "improved": "🚀", "regressed": "❌", "new": "🆕", "missing": "⚠️"}
+    lines = [
+        f"### benchmark deltas vs committed baseline (gate: {factor:.1f}×)",
+        "",
+        "| benchmark | mean | baseline | ratio | verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for r in rows:
+        mean = f"{r['mean_seconds'] * 1e3:.2f} ms" if r["mean_seconds"] is not None else "—"
+        ref = (
+            f"{r['baseline_seconds'] * 1e3:.2f} ms"
+            if r["baseline_seconds"] is not None
+            else "—"
+        )
+        ratio = f"{r['ratio']:.2f}×" if r["ratio"] is not None else "—"
+        lines.append(
+            f"| `{r['name']}` | {mean} | {ref} | {ratio} | "
+            f"{icon[r['verdict']]} {r['verdict']} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def append_github_summary(markdown: str) -> bool:
+    """Append to ``$GITHUB_STEP_SUMMARY`` if set; returns whether it was."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return False
+    with open(path, "a") as fh:
+        fh.write(markdown + "\n")
+    return True
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, help="pytest-benchmark --benchmark-json output")
@@ -74,6 +171,20 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="also print a speedup factor for benchmarks faster than baseline",
     )
+    parser.add_argument(
+        "--delta-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the per-benchmark deltas as machine-readable JSON "
+        f"({DELTA_SCHEMA})",
+    )
+    parser.add_argument(
+        "--github-summary",
+        action="store_true",
+        help="append the delta table as Markdown to $GITHUB_STEP_SUMMARY "
+        "(no-op when the variable is unset)",
+    )
     args = parser.parse_args(argv)
 
     if args.write_baseline:
@@ -87,30 +198,37 @@ def main(argv: "list[str] | None" = None) -> int:
     baseline = load_means(args.baseline)
     current = load_means(args.results)
 
+    deltas = build_deltas(current, baseline, factor)
     failed = []
-    for name, mean in sorted(current.items()):
-        ref = baseline.get(name)
-        if ref is None:
+    for row in deltas:
+        name, mean, ref, ratio = (
+            row["name"], row["mean_seconds"], row["baseline_seconds"], row["ratio"],
+        )
+        if row["verdict"] == "missing":
+            print(f"MISSING  {name}: in baseline but not in this run")
+            continue
+        if row["verdict"] == "new":
             print(f"NEW      {name}: {mean * 1e3:8.2f} ms (no baseline entry)")
             continue
-        ratio = mean / ref
-        if args.report_improvements and ratio < 1.0:
-            verdict = "IMPROVED"
+        if args.report_improvements and row["verdict"] == "improved":
             print(
-                f"{verdict:8s} {name}: {mean * 1e3:8.2f} ms vs baseline "
+                f"IMPROVED {name}: {mean * 1e3:8.2f} ms vs baseline "
                 f"{ref * 1e3:8.2f} ms ({1.0 / ratio:.2f}x faster)"
             )
             continue
-        verdict = "OK" if ratio <= factor else "REGRESSED"
+        verdict = "OK" if row["verdict"] != "regressed" else "REGRESSED"
         print(
             f"{verdict:8s} {name}: {mean * 1e3:8.2f} ms vs baseline "
             f"{ref * 1e3:8.2f} ms ({ratio:.2f}x, limit {factor:.1f}x)"
         )
-        if ratio > factor:
+        if row["verdict"] == "regressed":
             failed.append(name)
-    missing = sorted(set(baseline) - set(current))
-    for name in missing:
-        print(f"MISSING  {name}: in baseline but not in this run")
+
+    if args.delta_json:
+        write_delta_json(deltas, factor, args.delta_json)
+        print(f"delta JSON written to {args.delta_json}")
+    if args.github_summary and append_github_summary(render_markdown(deltas, factor)):
+        print("delta table appended to $GITHUB_STEP_SUMMARY")
 
     if failed:
         print(f"\n{len(failed)} benchmark(s) regressed beyond {factor:.1f}x", file=sys.stderr)

@@ -27,6 +27,15 @@ table for that single configuration:
     python -m repro dynamic --n 1000 --churn 0.01 --steps 100
     python -m repro dynamic --n 500 --churn 0.02 --steps 50 --trace /tmp/t
 
+runs declarative sweeps (:mod:`repro.campaign`) with resumable
+progress and a persistent, queryable result store:
+
+    python -m repro campaign run spec.json --jobs 4      # fan out the grid
+    python -m repro campaign run spec.json --resume      # finish a killed run
+    python -m repro campaign cells spec.json             # expansion, no runs
+    python -m repro query STORE --where claim=e1 --where n=96
+    python -m repro query STORE --columns cell,passed --format csv
+
 ``verify`` evaluates every selected claim's tolerance/bound predicate
 (see :mod:`repro.harness.registry`), writes one JSON record per claim
 under ``benchmarks/results/`` (override with ``REPRO_RESULTS_DIR``),
@@ -312,14 +321,177 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     return 1 if mismatches or conflict_mismatches else 0
 
 
+def _campaign_main(argv: "list[str]") -> int:
+    """``python -m repro campaign {run,cells} SPEC [...]``."""
+    from repro.analysis.campaigns import campaign_claim_summary
+    from repro.campaign import (
+        SpecError,
+        StoreError,
+        load_spec,
+        run_campaign,
+    )
+    from repro.harness.results import ResultsDirError, resolve_results_dir
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Run a declarative sweep over the claim registry "
+        "into a resumable, queryable result store.",
+    )
+    parser.add_argument("action", choices=("run", "cells"),
+                        help="run the campaign, or just print its expanded cells")
+    parser.add_argument("spec", help="JSON or TOML campaign spec file")
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: <results dir>/campaigns/<spec name>, "
+        "honoring REPRO_RESULTS_DIR)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the cell fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing store, running only cells its manifest "
+        "does not mark complete",
+    )
+    parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="K",
+        help="stop after K cells complete in this invocation, leaving the "
+        "store resumable (exit 3 while cells remain)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "cells":
+        rows = [cell.describe() for cell in spec.cells()]
+        print(tables.render_table(
+            rows, title=f"campaign {spec.name!r} — {len(rows)} cells"))
+        return 0
+
+    try:
+        store_dir = (
+            args.store
+            if args.store is not None
+            else resolve_results_dir(f"campaigns/{spec.name}")
+        )
+        report = run_campaign(
+            spec,
+            store_dir,
+            jobs=args.jobs,
+            resume=args.resume,
+            max_cells=args.max_cells,
+            progress=print,
+        )
+    except (ResultsDirError, StoreError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    if report.rows:
+        print()
+        print(tables.render_table(
+            report.rows,
+            title=f"campaign {spec.name!r} — {report.n_run} cells run "
+            f"({report.n_skipped} resumed as complete), "
+            f"{report.wall_seconds:.1f}s wall",
+        ))
+    if report.complete:
+        print()
+        print(tables.render_table(
+            campaign_claim_summary(report.store),
+            title="per-claim rollup",
+        ))
+    print(f"\nstore: {report.store}")
+    if not report.complete:
+        print(
+            f"campaign incomplete: "
+            f"{report.n_cells - report.n_skipped - report.n_run} cells remain "
+            f"(relaunch with --resume)",
+            file=sys.stderr,
+        )
+        return 3
+    if report.n_failed:
+        print(f"{report.n_failed} cell(s) FAILED their claim predicate", file=sys.stderr)
+        return 1
+    print(f"campaign complete: all {report.n_cells} cells hold")
+    return 0
+
+
+def _query_main(argv: "list[str]") -> int:
+    """``python -m repro query STORE [--where ...] [--columns ...]``."""
+    from repro.campaign.query import FORMATS, QueryError, run_query
+    from repro.campaign.store import StoreError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro query",
+        description="Render any slice of a campaign result store "
+        "without re-running anything.",
+    )
+    parser.add_argument("store", help="campaign store directory")
+    parser.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="COND",
+        help="filter: KEY OP VALUE with OP in {= != >= <= > <}; "
+        "repeat to AND conditions (e.g. --where claim=e1 --where n>=96)",
+    )
+    parser.add_argument(
+        "--columns",
+        default=None,
+        metavar="COLS",
+        help="comma-separated columns to project (default: all)",
+    )
+    parser.add_argument(
+        "--format", dest="fmt", choices=FORMATS, default="table",
+        help="output format (default table)",
+    )
+    parser.add_argument(
+        "--rows",
+        action="store_true",
+        help="one output row per experiment-table row instead of per cell",
+    )
+    args = parser.parse_args(argv)
+    columns = (
+        [c.strip() for c in args.columns.split(",") if c.strip()]
+        if args.columns
+        else None
+    )
+    try:
+        print(run_query(
+            args.store,
+            where=args.where,
+            columns=columns,
+            fmt=args.fmt,
+            include_rows=args.rows,
+        ))
+    except (StoreError, QueryError) as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # campaign/query carry their own option namespaces; dispatch before
+    # the flat experiment parser sees (and rejects) their flags.
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
+    if argv and argv[0] == "query":
+        return _query_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate and verify the paper-reproduction experiment tables.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e24), 'all', 'list', 'verify', 'report', or 'dynamic'",
+        help="experiment id (e1..e24), 'all', 'list', 'verify', 'report', "
+        "'dynamic', 'campaign', or 'query'",
     )
     parser.add_argument(
         "path",

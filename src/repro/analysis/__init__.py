@@ -46,6 +46,7 @@ from repro.analysis.ablation_experiments import (
     e14_local_vs_global,
     e15_spanner_probe,
 )
+from repro.analysis.campaigns import campaign_claim_summary, group_reduce
 from repro.analysis.mobility_experiments import e16_mobility_churn
 from repro.analysis.geographic_experiments import e17_geographic_routing
 from repro.analysis.anycast_experiments import e18_anycast
@@ -77,6 +78,8 @@ __all__ = [
     "e13_interference_models",
     "e14_local_vs_global",
     "e15_spanner_probe",
+    "campaign_claim_summary",
+    "group_reduce",
     "e16_mobility_churn",
     "e17_geographic_routing",
     "e18_anycast",

@@ -1,0 +1,106 @@
+"""Campaign-backed aggregation: reduce a result store to summary tables.
+
+These helpers operate on the flat rows :func:`repro.campaign.query.flatten_cells`
+produces from a store, so any slice of any past sweep aggregates
+without re-running a single cell:
+
+>>> from repro.campaign import CampaignStore, flatten_cells
+>>> from repro.analysis.campaigns import group_reduce
+>>> store = CampaignStore.open("repro-campaign-store")   # doctest: +SKIP
+>>> rows = flatten_cells(store.cell_records())           # doctest: +SKIP
+>>> group_reduce(rows, by=("claim",),
+...              metrics={"runtime_seconds": "mean", "passed": "all"})  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["campaign_claim_summary", "group_reduce"]
+
+
+def _mean(values: "list") -> float:
+    vals = [float(v) for v in values]
+    return sum(vals) / len(vals) if vals else math.nan
+
+
+_AGGS: "dict[str, Callable[[list], object]]" = {
+    "mean": _mean,
+    "min": lambda vs: min(vs),
+    "max": lambda vs: max(vs),
+    "sum": lambda vs: sum(vs),
+    "count": len,
+    "all": lambda vs: all(bool(v) for v in vs),
+    "any": lambda vs: any(bool(v) for v in vs),
+}
+
+
+def group_reduce(
+    rows: "Iterable[Mapping]",
+    *,
+    by: "Sequence[str]",
+    metrics: "Mapping[str, str]",
+) -> "list[dict]":
+    """Group ``rows`` by the ``by`` columns and reduce ``metrics``.
+
+    ``metrics`` maps a column to an aggregation name (``mean``, ``min``,
+    ``max``, ``sum``, ``count``, ``all``, ``any``); the output column is
+    ``<agg>_<column>`` (plain ``n_cells`` for ``count``).  Rows missing
+    a metric column are skipped for that metric only.  Groups come back
+    in first-seen order, one dict per group.
+    """
+    unknown = sorted(set(metrics.values()) - set(_AGGS))
+    if unknown:
+        raise ValueError(
+            f"unknown aggregation(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(sorted(_AGGS))}"
+        )
+    groups: "dict[tuple, dict[str, list]]" = {}
+    order: "list[tuple]" = []
+    for row in rows:
+        key = tuple(row.get(col) for col in by)
+        if key not in groups:
+            groups[key] = {col: [] for col in metrics}
+            order.append(key)
+        for col in metrics:
+            if col in row:
+                groups[key][col].append(row[col])
+    out = []
+    for key in order:
+        rec: dict = dict(zip(by, key))
+        for col, agg in metrics.items():
+            name = "n_cells" if agg == "count" else f"{agg}_{col}"
+            values = groups[key][col]
+            rec[name] = _AGGS[agg](values) if values or agg == "count" else math.nan
+        out.append(rec)
+    return out
+
+
+def campaign_claim_summary(store_dir) -> "list[dict]":
+    """Per-claim rollup of a store: cells, pass rate, runtime budget."""
+    from repro.campaign.query import flatten_cells
+    from repro.campaign.store import CampaignStore
+
+    rows = flatten_cells(CampaignStore.open(store_dir).cell_records())
+    grouped = group_reduce(
+        rows,
+        by=("claim",),
+        metrics={
+            "cell": "count",
+            "passed": "all",
+            "violations": "sum",
+            "runtime_seconds": "sum",
+        },
+    )
+    for rec, claim_rows in zip(grouped, _rows_per_claim(rows, grouped)):
+        rec["pass_rate"] = (
+            sum(bool(r.get("passed")) for r in claim_rows) / len(claim_rows)
+            if claim_rows
+            else math.nan
+        )
+    return grouped
+
+
+def _rows_per_claim(rows: "list[dict]", grouped: "list[dict]") -> "list[list[dict]]":
+    return [[r for r in rows if r.get("claim") == g["claim"]] for g in grouped]

@@ -1,0 +1,29 @@
+"""Campaign orchestration: declarative sweeps over the claim registry.
+
+``repro.campaign`` turns the one-shot ``verify``/experiment CLI into a
+sweep layer: a JSON/TOML spec declares a parameter grid over claims,
+the runner fans the expanded cells across the warm-worker process pool
+with resumable progress, and results persist into a versioned store
+(``repro-campaign-store/v1``) that ``python -m repro query`` slices
+without re-running anything.  See ``docs/campaigns.md``.
+"""
+
+from repro.campaign.query import flatten_cells, run_query
+from repro.campaign.runner import CampaignReport, run_campaign, run_cell
+from repro.campaign.spec import CampaignSpec, Cell, SpecError, load_spec
+from repro.campaign.store import CampaignStore, StoreError, unjsonify
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignStore",
+    "Cell",
+    "SpecError",
+    "StoreError",
+    "flatten_cells",
+    "load_spec",
+    "run_campaign",
+    "run_cell",
+    "run_query",
+    "unjsonify",
+]

@@ -1,0 +1,185 @@
+"""Query a campaign store: filter, project, and render any slice.
+
+The percell-style query pipeline: load every completed cell record,
+flatten each to one row (or one row per experiment-table row with
+``include_rows``), apply ``--where`` predicates, project ``--columns``,
+and render as an aligned text table, CSV, or JSON — all without
+re-running anything.
+
+``--where`` accepts ``key OP value`` with ``OP`` one of
+``= != >= <= > <``; repeated conditions AND together.  Values compare
+numerically when both sides parse as floats (so ``n>=96`` works), as
+strings otherwise.  Rows missing the key never match.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.analysis import tables
+from repro.campaign.store import CampaignStore
+from repro.harness.results import jsonify
+
+__all__ = [
+    "QueryError",
+    "Where",
+    "flatten_cells",
+    "format_rows",
+    "parse_where",
+    "run_query",
+    "select_columns",
+]
+
+FORMATS = ("table", "csv", "json")
+
+
+class QueryError(ValueError):
+    """Malformed --where / --columns / --format input."""
+
+
+def flatten_cells(records: "Iterable[dict]", *, include_rows: bool = False) -> "list[dict]":
+    """One flat dict per cell (or per experiment-table row).
+
+    Cell-level columns come first (id, claim, profile, seed, then the
+    spec overrides), followed by outcome columns; with ``include_rows``
+    each of the cell's experiment rows contributes one output row with
+    the row's own fields merged last (row fields win on collision,
+    being the more specific value).
+    """
+    out: "list[dict]" = []
+    for rec in records:
+        base = {
+            "cell": rec.get("cell"),
+            "claim": rec.get("claim"),
+            "profile": rec.get("profile"),
+            "seed": rec.get("seed"),
+            **rec.get("overrides", {}),
+            "passed": rec.get("passed"),
+            "violations": len(rec.get("failures", [])),
+            "n_rows": rec.get("n_rows"),
+            "runtime_seconds": rec.get("runtime_seconds"),
+        }
+        if include_rows:
+            for i, row in enumerate(rec.get("rows", [])):
+                out.append({**base, "row": i, **row})
+        else:
+            out.append(base)
+    return out
+
+
+@dataclass(frozen=True)
+class Where:
+    """One parsed ``--where`` condition."""
+
+    key: str
+    op: str
+    value: str
+
+    def matches(self, row: "dict[str, Any]") -> bool:
+        if self.key not in row:
+            return False
+        have = row[self.key]
+        want: Any = self.value
+        try:
+            have_f, want_f = float(have), float(want)
+        except (TypeError, ValueError):
+            have_f = want_f = math.nan
+        numeric = not (math.isnan(have_f) or math.isnan(want_f))
+        if numeric:
+            have, want = have_f, want_f
+        else:
+            have, want = _canon(have), want
+        cmp: "dict[str, Callable[[Any, Any], bool]]" = {
+            "=": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            ">=": lambda a, b: numeric and a >= b,
+            "<=": lambda a, b: numeric and a <= b,
+            ">": lambda a, b: numeric and a > b,
+            "<": lambda a, b: numeric and a < b,
+        }
+        return cmp[self.op](have, want)
+
+
+def _canon(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+_WHERE_RE = re.compile(r"^\s*([^=<>!\s]+)\s*(>=|<=|!=|=|>|<)\s*(.*?)\s*$")
+
+
+def parse_where(condition: str) -> Where:
+    m = _WHERE_RE.match(condition)
+    if not m:
+        raise QueryError(
+            f"malformed --where {condition!r}; expected KEY OP VALUE "
+            "with OP one of = != >= <= > <"
+        )
+    key, op, value = m.groups()
+    return Where(key=key, op=op, value=value)
+
+
+def select_columns(rows: "list[dict]", columns: "list[str] | None") -> "list[str]":
+    """Validated display columns: the union in first-seen order by default."""
+    seen: "list[str]" = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    if not columns:
+        return seen
+    unknown = [c for c in columns if c not in seen]
+    if unknown:
+        raise QueryError(
+            f"unknown column(s): {', '.join(unknown)}; "
+            f"available: {', '.join(seen)}"
+        )
+    return columns
+
+
+def format_rows(rows: "list[dict]", columns: "list[str]", fmt: str, *, title: str = "") -> str:
+    """Render ``rows`` restricted to ``columns`` as table, csv, or json."""
+    if fmt not in FORMATS:
+        raise QueryError(f"unknown format {fmt!r}; expected one of {', '.join(FORMATS)}")
+    projected = [{c: row.get(c, "") for c in columns} for row in rows]
+    if fmt == "table":
+        return tables.render_table(projected, title=title)
+    if fmt == "csv":
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(columns)
+        for row in projected:
+            writer.writerow([row[c] for c in columns])
+        return buf.getvalue().rstrip("\n")
+    # jsonify keeps the output strict JSON (inf/nan as strings again)
+    return json.dumps(jsonify(projected), indent=2, allow_nan=False)
+
+
+def run_query(
+    store_dir: str,
+    *,
+    where: "list[str] | None" = None,
+    columns: "list[str] | None" = None,
+    fmt: str = "table",
+    include_rows: bool = False,
+) -> str:
+    """The full pipeline behind ``python -m repro query``."""
+    store = CampaignStore.open(store_dir)
+    conditions = [parse_where(c) for c in (where or [])]
+    rows = flatten_cells(store.cell_records(), include_rows=include_rows)
+    rows = [r for r in rows if all(c.matches(r) for c in conditions)]
+    if not rows:
+        return "(no cells match)"
+    cols = select_columns(rows, columns)
+    title = (
+        f"campaign {store.spec.name!r} — {len(rows)} "
+        f"{'rows' if include_rows else 'cells'}"
+    )
+    return format_rows(rows, cols, fmt, title=title)

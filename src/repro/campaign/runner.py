@@ -1,0 +1,163 @@
+"""Fan a campaign's cells out across the warm-worker process pool.
+
+Reuses the claim harness machinery end to end: cells execute the same
+registered harness functions as ``repro verify``, workers come from
+:func:`repro.harness.runner.pool_context` (long-lived fork workers, so
+the per-process substrate cache of :mod:`repro.harness.cache` stays
+warm across the cells each worker executes), and records carry the
+same cache hit/miss deltas the claim records do.
+
+Resumability: the parent writes each record + manifest mark as results
+arrive (``imap_unordered``), never ahead of completion, so killing the
+run at any point loses at most the in-flight cells.  ``resume=True``
+skips every cell already on the manifest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.campaign.spec import Cell, CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.harness import cache
+from repro.harness.registry import REGISTRY
+from repro.harness.runner import pool_context
+
+__all__ = ["CampaignReport", "run_campaign", "run_cell"]
+
+
+@dataclass
+class CampaignReport:
+    """What one ``run_campaign`` invocation did."""
+
+    store: Path
+    n_cells: int
+    n_skipped: int  # already complete when this run started
+    n_run: int
+    n_failed: int
+    wall_seconds: float
+    stopped_early: bool = False
+    rows: "list[dict]" = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.n_skipped + self.n_run >= self.n_cells and not self.stopped_early
+
+
+def run_cell(cell: Cell, *, check: bool = True) -> dict:
+    """Execute one cell in-process and return its (pre-jsonify) record."""
+    claim = REGISTRY[cell.claim]
+    stats_before = cache.cache_stats()
+    t0 = time.perf_counter()
+    rows = claim.harness()(**dict(cell.params), rng=cell.seed)
+    runtime = time.perf_counter() - t0
+    failures: "list[str]" = []
+    if check:
+        try:
+            failures = list(claim.check(rows, cell.profile))
+        except Exception as exc:  # a crashed predicate fails the cell, not the run
+            failures = [f"predicate raised {type(exc).__name__}: {exc}"]
+    return {
+        "cell": cell.cell_id,
+        "claim": cell.claim,
+        "title": claim.title,
+        "paper_ref": claim.paper_ref,
+        "profile": cell.profile,
+        "seed": cell.seed,
+        "overrides": dict(cell.overrides),
+        "params": dict(cell.params),
+        "rows": rows,
+        "n_rows": len(rows),
+        "passed": not failures,
+        "failures": failures,
+        "runtime_seconds": round(runtime, 3),
+        "cache": {k: cache.cache_stats()[k] - stats_before[k] for k in stats_before},
+    }
+
+
+def _worker(task: "tuple[Cell, bool]") -> dict:
+    cell, check = task
+    return run_cell(cell, check=check)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_dir: "str | Path",
+    *,
+    jobs: int = 1,
+    resume: bool = False,
+    max_cells: "int | None" = None,
+    progress: "Callable[[str], None] | None" = None,
+) -> CampaignReport:
+    """Run (or resume) ``spec`` into the store at ``store_dir``.
+
+    ``max_cells`` stops after that many cells have completed in *this*
+    invocation, leaving the store resumable — the deterministic
+    mid-run interruption CI and the tests lean on.
+    """
+    say = progress or (lambda _msg: None)
+    store_dir = Path(store_dir)
+    if resume and (store_dir / "store.json").exists():
+        store = CampaignStore.open(store_dir, spec)
+    else:
+        store = CampaignStore.create(store_dir, spec)
+    cells = spec.cells()
+    done = store.completed_ids() if resume else set()
+    todo = [c for c in cells if c.cell_id not in done]
+    if max_cells is not None:
+        todo = todo[: max(0, max_cells)]
+    say(
+        f"campaign {spec.name!r}: {len(cells)} cells "
+        f"({len(done)} already complete, {len(todo)} to run, jobs={jobs})"
+    )
+
+    t0 = time.perf_counter()
+    n_run = n_failed = 0
+    summary_rows: "list[dict]" = []
+    tasks = [(cell, spec.check) for cell in todo]
+
+    def _consume(record: dict) -> None:
+        nonlocal n_run, n_failed
+        store.write_cell(record)
+        n_run += 1
+        if not record["passed"]:
+            n_failed += 1
+        status = "ok" if record["passed"] else "FAIL"
+        say(
+            f"[{len(done) + n_run}/{len(cells)}] {record['cell']} "
+            f"{status} ({record['runtime_seconds']:.2f}s)"
+        )
+        summary_rows.append(
+            {
+                "cell": record["cell"],
+                "claim": record["claim"],
+                **record["overrides"],
+                "passed": record["passed"],
+                "violations": len(record["failures"]),
+                "seconds": record["runtime_seconds"],
+            }
+        )
+
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            _consume(_worker(task))
+    else:
+        ctx = pool_context()
+        with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+            for record in pool.imap_unordered(_worker, tasks, chunksize=1):
+                _consume(record)
+
+    stopped_early = max_cells is not None and len(todo) < len(cells) - len(done)
+    return CampaignReport(
+        store=store_dir,
+        n_cells=len(cells),
+        n_skipped=len(done),
+        n_run=n_run,
+        n_failed=n_failed,
+        wall_seconds=time.perf_counter() - t0,
+        stopped_early=stopped_early,
+        rows=summary_rows,
+    )

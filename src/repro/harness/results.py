@@ -39,7 +39,24 @@ from pathlib import Path
 
 SCHEMA = "repro-claim-result/v1"
 
-__all__ = ["SCHEMA", "ClaimResult", "default_results_dir", "jsonify", "write_result"]
+__all__ = [
+    "SCHEMA",
+    "ClaimResult",
+    "ResultsDirError",
+    "default_results_dir",
+    "jsonify",
+    "resolve_results_dir",
+    "write_result",
+]
+
+
+class ResultsDirError(OSError):
+    """The results directory cannot be created or written.
+
+    Raised with an actionable message naming the offending path and the
+    ``REPRO_RESULTS_DIR`` override, so both ``verify`` and ``campaign``
+    fail the same way when pointed at a read-only location.
+    """
 
 
 @dataclass
@@ -104,9 +121,39 @@ def default_results_dir() -> Path:
     return Path(env) if env else Path("benchmarks") / "results"
 
 
+def resolve_results_dir(subdir: "str | None" = None, *, create: bool = True) -> Path:
+    """The directory result stores live in, created and checked writable.
+
+    Both the ``verify`` claim records and the campaign stores resolve
+    their output location through this single helper, so the
+    ``REPRO_RESULTS_DIR`` override behaves identically for each.  With
+    ``subdir`` the path is ``<results_dir>/<subdir>`` (campaigns use
+    ``campaigns/<name>``).  Raises :class:`ResultsDirError` with the
+    offending path when the directory cannot be created or is not
+    writable.
+    """
+    base = default_results_dir()
+    path = base / subdir if subdir else base
+    if not create:
+        return path
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ResultsDirError(
+            f"cannot create results directory {path}: {exc}. "
+            "Set REPRO_RESULTS_DIR to a writable location."
+        ) from exc
+    if not os.access(path, os.W_OK):
+        raise ResultsDirError(
+            f"results directory {path} is not writable. "
+            "Set REPRO_RESULTS_DIR to a writable location."
+        )
+    return path
+
+
 def write_result(result: ClaimResult, results_dir: "Path | None" = None) -> Path:
     """Persist one claim result as ``<results_dir>/<claim>.json``."""
-    out_dir = Path(results_dir) if results_dir is not None else default_results_dir()
+    out_dir = Path(results_dir) if results_dir is not None else resolve_results_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{result.claim}.json"
     path.write_text(json.dumps(result.record(), indent=2, allow_nan=False) + "\n")

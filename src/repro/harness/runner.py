@@ -30,7 +30,20 @@ from repro.harness.registry import REGISTRY, build_rows
 from repro.harness.results import ClaimResult
 from repro.obs import trace
 
-__all__ = ["run_claims", "verify_claim"]
+__all__ = ["pool_context", "run_claims", "verify_claim"]
+
+
+def pool_context() -> mp.context.BaseContext:
+    """The multiprocessing context shared by verify and campaign pools.
+
+    fork shares the imported modules (cheap start) and is preferred
+    wherever available; spawn is the fallback.  Workers created from
+    this context live for the whole run (``maxtasksperchild`` unset), so
+    each keeps its per-process substrate cache warm across the tasks it
+    executes.
+    """
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
 
 
 def verify_claim(claim_id: str, profile: str = "full", *, collect_trace: bool = False) -> ClaimResult:
@@ -109,9 +122,6 @@ def run_claims(
     if jobs <= 1 or len(claim_ids) <= 1:
         return [verify_claim(cid, profile, collect_trace=collect_trace) for cid in claim_ids]
     tasks = [(cid, profile, collect_trace) for cid in claim_ids]
-    # fork shares the imported modules (cheap start); fall back to spawn
-    # where fork is unavailable.
-    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-    ctx = mp.get_context(method)
+    ctx = pool_context()
     with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
         return pool.map(_worker, tasks, chunksize=1)
