@@ -219,24 +219,44 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     for ev in evs:
         kinds[event_kind(ev)] = kinds.get(event_kind(ev), 0) + 1
     groups = 0
+    halo_nodes = 0
+    backends_used: "set[str]" = set()
     if args.parallel:
         # One batch per simulated step (round(churn·n) events each),
         # grouped by dirty-disk overlap and repaired group-by-group.
+        backend = None if args.backend == "auto" else args.backend
+        pool = None
+        if backend == "process":
+            from repro.parallel import TileWorkerPool
+
+            cap = max([inc.size] + [int(ev.node) + 1 for ev in evs])
+            pool = TileWorkerPool(inc, di, workers=args.workers, capacity=cap + 16)
         per_step = max(1, round(args.churn * args.n))
-        for lo in range(0, len(evs), per_step):
-            batch = apply_events_parallel(
-                inc, evs[lo : lo + per_step], interference=di, jobs=args.jobs
-            )
-            groups += batch.groups
-            wall.append(batch.wall_time)
-            for rs in batch.repairs:
-                touched.append(rs.nodes_touched)
-                radii.append(rs.update_radius)
-                flipped.append(rs.edges_flipped)
-            for cs in batch.conflict_repairs:
-                conflict_rows.append(cs.rows_recomputed)
-                conflict_entries.append(cs.entries_changed)
-                conflict_wall.append(cs.wall_time)
+        try:
+            for lo in range(0, len(evs), per_step):
+                batch = apply_events_parallel(
+                    inc,
+                    evs[lo : lo + per_step],
+                    interference=di,
+                    jobs=args.jobs if args.jobs != 1 else None,
+                    backend=backend,
+                    pool=pool,
+                )
+                groups += batch.groups
+                halo_nodes += batch.halo_nodes
+                backends_used.add(batch.backend)
+                wall.append(batch.wall_time)
+                for rs in batch.repairs:
+                    touched.append(rs.nodes_touched)
+                    radii.append(rs.update_radius)
+                    flipped.append(rs.edges_flipped)
+                for cs in batch.conflict_repairs:
+                    conflict_rows.append(cs.rows_recomputed)
+                    conflict_entries.append(cs.entries_changed)
+                    conflict_wall.append(cs.wall_time)
+        finally:
+            if pool is not None:
+                pool.close()
     else:
         for ev in evs:
             stats = inc.apply(ev)
@@ -306,7 +326,15 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     mix = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
     print(f"event mix: {mix}")
     if args.parallel:
-        print(f"batch groups: {groups} across {math.ceil(len(evs) / max(1, round(args.churn * args.n)))} steps")
+        used = "+".join(sorted(backends_used)) or "serial"
+        line = (
+            f"batch groups: {groups} across "
+            f"{math.ceil(len(evs) / max(1, round(args.churn * args.n)))} steps "
+            f"(backend: {used}"
+        )
+        if halo_nodes:
+            line += f", halo entries: {halo_nodes}"
+        print(line + ")")
     backstop = "edge-for-edge equal" if not mismatches else "MISMATCH vs from-scratch ΘALG"
     print(f"final topology vs full rebuild: {backstop}")
     if di is not None:
@@ -321,8 +349,65 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     return 1 if mismatches or conflict_mismatches else 0
 
 
+def _campaign_diff_main(argv: "list[str]") -> int:
+    """``python -m repro campaign diff STORE_A STORE_B [...]``."""
+    from repro.campaign.diff import DiffError, run_diff
+    from repro.campaign.query import FORMATS
+    from repro.campaign.store import StoreError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign diff",
+        description="Join two campaign stores cell-for-cell on their "
+        "content-digest ids and report per-cell drift; exits 1 when any "
+        "cell regressed (pass→fail, or a watched metric drifted past the "
+        "tolerance in the bad direction).",
+    )
+    parser.add_argument("store_a", help="baseline store directory")
+    parser.add_argument("store_b", help="candidate store directory")
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="watch a flattened-cell column for drift (repeatable; "
+        "lower-is-better unless prefixed with +, e.g. +n_rows)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="FRAC",
+        help="relative drift allowed per watched metric (default 0)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="table",
+        help="output format (default table)",
+    )
+    parser.add_argument(
+        "--only-changed", action="store_true",
+        help="omit cells whose status is 'same'",
+    )
+    args = parser.parse_args(argv)
+    try:
+        text, n_regressed = run_diff(
+            args.store_a,
+            args.store_b,
+            metrics=args.metric,
+            tolerance=args.tolerance,
+            fmt=args.format,
+            only_changed=args.only_changed,
+        )
+    except (StoreError, DiffError) as exc:
+        print(f"campaign diff: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    if n_regressed:
+        print(f"{n_regressed} cell(s) regressed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _campaign_main(argv: "list[str]") -> int:
-    """``python -m repro campaign {run,cells} SPEC [...]``."""
+    """``python -m repro campaign {run,cells,diff} ...``."""
+    if argv and argv[0] == "diff":
+        return _campaign_diff_main(argv[1:])
     from repro.analysis.campaigns import campaign_claim_summary
     from repro.campaign import (
         SpecError,
@@ -567,6 +652,22 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="dynamic: apply each step's events as disjoint-region batches "
         "(--jobs threads repair independent groups concurrently)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        metavar="B",
+        help="dynamic --parallel: batch execution backend — auto (default), "
+        "serial, thread, or process (tiled worker pool over shared memory)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="dynamic --parallel --backend process: worker process count "
+        "(default: available cores)",
     )
     parser.add_argument(
         "--delta",

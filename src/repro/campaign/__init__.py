@@ -8,6 +8,7 @@ with resumable progress, and results persist into a versioned store
 without re-running anything.  See ``docs/campaigns.md``.
 """
 
+from repro.campaign.diff import diff_records, run_diff
 from repro.campaign.query import flatten_cells, run_query
 from repro.campaign.runner import CampaignReport, run_campaign, run_cell
 from repro.campaign.spec import CampaignSpec, Cell, SpecError, load_spec
@@ -20,10 +21,12 @@ __all__ = [
     "Cell",
     "SpecError",
     "StoreError",
+    "diff_records",
     "flatten_cells",
     "load_spec",
     "run_campaign",
     "run_cell",
+    "run_diff",
     "run_query",
     "unjsonify",
 ]

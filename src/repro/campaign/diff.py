@@ -1,0 +1,186 @@
+"""Diff two campaign result stores cell-for-cell.
+
+Stores are content-addressed: a cell's id is the digest of its claim,
+profile, seed, and overrides, so two stores built from the same spec
+(or overlapping specs) join for free on cell id — no fuzzy matching.
+Each joined cell gets a status:
+
+``same``
+    present in both, same pass/fail verdict, no watched metric drifted
+    beyond tolerance;
+``improved``
+    B passes where A failed, or a watched metric moved in the good
+    direction by more than the tolerance;
+``regressed``
+    A passes where B fails, or a watched metric moved in the bad
+    direction by more than the tolerance;
+``only_a`` / ``only_b``
+    cell completed in one store only (spec drift or partial runs).
+
+Watched metrics come from ``--metric`` (repeatable); drift is relative
+(``|b-a| / max(|a|, eps)``) and compared against ``--tolerance``.
+Metrics are *lower-is-better* by default (runtime, violations); prefix
+with ``+`` (e.g. ``+n_rows``) for higher-is-better.
+
+``python -m repro campaign diff A B`` renders the join as a table, CSV,
+or JSON and exits non-zero when any cell regressed — the piece that
+makes a store pair usable as a CI regression gate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.campaign.query import QueryError, flatten_cells, format_rows
+from repro.campaign.store import CampaignStore
+
+__all__ = [
+    "DiffError",
+    "diff_records",
+    "run_diff",
+]
+
+_EPS = 1e-12
+
+#: statuses that make ``run_diff`` report a non-zero exit.
+REGRESSION_STATUSES = ("regressed",)
+
+
+class DiffError(QueryError):
+    """Malformed diff input (bad metric name, non-numeric values)."""
+
+
+def _parse_metric(spec: str) -> "tuple[str, bool]":
+    """``name`` or ``+name`` → (name, higher_is_better)."""
+    if spec.startswith("+"):
+        return spec[1:], True
+    return spec, False
+
+
+def _metric_value(row: "dict[str, Any]", name: str) -> "float | None":
+    if name not in row:
+        return None
+    val = row[name]
+    if isinstance(val, bool):
+        return float(val)
+    try:
+        return float(val)
+    except (TypeError, ValueError):
+        raise DiffError(
+            f"metric {name!r} is not numeric in cell {row.get('cell')!r} "
+            f"(got {val!r})"
+        ) from None
+
+
+def diff_records(
+    records_a: "Iterable[dict]",
+    records_b: "Iterable[dict]",
+    *,
+    metrics: "list[str] | None" = None,
+    tolerance: float = 0.0,
+) -> "list[dict]":
+    """Join two stores' cell records on cell id; one output row per cell.
+
+    ``metrics`` are flattened-cell column names (``runtime_seconds``,
+    ``violations``, any override, ...), lower-is-better unless prefixed
+    with ``+``.  A relative drift beyond ``tolerance`` in the bad
+    direction marks the cell ``regressed``; in the good direction,
+    ``improved``.  Pass/fail flips always dominate metric drift.
+    """
+    parsed = [_parse_metric(m) for m in (metrics or [])]
+    rows_a = {r["cell"]: r for r in flatten_cells(records_a)}
+    rows_b = {r["cell"]: r for r in flatten_cells(records_b)}
+    out: "list[dict]" = []
+    for cell in sorted(set(rows_a) | set(rows_b)):
+        a, b = rows_a.get(cell), rows_b.get(cell)
+        ref = b if a is None else a
+        row: "dict[str, Any]" = {
+            "cell": cell,
+            "claim": ref.get("claim"),
+            "profile": ref.get("profile"),
+            "seed": ref.get("seed"),
+        }
+        if a is None or b is None:
+            row["status"] = "only_b" if a is None else "only_a"
+            row["passed_a"] = a.get("passed") if a else ""
+            row["passed_b"] = b.get("passed") if b else ""
+            out.append(row)
+            continue
+        row["passed_a"] = a.get("passed")
+        row["passed_b"] = b.get("passed")
+        status = "same"
+        if a.get("passed") and not b.get("passed"):
+            status = "regressed"
+        elif b.get("passed") and not a.get("passed"):
+            status = "improved"
+        for name, higher_better in parsed:
+            va, vb = _metric_value(a, name), _metric_value(b, name)
+            row[f"{name}_a"] = va if va is not None else ""
+            row[f"{name}_b"] = vb if vb is not None else ""
+            if va is None or vb is None:
+                continue
+            drift = (vb - va) / max(abs(va), _EPS)
+            row[f"{name}_drift"] = round(drift, 6)
+            if status != "same":
+                continue  # pass/fail flips dominate metric drift
+            worse = drift < -tolerance if higher_better else drift > tolerance
+            better = drift > tolerance if higher_better else drift < -tolerance
+            if worse:
+                status = "regressed"
+            elif better:
+                status = "improved"
+        row["status"] = status
+        out.append(row)
+    return out
+
+
+def _columns(rows: "list[dict]") -> "list[str]":
+    seen: "list[str]" = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    # status reads best as the last column
+    if "status" in seen:
+        seen.remove("status")
+        seen.append("status")
+    return seen
+
+
+def run_diff(
+    store_a_dir: str,
+    store_b_dir: str,
+    *,
+    metrics: "list[str] | None" = None,
+    tolerance: float = 0.0,
+    fmt: str = "table",
+    only_changed: bool = False,
+) -> "tuple[str, int]":
+    """The pipeline behind ``python -m repro campaign diff``.
+
+    Returns ``(rendered_text, n_regressed)``; callers exit non-zero when
+    the second element is positive.  Raises
+    :class:`~repro.campaign.store.StoreError` for unopenable stores and
+    :class:`DiffError` for bad metric input.
+    """
+    store_a = CampaignStore.open(store_a_dir)
+    store_b = CampaignStore.open(store_b_dir)
+    rows = diff_records(
+        store_a.cell_records(),
+        store_b.cell_records(),
+        metrics=metrics,
+        tolerance=tolerance,
+    )
+    n_regressed = sum(1 for r in rows if r["status"] in REGRESSION_STATUSES)
+    counts: "dict[str, int]" = {}
+    for r in rows:
+        counts[r["status"]] = counts.get(r["status"], 0) + 1
+    if only_changed:
+        rows = [r for r in rows if r["status"] != "same"]
+    if not rows:
+        return ("(no cells to compare)" if not counts else "(no cells changed)", n_regressed)
+    summary = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+    title = (
+        f"campaign diff {store_a.spec.name!r} vs {store_b.spec.name!r} — {summary}"
+    )
+    return format_rows(rows, _columns(rows), fmt, title=title), n_regressed

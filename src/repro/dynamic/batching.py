@@ -31,6 +31,7 @@ property-tested against serial application in
 from __future__ import annotations
 
 import math
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ from repro.dynamic.events import Event, NodeJoin, NodeMove, event_kind
 from repro.obs import trace
 
 __all__ = [
+    "AUTO_THREAD_MIN_GROUPS",
     "BatchApplyStats",
     "apply_events_parallel",
     "group_events",
@@ -171,6 +173,11 @@ def group_events(
     return sorted(groups.values(), key=lambda idxs: idxs[0])
 
 
+#: Below this many groups a thread pool costs more than the GIL lets it
+#: recover; the auto backend (``jobs=None``) stays serial under it.
+AUTO_THREAD_MIN_GROUPS = 8
+
+
 @dataclass
 class BatchApplyStats:
     """Aggregate result of one parallel batch application."""
@@ -183,6 +190,12 @@ class BatchApplyStats:
     repairs: "list" = field(default_factory=list)
     conflict_repairs: "list" = field(default_factory=list)
     wall_time: float = 0.0
+    #: Execution path actually taken: "serial", "thread", or "process".
+    backend: str = "serial"
+    #: Effective worker count of that path (1 for serial).
+    jobs: int = 1
+    #: State entries exchanged across process boundaries (0 off-process).
+    halo_nodes: int = 0
 
     @property
     def conflict_rows_touched(self) -> int:
@@ -198,8 +211,10 @@ def apply_events_parallel(
     events: "list[Event]",
     *,
     interference=None,
-    jobs: int = 1,
+    jobs: "int | None" = None,
     radius: "float | None" = None,
+    backend: "str | None" = None,
+    pool=None,
 ) -> BatchApplyStats:
     """Apply a step's events as independent merged-region group repairs.
 
@@ -207,18 +222,59 @@ def apply_events_parallel(
     each group (topology, then the group's conflict rows when
     ``interference`` — a
     :class:`~repro.dynamic.interference.DynamicInterference` — is
-    given).  With ``jobs > 1`` groups run on a thread pool; the result
-    is identical either way, and identical to serial per-event
+    given).  The result is identical on every backend, and identical to
+    serial per-event
     :meth:`~repro.dynamic.incremental.IncrementalTheta.apply`.
 
-    The topology version advances once per batch; callers comparing
-    against serial application should compare edge sets and conflict
-    rows, not version counters.
+    Backend selection
+    -----------------
+    * ``backend="process"`` (or any ``pool``): delegate the whole batch
+      to a :class:`~repro.parallel.pool.TileWorkerPool` — group repairs
+      run in worker processes, the only path with real parallelism.
+    * ``backend="thread"``: a thread pool of ``jobs`` workers (GIL-bound;
+      proves independence more than it buys speed).
+    * ``backend="serial"``: one group after another.
+    * ``backend=None`` with ``jobs=None`` (the default): auto — serial
+      below :data:`AUTO_THREAD_MIN_GROUPS` groups or on a single core
+      (thread-pool overhead exceeds any GIL-window overlap there),
+      threads otherwise.  An explicit integer ``jobs`` keeps the legacy
+      contract: ``jobs > 1`` threads, ``jobs == 1`` serial.
+
+    The chosen path is reported in ``BatchApplyStats.backend`` /
+    ``.jobs``.  The topology version advances once per batch; callers
+    comparing against serial application should compare edge sets and
+    conflict rows, not version counters.
     """
+    if backend == "process" or pool is not None:
+        if pool is None:
+            raise ValueError(
+                "backend='process' needs a TileWorkerPool instance (pool=...): "
+                "workers must fork before the events they process"
+            )
+        if pool.inc is not incremental or pool.di is not interference:
+            raise ValueError("pool was built for a different incremental/interference pair")
+        return pool.apply_batch(events, radius=radius)
+    if backend not in (None, "serial", "thread"):
+        raise ValueError(f"unknown backend {backend!r}")
+
     t0 = time.perf_counter()
     delta = interference.delta if interference is not None else 0.0
-    with trace.span("dynamic.batch_apply", events=len(events), jobs=jobs) as sp:
+    with trace.span("dynamic.batch_apply", events=len(events), jobs=jobs or 0) as sp:
         idx_groups = group_events(incremental, events, radius=radius, delta=delta)
+
+        cpus = len(os.sched_getaffinity(0))
+        if backend == "serial":
+            eff_jobs = 1
+        elif backend == "thread":
+            eff_jobs = jobs if jobs and jobs > 1 else max(2, cpus)
+        elif jobs is None:  # auto
+            if len(idx_groups) >= AUTO_THREAD_MIN_GROUPS and cpus > 1:
+                eff_jobs = min(4, cpus, len(idx_groups))
+            else:
+                eff_jobs = 1
+        else:
+            eff_jobs = int(jobs)
+        use_threads = eff_jobs > 1 and len(idx_groups) > 1
 
         # Phase A — serial mutations in trace order (join-id ordering,
         # grid not thread-safe).  Geometry is final afterwards.
@@ -246,9 +302,9 @@ def apply_events_parallel(
                 )
             return rs, cs
 
-        if jobs > 1 and len(idx_groups) > 1:
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                results = list(pool.map(run_group, idx_groups))
+        if use_threads:
+            with ThreadPoolExecutor(max_workers=eff_jobs) as tpool:
+                results = list(tpool.map(run_group, idx_groups))
         else:
             results = [run_group(g) for g in idx_groups]
 
@@ -271,6 +327,8 @@ def apply_events_parallel(
             repairs=repairs,
             conflict_repairs=conflict_repairs,
             wall_time=time.perf_counter() - t0,
+            backend="thread" if use_threads else "serial",
+            jobs=eff_jobs if use_threads else 1,
         )
         sp.set(groups=stats.groups, nodes_touched=stats.nodes_touched)
     return stats

@@ -351,8 +351,13 @@ class IncrementalTheta:
         raise TypeError(f"unsupported event: {event!r}")  # pragma: no cover
 
     def _repair_batch(
-        self, contexts: "list[tuple[str, int, list[np.ndarray]]]", *, kind: str, node: int
-    ) -> RepairStats:
+        self,
+        contexts: "list[tuple[str, int, list[np.ndarray]]]",
+        *,
+        kind: str,
+        node: int,
+        collect_diff: bool = False,
+    ):
         """Re-run both ΘALG phases on the union of dirty regions.
 
         ``contexts`` are the ``(kind, node, anchors)`` tuples of already
@@ -362,6 +367,12 @@ class IncrementalTheta:
         afterwards the maintained state equals the from-scratch ΘALG of
         the current live positions on the touched region, whatever
         sequence of mutations produced those positions.
+
+        With ``collect_diff=True`` returns ``(stats, diff)`` where
+        ``diff`` is a compact state delta replayable on an in-sync
+        replica via :meth:`apply_repair_diff`.  Diff entries are
+        recorded in repair order (dict insertion order survives pickling),
+        so a replay produces the exact same transition sequence.
         """
         with trace.span("dynamic.repair", kind=kind, node=node):
             D = self.max_range
@@ -386,6 +397,8 @@ class IncrementalTheta:
             receivers: "set[int]" = set()
             flipped = 0
             log: "dict[tuple[int, int], int]" = {}
+            out_diff: "dict[int, dict[int, int] | None]" = {}
+            admit_diff: "dict[int, dict[int, int] | None]" = {}
             # Targets of surviving event nodes *before* any recompute:
             # their distances to even unchanged targets may have shifted
             # (moves — including a leave/re-join at a new position inside
@@ -396,6 +409,7 @@ class IncrementalTheta:
                 if nd in self._out:
                     # Departed node: retract its Yao choices; each former
                     # target loses an in-edge and must re-prune.
+                    out_diff[nd] = None
                     for v in self._out.pop(nd).values():
                         self._in[v].discard(nd)
                         receivers.add(v)
@@ -408,6 +422,8 @@ class IncrementalTheta:
                     # merely switched cones of u (possible only when u or
                     # the target moved) keeps its in-edge, and the mover
                     # is already in ``receivers``.
+                    if collect_diff:
+                        out_diff[u] = new_choices if new_choices else None
                     old_targets = set(old_choices.values())
                     new_targets = set(new_choices.values())
                     for v in old_targets - new_targets:
@@ -428,18 +444,26 @@ class IncrementalTheta:
 
             for nd in dead_nodes:
                 # Retract the departed node's own admissions and in-set.
-                for w in self._admit.pop(nd, {}).values():
-                    flipped += self._drop_dir(w, nd, log)
+                old_admit = self._admit.pop(nd, None)
+                if old_admit:
+                    admit_diff[nd] = None
+                    for w in old_admit.values():
+                        flipped += self._drop_dir(w, nd, log)
                 self._in.pop(nd, None)
                 receivers.discard(nd)
 
             for x in sorted(receivers):
                 if self._index.is_alive(x):
+                    before = self._admit.get(x) if collect_diff else None
                     flipped += self._readmit(x, log)
+                    if collect_diff:
+                        after = self._admit.get(x)
+                        if after != before:
+                            admit_diff[x] = after
 
             touched = dirty | receivers | set(dead_nodes)
             radius = self._touched_radius(touched, anchors)
-            return RepairStats(
+            stats = RepairStats(
                 kind=kind,
                 node=node,
                 update_radius=radius,
@@ -449,6 +473,51 @@ class IncrementalTheta:
                 edges_added=tuple(k for k in sorted(log) if log[k] > 0),
                 edges_removed=tuple(k for k in sorted(log) if log[k] < 0),
             )
+            if collect_diff:
+                return stats, {"out": out_diff, "admit": admit_diff, "dead": list(dead_nodes)}
+            return stats
+
+    def apply_repair_diff(self, diff: dict) -> None:
+        """Splice a :meth:`_repair_batch` diff into an in-sync replica.
+
+        The replica must hold the exact pre-repair state (same ``_out``,
+        ``_admit``, ``_edge_dirs``) with the batch's index mutations
+        already applied.  Replays the recorded transitions — deriving
+        ``_in`` edits from out-diff target-set changes and
+        ``_edge_dirs`` counts from admit-diff sector changes — without
+        any geometry queries, so splicing a group's diff is O(diff), not
+        O(dirty region).  Does *not* bump ``topology_version``; the
+        caller bumps once per batch after splicing every group.
+        """
+        for u, new_choices in diff["out"].items():
+            old_targets = set(self._out.get(u, {}).values())
+            new_targets = set(new_choices.values()) if new_choices else set()
+            for v in old_targets - new_targets:
+                if v in self._in:
+                    self._in[v].discard(u)
+            for v in new_targets - old_targets:
+                self._in.setdefault(v, set()).add(u)
+            if new_choices:
+                self._out[u] = dict(new_choices)
+            else:
+                self._out.pop(u, None)
+        for x, new_admit in diff["admit"].items():
+            old_admit = self._admit.get(x) or {}
+            new = new_admit or {}
+            for sec in set(old_admit) | set(new):
+                ow, nw = old_admit.get(sec), new.get(sec)
+                if ow == nw:
+                    continue
+                if ow is not None:
+                    self._drop_dir(ow, x)
+                if nw is not None:
+                    self._add_dir(nw, x)
+            if new:
+                self._admit[x] = dict(new)
+            else:
+                self._admit.pop(x, None)
+        for nd in diff["dead"]:
+            self._in.pop(int(nd), None)
 
     def _touched_radius(self, touched: "set[int]", anchors: "list[np.ndarray]") -> float:
         """Max over touched nodes of the distance to the *nearest* anchor.
@@ -609,6 +678,12 @@ class StepChurn:
     conflict_rows_touched: int = 0
     conflict_entries_changed: int = 0
     conflict_repairs: "list" = field(default_factory=list)
+    #: Independent event groups this step's batch split into (0 when
+    #: events were applied serially per event).
+    batch_groups: int = 0
+    #: State entries exchanged across process boundaries (process
+    #: backend only; 0 in-process).
+    halo_nodes: int = 0
 
 
 class DynamicTopology:
@@ -628,11 +703,17 @@ class DynamicTopology:
         kept in lockstep with the topology: its conflict rows are
         repaired after every event (or batch) from the repair's net edge
         changelog.
-    parallel / jobs:
+    parallel / jobs / backend / workers:
         When ``parallel`` is true, each step's events are grouped by
         dirty-region overlap (:func:`repro.dynamic.batching.apply_events_parallel`)
-        and independent groups are applied as merged-region batches,
-        across ``jobs`` worker threads when ``jobs > 1``.
+        and independent groups are applied as merged-region batches.
+        ``backend`` selects the execution path: ``None`` auto-selects
+        serial/thread by group count, ``"serial"`` / ``"thread"`` force
+        one, and ``"process"`` lazily builds a
+        :class:`~repro.parallel.pool.TileWorkerPool` of ``workers``
+        processes sized to :attr:`capacity` (call :meth:`close`, or use
+        as a context manager, to stop it).  ``jobs`` keeps the legacy
+        thread-count contract.
     """
 
     def __init__(
@@ -642,24 +723,56 @@ class DynamicTopology:
         *,
         interference=None,
         parallel: bool = False,
-        jobs: int = 1,
+        jobs: "int | None" = None,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
     ) -> None:
         self.incremental = incremental
         self.events = events
         self.interference = interference
         self.parallel = bool(parallel)
-        self.jobs = int(jobs)
+        self.jobs = jobs if jobs is None else int(jobs)
+        self.backend = backend
+        self.workers = workers
         self.events_applied = 0
         self.nodes_touched_total = 0
         self.edges_flipped_total = 0
         self.conflict_rows_total = 0
         self.conflict_entries_total = 0
+        self.batch_groups_total = 0
+        self.halo_nodes_total = 0
         self.repairs: "list[RepairStats]" = []
+        self._pool = None
         max_id = incremental.size - 1
         for _, ev in events:
             max_id = max(max_id, ev.node)
         #: Upper bound on node ids over the whole trace (router sizing).
         self.capacity = max_id + 1
+
+    def _process_pool(self):
+        """The lazily-built TileWorkerPool of the process backend."""
+        if self._pool is None:
+            from repro.parallel.pool import TileWorkerPool
+
+            self._pool = TileWorkerPool(
+                self.incremental,
+                self.interference,
+                workers=self.workers,
+                capacity=max(self.capacity, self.incremental.size) + 16,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Stop the process pool, if one was started (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "DynamicTopology":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def step(self, t: int) -> StepChurn:
         """Apply the events scheduled for step ``t``."""
@@ -668,12 +781,20 @@ class DynamicTopology:
         if self.parallel and len(evs) > 1:
             from repro.dynamic.batching import apply_events_parallel
 
+            pool = self._process_pool() if self.backend == "process" else None
             batch = apply_events_parallel(
-                self.incremental, evs, interference=self.interference, jobs=self.jobs
+                self.incremental,
+                evs,
+                interference=self.interference,
+                jobs=self.jobs,
+                backend=self.backend,
+                pool=pool,
             )
             churn.events_applied = len(evs)
             churn.nodes_touched = batch.nodes_touched
             churn.edges_flipped = batch.edges_flipped
+            churn.batch_groups = batch.groups
+            churn.halo_nodes = batch.halo_nodes
             churn.repairs.extend(batch.repairs)
             churn.conflict_repairs.extend(batch.conflict_repairs)
             for cs in batch.conflict_repairs:
@@ -704,6 +825,8 @@ class DynamicTopology:
         self.edges_flipped_total += churn.edges_flipped
         self.conflict_rows_total += churn.conflict_rows_touched
         self.conflict_entries_total += churn.conflict_entries_changed
+        self.batch_groups_total += churn.batch_groups
+        self.halo_nodes_total += churn.halo_nodes
         self.repairs.extend(churn.repairs)
         return churn
 

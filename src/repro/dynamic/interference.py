@@ -177,7 +177,8 @@ class DynamicInterference:
         moved_nodes,
         *,
         _sync: bool = True,
-    ) -> ConflictRepairStats:
+        collect_diff: bool = False,
+    ):
         """Splice a net topology diff into the maintained conflict rows.
 
         Parameters
@@ -187,63 +188,35 @@ class DynamicInterference:
         moved_nodes:
             Live nodes whose position changed: their persisting incident
             edges get recomputed rows too.
+        collect_diff:
+            Return ``(stats, row_diff)`` where ``row_diff`` replays the
+            same splice on an in-sync replica (:meth:`apply_row_diff`)
+            without touching geometry.
         """
         t0 = time.perf_counter()
         with trace.span(
             "dynamic.conflict_repair", added=len(added), removed=len(removed)
         ) as sp:
-            rows = self._rows
-            incident = self._incident
-            entries = 0
-
             removed_codes = [_pack(int(lo), int(hi)) for lo, hi in removed]
             added_codes = [_pack(int(lo), int(hi)) for lo, hi in added]
 
-            # 1. Retract removed edges: drop their row and their
-            #    membership in every neighbor's row (symmetry gives us
-            #    the exact set of affected rows for free).
-            for c in removed_codes:
-                row = rows.pop(c, None)
-                self._rad2.pop(c, None)
-                for nd in (c >> 32, c & _MASK):
-                    s = incident.get(nd)
-                    if s is not None:
-                        s.discard(c)
-                        if not s:
-                            del incident[nd]
-                if row:
-                    entries += 2 * len(row)
-                    for nb in row:
-                        nb_row = rows.get(nb)
-                        if nb_row is not None:
-                            nb_row.discard(c)
+            entries = self._retract(removed_codes)
+            self._register(added_codes)
 
-            # 2. Register added edges so row recomputes can see them.
-            for c in added_codes:
-                incident.setdefault(c >> 32, set()).add(c)
-                incident.setdefault(c & _MASK, set()).add(c)
-
-            # 3. Rows to rebuild from geometry: added edges, plus the
-            #    persisting edges whose guard zones moved with a mover.
+            # Rows to rebuild from geometry: added edges, plus the
+            # persisting edges whose guard zones moved with a mover.
             recompute: "set[int]" = set(added_codes)
             for nd in moved_nodes:
-                recompute.update(incident.get(int(nd), _EMPTY))
+                recompute.update(self._incident.get(int(nd), _EMPTY))
+            rad2_diff: "dict[int, float]" = {}
             for c in recompute:
-                self._rad2[c] = self._edge_rad2(c)
+                rad2_diff[c] = self._rad2[c] = self._edge_rad2(c)
+            row_diff: "dict[int, list[int]]" = {}
             for c in sorted(recompute):
                 new_row = self._recompute_row(c)
-                old_row = rows.get(c, _EMPTY)
-                for nb in old_row - new_row:
-                    nb_row = rows.get(nb)
-                    if nb_row is not None:
-                        nb_row.discard(c)
-                    entries += 2
-                for nb in new_row - old_row:
-                    nb_row = rows.get(nb)
-                    if nb_row is not None:
-                        nb_row.add(c)
-                    entries += 2
-                rows[c] = new_row
+                if collect_diff:
+                    row_diff[c] = sorted(new_row)
+                entries += self._splice_row(c, new_row)
 
             self._csr = None
             if _sync:
@@ -260,7 +233,93 @@ class DynamicInterference:
         if reg is not None:
             reg.counter("dynamic.conflict_repairs").inc()
             reg.counter("dynamic.conflict_rows_recomputed").inc(stats.rows_recomputed)
+        if collect_diff:
+            diff = {
+                "removed": removed_codes,
+                "added": added_codes,
+                "rad2": rad2_diff,
+                "rows": row_diff,
+            }
+            return stats, diff
         return stats
+
+    def apply_row_diff(self, diff: dict, *, _sync: bool = True) -> ConflictRepairStats:
+        """Replay an :meth:`update` ``collect_diff`` delta on a replica.
+
+        The replica must hold the exact pre-update rows (same ``_rows``,
+        ``_incident``, ``_rad2``).  Performs the identical retract /
+        register / splice sequence with the *recorded* recomputed rows
+        instead of geometry queries, so the resulting state — and the
+        returned stats, bar ``wall_time`` — match the originating
+        worker's bit for bit.
+        """
+        t0 = time.perf_counter()
+        removed_codes = diff["removed"]
+        added_codes = diff["added"]
+        entries = self._retract(removed_codes)
+        self._register(added_codes)
+        self._rad2.update(diff["rad2"])
+        for c, new_list in diff["rows"].items():
+            entries += self._splice_row(c, set(new_list))
+        self._csr = None
+        if _sync:
+            self._synced_version = self.inc.topology_version
+        return ConflictRepairStats(
+            rows_recomputed=len(diff["rows"]),
+            entries_changed=entries,
+            edges_added=len(added_codes),
+            edges_removed=len(removed_codes),
+            wall_time=time.perf_counter() - t0,
+        )
+
+    def _retract(self, removed_codes: "list[int]") -> int:
+        """Drop removed edges' rows and their membership in neighbors'
+        rows (symmetry gives the exact affected set for free)."""
+        rows = self._rows
+        incident = self._incident
+        entries = 0
+        for c in removed_codes:
+            row = rows.pop(c, None)
+            self._rad2.pop(c, None)
+            for nd in (c >> 32, c & _MASK):
+                s = incident.get(nd)
+                if s is not None:
+                    s.discard(c)
+                    if not s:
+                        del incident[nd]
+            if row:
+                entries += 2 * len(row)
+                for nb in row:
+                    nb_row = rows.get(nb)
+                    if nb_row is not None:
+                        nb_row.discard(c)
+        return entries
+
+    def _register(self, added_codes: "list[int]") -> None:
+        """Register added edges so row recomputes can see them."""
+        incident = self._incident
+        for c in added_codes:
+            incident.setdefault(c >> 32, set()).add(c)
+            incident.setdefault(c & _MASK, set()).add(c)
+
+    def _splice_row(self, c: int, new_row: "set[int]") -> int:
+        """Install ``new_row`` as I(c), mirroring each change into the
+        symmetric neighbor rows; returns entries changed (both sides)."""
+        rows = self._rows
+        entries = 0
+        old_row = rows.get(c, _EMPTY)
+        for nb in old_row - new_row:
+            nb_row = rows.get(nb)
+            if nb_row is not None:
+                nb_row.discard(c)
+            entries += 2
+        for nb in new_row - old_row:
+            nb_row = rows.get(nb)
+            if nb_row is not None:
+                nb_row.add(c)
+            entries += 2
+        rows[c] = new_row
+        return entries
 
     def _mark_synced(self) -> None:
         """Batch applier hook: declare the structure current again."""

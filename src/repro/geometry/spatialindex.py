@@ -382,9 +382,108 @@ class DynamicGridIndex:
         v.flags.writeable = False
         return v
 
+    def bounds(self) -> "tuple[float, float, float, float]":
+        """``(x0, y0, x1, y1)`` bounding box of the live positions.
+
+        The tile layer (:mod:`repro.parallel`) covers this box with a
+        worker-owned grid; an empty index yields a degenerate origin box.
+        """
+        live = self._pos[: self._size][self._alive[: self._size]]
+        if len(live) == 0:
+            return (0.0, 0.0, 0.0, 0.0)
+        return (
+            float(live[:, 0].min()),
+            float(live[:, 1].min()),
+            float(live[:, 0].max()),
+            float(live[:, 1].max()),
+        )
+
+    def share_buffers(self, arena, capacity: int) -> "tuple[object, object]":
+        """Move ``_pos`` / ``_alive`` into shared memory (pre-fork).
+
+        The tile worker pool calls this *before* forking so parent and
+        workers see one physical copy of the coordinate state: the
+        parent applies every position/alive mutation, workers replay
+        only the private bucket bookkeeping
+        (:meth:`apply_shared_mutation`).  Returns the two
+        :class:`~repro.parallel.shm.ShmHandle` objects.  ``capacity``
+        is a hard ceiling — shared buffers cannot be reallocated across
+        processes, so growth beyond it raises instead of silently
+        forking the state.
+        """
+        capacity = int(capacity)
+        if capacity < len(self._alive):
+            raise ValueError(
+                f"shared capacity {capacity} below current capacity {len(self._alive)}"
+            )
+        pos = arena.empty((capacity, 2), np.float64)
+        alive = arena.empty((capacity,), np.bool_)
+        pos[: len(self._alive)] = self._pos[: len(self._alive)]
+        alive[: len(self._alive)] = self._alive[: len(self._alive)]
+        self._pos, self._alive = pos, alive
+        self._shared = True
+        return arena.handle(pos), arena.handle(alive)
+
+    def unshare_buffers(self) -> None:
+        """Copy shared buffers back to private arrays (pre-unlink).
+
+        Must run before the owning arena unmaps its segments: the index
+        would otherwise keep numpy views into unmapped pages and the
+        next position read would fault.  Idempotent; a no-op when the
+        buffers were never shared.
+        """
+        if not getattr(self, "_shared", False):
+            return
+        self._pos = self._pos.copy()
+        self._alive = self._alive.copy()
+        self._shared = False
+
+    def apply_shared_mutation(
+        self,
+        op: str,
+        node: int,
+        old_key: "tuple[int, int] | None",
+        new_key: "tuple[int, int] | None",
+    ) -> None:
+        """Replay one mutation's *bucket* bookkeeping (worker side).
+
+        With :meth:`share_buffers` active, the parent already wrote the
+        new position/alive flag into the shared arrays before this
+        record arrives; only the per-process bucket sets, size, and
+        live count remain to update.  ``op`` is ``"insert"``,
+        ``"remove"``, ``"move"``, or ``"noop"`` (dead-slot position
+        update — fully covered by the shared buffers).
+        """
+        node = int(node)
+        if op == "insert":
+            self._size = max(self._size, node + 1)
+            self._n_alive += 1
+            self._buckets.setdefault(new_key, set()).add(node)
+        elif op == "remove":
+            bucket = self._buckets[old_key]
+            bucket.discard(node)
+            if not bucket:
+                del self._buckets[old_key]
+            self._n_alive -= 1
+        elif op == "move":
+            if new_key != old_key:
+                bucket = self._buckets[old_key]
+                bucket.discard(node)
+                if not bucket:
+                    del self._buckets[old_key]
+                self._buckets.setdefault(new_key, set()).add(node)
+        elif op != "noop":  # pragma: no cover - protocol error
+            raise ValueError(f"unknown shared mutation op {op!r}")
+
     def _grow_to(self, node: int) -> None:
         if node < len(self._alive):
             return
+        if getattr(self, "_shared", False):
+            raise RuntimeError(
+                f"node id {node} exceeds the shared-buffer capacity "
+                f"{len(self._alive)}; size the pool's capacity above the "
+                "trace's highest node id"
+            )
         cap = max(2 * len(self._alive), node + 1)
         pos = np.zeros((cap, 2), dtype=np.float64)
         pos[: len(self._alive)] = self._pos[: len(self._alive)]

@@ -192,7 +192,13 @@ class StepSeries:
     GAUGE_FIELDS = ("total_buffer", "max_buffer_height")
     #: dynamic-topology counters (cumulative, fed by the engine when a
     #: DynamicTopology drives the run; all-zero otherwise).
-    CHURN_FIELDS = ("events_applied", "repair_nodes_touched", "conflict_rows_touched")
+    CHURN_FIELDS = (
+        "events_applied",
+        "repair_nodes_touched",
+        "conflict_rows_touched",
+        "batch_groups",
+        "halo_nodes",
+    )
 
     def __init__(self) -> None:
         self._cols: "dict[str, list]" = {
@@ -214,12 +220,16 @@ class StepSeries:
         events_applied: int = 0,
         repair_nodes_touched: int = 0,
         conflict_rows_touched: int = 0,
+        batch_groups: int = 0,
+        halo_nodes: int = 0,
     ) -> None:
         """Snapshot ``stats`` (a ``RoutingStats``) at the end of one step.
 
         ``events_applied`` / ``repair_nodes_touched`` /
-        ``conflict_rows_touched`` are the *cumulative* dynamic-topology
-        counters at the end of the step (0 for static runs).
+        ``conflict_rows_touched`` / ``batch_groups`` / ``halo_nodes``
+        are the *cumulative* dynamic-topology counters at the end of
+        the step (0 for static runs; the last two are fed by the
+        batched/tiled appliers only).
         """
         cols = self._cols
         for name in self.COUNTER_FIELDS:
@@ -231,6 +241,8 @@ class StepSeries:
         cols["events_applied"].append(int(events_applied))
         cols["repair_nodes_touched"].append(int(repair_nodes_touched))
         cols["conflict_rows_touched"].append(int(conflict_rows_touched))
+        cols["batch_groups"].append(int(batch_groups))
+        cols["halo_nodes"].append(int(halo_nodes))
 
     # ------------------------------------------------------------------
     def arrays(self) -> "dict[str, np.ndarray]":

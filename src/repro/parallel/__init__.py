@@ -1,0 +1,35 @@
+"""Process-parallel tiled execution layer (sharding the plane).
+
+The paper's locality results (E23/E24: bounded repair regions, flat
+touched-sets) justify domain decomposition: :class:`TileGrid` carves
+the plane into worker-owned tiles, :class:`ShmArena` puts coordinates,
+edge arrays, and output slabs into shared memory, and
+:class:`TiledEngine` / :class:`TileWorkerPool` run ΘALG construction,
+conflict-row building, and churn repair across a persistent fork pool
+— bit-identical to the serial kernels (see ``tests/test_parallel_tiles.py``).
+"""
+
+from repro.parallel.engine import (
+    TiledEngine,
+    TiledTheta,
+    TileStats,
+    tiled_interference_sets,
+    tiled_theta,
+)
+from repro.parallel.pool import TileWorkerPool
+from repro.parallel.shm import ShmArena, ShmHandle, WorkerCrashError, attach
+from repro.parallel.tiles import TileGrid
+
+__all__ = [
+    "ShmArena",
+    "ShmHandle",
+    "TileGrid",
+    "TileStats",
+    "TileWorkerPool",
+    "TiledEngine",
+    "TiledTheta",
+    "WorkerCrashError",
+    "attach",
+    "tiled_interference_sets",
+    "tiled_theta",
+]

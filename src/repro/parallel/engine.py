@@ -1,0 +1,386 @@
+"""Tiled, process-parallel ΘALG and conflict-structure construction.
+
+Serial ``theta_algorithm`` / ``interference_sets`` are single-core and
+dominate the scaling tier beyond n≈30k.  Both kernels are *local* —
+a node's phase-1/2 outcome depends only on positions within 2D of it,
+and an edge's conflict row only on edges within (2+Δ)·len reach — so
+the plane decomposes into :class:`~repro.parallel.tiles.TileGrid`
+tiles, each handed to a worker process from a fork pool
+(:func:`repro.harness.runner.pool_context`).  Node coordinates, the
+edge array, and the per-tile output slabs live in
+:mod:`multiprocessing.shared_memory` numpy views
+(:class:`~repro.parallel.shm.ShmArena`), so the O(n) inputs cross the
+process boundary once and results come back through shared slabs, not
+pickles.
+
+Why the output is bit-identical to the serial kernels
+-----------------------------------------------------
+
+*ΘALG* — tile ``t`` computes the phase-2 admissions of the receivers it
+owns from the subset of points within its rectangle expanded by a 2D
+halo.  Every source ``w`` that targets an owned receiver ``x`` lies
+within D of ``x`` (choices are in-range), hence within D of the tile
+rectangle, hence its **entire** D-neighborhood lies inside the halo
+subset: its Yao choices are computed from exactly the same candidate
+set as serially.  Conversely a subset node with a truncated
+neighborhood is > D from every owned receiver and can never reach one.
+Subset-local node ids ascend with global ids, so the (distance,
+node-id) lexsort tie-breaks select the same rows.  Each (receiver,
+sector) admission is computed by exactly one tile; the union over
+tiles equals the serial admission set.
+
+*Conflict rows* — an edge is owned by the tile containing its lower
+endpoint.  Any partner of an owned edge has an endpoint within
+``(2+Δ)·L_max`` of the tile rectangle (one hop along the edge plus the
+larger guard radius), so running the exact CSR kernel on the edges
+within that reach reproduces each owned row verbatim; the monotone
+local→global edge-id map keeps rows sorted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.primitives import TWO_PI, as_points
+from repro.geometry.sectors import SectorPartition
+from repro.graphs.base import GeometricGraph
+from repro.graphs.yao import yao_out_edges
+from repro.harness.runner import pool_context
+from repro.interference.conflict import InterferenceSets, interference_sets
+from repro.parallel.shm import ShmArena, attach
+from repro.parallel.tiles import TileGrid
+from repro.utils.arrays import ragged_arange, run_starts
+
+__all__ = ["TiledEngine", "TileStats", "TiledTheta", "tiled_theta", "tiled_interference_sets"]
+
+#: Relative slack added to halo reaches so the inclusive ``d² ≤ r² + ε``
+#: query epsilon of the serial kernels can never out-reach the halo.
+_HALO_SLACK = 1e-6
+
+
+def default_workers() -> int:
+    """Worker count matched to the cores this process may run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class TileStats:
+    """Decomposition + work accounting of one tiled construction."""
+
+    n_tiles: int
+    workers: int
+    owned: "tuple[int, ...]"  # per tile: nodes (ΘALG) or edges (conflict) owned
+    subset: "tuple[int, ...]"  # per tile: items in tile + halo actually processed
+    tile_seconds: "tuple[float, ...]"
+    wall_seconds: float
+
+    @property
+    def halo_items(self) -> int:
+        """Total halo traffic: items processed beyond their owner tile."""
+        return int(sum(self.subset) - sum(self.owned))
+
+
+@dataclass(frozen=True)
+class TiledTheta:
+    """Output of :func:`tiled_theta` (the construction subset of ΘALG).
+
+    Carries the final topology N exactly as ``theta_algorithm(...)``
+    would build it; the phase-1 dictionaries of
+    :class:`~repro.core.theta.ThetaTopology` are deliberately not
+    materialized (they are O(n·cones) Python objects — the dynamic and
+    routing layers consume only the graph).
+    """
+
+    points: np.ndarray
+    theta: float
+    max_range: float
+    kappa: float
+    offset: float
+    graph: GeometricGraph
+    stats: TileStats
+
+    def edge_set(self) -> "set[tuple[int, int]]":
+        """Canonical ``(lo, hi)`` pairs — same form as ``ThetaTopology.edge_set``."""
+        return {(int(a), int(b)) for a, b in self.graph.edges}
+
+
+# ---------------------------------------------------------------------------
+# Worker-side tasks (top-level so the spawn fallback can import them)
+# ---------------------------------------------------------------------------
+
+
+def _theta_tile_task(task) -> "tuple[int, int, int, int, float]":
+    """Phase-1/2 admissions for the receivers owned by one tile.
+
+    Writes the admitted directed pairs (global ids) into this tile's
+    slice of the shared output slab; returns
+    ``(tile, owned, subset, pairs_written, wall)``.
+    """
+    (pts_h, out_h, offset_row, grid, t, theta, max_range, cone_offset) = task
+    t0 = time.perf_counter()
+    pts, pts_seg = attach(pts_h)
+    out, out_seg = attach(out_h)
+    try:
+        halo = 2.0 * max_range * (1.0 + _HALO_SLACK)
+        sub_ids = np.nonzero(grid.halo_mask(pts, t, halo))[0]
+        sub_pts = pts[sub_ids]
+        owned_local = grid.tile_of_many(sub_pts) == t
+        n_owned = int(owned_local.sum())
+        count = 0
+        if n_owned and len(sub_ids) >= 2:
+            part = SectorPartition(theta, cone_offset)
+            directed = yao_out_edges(sub_pts, theta, max_range, offset=cone_offset)
+            if len(directed):
+                src, dst = directed[:, 0], directed[:, 1]
+                d = sub_pts[src] - sub_pts[dst]
+                ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
+                sec_in = np.atleast_1d(part.index_of_angle(ang))
+                dist = np.hypot(d[:, 0], d[:, 1])
+                order = np.lexsort((src, dist, sec_in, dst))
+                sel = order[run_starts(dst[order], sec_in[order])]
+                sel = sel[owned_local[dst[sel]]]
+                count = len(sel)
+                out[offset_row : offset_row + count, 0] = sub_ids[src[sel]]
+                out[offset_row : offset_row + count, 1] = sub_ids[dst[sel]]
+        return t, n_owned, len(sub_ids), count, time.perf_counter() - t0
+    finally:
+        pts_seg.close()
+        out_seg.close()
+
+
+def _conflict_tile_task(task):
+    """Exact conflict rows for the edges owned by one tile.
+
+    Returns ``(tile, owned_eids, degrees, indices_global, subset, wall)``
+    — the CSR fragment of the owned rows in global edge ids.
+    """
+    (pts_h, edges_h, grid, t, delta, reach) = task
+    t0 = time.perf_counter()
+    pts, pts_seg = attach(pts_h)
+    edges, edges_seg = attach(edges_h)
+    try:
+        emask = grid.halo_mask(pts[edges[:, 0]], t, reach) | grid.halo_mask(
+            pts[edges[:, 1]], t, reach
+        )
+        sub_eids = np.nonzero(emask)[0]
+        sub_edges = edges[sub_eids]
+        owned_sel = grid.tile_of_many(pts[sub_edges[:, 0]]) == t
+        empty = np.empty(0, dtype=np.int64)
+        if not owned_sel.any():
+            return t, empty, empty, empty, len(sub_eids), time.perf_counter() - t0
+        node_ids = np.unique(sub_edges)
+        local_edges = np.searchsorted(node_ids, sub_edges)
+        sub = GeometricGraph(pts[node_ids], local_edges)
+        sets = interference_sets(sub, delta)
+        deg = np.diff(sets.indptr)[owned_sel].astype(np.int64)
+        rows = sets.indices[ragged_arange(np.asarray(sets.indptr[:-1])[owned_sel], deg)]
+        return (
+            t,
+            sub_eids[owned_sel].astype(np.int64),
+            deg,
+            sub_eids[rows].astype(np.int64),
+            len(sub_eids),
+            time.perf_counter() - t0,
+        )
+    finally:
+        pts_seg.close()
+        edges_seg.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side engine
+# ---------------------------------------------------------------------------
+
+
+class TiledEngine:
+    """A persistent fork pool + tile decomposition for the constructions.
+
+    One engine amortizes worker start-up across any number of
+    :meth:`theta` / :meth:`interference_sets` calls (the bench loops
+    reuse one engine).  Shared-memory segments are per-call and die
+    with the call; the pool dies with :meth:`close` (or the ``with``
+    block).
+    """
+
+    def __init__(self, *, workers: "int | None" = None, tiles: "int | None" = None) -> None:
+        self.workers = int(workers) if workers else default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.tiles = int(tiles) if tiles else self.workers
+        self._pool = None
+
+    def _run(self, fn, tasks: list):
+        if self.workers == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        if self._pool is None:
+            self._pool = pool_context().Pool(processes=self.workers)
+        return self._pool.map(fn, tasks, chunksize=1)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "TiledEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ΘALG ---------------------------------------------------------------
+    def theta(
+        self,
+        points: np.ndarray,
+        theta: float,
+        max_range: float,
+        *,
+        kappa: float = 2.0,
+        offset: float = 0.0,
+        delta: float = 0.0,
+        grid: "TileGrid | None" = None,
+    ) -> TiledTheta:
+        """ΘALG over tiles; the graph is bit-identical to the serial run.
+
+        ``delta`` only sizes the tiles (width ≥ the 2(4+Δ)D independence
+        radius, so the same grid can later drive batched repair); the
+        construction itself needs just the 2D halo.
+        """
+        t_start = time.perf_counter()
+        pts = as_points(points)
+        n = len(pts)
+        if grid is None:
+            grid = self._grid_for(pts, max_range, delta)
+        part = SectorPartition(theta, offset)
+        with ShmArena() as arena:
+            shared_pts = arena.share(pts)
+            owners = grid.tile_of_many(pts) if n else np.empty(0, dtype=np.int64)
+            owned_counts = np.bincount(owners, minlength=grid.n_tiles)
+            caps = owned_counts * part.n_sectors
+            offs = np.zeros(grid.n_tiles + 1, dtype=np.int64)
+            np.cumsum(caps, out=offs[1:])
+            out = arena.empty((max(int(offs[-1]), 1), 2), np.int64)
+            pts_h, out_h = arena.handle(shared_pts), arena.handle(out)
+            tasks = [
+                (pts_h, out_h, int(offs[t]), grid, t, theta, max_range, offset)
+                for t in range(grid.n_tiles)
+                if owned_counts[t]
+            ]
+            results = self._run(_theta_tile_task, tasks)
+            chunks = [out[offs[t] : offs[t] + cnt] for t, _, _, cnt, _ in results]
+            kept = np.vstack(chunks) if chunks else np.empty((0, 2), dtype=np.int64)
+            graph = GeometricGraph(pts, kept, kappa=kappa, name=f"TiledThetaALG(θ={theta:.4g})")
+        stats = TileStats(
+            n_tiles=grid.n_tiles,
+            workers=self.workers,
+            owned=tuple(int(r[1]) for r in results),
+            subset=tuple(int(r[2]) for r in results),
+            tile_seconds=tuple(float(r[4]) for r in results),
+            wall_seconds=time.perf_counter() - t_start,
+        )
+        return TiledTheta(
+            points=graph.points,
+            theta=float(theta),
+            max_range=float(max_range),
+            kappa=float(kappa),
+            offset=float(offset),
+            graph=graph,
+            stats=stats,
+        )
+
+    # -- conflict rows -------------------------------------------------------
+    def interference_sets(
+        self,
+        graph: GeometricGraph,
+        delta: float,
+        *,
+        grid: "TileGrid | None" = None,
+    ) -> "tuple[InterferenceSets, TileStats]":
+        """§2.4 conflict rows over tiles, row-for-row equal to the kernel."""
+        t_start = time.perf_counter()
+        pts = graph.points
+        edges = np.ascontiguousarray(graph.edges, dtype=np.int64)
+        m = len(edges)
+        if m == 0:
+            sets = InterferenceSets(np.zeros(1, dtype=np.intp), np.empty(0, dtype=np.intp))
+            stats = TileStats(1, self.workers, (0,), (0,), (0.0,), time.perf_counter() - t_start)
+            return sets, stats
+        l_max = float(graph.edge_lengths.max())
+        reach = (2.0 + float(delta)) * l_max * (1.0 + _HALO_SLACK)
+        if grid is None:
+            grid = self._grid_for(pts, l_max, delta)
+        with ShmArena() as arena:
+            pts_h = arena.handle(arena.share(pts))
+            edges_h = arena.handle(arena.share(edges))
+            tasks = [(pts_h, edges_h, grid, t, float(delta), reach) for t in range(grid.n_tiles)]
+            results = self._run(_conflict_tile_task, tasks)
+        deg_full = np.zeros(m, dtype=np.int64)
+        for _, owned, deg, _, _, _ in results:
+            deg_full[owned] = deg
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(deg_full, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for _, owned, deg, idx, _, _ in results:
+            if len(owned):
+                indices[ragged_arange(indptr[:-1][owned], deg)] = idx
+        stats = TileStats(
+            n_tiles=grid.n_tiles,
+            workers=self.workers,
+            owned=tuple(len(r[1]) for r in results),
+            subset=tuple(int(r[4]) for r in results),
+            tile_seconds=tuple(float(r[5]) for r in results),
+            wall_seconds=time.perf_counter() - t_start,
+        )
+        return InterferenceSets(indptr, indices), stats
+
+    def _grid_for(self, pts: np.ndarray, max_range: float, delta: float) -> TileGrid:
+        from repro.dynamic.batching import independence_radius
+
+        if len(pts) == 0:
+            return TileGrid(0.0, 0.0, 1.0, 1.0, 1, 1)
+        x0, y0 = pts.min(axis=0)
+        x1, y1 = pts.max(axis=0)
+        return TileGrid.cover(
+            (float(x0), float(y0), float(x1), float(y1)),
+            tiles=self.tiles,
+            min_width=independence_radius(max_range, delta),
+        )
+
+
+def tiled_theta(
+    points: np.ndarray,
+    theta: float,
+    max_range: float,
+    *,
+    kappa: float = 2.0,
+    offset: float = 0.0,
+    delta: float = 0.0,
+    workers: "int | None" = None,
+    engine: "TiledEngine | None" = None,
+) -> TiledTheta:
+    """One-shot :meth:`TiledEngine.theta` (creates/tears down a pool)."""
+    if engine is not None:
+        return engine.theta(points, theta, max_range, kappa=kappa, offset=offset, delta=delta)
+    with TiledEngine(workers=workers) as eng:
+        return eng.theta(points, theta, max_range, kappa=kappa, offset=offset, delta=delta)
+
+
+def tiled_interference_sets(
+    graph: GeometricGraph,
+    delta: float,
+    *,
+    workers: "int | None" = None,
+    engine: "TiledEngine | None" = None,
+) -> InterferenceSets:
+    """One-shot :meth:`TiledEngine.interference_sets` (sets only)."""
+    if engine is not None:
+        return engine.interference_sets(graph, delta)[0]
+    with TiledEngine(workers=workers) as eng:
+        return eng.interference_sets(graph, delta)[0]

@@ -1,0 +1,408 @@
+"""Persistent tile-worker pool: process-parallel churn repair.
+
+The thread backend of :func:`repro.dynamic.batching.apply_events_parallel`
+proves group independence but cannot buy wall-clock speed — group repairs
+are Python-loop heavy, so the GIL serializes them.  This pool runs the
+groups in **worker processes** and keeps the result bit-identical to the
+serial path by construction:
+
+* **Replicated state, shared geometry.**  Each worker forks from the
+  parent *after* :meth:`DynamicGridIndex.share_buffers` moved the
+  position/alive arrays into :class:`~repro.parallel.shm.ShmArena`
+  segments, so every process reads one physical copy of the coordinates;
+  the pure-Python topology state (``_out``/``_in``/``_admit``/
+  ``_edge_dirs``, conflict rows) is inherited copy-on-write and kept in
+  sync by diffs.
+* **One sync per phase.**  Per batch the parent runs phase A (serial
+  mutations — geometry lands in the shared arrays) and sends each worker
+  one message: the batch's mutation records (private bucket bookkeeping),
+  the repair contexts of the groups *assigned* to it (routed by the tile
+  of their first anchor), and the **foreign diffs** of the previous batch
+  (the groups other workers repaired).  Workers replay foreign diffs,
+  replay the records, repair their groups with
+  ``collect_diff=True``, and reply with compact state diffs — the halo
+  exchange is double-buffered: batch *k*'s diffs travel inside batch
+  *k+1*'s message, so there is exactly one send and one receive per
+  worker per batch.
+* **Exact replay.**  Diffs replay the repairer's transition sequence
+  verbatim (:meth:`IncrementalTheta.apply_repair_diff`,
+  :meth:`DynamicInterference.apply_row_diff`), so parent and every
+  worker hold bit-identical state after each batch — checked per batch
+  in ``tests/test_parallel_tiles.py`` against serial application.
+
+Group independence (the 2(4+Δ)D union–find radius of
+:func:`repro.dynamic.batching.group_events`) guarantees concurrent
+groups touch disjoint nodes, edges, and conflict rows, so the diffs of
+one batch commute and splicing them in group order reproduces any
+serial order.
+
+If a worker dies mid-batch (crash, OOM-kill, SIGKILL) the parent
+detects the dead process sentinel, terminates the remaining workers,
+**unlinks every shared-memory segment**, and raises
+:class:`~repro.parallel.shm.WorkerCrashError` — no leaked ``/dev/shm``
+entries (``tests/test_parallel_shm.py``).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+import traceback
+from multiprocessing.connection import wait as _mp_wait
+
+from repro.dynamic.batching import BatchApplyStats, group_events, independence_radius
+from repro.dynamic.events import event_kind
+from repro.harness.runner import pool_context
+from repro.parallel.shm import ShmArena, WorkerCrashError
+from repro.parallel.tiles import TileGrid
+
+__all__ = ["TileWorkerPool"]
+
+#: Fork-inherited worker payload; set by the parent immediately before
+#: ``Process.start()`` (fork happens synchronously inside it) and read
+#: once by ``_worker_main``.  Passing the replicas through fork COW
+#: instead of pickled args is what makes worker start O(1) in n.
+_FORK_STATE: "dict | None" = None
+
+
+def _diff_size(topo_diff: dict, row_diff: "dict | None") -> int:
+    """Halo traffic of one group's diffs, in state entries."""
+    n = len(topo_diff["out"]) + len(topo_diff["admit"]) + len(topo_diff["dead"])
+    if row_diff is not None:
+        n += len(row_diff["rows"]) + len(row_diff["added"]) + len(row_diff["removed"])
+    return n
+
+
+def _worker_main(wid: int, conn) -> None:
+    """Worker loop: apply foreign diffs, replay records, repair groups."""
+    # Freeze the fork-inherited heap out of the cyclic GC: a gen-2
+    # collection relinks every tracked object's GC header, which would
+    # copy-on-write the entire inherited topology state into each
+    # worker (multi-second stalls at n >= 3e4, memory x workers).
+    gc.freeze()
+    state = _FORK_STATE
+    inc = state["inc"]
+    di = state["di"]
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "stop":
+            conn.close()
+            return
+        try:
+            _, foreign, records, assigned = msg
+            for tdiff, rdiff in foreign:
+                inc.apply_repair_diff(tdiff)
+                if di is not None and rdiff is not None:
+                    di.apply_row_diff(rdiff, _sync=False)
+            for op, kind, node, old_key, new_key in records:
+                if kind == "fail":
+                    inc._failed.add(node)
+                elif kind == "recover":
+                    inc._failed.discard(node)
+                inc._index.apply_shared_mutation(op, node, old_key, new_key)
+            out = []
+            for gid, ctxs, moved in assigned:
+                rs, tdiff = inc._repair_batch(
+                    ctxs, kind="batch", node=-1, collect_diff=True
+                )
+                cs = rdiff = None
+                if di is not None:
+                    cs, rdiff = di.update(
+                        rs.edges_added, rs.edges_removed, moved,
+                        _sync=False, collect_diff=True,
+                    )
+                out.append((gid, rs, tdiff, cs, rdiff))
+            inc.topology_version += 1
+            if di is not None:
+                di._mark_synced()
+            conn.send(("ok", out))
+        except Exception:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            finally:
+                return
+
+
+class TileWorkerPool:
+    """Persistent fork pool repairing disjoint event groups per tile.
+
+    Parameters
+    ----------
+    incremental:
+        The parent's :class:`~repro.dynamic.incremental.IncrementalTheta`.
+        Its grid-index buffers are moved into shared memory; workers fork
+        with full replicas of the topology state.
+    interference:
+        Optional :class:`~repro.dynamic.interference.DynamicInterference`
+        maintained alongside (same protocol as the thread backend).
+    workers:
+        Worker process count (default: available cores).
+    capacity:
+        Hard ceiling on node ids (shared buffers cannot grow across
+        processes).  Default: double the current id space.
+    grid:
+        Tile decomposition for group→worker routing; default covers the
+        live bounding box with ~4 tiles per worker at the 2(4+Δ)D
+        independence width.
+
+    Construct the pool **before** applying any events you want it to
+    process — workers fork from the current state.  Use as a context
+    manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        incremental,
+        interference=None,
+        *,
+        workers: "int | None" = None,
+        capacity: "int | None" = None,
+        grid: "TileGrid | None" = None,
+    ) -> None:
+        ctx = pool_context()
+        if ctx.get_start_method() != "fork":
+            raise RuntimeError(
+                "TileWorkerPool requires fork start (workers inherit the "
+                "topology replicas); use the thread or serial backend here"
+            )
+        self.inc = incremental
+        self.di = interference
+        if interference is not None and interference.inc is not incremental:
+            raise ValueError("interference tracks a different IncrementalTheta")
+        self.workers = int(workers) if workers else max(1, len(os.sched_getaffinity(0)))
+        delta = interference.delta if interference is not None else 0.0
+        index = incremental._index
+        if capacity is None:
+            capacity = max(2 * index.size, index.size + 1024)
+        self._arena = ShmArena()
+        index.share_buffers(self._arena, int(capacity))
+        if grid is None:
+            grid = TileGrid.cover(
+                index.bounds(),
+                tiles=4 * self.workers,
+                min_width=independence_radius(incremental.max_range, delta),
+            )
+        self.grid = grid
+        self._closed = False
+        self._procs = []
+        self._conns = []
+        #: Diffs of the previous batch, staged per worker (double buffer).
+        self._pending: "list[list]" = [[] for _ in range(self.workers)]
+
+        global _FORK_STATE
+        _FORK_STATE = {"inc": incremental, "di": interference}
+        try:
+            for wid in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main, args=(wid, child_conn), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        finally:
+            _FORK_STATE = None
+
+    # ------------------------------------------------------------------
+    # Batch protocol
+    # ------------------------------------------------------------------
+    def apply_batch(self, events, *, radius: "float | None" = None) -> BatchApplyStats:
+        """Apply one step's events across the worker pool.
+
+        Equivalent to ``apply_events_parallel(..., jobs=1)`` — same
+        final state, same per-group stats — with group repairs executed
+        in the owning tile's worker process.
+        """
+        if self._closed:
+            raise RuntimeError("TileWorkerPool is closed")
+        t0 = time.perf_counter()
+        inc = self.inc
+        di = self.di
+        index = inc._index
+        delta = di.delta if di is not None else 0.0
+        idx_groups = group_events(inc, events, radius=radius, delta=delta)
+
+        # Phase A — serial mutations in trace order.  Geometry lands in
+        # the shared buffers; records carry the private bucket
+        # bookkeeping (including pre-move cell keys workers can no
+        # longer derive) to every replica.
+        records = []
+        contexts = []
+        for ev in events:
+            kind = event_kind(ev)
+            node = int(ev.node)
+            old_key = None
+            if kind in ("move", "leave", "fail") and index.is_alive(node):
+                old_key = index.cell_key(index.position(node))
+            ctx = inc._mutate(ev)
+            contexts.append(ctx)
+            if ctx is None:
+                records.append(("noop", kind, node, None, None))
+            elif kind in ("join", "recover"):
+                records.append(
+                    ("insert", kind, node, None, index.cell_key(index.position(node)))
+                )
+            elif kind == "move":
+                records.append(
+                    ("move", kind, node, old_key, index.cell_key(index.position(node)))
+                )
+            else:  # leave / fail
+                records.append(("remove", kind, node, old_key, None))
+
+        # Route each group to the worker owning the tile of its first
+        # anchor; groups with no repair work (all dead-slot moves) are
+        # dropped here exactly like the serial backend drops them.
+        assigned: "list[list]" = [[] for _ in range(self.workers)]
+        for gid, idxs in enumerate(idx_groups):
+            ctxs = [contexts[i] for i in idxs if contexts[i] is not None]
+            if not ctxs:
+                continue
+            moved = [
+                int(events[i].node)
+                for i in idxs
+                if contexts[i] is not None
+                and contexts[i][0] == "move"
+                and index.is_alive(int(events[i].node))
+            ]
+            anchor = ctxs[0][2][0]
+            wid = self.grid.tile_of(anchor) % self.workers
+            assigned[wid].append((gid, ctxs, moved))
+
+        for wid in range(self.workers):
+            self._send(wid, ("batch", self._pending[wid], records, assigned[wid]))
+        self._pending = [[] for _ in range(self.workers)]
+
+        replies = self._recv_all()
+
+        # Splice every group's diffs in group order (disjoint regions —
+        # any order yields the same state) and stage them as the other
+        # workers' foreign diffs for the next batch.
+        results = []
+        for wid, reply in enumerate(replies):
+            for gid, rs, tdiff, cs, rdiff in reply:
+                results.append((gid, wid, rs, tdiff, cs, rdiff))
+        results.sort(key=lambda r: r[0])
+        repairs = []
+        conflict_repairs = []
+        halo = 0
+        for gid, wid, rs, tdiff, cs, rdiff in results:
+            inc.apply_repair_diff(tdiff)
+            if di is not None and rdiff is not None:
+                di.apply_row_diff(rdiff, _sync=False)
+            repairs.append(rs)
+            if cs is not None:
+                conflict_repairs.append(cs)
+            halo += _diff_size(tdiff, rdiff)
+            for other in range(self.workers):
+                if other != wid:
+                    self._pending[other].append((tdiff, rdiff))
+
+        inc.topology_version += 1
+        if di is not None:
+            di._mark_synced()
+
+        return BatchApplyStats(
+            events=len(events),
+            groups=len(idx_groups),
+            group_sizes=tuple(len(g) for g in idx_groups),
+            nodes_touched=sum(r.nodes_touched for r in repairs),
+            edges_flipped=sum(r.edges_flipped for r in repairs),
+            repairs=repairs,
+            conflict_repairs=conflict_repairs,
+            wall_time=time.perf_counter() - t0,
+            backend="process",
+            jobs=self.workers,
+            halo_nodes=halo,
+        )
+
+    # ------------------------------------------------------------------
+    # Transport and failure handling
+    # ------------------------------------------------------------------
+    def _send(self, wid: int, msg) -> None:
+        try:
+            self._conns[wid].send(msg)
+        except (BrokenPipeError, OSError):
+            self._fail(wid)
+
+    def _recv_all(self) -> "list[list]":
+        replies: "dict[int, list]" = {}
+        pending = set(range(self.workers))
+        while pending:
+            sentinels = {self._procs[w].sentinel: w for w in pending}
+            conns = {self._conns[w]: w for w in pending}
+            ready = _mp_wait(list(conns) + list(sentinels))
+            for obj in ready:
+                wid = conns.get(obj)
+                if wid is None:
+                    wid = sentinels[obj]
+                    # Dead sentinel — but a reply may still sit in the
+                    # pipe (worker died after sending).
+                    if wid in pending and not self._conns[wid].poll():
+                        self._fail(wid)
+                    continue
+                if wid not in pending:
+                    continue
+                try:
+                    msg = self._conns[wid].recv()
+                except (EOFError, OSError):
+                    self._fail(wid)
+                if msg[0] == "error":
+                    self._fail(wid, worker_traceback=msg[1])
+                replies[wid] = msg[1]
+                pending.discard(wid)
+        return [replies[w] for w in range(self.workers)]
+
+    def _fail(self, wid: int, *, worker_traceback: "str | None" = None) -> None:
+        """Tear everything down after a worker death and raise."""
+        proc = self._procs[wid]
+        exitcode = proc.exitcode
+        self.close()
+        detail = (
+            f"worker {wid} raised:\n{worker_traceback}"
+            if worker_traceback
+            else f"worker {wid} (pid {proc.pid}) died with exit code {exitcode}"
+        )
+        raise WorkerCrashError(
+            f"{detail}; the pool is closed, all shared-memory segments are "
+            "unlinked, and the topology state may be mid-batch — rebuild "
+            "IncrementalTheta/DynamicInterference and a fresh TileWorkerPool"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        # Give the index private buffers back *before* unmapping the
+        # segments, or its views would dangle into unmapped pages.
+        self.inc._index.unshare_buffers()
+        self._arena.close()
+
+    def __enter__(self) -> "TileWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,170 @@
+"""Shared-memory array plumbing for the tiled process-parallel engine.
+
+Workers of the tiled engine (:mod:`repro.parallel.engine`,
+:mod:`repro.parallel.pool`) read node coordinates, CSR adjacency, and
+conflict-row arrays as numpy views over
+:class:`multiprocessing.shared_memory.SharedMemory` segments, so the
+plane's geometry crosses the process boundary exactly once — no
+per-task pickling of O(n) state.
+
+Lifecycle is the hard part, and it is centralized here:
+
+* the **parent** owns every segment through a :class:`ShmArena`, whose
+  :meth:`~ShmArena.close` both closes and unlinks; it is idempotent,
+  runs from ``with`` blocks, from pool teardown (including the
+  worker-crash path), and from an ``atexit`` hook, so a SIGKILLed
+  worker or an abandoned pool never leaks ``/dev/shm`` segments from a
+  surviving parent;
+* **workers** only ever attach (:func:`attach`), never unlink.  Attach
+  de-registers the segment from the worker's ``resource_tracker``
+  (or passes ``track=False`` on Python ≥ 3.13), because a tracker that
+  believes it owns an attached segment would unlink it when the worker
+  exits — yanking the mapping out from under its siblings.
+
+If the *parent* itself is SIGKILLed nothing can run cleanup; that is an
+OS-level limit shared by every shm user.  The supported failure mode —
+a worker dying mid-batch — is handled by the pool: it detects the dead
+sentinel, closes the arena (unlinking every segment), and raises
+:class:`WorkerCrashError` (tested in ``tests/test_parallel_shm.py``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmArena", "ShmHandle", "WorkerCrashError", "attach"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-batch; shared state is unrecoverable.
+
+    Raised by the parent *after* it has terminated the surviving
+    workers and unlinked every shared-memory segment, so the error
+    never coexists with leaked ``/dev/shm`` entries.
+    """
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable description of one shared array (name + layout).
+
+    The parent sends handles to workers; :func:`attach` turns one back
+    into a numpy view on the same physical pages.
+    """
+
+    name: str
+    shape: "tuple[int, ...]"
+    dtype: str
+
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def attach(handle: ShmHandle) -> "tuple[np.ndarray, shared_memory.SharedMemory]":
+    """Attach to a parent-owned segment as a numpy view (worker side).
+
+    Returns ``(array, segment)``; the caller must keep the segment
+    object alive as long as the array is in use (the pool workers cache
+    both per handle name).  On Python ≥ 3.13 the attach passes
+    ``track=False`` so only the parent's registration exists.  On older
+    versions the attach re-registers with the resource tracker — a
+    no-op here, because the fork-preferred pools
+    (:func:`repro.harness.runner.pool_context`) share the parent's
+    tracker daemon and its registry is a set; explicitly unregistering
+    would instead erase the parent's own registration.
+    """
+    if sys.version_info >= (3, 13):
+        seg = shared_memory.SharedMemory(name=handle.name, track=False)
+    else:
+        seg = shared_memory.SharedMemory(name=handle.name)
+    arr = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf)
+    return arr, seg
+
+
+class ShmArena:
+    """Create, hand out, and deterministically destroy shared arrays.
+
+    All segments allocated through one arena die together in
+    :meth:`close` — close() + unlink() per segment, idempotent, also
+    wired to ``atexit`` so an abandoned arena cannot outlive the
+    parent process.
+    """
+
+    def __init__(self) -> None:
+        self._segments: "list[shared_memory.SharedMemory]" = []
+        self._handles: "dict[int, ShmHandle]" = {}
+        self._closed = False
+        # Fork children inherit the arena object (and its atexit hook);
+        # only the creating process may unlink, or a worker exiting
+        # normally would tear the segments out from under its siblings.
+        self._owner_pid = os.getpid()
+        atexit.register(self.close)
+
+    # -- allocation --------------------------------------------------------
+    def empty(self, shape: "tuple[int, ...]", dtype) -> np.ndarray:
+        """A new zero-initialized shared array of the given layout."""
+        if self._closed:
+            raise RuntimeError("ShmArena is closed")
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(seg)
+        arr = np.ndarray(shape, dtype=dt, buffer=seg.buf)
+        arr[...] = np.zeros((), dtype=dt)
+        self._handles[id(arr)] = ShmHandle(name=seg.name, shape=tuple(shape), dtype=dt.str)
+        return arr
+
+    def share(self, source: np.ndarray) -> np.ndarray:
+        """Copy ``source`` into a new shared array and return the view."""
+        arr = self.empty(source.shape, source.dtype)
+        arr[...] = source
+        return arr
+
+    def handle(self, arr: np.ndarray) -> ShmHandle:
+        """The picklable handle of an array allocated by this arena."""
+        try:
+            return self._handles[id(arr)]
+        except KeyError:
+            raise KeyError("array was not allocated by this arena") from None
+
+    @property
+    def names(self) -> "list[str]":
+        """Segment names currently owned (empty after :meth:`close`)."""
+        return [seg.name for seg in self._segments]
+
+    # -- teardown ----------------------------------------------------------
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._handles.clear()
+        segments, self._segments = self._segments, []
+        owner = os.getpid() == self._owner_pid
+        for seg in segments:
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            if not owner:
+                continue
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()

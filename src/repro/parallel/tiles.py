@@ -1,0 +1,137 @@
+"""Plane decomposition into worker-owned tiles.
+
+The paper's locality results make domain decomposition sound: a churn
+event's repair region is bounded by 2D (E23), conflict rows reach
+(1+Δ)D (E24), and repairs whose dirty regions are ≥ 2(4+Δ)D apart are
+independent (the union–find radius of :mod:`repro.dynamic.batching`).
+A :class:`TileGrid` carves the bounding box of the node set into an
+``nx × ny`` grid of axis-aligned tiles at least that wide, so
+
+* every node belongs to exactly one tile (its **owner**), and
+* per-tile work only ever needs state within a fixed-width **halo**
+  band around the tile — the rest of the plane is invisible to it.
+
+Ownership is pure arithmetic on coordinates (``floor((x - x0)/w)``
+clamped to the grid), identical in parent and workers, so no ownership
+table is ever exchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TileGrid"]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """An ``nx × ny`` decomposition of ``[x0, x0+nx·w] × [y0, y0+ny·h]``.
+
+    Tiles are indexed ``t = tx * ny + ty`` (column-major).  Points
+    outside the box are clamped to the border tiles, so the outermost
+    tiles own the half-open overhang as well — every point in the plane
+    has exactly one owner.
+    """
+
+    x0: float
+    y0: float
+    tile_w: float
+    tile_h: float
+    nx: int
+    ny: int
+
+    @classmethod
+    def cover(
+        cls,
+        bounds: "tuple[float, float, float, float]",
+        *,
+        tiles: int,
+        min_width: float,
+    ) -> "TileGrid":
+        """A grid of roughly ``tiles`` near-square tiles over ``bounds``.
+
+        ``min_width`` is the independence radius 2(4+Δ)D: no tile side
+        ever drops below it (the tile count shrinks instead), so work
+        on distinct non-adjacent tiles can never interact.
+        """
+        x0, y0, x1, y1 = (float(v) for v in bounds)
+        if not (x1 >= x0 and y1 >= y0):
+            raise ValueError(f"invalid bounds {bounds}")
+        if min_width <= 0:
+            raise ValueError("min_width must be positive")
+        tiles = max(1, int(tiles))
+        w, h = x1 - x0, y1 - y0
+        max_nx = max(1, int(math.floor(w / min_width)))
+        max_ny = max(1, int(math.floor(h / min_width)))
+        # Aim for near-square tiles: split the target count in proportion
+        # to the box aspect ratio, then clamp to the min-width limits.
+        if w <= 0 or h <= 0:
+            nx = min(tiles if h <= 0 else 1, max_nx)
+            ny = min(tiles if w <= 0 else 1, max_ny)
+        else:
+            nx = int(round(math.sqrt(tiles * w / h))) or 1
+            nx = min(max(1, nx), max_nx)
+            ny = min(max(1, int(math.ceil(tiles / nx))), max_ny)
+        return cls(
+            x0=x0,
+            y0=y0,
+            tile_w=(w / nx) if w > 0 else max(min_width, 1.0),
+            tile_h=(h / ny) if h > 0 else max(min_width, 1.0),
+            nx=nx,
+            ny=ny,
+        )
+
+    @property
+    def n_tiles(self) -> int:
+        return self.nx * self.ny
+
+    # -- ownership ---------------------------------------------------------
+    def tile_of_many(self, pts: np.ndarray) -> np.ndarray:
+        """Owner tile id per point (vectorized, clamped to the grid)."""
+        pts = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        tx = np.floor((pts[:, 0] - self.x0) / self.tile_w).astype(np.int64)
+        ty = np.floor((pts[:, 1] - self.y0) / self.tile_h).astype(np.int64)
+        np.clip(tx, 0, self.nx - 1, out=tx)
+        np.clip(ty, 0, self.ny - 1, out=ty)
+        return tx * self.ny + ty
+
+    def tile_of(self, p: np.ndarray) -> int:
+        """Owner tile id of one point."""
+        return int(self.tile_of_many(np.asarray(p, dtype=np.float64).reshape(1, 2))[0])
+
+    # -- geometry ----------------------------------------------------------
+    def rect(self, t: int) -> "tuple[float, float, float, float]":
+        """The closed rectangle ``(x0, y0, x1, y1)`` of tile ``t``."""
+        if not 0 <= t < self.n_tiles:
+            raise IndexError(f"tile {t} out of range for {self.n_tiles} tiles")
+        tx, ty = divmod(int(t), self.ny)
+        return (
+            self.x0 + tx * self.tile_w,
+            self.y0 + ty * self.tile_h,
+            self.x0 + (tx + 1) * self.tile_w,
+            self.y0 + (ty + 1) * self.tile_h,
+        )
+
+    def halo_mask(self, pts: np.ndarray, t: int, halo: float) -> np.ndarray:
+        """Points within tile ``t``'s rectangle expanded by ``halo``.
+
+        Border tiles extend to infinity on their outer sides (they own
+        the clamped overhang), so the mask is a superset of the owned
+        points for any ``halo ≥ 0``.
+        """
+        pts = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        x0, y0, x1, y1 = self.rect(t)
+        tx, ty = divmod(int(t), self.ny)
+        lo_x = -np.inf if tx == 0 else x0 - halo
+        hi_x = np.inf if tx == self.nx - 1 else x1 + halo
+        lo_y = -np.inf if ty == 0 else y0 - halo
+        hi_y = np.inf if ty == self.ny - 1 else y1 + halo
+        return (
+            (pts[:, 0] >= lo_x)
+            & (pts[:, 0] <= hi_x)
+            & (pts[:, 1] >= lo_y)
+            & (pts[:, 1] <= hi_y)
+        )

@@ -170,6 +170,8 @@ class SimulationEngine:
                         events_applied=dynamic.events_applied if dynamic is not None else 0,
                         repair_nodes_touched=dynamic.nodes_touched_total if dynamic is not None else 0,
                         conflict_rows_touched=dynamic.conflict_rows_total if dynamic is not None else 0,
+                        batch_groups=getattr(dynamic, "batch_groups_total", 0) if dynamic is not None else 0,
+                        halo_nodes=getattr(dynamic, "halo_nodes_total", 0) if dynamic is not None else 0,
                     )
         if series is not None and tracer is not None:
             tracer.add_series(

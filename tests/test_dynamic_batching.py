@@ -153,6 +153,72 @@ class TestSerialParallelEquivalence:
         assert not inc_b.check_full_equivalence()
 
 
+class TestBackendSelection:
+    def _trace(self, n_events, seed=6):
+        pts, d0, _ = _build(120, seed)
+        trace = random_event_trace(
+            pts, n_events, move_sigma=d0 / 2.0, rng=np.random.default_rng(seed)
+        )
+        return pts, d0, list(trace.events())
+
+    def test_explicit_serial_backend(self):
+        pts, d0, events = self._trace(30)
+        inc = IncrementalTheta(pts, THETA, d0)
+        stats = apply_events_parallel(inc, events, backend="serial", jobs=8)
+        assert stats.backend == "serial" and stats.jobs == 1
+
+    def test_explicit_thread_backend(self):
+        # Two far-apart pairs: guaranteed independent groups, so the
+        # thread pool actually spins up and the stats reflect it.
+        pts = np.array([[0.0, 0.0], [0.0, 0.1], [50.0, 50.0], [50.0, 50.1]])
+        events = [NodeMove(node=0, x=0.05, y=0.0), NodeMove(node=2, x=50.05, y=50.0)]
+        inc_s, _ = _serial_apply(pts, 1.0, events, with_interference=False)
+        inc = IncrementalTheta(pts, THETA, 1.0)
+        stats = apply_events_parallel(inc, events, backend="thread", jobs=3)
+        assert stats.backend == "thread" and stats.jobs == 3
+        assert stats.groups == 2
+        assert np.array_equal(inc_s.edge_array(), inc.edge_array())
+
+    def test_auto_stays_serial_below_group_threshold(self):
+        from repro.dynamic.batching import AUTO_THREAD_MIN_GROUPS
+
+        pts, d0, _ = _build(100, 2)
+        inc = IncrementalTheta(pts, THETA, d0)
+        node = int(inc.alive_ids()[0])
+        x, y = (float(v) for v in pts[node])
+        # one tiny group, jobs unset: auto must not spin up threads
+        stats = apply_events_parallel(inc, [NodeMove(node=node, x=x + 1e-4, y=y)])
+        assert stats.groups < AUTO_THREAD_MIN_GROUPS
+        assert stats.backend == "serial" and stats.jobs == 1
+
+    def test_auto_picks_threads_on_many_groups_and_cores(self, monkeypatch):
+        monkeypatch.setattr("os.sched_getaffinity", lambda _: set(range(4)))
+        # nine pairs 50 apart: nine independent groups, past the auto
+        # threshold, so jobs=None fans out on the (mocked) 4 cores
+        pts = np.array(
+            [[50.0 * i, float(j) * 0.1] for i in range(9) for j in range(2)]
+        )
+        events = [NodeMove(node=2 * i, x=50.0 * i + 0.05, y=0.0) for i in range(9)]
+        inc_s, _ = _serial_apply(pts, 1.0, events, with_interference=False)
+        inc = IncrementalTheta(pts, THETA, 1.0)
+        stats = apply_events_parallel(inc, events)
+        assert stats.groups == 9
+        assert stats.backend == "thread" and stats.jobs == 4
+        assert np.array_equal(inc_s.edge_array(), inc.edge_array())
+
+    def test_process_backend_requires_pool(self):
+        pts, d0, events = self._trace(10)
+        inc = IncrementalTheta(pts, THETA, d0)
+        with pytest.raises(ValueError, match="pool"):
+            apply_events_parallel(inc, events, backend="process")
+
+    def test_unknown_backend_rejected(self):
+        pts, d0, events = self._trace(10)
+        inc = IncrementalTheta(pts, THETA, d0)
+        with pytest.raises(ValueError, match="backend"):
+            apply_events_parallel(inc, events, backend="gpu")
+
+
 class TestBatchStats:
     def test_stats_shape_and_changelog(self):
         pts, d0, _ = _build(80, 3)

@@ -1,0 +1,122 @@
+"""Shared-memory lifecycle: deterministic cleanup, crash containment.
+
+The contract under test: every segment a :class:`ShmArena` allocates is
+unlinked exactly once by its owning process — on normal close, on pool
+teardown, and on the worker-crash path (a SIGKILLed worker mid-batch
+must leave no ``/dev/shm`` entries behind and surface a clear
+:class:`WorkerCrashError`).
+"""
+
+import math
+import os
+import signal
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro import (
+    IncrementalTheta,
+    NodeMove,
+    max_range_for_connectivity,
+    uniform_points,
+)
+from repro.parallel import ShmArena, TileWorkerPool, WorkerCrashError, attach
+
+THETA = math.pi / 9
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+class TestArena:
+    def test_share_attach_round_trip(self):
+        src = np.arange(12, dtype=np.float64).reshape(6, 2)
+        with ShmArena() as arena:
+            view = arena.share(src)
+            handle = arena.handle(view)
+            attached, seg = attach(handle)
+            assert np.array_equal(attached, src)
+            attached[0, 0] = 99.0
+            assert view[0, 0] == 99.0  # same physical pages
+            seg.close()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        arena = ShmArena()
+        arena.empty((4,), np.int64)
+        names = list(arena.names)
+        assert all(_segment_exists(n) for n in names)
+        arena.close()
+        arena.close()
+        assert arena.names == []
+        assert not any(_segment_exists(n) for n in names)
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.empty((2,), np.int64)
+
+    def test_foreign_array_has_no_handle(self):
+        with ShmArena() as arena:
+            with pytest.raises(KeyError, match="not allocated"):
+                arena.handle(np.zeros(3))
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        with ShmArena() as arena:
+            h = arena.handle(arena.empty((3, 2), np.float64))
+            h2 = pickle.loads(pickle.dumps(h))
+            assert h2 == h and h2.nbytes() == 48
+
+
+class TestPoolLifecycle:
+    def _pool(self, *, workers=2):
+        pts = uniform_points(60, rng=9)
+        d0 = max_range_for_connectivity(pts, slack=1.5)
+        inc = IncrementalTheta(pts, THETA, d0)
+        pool = TileWorkerPool(inc, workers=workers, capacity=inc.size + 16)
+        return inc, pool
+
+    def test_close_unlinks_segments_and_restores_index(self):
+        inc, pool = self._pool()
+        names = list(pool._arena.names)
+        assert names and all(_segment_exists(n) for n in names)
+        assert inc._index._shared
+        pool.close()
+        assert not any(_segment_exists(n) for n in names)
+        assert not inc._index._shared
+        # the index survives close with private buffers — still usable
+        assert len(inc.alive_ids()) == 60
+
+    def test_sigkilled_worker_raises_and_unlinks(self):
+        inc, pool = self._pool(workers=2)
+        names = list(pool._arena.names)
+        victim = pool._procs[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5.0)
+        node = int(inc.alive_ids()[0])
+        x, y = (float(v) for v in inc._index.position(node))
+        with pytest.raises(WorkerCrashError, match="died with exit code"):
+            pool.apply_batch([NodeMove(node=node, x=x + 1e-3, y=y)])
+        # the crash path closed the pool and unlinked everything
+        assert pool._closed
+        assert not any(_segment_exists(n) for n in names)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.apply_batch([])
+
+    def test_capacity_ceiling_is_a_clear_error(self):
+        from repro import NodeJoin
+
+        inc, pool = self._pool(workers=1)
+        base = inc.size
+        joins = [
+            NodeJoin(node=base + i, x=0.3 + 0.01 * i, y=0.4)
+            for i in range(20)  # capacity headroom is 16: the 17th overflows
+        ]
+        with pool:
+            with pytest.raises(RuntimeError, match="shared-buffer capacity"):
+                pool.apply_batch(joins)
