@@ -1,37 +1,52 @@
 #!/usr/bin/env python
-"""Gate: disabled-mode observability overhead < 5% on the e4/e6 quick runs.
+"""Gate: disabled-mode observability overhead < 5% per workload.
 
-The engine, balancing router, MAC, and protocol runtime carry permanent
-``repro.obs`` instrumentation that collapses to a no-op singleton while
-tracing is off.  This bench proves the collapse is cheap three ways:
+The engine, balancing router, MAC, protocol runtime, and the
+process-parallel pool carry permanent ``repro.obs`` instrumentation
+that collapses to a no-op singleton while tracing is off.  This bench
+proves the collapse is cheap three ways:
 
-1. **A/B wall clock** (the gate): each quick workload runs with the
+1. **A/B wall clock** (the gate): each workload runs with the
    instrumentation in its normal disabled state, and again with the
-   ``trace.span`` / ``trace.active`` / ``metrics.active`` entry points
-   stubbed out to constant-return functions — the closest executable
-   stand-in for an uninstrumented build.  Modes are interleaved and the
-   min over N repeats compared, so scheduler noise largely cancels.
+   ``trace.span`` / ``trace.active`` / ``metrics.active`` /
+   ``telemetry.resource_sample`` entry points stubbed out to
+   constant-return functions — the closest executable stand-in for an
+   uninstrumented build.  Modes are interleaved and the min over N
+   repeats compared, so scheduler noise largely cancels.
 2. **Analytic estimate**: per-call disabled span cost (microbenchmark)
    × the span count of an enabled run, as a fraction of the runtime.
 3. **Enabled-mode ratio**, reported for context (not gated): what a
    ``--trace`` run actually costs.
 
+Workloads: the e4/e6 quick claim runs (single-process hot loops) and a
+pooled churn batch (``TileWorkerPool``, 2 workers — the stub context
+wraps pool construction, so the workers fork with the stubbed modules
+and the A/B covers the cross-process telemetry path too; pool build and
+teardown stay outside the timed window).
+
 Exit status 1 if any workload's A/B ratio exceeds the threshold
 (default 5%), so CI can run this file directly::
 
     python benchmarks/bench_obs_overhead.py --repeats 7
+
+``--benchmark-json PATH`` additionally writes the disabled-mode means
+in the ``BENCH_baseline.json`` dict format, so
+``check_regression.py`` can gate them like the pytest-benchmark lanes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.tables import render_table
 from repro.harness.cache import clear_cache
 from repro.harness.registry import REGISTRY, build_rows
-from repro.obs import metrics, trace
+from repro.obs import metrics, telemetry, trace
 
 WORKLOADS = ("e4", "e6")
 
@@ -50,19 +65,65 @@ def _timed(cid: str) -> float:
 
 
 class _Uninstrumented:
-    """Stub the obs entry points to constant-return functions."""
+    """Stub the obs entry points to constant-return functions.
+
+    Also stubs :func:`repro.obs.telemetry.resource_sample` (the per-reply
+    ``/proc`` reads pool workers ship regardless of tracing), so the
+    pooled A/B measures the full telemetry-disabled surface.  Pool
+    workers forked inside this context inherit the stubbed modules.
+    """
 
     def __enter__(self):
-        self._saved = (trace.span, trace.active, metrics.active)
+        self._saved = (trace.span, trace.active, metrics.active, telemetry.resource_sample)
         noop = trace.NOOP_SPAN
+        sample = {"pid": 0, "ts": 0.0, "rss_bytes": 0, "cpu_user_s": 0.0, "cpu_sys_s": 0.0}
         trace.span = lambda name, **args: noop
         trace.active = lambda: None
         metrics.active = lambda: None
+        telemetry.resource_sample = lambda pid="self": dict(sample)
         return self
 
     def __exit__(self, *exc):
-        trace.span, trace.active, metrics.active = self._saved
+        trace.span, trace.active, metrics.active, telemetry.resource_sample = self._saved
         return False
+
+
+def _pool_layout(n: int = 600, batch: int = 12, batches: int = 5, seed: int = 17):
+    """Points + event trace for the pooled churn workload (built once)."""
+    import numpy as np
+
+    from repro import max_range_for_connectivity, random_event_trace, uniform_points
+
+    pts = uniform_points(n, rng=seed)
+    d0 = max_range_for_connectivity(pts, slack=1.5)
+    tr = random_event_trace(
+        pts, batch * batches, move_sigma=d0 / 2.0, rng=np.random.default_rng(seed)
+    )
+    return pts, d0, list(tr.events()), batch
+
+
+def _timed_pool(layout) -> float:
+    """One pooled churn run; pool build/teardown outside the timed window.
+
+    The incremental state and the worker pool are rebuilt per call —
+    churn mutates the state, and the workers must fork under the mode
+    (stubbed / disabled / enabled) being measured.
+    """
+    from repro import DynamicInterference, IncrementalTheta
+    from repro.parallel import TileWorkerPool
+
+    pts, d0, events, batch = layout
+    inc = IncrementalTheta(pts, math.pi / 9, d0)
+    di = DynamicInterference(inc, 0.5)
+    cap = max([inc.size] + [int(ev.node) + 1 for ev in events]) + 16
+    pool = TileWorkerPool(inc, di, workers=2, capacity=cap)
+    try:
+        t0 = time.perf_counter()
+        for lo in range(0, len(events), batch):
+            pool.apply_batch(events[lo : lo + batch])
+        return time.perf_counter() - t0
+    finally:
+        pool.close()
 
 
 def _per_span_call_ns(iters: int = 200_000) -> float:
@@ -96,6 +157,13 @@ def main(argv: "list[str] | None" = None) -> int:
         default=0.05,
         help="max allowed disabled/uninstrumented slowdown (default 0.05 = 5%%)",
     )
+    parser.add_argument(
+        "--benchmark-json",
+        default=None,
+        metavar="PATH",
+        help="write the disabled-mode means as a BENCH_baseline.json-format "
+        "document for check_regression.py",
+    )
     args = parser.parse_args(argv)
 
     trace.disable()
@@ -103,6 +171,7 @@ def main(argv: "list[str] | None" = None) -> int:
     per_call = _per_span_call_ns()
 
     rows, failed = [], False
+    bench_means: "dict[str, float]" = {}
     for cid in WORKLOADS:
         _run(cid)  # warm the substrate cache once, outside timing
         disabled, stubbed, enabled = [], [], []
@@ -123,6 +192,7 @@ def main(argv: "list[str] | None" = None) -> int:
         estimate = spans * per_call / 1e9 / best_dis
         ok = ratio <= 1.0 + args.threshold
         failed |= not ok
+        bench_means[f"obs_overhead_disabled[{cid}]"] = best_dis
         rows.append(
             {
                 "workload": f"{cid} quick",
@@ -135,6 +205,53 @@ def main(argv: "list[str] | None" = None) -> int:
                 "gate": "pass" if ok else "FAIL",
             }
         )
+
+    # Pooled churn A/B: the cross-process path (worker spans, per-reply
+    # resource samples, diff-byte accounting) must also collapse when
+    # telemetry is off.  Fewer repeats — each one forks a 2-worker pool.
+    layout = _pool_layout()
+    pool_repeats = min(args.repeats, 3)
+    _timed_pool(layout)  # warm the fork/import machinery once
+    disabled, stubbed, enabled = [], [], []
+    pool_spans = 0
+    for _ in range(pool_repeats):
+        disabled.append(_timed_pool(layout))
+        with _Uninstrumented():
+            stubbed.append(_timed_pool(layout))
+        tracer = trace.enable(fresh=True)
+        metrics.enable(fresh=True)
+        try:
+            enabled.append(_timed_pool(layout))
+            pool_spans = tracer.total_appended
+        finally:
+            trace.disable()
+            metrics.disable()
+    best_dis, best_stub = min(disabled), min(stubbed)
+    ratio = best_dis / best_stub
+    ok = ratio <= 1.0 + args.threshold
+    failed |= not ok
+    bench_means["obs_overhead_disabled[pool-churn]"] = best_dis
+    rows.append(
+        {
+            "workload": "pool churn (2 workers)",
+            "uninstrumented_ms": round(best_stub * 1e3, 2),
+            "disabled_ms": round(best_dis * 1e3, 2),
+            "enabled_ms": round(min(enabled) * 1e3, 2),
+            "overhead": f"{(ratio - 1) * 100:+.2f}%",
+            "span_calls": pool_spans,
+            "analytic_est": f"{pool_spans * per_call / 1e9 / best_dis * 100:.3f}%",
+            "gate": "pass" if ok else "FAIL",
+        }
+    )
+
+    if args.benchmark_json:
+        doc = {
+            "comment": "disabled-mode means from benchmarks/bench_obs_overhead.py",
+            "benchmarks": {
+                name: {"mean_seconds": round(v, 6)} for name, v in bench_means.items()
+            },
+        }
+        Path(args.benchmark_json).write_text(json.dumps(doc, indent=2) + "\n")
 
     print(
         render_table(

@@ -32,9 +32,12 @@ progress and a persistent, queryable result store:
 
     python -m repro campaign run spec.json --jobs 4      # fan out the grid
     python -m repro campaign run spec.json --resume      # finish a killed run
+    python -m repro campaign run spec.json --live        # in-place progress
     python -m repro campaign cells spec.json             # expansion, no runs
     python -m repro query STORE --where claim=e1 --where n=96
     python -m repro query STORE --columns cell,passed --format csv
+    python -m repro top STORE                            # progress + workers
+    python -m repro top STORE --watch 2                  # refresh every 2s
 
 ``verify`` evaluates every selected claim's tolerance/bound predicate
 (see :mod:`repro.harness.registry`), writes one JSON record per claim
@@ -446,6 +449,16 @@ def _campaign_main(argv: "list[str]") -> int:
         help="stop after K cells complete in this invocation, leaving the "
         "store resumable (exit 3 while cells remain)",
     )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="run: render an in-place progress panel (cells done, "
+        "per-worker throughput, RSS) as results arrive",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="run: capture a span trace covering every cell (workers "
+        "included) and export it into DIR",
+    )
     args = parser.parse_args(argv)
     try:
         spec = load_spec(args.spec)
@@ -459,6 +472,9 @@ def _campaign_main(argv: "list[str]") -> int:
             rows, title=f"campaign {spec.name!r} — {len(rows)} cells"))
         return 0
 
+    trace_dir = args.trace or os.environ.get("REPRO_TRACE") or None
+    if trace_dir:
+        obs.enable()
     try:
         store_dir = (
             args.store
@@ -471,11 +487,14 @@ def _campaign_main(argv: "list[str]") -> int:
             jobs=args.jobs,
             resume=args.resume,
             max_cells=args.max_cells,
-            progress=print,
+            progress=None if args.live else print,
+            live=args.live,
         )
     except (ResultsDirError, StoreError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
+    if trace_dir:
+        _export_trace(trace_dir)
     if report.rows:
         print()
         print(tables.render_table(
@@ -504,6 +523,38 @@ def _campaign_main(argv: "list[str]") -> int:
         return 1
     print(f"campaign complete: all {report.n_cells} cells hold")
     return 0
+
+
+def _top_main(argv: "list[str]") -> int:
+    """``python -m repro top STORE [--watch SEC]``."""
+    from repro.obs import telemetry
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Show a campaign store's live progress and per-worker "
+        "resource usage from its telemetry.jsonl snapshot stream (works on "
+        "running and finished campaigns alike).",
+    )
+    parser.add_argument("store", help="campaign store directory")
+    parser.add_argument(
+        "--watch", type=float, default=None, metavar="SEC",
+        help="refresh every SEC seconds until interrupted",
+    )
+    args = parser.parse_args(argv)
+    try:
+        while True:
+            text = telemetry.render_top(args.store)
+            if args.watch and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(text)
+            if not args.watch:
+                return 0
+            time.sleep(args.watch)
+    except FileNotFoundError as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
 
 
 def _query_main(argv: "list[str]") -> int:
@@ -569,6 +620,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _campaign_main(argv[1:])
     if argv and argv[0] == "query":
         return _query_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate and verify the paper-reproduction experiment tables.",
@@ -576,7 +629,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (e1..e24), 'all', 'list', 'verify', 'report', "
-        "'dynamic', 'campaign', or 'query'",
+        "'dynamic', 'campaign', 'query', or 'top'",
     )
     parser.add_argument(
         "path",

@@ -11,6 +11,17 @@ Resumability: the parent writes each record + manifest mark as results
 arrive (``imap_unordered``), never ahead of completion, so killing the
 run at any point loses at most the in-flight cells.  ``resume=True``
 skips every cell already on the manifest.
+
+Telemetry: every cell record carries a ``worker`` resource sample (pid,
+RSS, CPU time — :func:`repro.obs.telemetry.resource_sample`), and the
+parent appends ``repro-telemetry/v1`` progress snapshots to the store's
+``telemetry.jsonl`` as cells complete (throttled; always one final
+forced snapshot).  ``live=True`` additionally renders those snapshots
+in place (``campaign run --live``); ``python -m repro top STORE`` reads
+the same stream after the fact.  When the parent traces
+(``--trace DIR``), workers ship their span events and metrics deltas
+back inside each record and the parent merges them, so one exported
+trace covers the whole fan-out.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from repro.campaign.store import CampaignStore
 from repro.harness import cache
 from repro.harness.registry import REGISTRY
 from repro.harness.runner import pool_context
+from repro.obs import metrics, telemetry, trace
 
 __all__ = ["CampaignReport", "run_campaign", "run_cell"]
 
@@ -48,11 +60,22 @@ class CampaignReport:
 
 
 def run_cell(cell: Cell, *, check: bool = True) -> dict:
-    """Execute one cell in-process and return its (pre-jsonify) record."""
+    """Execute one cell in-process and return its (pre-jsonify) record.
+
+    The record always carries a ``worker`` resource sample of the
+    executing process.  When the process traces (the parent enabled
+    ``--trace`` before forking the pool), a ``telemetry`` key carries
+    the cell's span events and — in pool workers — the worker registry's
+    metrics delta; :func:`run_campaign` merges and strips it before the
+    record is stored.
+    """
     claim = REGISTRY[cell.claim]
+    tracer = telemetry.worker_tracer()
+    mark = tracer.total_appended if tracer is not None else 0
     stats_before = cache.cache_stats()
     t0 = time.perf_counter()
-    rows = claim.harness()(**dict(cell.params), rng=cell.seed)
+    with trace.span("campaign.cell", cell=cell.cell_id, claim=cell.claim):
+        rows = claim.harness()(**dict(cell.params), rng=cell.seed)
     runtime = time.perf_counter() - t0
     failures: "list[str]" = []
     if check:
@@ -60,7 +83,7 @@ def run_cell(cell: Cell, *, check: bool = True) -> dict:
             failures = list(claim.check(rows, cell.profile))
         except Exception as exc:  # a crashed predicate fails the cell, not the run
             failures = [f"predicate raised {type(exc).__name__}: {exc}"]
-    return {
+    record = {
         "cell": cell.cell_id,
         "claim": cell.claim,
         "title": claim.title,
@@ -75,7 +98,17 @@ def run_cell(cell: Cell, *, check: bool = True) -> dict:
         "failures": failures,
         "runtime_seconds": round(runtime, 3),
         "cache": {k: cache.cache_stats()[k] - stats_before[k] for k in stats_before},
+        "worker": telemetry.resource_sample(),
     }
+    events, _ = telemetry.drain_events(tracer, mark)
+    if tracer is not None and tracer.foreign:
+        tele: dict = {"events": events}
+        reg = metrics.active()
+        if reg is not None:
+            tele["metrics"] = reg.snapshot()
+            reg.clear()  # next cell in this worker ships its own delta
+        record["telemetry"] = tele
+    return record
 
 
 def _worker(task: "tuple[Cell, bool]") -> dict:
@@ -91,12 +124,15 @@ def run_campaign(
     resume: bool = False,
     max_cells: "int | None" = None,
     progress: "Callable[[str], None] | None" = None,
+    live: bool = False,
+    live_stream=None,
 ) -> CampaignReport:
     """Run (or resume) ``spec`` into the store at ``store_dir``.
 
     ``max_cells`` stops after that many cells have completed in *this*
     invocation, leaving the store resumable — the deterministic
-    mid-run interruption CI and the tests lean on.
+    mid-run interruption CI and the tests lean on.  ``live`` renders
+    in-place progress panels to ``live_stream`` (default stdout).
     """
     say = progress or (lambda _msg: None)
     store_dir = Path(store_dir)
@@ -118,14 +154,62 @@ def run_campaign(
     n_run = n_failed = 0
     summary_rows: "list[dict]" = []
     tasks = [(cell, spec.check) for cell in todo]
+    writer = telemetry.TelemetryWriter(store.telemetry_path)
+    sampler = telemetry.ResourceSampler()
+    view = telemetry.LiveView(stream=live_stream) if live else None
+    #: per-worker-pid throughput + latest resource sample
+    workers: "dict[str, dict]" = {}
+
+    def _snapshot() -> dict:
+        elapsed = time.perf_counter() - t0
+        n_done = len(done) + n_run
+        return {
+            "kind": "campaign",
+            "ts": time.time(),
+            "name": spec.name,
+            "cells": {
+                "total": len(cells),
+                "done": n_done,
+                "failed": n_failed,
+                "remaining": len(cells) - n_done,
+            },
+            "workers": workers,
+            "parent": sampler.sample(),
+            "elapsed_s": elapsed,
+            "rate_cells_per_s": n_run / elapsed if elapsed > 0 else 0.0,
+        }
 
     def _consume(record: dict) -> None:
         nonlocal n_run, n_failed
+        # Merge (and strip) worker-shipped trace events and metrics
+        # deltas before the record hits disk — they belong in the
+        # parent's export, not in every cell file.
+        tele = record.pop("telemetry", None)
+        if tele:
+            tracer = trace.active()
+            if tracer is not None and tele.get("events"):
+                tracer.ingest(tele["events"])
+            reg = metrics.active()
+            if reg is not None and tele.get("metrics"):
+                reg.merge(tele["metrics"])
+        w = record.get("worker") or {}
+        slot = workers.setdefault(
+            str(w.get("pid", "?")), {"cells": 0, "cell_seconds": 0.0}
+        )
+        slot["cells"] += 1
+        slot["cell_seconds"] += float(record.get("runtime_seconds", 0.0))
+        for key in ("rss_bytes", "cpu_user_s", "cpu_sys_s"):
+            if key in w:
+                slot[key] = w[key]
         store.write_cell(record)
         n_run += 1
         if not record["passed"]:
             n_failed += 1
         status = "ok" if record["passed"] else "FAIL"
+        snap = _snapshot()
+        writer.write(snap)
+        if view is not None:
+            view.update(snap, title=f"campaign {spec.name!r}")
         say(
             f"[{len(done) + n_run}/{len(cells)}] {record['cell']} "
             f"{status} ({record['runtime_seconds']:.2f}s)"
@@ -150,6 +234,10 @@ def run_campaign(
             for record in pool.imap_unordered(_worker, tasks, chunksize=1):
                 _consume(record)
 
+    final_snap = _snapshot()
+    writer.write(final_snap, force=True)
+    if view is not None:
+        view.close(final_snap, title=f"campaign {spec.name!r}")
     stopped_early = max_cells is not None and len(todo) < len(cells) - len(done)
     return CampaignReport(
         store=store_dir,

@@ -5,6 +5,7 @@ Layout of ``repro-campaign-store/v1``::
     <store>/
       store.json        # schema marker + the pinned spec + cell count
       manifest.jsonl    # one line per COMPLETED cell (append-only)
+      telemetry.jsonl   # repro-telemetry/v1 progress snapshots (append-only)
       cells/<id>.json   # one repro-campaign-cell/v1 record per cell
 
 The manifest is the resume contract: a cell id appears on it only
@@ -124,6 +125,11 @@ class CampaignStore:
     @property
     def manifest_path(self) -> Path:
         return self.root / "manifest.jsonl"
+
+    @property
+    def telemetry_path(self) -> Path:
+        """The ``repro-telemetry/v1`` snapshot stream ``campaign run`` appends."""
+        return self.root / "telemetry.jsonl"
 
     def completed_ids(self) -> "set[str]":
         """Cell ids marked complete (tolerates a torn trailing line)."""

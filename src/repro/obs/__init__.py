@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, telemetry, trace
 
 __all__ = [
     "SERIES_SCHEMA",
@@ -33,6 +33,7 @@ __all__ = [
     "export",
     "is_enabled",
     "metrics",
+    "telemetry",
     "trace",
 ]
 
@@ -58,8 +59,9 @@ def is_enabled() -> bool:
 def export(directory: "str | Path", *, tracer: "trace.Tracer | None" = None) -> "dict[str, Path]":
     """Write every capture of the active (or given) tracer to ``directory``.
 
-    Produces ``trace.jsonl``, ``trace.chrome.json``, ``series.json``
-    and ``metrics.json``; returns the paths keyed by artifact name.
+    Produces ``trace.jsonl``, ``trace.chrome.json``, ``series.json``,
+    ``metrics.json`` and ``metrics.om`` (the OpenMetrics text rendering
+    of the same snapshot); returns the paths keyed by artifact name.
     """
     tr = tracer if tracer is not None else trace.active()
     if tr is None:
@@ -79,8 +81,9 @@ def export(directory: "str | Path", *, tracer: "trace.Tracer | None" = None) -> 
     paths["series"] = directory / "series.json"
     paths["series"].write_text(json.dumps(series_doc, default=str) + "\n")
     reg = metrics.active()
+    snapshot = reg.snapshot() if reg is not None else {}
     paths["metrics"] = directory / "metrics.json"
-    paths["metrics"].write_text(
-        json.dumps(reg.snapshot() if reg is not None else {}, default=str, indent=2) + "\n"
-    )
+    paths["metrics"].write_text(json.dumps(snapshot, default=str, indent=2) + "\n")
+    paths["openmetrics"] = directory / "metrics.om"
+    paths["openmetrics"].write_text(telemetry.to_openmetrics(snapshot))
     return paths

@@ -133,6 +133,29 @@ class MetricsRegistry:
             },
         }
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold a foreign :meth:`snapshot` (e.g. a pool worker's) in.
+
+        Counters and histogram count/total add; min/max widen; gauges
+        adopt the foreign current value (last merge wins — workers
+        report in completion order) and widen ``max_value``.  Used by
+        the campaign runner to merge per-cell worker registries into
+        the parent's, so one exported ``metrics.json``/OpenMetrics page
+        covers the whole fan-out.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, g in snapshot.get("gauges", {}).items():
+            inst = self.gauge(name)
+            inst.value = float(g["value"])
+            inst.max_value = max(inst.max_value, float(g["max"]))
+        for name, h in snapshot.get("histograms", {}).items():
+            inst = self.histogram(name)
+            inst.count += int(h["count"])
+            inst.total += float(h["total"])
+            inst.min = min(inst.min, float(h["min"]))
+            inst.max = max(inst.max, float(h["max"]))
+
     def clear(self) -> None:
         self._counters.clear()
         self._gauges.clear()

@@ -116,6 +116,11 @@ class Tracer:
         silently.
     """
 
+    #: set by :func:`repro.obs.telemetry.worker_tracer` on tracers it
+    #: creates inside fork-pool workers — events on a foreign tracer
+    #: must be drained back to the parent through the result channel.
+    foreign = False
+
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -284,10 +289,12 @@ def chrome_trace_events(events: "Iterable[dict]") -> "list[dict]":
 
     Timestamps become microseconds (the format's unit); the recording
     pid doubles as the tid so multi-process traces get one row per
-    worker in Perfetto.
+    worker in Perfetto.  Events are ordered by ``(pid, ts)`` — merged
+    multi-process captures (pool workers arrive batched, out of line
+    with the parent's spans) still render each track monotonically.
     """
     out = []
-    for ev in events:
+    for ev in sorted(events, key=lambda e: (int(e.get("pid", 0)), e["ts_ns"])):
         pid = int(ev.get("pid", 0))
         out.append(
             {

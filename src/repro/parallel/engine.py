@@ -51,6 +51,7 @@ from repro.graphs.base import GeometricGraph
 from repro.graphs.yao import yao_out_edges
 from repro.harness.runner import pool_context
 from repro.interference.conflict import InterferenceSets, interference_sets
+from repro.obs import telemetry, trace
 from repro.parallel.shm import ShmArena, attach
 from repro.parallel.tiles import TileGrid
 from repro.utils.arrays import ragged_arange, run_starts
@@ -116,40 +117,48 @@ class TiledTheta:
 # ---------------------------------------------------------------------------
 
 
-def _theta_tile_task(task) -> "tuple[int, int, int, int, float]":
+def _theta_tile_task(task) -> "tuple[int, int, int, int, float, list]":
     """Phase-1/2 admissions for the receivers owned by one tile.
 
     Writes the admitted directed pairs (global ids) into this tile's
     slice of the shared output slab; returns
-    ``(tile, owned, subset, pairs_written, wall)``.
+    ``(tile, owned, subset, pairs_written, wall, trace_events)`` — the
+    trailing list carries the worker-side span events (empty unless the
+    parent traced at fork time; the parent ingests them so per-tile
+    phases land on each worker's track).
     """
     (pts_h, out_h, offset_row, grid, t, theta, max_range, cone_offset) = task
+    tracer = telemetry.worker_tracer()
+    mark = tracer.total_appended if tracer is not None else 0
     t0 = time.perf_counter()
     pts, pts_seg = attach(pts_h)
     out, out_seg = attach(out_h)
     try:
-        halo = 2.0 * max_range * (1.0 + _HALO_SLACK)
-        sub_ids = np.nonzero(grid.halo_mask(pts, t, halo))[0]
-        sub_pts = pts[sub_ids]
-        owned_local = grid.tile_of_many(sub_pts) == t
-        n_owned = int(owned_local.sum())
-        count = 0
-        if n_owned and len(sub_ids) >= 2:
-            part = SectorPartition(theta, cone_offset)
-            directed = yao_out_edges(sub_pts, theta, max_range, offset=cone_offset)
-            if len(directed):
-                src, dst = directed[:, 0], directed[:, 1]
-                d = sub_pts[src] - sub_pts[dst]
-                ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
-                sec_in = np.atleast_1d(part.index_of_angle(ang))
-                dist = np.hypot(d[:, 0], d[:, 1])
-                order = np.lexsort((src, dist, sec_in, dst))
-                sel = order[run_starts(dst[order], sec_in[order])]
-                sel = sel[owned_local[dst[sel]]]
-                count = len(sel)
-                out[offset_row : offset_row + count, 0] = sub_ids[src[sel]]
-                out[offset_row : offset_row + count, 1] = sub_ids[dst[sel]]
-        return t, n_owned, len(sub_ids), count, time.perf_counter() - t0
+        with trace.span("tile.theta", tile=t) as sp:
+            halo = 2.0 * max_range * (1.0 + _HALO_SLACK)
+            sub_ids = np.nonzero(grid.halo_mask(pts, t, halo))[0]
+            sub_pts = pts[sub_ids]
+            owned_local = grid.tile_of_many(sub_pts) == t
+            n_owned = int(owned_local.sum())
+            count = 0
+            if n_owned and len(sub_ids) >= 2:
+                part = SectorPartition(theta, cone_offset)
+                directed = yao_out_edges(sub_pts, theta, max_range, offset=cone_offset)
+                if len(directed):
+                    src, dst = directed[:, 0], directed[:, 1]
+                    d = sub_pts[src] - sub_pts[dst]
+                    ang = np.mod(np.arctan2(d[:, 1], d[:, 0]), TWO_PI)
+                    sec_in = np.atleast_1d(part.index_of_angle(ang))
+                    dist = np.hypot(d[:, 0], d[:, 1])
+                    order = np.lexsort((src, dist, sec_in, dst))
+                    sel = order[run_starts(dst[order], sec_in[order])]
+                    sel = sel[owned_local[dst[sel]]]
+                    count = len(sel)
+                    out[offset_row : offset_row + count, 0] = sub_ids[src[sel]]
+                    out[offset_row : offset_row + count, 1] = sub_ids[dst[sel]]
+            sp.set(owned=n_owned, subset=len(sub_ids), halo=len(sub_ids) - n_owned)
+        events, _ = telemetry.drain_events(tracer, mark)
+        return t, n_owned, len(sub_ids), count, time.perf_counter() - t0, events
     finally:
         pts_seg.close()
         out_seg.close()
@@ -158,29 +167,39 @@ def _theta_tile_task(task) -> "tuple[int, int, int, int, float]":
 def _conflict_tile_task(task):
     """Exact conflict rows for the edges owned by one tile.
 
-    Returns ``(tile, owned_eids, degrees, indices_global, subset, wall)``
-    — the CSR fragment of the owned rows in global edge ids.
+    Returns ``(tile, owned_eids, degrees, indices_global, subset, wall,
+    trace_events)`` — the CSR fragment of the owned rows in global edge
+    ids, plus the worker-side span events (see :func:`_theta_tile_task`).
     """
     (pts_h, edges_h, grid, t, delta, reach) = task
+    tracer = telemetry.worker_tracer()
+    mark = tracer.total_appended if tracer is not None else 0
     t0 = time.perf_counter()
     pts, pts_seg = attach(pts_h)
     edges, edges_seg = attach(edges_h)
     try:
-        emask = grid.halo_mask(pts[edges[:, 0]], t, reach) | grid.halo_mask(
-            pts[edges[:, 1]], t, reach
-        )
-        sub_eids = np.nonzero(emask)[0]
-        sub_edges = edges[sub_eids]
-        owned_sel = grid.tile_of_many(pts[sub_edges[:, 0]]) == t
-        empty = np.empty(0, dtype=np.int64)
-        if not owned_sel.any():
-            return t, empty, empty, empty, len(sub_eids), time.perf_counter() - t0
-        node_ids = np.unique(sub_edges)
-        local_edges = np.searchsorted(node_ids, sub_edges)
-        sub = GeometricGraph(pts[node_ids], local_edges)
-        sets = interference_sets(sub, delta)
-        deg = np.diff(sets.indptr)[owned_sel].astype(np.int64)
-        rows = sets.indices[ragged_arange(np.asarray(sets.indptr[:-1])[owned_sel], deg)]
+        with trace.span("tile.conflict", tile=t) as sp:
+            emask = grid.halo_mask(pts[edges[:, 0]], t, reach) | grid.halo_mask(
+                pts[edges[:, 1]], t, reach
+            )
+            sub_eids = np.nonzero(emask)[0]
+            sub_edges = edges[sub_eids]
+            owned_sel = grid.tile_of_many(pts[sub_edges[:, 0]]) == t
+            empty = np.empty(0, dtype=np.int64)
+            n_owned = int(owned_sel.sum())
+            if n_owned:
+                node_ids = np.unique(sub_edges)
+                local_edges = np.searchsorted(node_ids, sub_edges)
+                sub = GeometricGraph(pts[node_ids], local_edges)
+                sets = interference_sets(sub, delta)
+                deg = np.diff(sets.indptr)[owned_sel].astype(np.int64)
+                rows = sets.indices[
+                    ragged_arange(np.asarray(sets.indptr[:-1])[owned_sel], deg)
+                ]
+            sp.set(owned=n_owned, subset=len(sub_eids), halo=len(sub_eids) - n_owned)
+        events, _ = telemetry.drain_events(tracer, mark)
+        if not n_owned:
+            return t, empty, empty, empty, len(sub_eids), time.perf_counter() - t0, events
         return (
             t,
             sub_eids[owned_sel].astype(np.int64),
@@ -188,6 +207,7 @@ def _conflict_tile_task(task):
             sub_eids[rows].astype(np.int64),
             len(sub_eids),
             time.perf_counter() - t0,
+            events,
         )
     finally:
         pts_seg.close()
@@ -222,6 +242,21 @@ class TiledEngine:
         if self._pool is None:
             self._pool = pool_context().Pool(processes=self.workers)
         return self._pool.map(fn, tasks, chunksize=1)
+
+    @staticmethod
+    def _ingest_events(results) -> None:
+        """Merge the tile tasks' trailing trace-event lists, if tracing.
+
+        Events are only non-empty when the tasks ran in pool workers
+        (foreign tracers) — the in-process path records directly on the
+        parent tracer and drains nothing, so there is no double count.
+        """
+        tracer = trace.active()
+        if tracer is None:
+            return
+        for r in results:
+            if r[-1]:
+                tracer.ingest(r[-1])
 
     def close(self) -> None:
         if self._pool is not None:
@@ -274,7 +309,8 @@ class TiledEngine:
                 if owned_counts[t]
             ]
             results = self._run(_theta_tile_task, tasks)
-            chunks = [out[offs[t] : offs[t] + cnt] for t, _, _, cnt, _ in results]
+            self._ingest_events(results)
+            chunks = [out[offs[t] : offs[t] + cnt] for t, _, _, cnt, _, _ in results]
             kept = np.vstack(chunks) if chunks else np.empty((0, 2), dtype=np.int64)
             graph = GeometricGraph(pts, kept, kappa=kappa, name=f"TiledThetaALG(θ={theta:.4g})")
         stats = TileStats(
@@ -321,13 +357,14 @@ class TiledEngine:
             edges_h = arena.handle(arena.share(edges))
             tasks = [(pts_h, edges_h, grid, t, float(delta), reach) for t in range(grid.n_tiles)]
             results = self._run(_conflict_tile_task, tasks)
+        self._ingest_events(results)
         deg_full = np.zeros(m, dtype=np.int64)
-        for _, owned, deg, _, _, _ in results:
+        for _, owned, deg, _, _, _, _ in results:
             deg_full[owned] = deg
         indptr = np.zeros(m + 1, dtype=np.int64)
         np.cumsum(deg_full, out=indptr[1:])
         indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        for _, owned, deg, idx, _, _ in results:
+        for _, owned, deg, idx, _, _, _ in results:
             if len(owned):
                 indices[ragged_arange(indptr[:-1][owned], deg)] = idx
         stats = TileStats(

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import gc
 import os
+import pickle
 import time
 import traceback
 from multiprocessing.connection import wait as _mp_wait
@@ -54,6 +55,7 @@ from multiprocessing.connection import wait as _mp_wait
 from repro.dynamic.batching import BatchApplyStats, group_events, independence_radius
 from repro.dynamic.events import event_kind
 from repro.harness.runner import pool_context
+from repro.obs import metrics, telemetry, trace
 from repro.parallel.shm import ShmArena, WorkerCrashError
 from repro.parallel.tiles import TileGrid
 
@@ -75,7 +77,16 @@ def _diff_size(topo_diff: dict, row_diff: "dict | None") -> int:
 
 
 def _worker_main(wid: int, conn) -> None:
-    """Worker loop: apply foreign diffs, replay records, repair groups."""
+    """Worker loop: apply foreign diffs, replay records, repair groups.
+
+    Telemetry rides the existing reply channel: every message back to
+    the parent (the startup ``hello``, each batch's ``ok``, the
+    ``error`` path) carries a resource sample (RSS, CPU time via
+    ``/proc``), the batch counter, the last span reached — and, when
+    the parent traced at fork time, the span events recorded since the
+    previous reply, which the parent ``Tracer.ingest``-merges so one
+    Chrome trace shows a track per worker.
+    """
     # Freeze the fork-inherited heap out of the cyclic GC: a gen-2
     # collection relinks every tracked object's GC header, which would
     # copy-on-write the entire inherited topology state into each
@@ -84,6 +95,24 @@ def _worker_main(wid: int, conn) -> None:
     state = _FORK_STATE
     inc = state["inc"]
     di = state["di"]
+    tracer = telemetry.worker_tracer()
+    mark = tracer.total_appended if tracer is not None else 0
+    sampler = telemetry.ResourceSampler()
+    batch_no = 0
+    last_span = "start"
+
+    def _tele() -> dict:
+        nonlocal mark
+        tele = sampler.sample(worker=wid, batch=batch_no, last_span=last_span)
+        events, mark = telemetry.drain_events(tracer, mark)
+        if events:
+            tele["events"] = events
+        return tele
+
+    try:
+        conn.send(("hello", _tele()))
+    except (BrokenPipeError, OSError):
+        return
     while True:
         try:
             msg = conn.recv()
@@ -94,35 +123,52 @@ def _worker_main(wid: int, conn) -> None:
             return
         try:
             _, foreign, records, assigned = msg
-            for tdiff, rdiff in foreign:
-                inc.apply_repair_diff(tdiff)
-                if di is not None and rdiff is not None:
-                    di.apply_row_diff(rdiff, _sync=False)
-            for op, kind, node, old_key, new_key in records:
-                if kind == "fail":
-                    inc._failed.add(node)
-                elif kind == "recover":
-                    inc._failed.discard(node)
-                inc._index.apply_shared_mutation(op, node, old_key, new_key)
-            out = []
-            for gid, ctxs, moved in assigned:
-                rs, tdiff = inc._repair_batch(
-                    ctxs, kind="batch", node=-1, collect_diff=True
-                )
-                cs = rdiff = None
+            batch_no += 1
+            with trace.span(
+                "pool.batch", worker=wid, batch=batch_no, groups=len(assigned)
+            ):
+                last_span = "pool.replay"
+                with trace.span(
+                    "pool.replay", worker=wid, diffs=len(foreign), records=len(records)
+                ):
+                    for tdiff, rdiff in foreign:
+                        inc.apply_repair_diff(tdiff)
+                        if di is not None and rdiff is not None:
+                            di.apply_row_diff(rdiff, _sync=False)
+                    for op, kind, node, old_key, new_key in records:
+                        if kind == "fail":
+                            inc._failed.add(node)
+                        elif kind == "recover":
+                            inc._failed.discard(node)
+                        inc._index.apply_shared_mutation(op, node, old_key, new_key)
+                out = []
+                for gid, ctxs, moved in assigned:
+                    last_span = f"pool.repair_group:{gid}"
+                    with trace.span(
+                        "pool.repair_group", worker=wid, group=gid, events=len(ctxs)
+                    ) as sp:
+                        rs, tdiff = inc._repair_batch(
+                            ctxs, kind="batch", node=-1, collect_diff=True
+                        )
+                        cs = rdiff = None
+                        if di is not None:
+                            cs, rdiff = di.update(
+                                rs.edges_added, rs.edges_removed, moved,
+                                _sync=False, collect_diff=True,
+                            )
+                        sp.set(
+                            nodes_touched=rs.nodes_touched,
+                            diff_entries=_diff_size(tdiff, rdiff),
+                        )
+                    out.append((gid, rs, tdiff, cs, rdiff))
+                inc.topology_version += 1
                 if di is not None:
-                    cs, rdiff = di.update(
-                        rs.edges_added, rs.edges_removed, moved,
-                        _sync=False, collect_diff=True,
-                    )
-                out.append((gid, rs, tdiff, cs, rdiff))
-            inc.topology_version += 1
-            if di is not None:
-                di._mark_synced()
-            conn.send(("ok", out))
+                    di._mark_synced()
+            last_span = "idle"
+            conn.send(("ok", out, _tele()))
         except Exception:
             try:
-                conn.send(("error", traceback.format_exc()))
+                conn.send(("error", traceback.format_exc(), _tele()))
             finally:
                 return
 
@@ -192,6 +238,9 @@ class TileWorkerPool:
         self._conns = []
         #: Diffs of the previous batch, staged per worker (double buffer).
         self._pending: "list[list]" = [[] for _ in range(self.workers)]
+        #: Last telemetry snapshot received from each worker (hello or
+        #: batch reply) — the crash-postmortem payload.
+        self._last_tele: "dict[int, dict]" = {}
 
         global _FORK_STATE
         _FORK_STATE = {"inc": incremental, "di": interference}
@@ -207,6 +256,16 @@ class TileWorkerPool:
                 self._conns.append(parent_conn)
         finally:
             _FORK_STATE = None
+        # Startup handshake: every worker reports one telemetry sample
+        # before the first batch, so even a crash on batch 1 has a
+        # baseline snapshot, and a worker that dies during fork/import
+        # is detected here rather than mid-batch.
+        for wid in range(self.workers):
+            try:
+                msg = self._conns[wid].recv()
+            except (EOFError, OSError):
+                self._fail(wid)
+            self._adopt_telemetry(wid, msg[1])
 
     # ------------------------------------------------------------------
     # Batch protocol
@@ -220,6 +279,13 @@ class TileWorkerPool:
         """
         if self._closed:
             raise RuntimeError("TileWorkerPool is closed")
+        with trace.span(
+            "pool.apply_batch", events=len(events), workers=self.workers
+        ) as batch_span:
+            stats = self._apply_batch(events, radius=radius, batch_span=batch_span)
+        return stats
+
+    def _apply_batch(self, events, *, radius, batch_span) -> BatchApplyStats:
         t0 = time.perf_counter()
         inc = self.inc
         di = self.di
@@ -290,6 +356,8 @@ class TileWorkerPool:
         repairs = []
         conflict_repairs = []
         halo = 0
+        tracing = trace.is_enabled()
+        diff_bytes = 0
         for gid, wid, rs, tdiff, cs, rdiff in results:
             inc.apply_repair_diff(tdiff)
             if di is not None and rdiff is not None:
@@ -298,6 +366,10 @@ class TileWorkerPool:
             if cs is not None:
                 conflict_repairs.append(cs)
             halo += _diff_size(tdiff, rdiff)
+            if tracing:
+                # Wire size of the halo exchange: each diff pair travels
+                # pickled to every *other* worker in the next batch.
+                diff_bytes += len(pickle.dumps((tdiff, rdiff))) * (self.workers - 1)
             for other in range(self.workers):
                 if other != wid:
                     self._pending[other].append((tdiff, rdiff))
@@ -305,6 +377,21 @@ class TileWorkerPool:
         inc.topology_version += 1
         if di is not None:
             di._mark_synced()
+
+        batch_span.set(
+            groups=len(idx_groups), halo_entries=halo, diff_bytes=diff_bytes
+        )
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("pool.batches").inc()
+            reg.counter("pool.halo_entries").inc(halo)
+            reg.counter("pool.diff_bytes").inc(diff_bytes)
+            reg.gauge("pool.shm_bytes").set(self._arena.nbytes)
+            rss = [
+                t.get("rss_bytes", 0) for t in self._last_tele.values() if t
+            ]
+            if rss:
+                reg.gauge("pool.worker_rss_bytes").set(max(rss))
 
         return BatchApplyStats(
             events=len(events),
@@ -351,26 +438,51 @@ class TileWorkerPool:
                     msg = self._conns[wid].recv()
                 except (EOFError, OSError):
                     self._fail(wid)
+                self._adopt_telemetry(wid, msg[2])
                 if msg[0] == "error":
                     self._fail(wid, worker_traceback=msg[1])
                 replies[wid] = msg[1]
                 pending.discard(wid)
         return [replies[w] for w in range(self.workers)]
 
+    def _adopt_telemetry(self, wid: int, tele: "dict | None") -> None:
+        """Record a worker's reply telemetry; merge its span events."""
+        if not tele:
+            return
+        tele = dict(tele)
+        events = tele.pop("events", None)
+        if events:
+            tracer = trace.active()
+            if tracer is not None:
+                tracer.ingest(events)
+        self._last_tele[wid] = tele
+
     def _fail(self, wid: int, *, worker_traceback: "str | None" = None) -> None:
         """Tear everything down after a worker death and raise."""
         proc = self._procs[wid]
         exitcode = proc.exitcode
+        tele = self._last_tele.get(wid)
         self.close()
         detail = (
             f"worker {wid} raised:\n{worker_traceback}"
             if worker_traceback
             else f"worker {wid} (pid {proc.pid}) died with exit code {exitcode}"
         )
+        if tele:
+            detail += (
+                "; last telemetry: rss={:.1f}MB, cpu={:.2f}s, batch={}, "
+                "last_span={}".format(
+                    tele.get("rss_bytes", 0) / 1e6,
+                    tele.get("cpu_user_s", 0.0) + tele.get("cpu_sys_s", 0.0),
+                    tele.get("batch", "?"),
+                    tele.get("last_span", "?"),
+                )
+            )
         raise WorkerCrashError(
             f"{detail}; the pool is closed, all shared-memory segments are "
             "unlinked, and the topology state may be mid-batch — rebuild "
-            "IncrementalTheta/DynamicInterference and a fresh TileWorkerPool"
+            "IncrementalTheta/DynamicInterference and a fresh TileWorkerPool",
+            telemetry=tele,
         )
 
     # ------------------------------------------------------------------

@@ -47,7 +47,17 @@ class WorkerCrashError(RuntimeError):
     Raised by the parent *after* it has terminated the surviving
     workers and unlinked every shared-memory segment, so the error
     never coexists with leaked ``/dev/shm`` entries.
+
+    ``telemetry`` carries the crashed worker's last telemetry snapshot
+    (RSS, CPU time, last span, batch id — see
+    :mod:`repro.obs.telemetry`), captured from its most recent reply or
+    its startup handshake, so a SIGKILL/OOM postmortem starts from the
+    worker's final observed state instead of a bare "worker died".
     """
+
+    def __init__(self, message: str, *, telemetry: "dict | None" = None) -> None:
+        super().__init__(message)
+        self.telemetry = telemetry
 
 
 @dataclass(frozen=True)
@@ -137,6 +147,11 @@ class ShmArena:
     def names(self) -> "list[str]":
         """Segment names currently owned (empty after :meth:`close`)."""
         return [seg.name for seg in self._segments]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently pinned in shared memory (0 after :meth:`close`)."""
+        return sum(seg.size for seg in self._segments)
 
     # -- teardown ----------------------------------------------------------
     def close(self) -> None:

@@ -202,7 +202,7 @@ class TestResume:
         run_campaign(spec, tmp_path / "b")
 
         def strip(rec):
-            return {k: v for k, v in rec.items() if k not in ("runtime_seconds", "cache")}
+            return {k: v for k, v in rec.items() if k not in ("runtime_seconds", "cache", "worker")}
 
         recs_a = [strip(r) for r in CampaignStore.open(tmp_path / "a").cell_records()]
         recs_b = [strip(r) for r in CampaignStore.open(tmp_path / "b").cell_records()]
@@ -396,9 +396,101 @@ class TestPoolExecution:
         run_campaign(spec, tmp_path / "pool", jobs=2)
 
         def strip(rec):
-            return {k: v for k, v in rec.items() if k not in ("runtime_seconds", "cache")}
+            return {k: v for k, v in rec.items() if k not in ("runtime_seconds", "cache", "worker")}
 
         serial = [strip(r) for r in CampaignStore.open(tmp_path / "serial").cell_records()]
         pooled = [strip(r) for r in CampaignStore.open(tmp_path / "pool").cell_records()]
         assert serial == pooled
         assert all(r["passed"] for r in serial)
+
+
+class TestCampaignTelemetry:
+    def test_store_grows_a_snapshot_stream(self, tmp_path, fake_claim):
+        from repro.obs.telemetry import read_snapshots
+
+        spec = load_spec(write_spec(tmp_path, FAKE_SPEC_DOC))
+        run_campaign(spec, tmp_path / "s")
+        store = CampaignStore.open(tmp_path / "s")
+        snaps = read_snapshots(store.telemetry_path)
+        assert snaps, "run_campaign wrote no telemetry snapshots"
+        final = snaps[-1]
+        assert final["kind"] == "campaign"
+        assert final["name"] == "fake"
+        assert final["cells"] == {"total": 4, "done": 4, "failed": 0, "remaining": 0}
+        assert final["parent"]["rss_bytes"] > 0
+        # One worker slot (jobs=1 runs in-process) with all 4 cells on it.
+        (slot,) = final["workers"].values()
+        assert slot["cells"] == 4
+        assert slot["rss_bytes"] > 0
+
+    def test_records_carry_worker_samples(self, tmp_path, fake_claim):
+        import os
+
+        spec = load_spec(write_spec(tmp_path, FAKE_SPEC_DOC))
+        run_campaign(spec, tmp_path / "s")
+        for rec in CampaignStore.open(tmp_path / "s").cell_records():
+            w = rec["worker"]
+            assert w["pid"] == os.getpid()  # jobs=1: in-process
+            assert w["rss_bytes"] > 0
+            assert "telemetry" not in rec  # merged + stripped before disk
+
+    def test_pooled_snapshot_tracks_worker_pids(self, tmp_path, fake_claim):
+        from repro.obs.telemetry import read_snapshots
+
+        spec = load_spec(write_spec(tmp_path, FAKE_SPEC_DOC))
+        run_campaign(spec, tmp_path / "s", jobs=2)
+        final = read_snapshots(CampaignStore.open(tmp_path / "s").telemetry_path)[-1]
+        assert sum(w["cells"] for w in final["workers"].values()) == 4
+        assert final["cells"]["done"] == 4
+
+    def test_live_view_writes_to_stream(self, tmp_path, fake_claim):
+        import io
+
+        buf = io.StringIO()
+        spec = load_spec(write_spec(tmp_path, FAKE_SPEC_DOC))
+        run_campaign(spec, tmp_path / "s", live=True, live_stream=buf)
+        out = buf.getvalue()
+        # Non-TTY: one compact line per cell, then the final full panel.
+        assert out.count("live: ") == 4
+        assert "live: 4/4 done, 0 failed" in out
+        assert "4/4 done, 0 failed, 0 remaining" in out
+
+    def test_cli_live_flag(self, tmp_path, fake_claim, capsys):
+        spec_path = write_spec(tmp_path, FAKE_SPEC_DOC)
+        assert main([
+            "campaign", "run", str(spec_path), "--store", str(tmp_path / "s"), "--live",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live: " in out
+        assert "campaign complete: all 4 cells hold" in out
+
+    def test_final_snapshot_forced_even_for_noop_resume(self, tmp_path, fake_claim):
+        from repro.obs.telemetry import read_snapshots
+
+        spec = load_spec(write_spec(tmp_path, FAKE_SPEC_DOC))
+        run_campaign(spec, tmp_path / "s")
+        store = CampaignStore.open(tmp_path / "s")
+        before = len(read_snapshots(store.telemetry_path))
+        run_campaign(spec, tmp_path / "s", resume=True)  # nothing left to run
+        snaps = read_snapshots(store.telemetry_path)
+        assert len(snaps) > before  # the forced final write still lands
+        assert snaps[-1]["cells"]["done"] == 4
+
+    def test_traced_campaign_merges_cell_spans(self, tmp_path, fake_claim):
+        from repro import obs
+        from repro.obs import trace
+
+        tracer = obs.enable(fresh=True)
+        try:
+            spec = load_spec(write_spec(tmp_path, FAKE_SPEC_DOC))
+            run_campaign(spec, tmp_path / "s", jobs=2)
+            cell_spans = [
+                e for e in tracer.events() if e["name"] == "campaign.cell"
+            ]
+            assert len(cell_spans) == 4
+            assert len({e["pid"] for e in cell_spans}) >= 2, (
+                "expected spans from >= 2 pool workers"
+            )
+            assert trace.active() is tracer  # pool teardown left the parent tracer
+        finally:
+            obs.disable()

@@ -171,3 +171,73 @@ class TestTraceCapture:
         assert main(["verify", "--quick", "--only", "e5"]) == 0
         capsys.readouterr()
         assert obs_trace.active() is None
+
+
+class TestProcessBackendTrace:
+    def test_dynamic_process_trace_has_worker_events(
+        self, capsys, tmp_path, obs_off_after
+    ):
+        """Satellite fix: a traced process-backend churn run must carry
+        worker-side span events, not just the parent's."""
+        import os
+
+        tdir = tmp_path / "trace"
+        assert main([
+            "dynamic", "--n", "200", "--churn", "0.02", "--steps", "5",
+            "--parallel", "--backend", "process", "--workers", "2",
+            "--trace", str(tdir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend: process" in out
+        events = [
+            json.loads(line) for line in (tdir / "trace.jsonl").read_text().splitlines()
+        ]
+        pids = {e["pid"] for e in events}
+        assert os.getpid() in pids
+        assert len(pids) >= 3, f"no worker events in trace, pids={pids}"
+        names = {e["name"] for e in events}
+        assert "pool.apply_batch" in names
+        assert "pool.batch" in names  # executed in the workers
+        assert (tdir / "metrics.om").is_file()
+        text = (tdir / "metrics.om").read_text()
+        assert text.endswith("# EOF\n")
+        assert 'name="pool.batches"' in text
+
+
+class TestTop:
+    def _fake_store(self, tmp_path):
+        from repro.obs import telemetry
+
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "store.json").write_text(json.dumps({"name": "unit"}))
+        telemetry.TelemetryWriter(store / "telemetry.jsonl", interval=0.0).write({
+            "kind": "campaign",
+            "ts": 1.0,
+            "name": "unit",
+            "cells": {"total": 4, "done": 3, "failed": 0, "remaining": 1},
+            "workers": {"9": {"cells": 3, "cell_seconds": 0.4, "rss_bytes": 1e7}},
+            "parent": {"pid": 8, "rss_bytes": 2e7, "cpu_user_s": 1.0, "cpu_sys_s": 0.1},
+            "elapsed_s": 2.0,
+            "rate_cells_per_s": 1.5,
+        })
+        return store
+
+    def test_top_renders_store(self, capsys, tmp_path):
+        store = self._fake_store(tmp_path)
+        assert main(["top", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'unit'" in out
+        assert "3/4 done" in out
+        assert "workers — 1 processes" in out
+
+    def test_top_missing_store_exits_2(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "nope")]) == 2
+        assert "store.json" in capsys.readouterr().err
+
+    def test_top_store_without_telemetry(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "store.json").write_text(json.dumps({"name": "unit"}))
+        assert main(["top", str(store)]) == 0
+        assert "no telemetry.jsonl snapshots yet" in capsys.readouterr().out

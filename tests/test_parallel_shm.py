@@ -100,8 +100,16 @@ class TestPoolLifecycle:
         victim.join(timeout=5.0)
         node = int(inc.alive_ids()[0])
         x, y = (float(v) for v in inc._index.position(node))
-        with pytest.raises(WorkerCrashError, match="died with exit code"):
+        with pytest.raises(WorkerCrashError, match="died with exit code") as excinfo:
             pool.apply_batch([NodeMove(node=node, x=x + 1e-3, y=y)])
+        # the error carries the victim's last telemetry snapshot (shipped
+        # with the startup handshake before the SIGKILL landed)
+        err = excinfo.value
+        assert err.telemetry is not None
+        assert err.telemetry["rss_bytes"] > 0
+        assert err.telemetry["batch"] == 0  # died before its first batch
+        assert "last telemetry" in str(err)
+        assert "rss=" in str(err) and "batch=0" in str(err)
         # the crash path closed the pool and unlinked everything
         assert pool._closed
         assert not any(_segment_exists(n) for n in names)
