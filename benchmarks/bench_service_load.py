@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Gate: session-service load — throughput, p99 latency, exact streams.
+
+Starts a :class:`repro.service.server.ServiceServer` on a loopback
+port and drives it with an asyncio client swarm: ``--sessions``
+concurrent sessions (default 8), each with ``--subscribers`` SSE
+stream consumers attached (default 2), each stepped through
+``--rounds`` keep-alive ``POST .../step?steps=k`` requests while churn
+events are injected mid-run.  Three gates:
+
+1. every subscriber's stream reconciles **exactly** — hello baseline
+   plus the sum of received step deltas equals the session's final
+   ``RoutingStats`` (and the gauge rows arrive in step order);
+2. p99 step-request latency stays under ``--p99-budget`` seconds;
+3. sustained step throughput stays above ``--min-steps-per-sec``.
+
+Exit status 1 on any gate failure, so CI can run this file directly::
+
+    python benchmarks/bench_service_load.py --sessions 8 --subscribers 2
+
+``--benchmark-json PATH`` writes the latency means in the
+``BENCH_baseline.json`` dict format for ``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.tables import render_table
+from repro.obs.metrics import StepSeries
+from repro.service.server import ServiceServer
+
+RECONCILE_FIELDS = (
+    StepSeries.COUNTER_FIELDS + StepSeries.ENERGY_FIELDS + StepSeries.CHURN_FIELDS
+)
+
+
+class Client:
+    """One keep-alive HTTP/1.1 connection to the service."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port: int) -> "Client":
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def request(self, method: str, path: str, body=None):
+        payload = json.dumps(body).encode() if body is not None else b""
+        self.writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nhost: bench\r\n"
+                f"content-length: {len(payload)}\r\n\r\n"
+            ).encode()
+            + payload
+        )
+        await self.writer.drain()
+        head = (await self.reader.readuntil(b"\r\n\r\n")).decode("latin-1")
+        status = int(head.split(" ", 2)[1])
+        length = 0
+        for line in head.split("\r\n")[1:]:
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1])
+        raw = await self.reader.readexactly(length) if length else b""
+        return status, json.loads(raw) if raw else None
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+async def subscribe(port: int, sid: str):
+    """Attach one SSE consumer; returns a task resolving to its events."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET /v1/sessions/{sid}/series HTTP/1.1\r\nhost: b\r\n\r\n".encode())
+    await writer.drain()
+    await reader.readuntil(b"\r\n\r\n")
+
+    async def consume():
+        events, buf = [], b""
+        while True:
+            while b"\n\n" in buf:
+                block, buf = buf.split(b"\n\n", 1)
+                text = block.decode().strip()
+                if not text or text.startswith(":"):
+                    continue
+                fields = dict(ln.split(": ", 1) for ln in text.split("\n") if ": " in ln)
+                events.append((fields["event"], json.loads(fields["data"])))
+                if events[-1][0] in ("end", "evicted"):
+                    writer.close()
+                    return events
+            chunk = await reader.read(65536)
+            if not chunk:
+                return events
+            buf += chunk
+
+    return asyncio.create_task(consume())
+
+
+def check_stream(events, final_stats: dict) -> "list[str]":
+    """Reconcile one subscriber's stream; returns mismatch descriptions."""
+    problems = []
+    if not events or events[0][0] != "hello":
+        return ["stream did not start with a hello frame"]
+    if events[-1][0] != "end":
+        return [f"stream ended with {events[-1][0]!r}, not 'end'"]
+    baseline = events[0][1]["baseline"]
+    deltas = [d for e, d in events if e == "step"]
+    steps = [d["step"] for d in deltas]
+    if steps != sorted(steps) or len(set(steps)) != len(steps):
+        problems.append("step rows out of order or duplicated")
+    for name in RECONCILE_FIELDS:
+        total = baseline[name] + sum(d[name] for d in deltas)
+        if name in final_stats and total != final_stats[name]:
+            problems.append(
+                f"{name}: baseline+deltas = {total}, final stats say {final_stats[name]}"
+            )
+    return problems
+
+
+async def drive_session(
+    port: int, *, n: int, rounds: int, steps_per_round: int, subscribers: int, seed: int,
+    latencies: "list[float]",
+):
+    """One session's full lifecycle; returns (streams_ok, problems)."""
+    client = await Client.connect(port)
+    try:
+        status, body = await client.request(
+            "POST", "/v1/sessions",
+            {"n": n, "seed": seed, "traffic_rate": 2.0, "name": f"load-{seed}"},
+        )
+        assert status == 201, body
+        sid = body["session"]["id"]
+        subs = [await subscribe(port, sid) for _ in range(subscribers)]
+        for r in range(rounds):
+            t0 = time.perf_counter()
+            status, body = await client.request(
+                "POST", f"/v1/sessions/{sid}/step?steps={steps_per_round}"
+            )
+            latencies.append(time.perf_counter() - t0)
+            assert status == 200, body
+            if r == rounds // 2:
+                # Mid-run churn: fail one node, inject a traffic burst.
+                status, body = await client.request(
+                    "POST", f"/v1/sessions/{sid}/events",
+                    {"events": [
+                        {"kind": "fail", "node": (seed % (n - 4)) + 2},
+                        {"kind": "inject", "node": 1, "dest": 0, "count": 5},
+                    ]},
+                )
+                assert status == 200, body
+        status, body = await client.request("DELETE", f"/v1/sessions/{sid}")
+        assert status == 200, body
+        final = body["final_stats"]
+        problems = []
+        for task in subs:
+            problems.extend(check_stream(await task, final))
+        return problems
+    finally:
+        client.close()
+
+
+async def run_load(args) -> dict:
+    server = ServiceServer(port=0, max_sessions=args.sessions, session_ttl=600.0)
+    await server.start()
+    latencies: "list[float]" = []
+    try:
+        t0 = time.perf_counter()
+        results = await asyncio.gather(
+            *(
+                drive_session(
+                    server.port,
+                    n=args.n,
+                    rounds=args.rounds,
+                    steps_per_round=args.steps_per_round,
+                    subscribers=args.subscribers,
+                    seed=1000 + i,
+                    latencies=latencies,
+                )
+                for i in range(args.sessions)
+            )
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        await server.shutdown(reason="bench-complete")
+    problems = [p for session_problems in results for p in session_problems]
+    latencies.sort()
+    total_steps = args.sessions * args.rounds * args.steps_per_round
+    return {
+        "wall": wall,
+        "total_steps": total_steps,
+        "steps_per_sec": total_steps / wall,
+        "requests": len(latencies),
+        "mean_latency": sum(latencies) / len(latencies),
+        "p50_latency": latencies[len(latencies) // 2],
+        "p99_latency": latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))],
+        "streams": args.sessions * args.subscribers,
+        "problems": problems,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=8, metavar="S")
+    parser.add_argument("--subscribers", type=int, default=2, metavar="K",
+                        help="SSE consumers per session (default 2)")
+    parser.add_argument("--n", type=int, default=64, metavar="N",
+                        help="nodes per session (default 64)")
+    parser.add_argument("--rounds", type=int, default=12, metavar="R",
+                        help="step requests per session (default 12)")
+    parser.add_argument("--steps-per-round", type=int, default=8, metavar="K")
+    parser.add_argument("--p99-budget", type=float, default=0.75, metavar="SEC",
+                        help="max allowed p99 step-request latency (default 0.75s)")
+    parser.add_argument("--min-steps-per-sec", type=float, default=50.0, metavar="RATE",
+                        help="min sustained aggregate step throughput (default 50/s)")
+    parser.add_argument("--benchmark-json", default=None, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    out = asyncio.run(run_load(args))
+
+    p99_ok = out["p99_latency"] <= args.p99_budget
+    rate_ok = out["steps_per_sec"] >= args.min_steps_per_sec
+    streams_ok = not out["problems"]
+    row = {
+        "sessions": args.sessions,
+        "streams": out["streams"],
+        "total_steps": out["total_steps"],
+        "steps_per_sec": round(out["steps_per_sec"], 1),
+        "mean_ms": round(out["mean_latency"] * 1e3, 2),
+        "p50_ms": round(out["p50_latency"] * 1e3, 2),
+        "p99_ms": round(out["p99_latency"] * 1e3, 2),
+        "reconcile": "exact" if streams_ok else "MISMATCH",
+        "gate": "pass" if (p99_ok and rate_ok and streams_ok) else "FAIL",
+    }
+    print(
+        render_table(
+            [row],
+            title=(
+                f"service load — {args.sessions} sessions × {args.subscribers} "
+                f"subscribers, {args.rounds}×{args.steps_per_round} steps each, "
+                f"p99 budget {args.p99_budget * 1e3:.0f} ms, "
+                f"{out['wall']:.2f}s wall"
+            ),
+        )
+    )
+    for p in out["problems"]:
+        print(f"STREAM MISMATCH: {p}", file=sys.stderr)
+    if not p99_ok:
+        print(
+            f"FAIL: p99 step latency {out['p99_latency'] * 1e3:.1f} ms over "
+            f"budget {args.p99_budget * 1e3:.0f} ms",
+            file=sys.stderr,
+        )
+    if not rate_ok:
+        print(
+            f"FAIL: {out['steps_per_sec']:.1f} steps/s under floor "
+            f"{args.min_steps_per_sec:.0f}/s",
+            file=sys.stderr,
+        )
+
+    if args.benchmark_json:
+        doc = {
+            "comment": "latency means from benchmarks/bench_service_load.py",
+            "benchmarks": {
+                "service_load[step_request_mean]": {
+                    "mean_seconds": round(out["mean_latency"], 6)
+                },
+                "service_load[step_request_p99]": {
+                    "mean_seconds": round(out["p99_latency"], 6)
+                },
+            },
+        }
+        Path(args.benchmark_json).write_text(json.dumps(doc, indent=2) + "\n")
+
+    if not (p99_ok and rate_ok and streams_ok):
+        return 1
+    print("\nservice load gates hold (streams exact, latency within budget)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

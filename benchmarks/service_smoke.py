@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""CI smoke: real ``python -m repro serve`` process, SIGTERM drain, SSE.
+
+Spawns the service as a subprocess (port 0 → parsed from its announce
+line), then, over plain sockets:
+
+1. creates two sessions and attaches one SSE consumer to each;
+2. steps both sessions and injects a churn event into the first;
+3. SIGTERMs the server and asserts the graceful-drain contract:
+   every stream ends with a terminal ``end`` frame whose
+   ``final_stats`` reconcile exactly against the hello baseline plus
+   the received step deltas, the process exits 0, and the port is
+   actually released (no orphan listener).
+
+Raw SSE transcripts are written into ``--artifact-dir`` so the CI lane
+can upload them.  Exit status 1 on any violated assertion::
+
+    python benchmarks/service_smoke.py --artifact-dir service-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import StepSeries
+from repro.service.protocol import PROTOCOL
+
+RECONCILE_FIELDS = (
+    StepSeries.COUNTER_FIELDS + StepSeries.ENERGY_FIELDS + StepSeries.CHURN_FIELDS
+)
+
+
+async def request(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nhost: smoke\r\n"
+            f"content-length: {len(payload)}\r\nconnection: close\r\n\r\n"
+        ).encode()
+        + payload
+    )
+    await writer.drain()
+    response = await reader.read(-1)
+    writer.close()
+    status = int(response.split(b" ", 2)[1])
+    body_bytes = response.partition(b"\r\n\r\n")[2]
+    return status, json.loads(body_bytes) if body_bytes.startswith(b"{") else body_bytes.decode()
+
+
+async def attach_stream(port, sid, transcript_path: Path):
+    """SSE consumer task: records the raw transcript, returns the frames."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET /v1/sessions/{sid}/series HTTP/1.1\r\nhost: smoke\r\n\r\n".encode())
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    assert b"200 OK" in head, head
+
+    async def consume():
+        raw = bytearray()
+        events, buf = [], b""
+        try:
+            while True:
+                while b"\n\n" in buf:
+                    block, buf = buf.split(b"\n\n", 1)
+                    text = block.decode().strip()
+                    if not text or text.startswith(":"):
+                        continue
+                    fields = dict(ln.split(": ", 1) for ln in text.split("\n") if ": " in ln)
+                    events.append((fields["event"], json.loads(fields["data"])))
+                    if events[-1][0] in ("end", "evicted"):
+                        return events
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return events
+                raw.extend(chunk)
+                buf += chunk
+        finally:
+            transcript_path.write_bytes(bytes(raw))
+            writer.close()
+
+    return asyncio.create_task(consume())
+
+
+def reconcile(events) -> "list[str]":
+    problems = []
+    assert events and events[0][0] == "hello", "stream missing hello frame"
+    assert events[-1][0] == "end", f"stream ended with {events[-1][0]!r}"
+    baseline = events[0][1]["baseline"]
+    final = events[-1][1]["final_stats"]
+    deltas = [d for e, d in events if e == "step"]
+    for name in RECONCILE_FIELDS:
+        if name not in final:
+            continue
+        total = baseline[name] + sum(d[name] for d in deltas)
+        if total != final[name]:
+            problems.append(f"{name}: baseline+deltas={total} != final {final[name]}")
+    return problems
+
+
+async def main_async(args) -> int:
+    artifacts = Path(args.artifact_dir)
+    artifacts.mkdir(parents=True, exist_ok=True)
+
+    proc = await asyncio.create_subprocess_exec(
+        sys.executable, "-m", "repro", "serve", "--port", "0",
+        "--max-sessions", "4", "--session-ttl", "120",
+        stdout=asyncio.subprocess.PIPE, stderr=asyncio.subprocess.STDOUT,
+    )
+    try:
+        line = (await asyncio.wait_for(proc.stdout.readline(), 60)).decode()
+        print(f"server: {line.strip()}")
+        assert PROTOCOL in line and "listening on http://" in line, line
+        port = int(line.rsplit(":", 1)[1].split()[0].rstrip("/)"))
+
+        status, health = await request(port, "GET", "/v1/healthz")
+        assert status == 200 and health["status"] == "ok", health
+
+        sids, streams = [], []
+        for i in range(2):
+            status, body = await request(
+                port, "POST", "/v1/sessions",
+                {"n": 48, "seed": 40 + i, "traffic_rate": 2.0, "name": f"smoke-{i}"},
+            )
+            assert status == 201, body
+            sid = body["session"]["id"]
+            sids.append(sid)
+            streams.append(
+                await attach_stream(port, sid, artifacts / f"stream-{i}.sse")
+            )
+
+        for sid in sids:
+            status, body = await request(port, "POST", f"/v1/sessions/{sid}/step?steps=20")
+            assert status == 200 and body["t"] == 20, body
+
+        # Live churn into the first session, then step both again.
+        status, body = await request(
+            port, "POST", f"/v1/sessions/{sids[0]}/events",
+            {"events": [{"kind": "fail", "node": 5},
+                        {"kind": "inject", "node": 7, "dest": 0, "count": 3}]},
+        )
+        assert status == 200 and body["scheduled"] == 1, body
+        for sid in sids:
+            status, body = await request(port, "POST", f"/v1/sessions/{sid}/step?steps=10")
+            assert status == 200 and body["t"] == 30, body
+
+        status, metrics_text = await request(port, "GET", "/v1/metrics")
+        assert status == 200 and "repro_service_sessions_active" in metrics_text, (
+            metrics_text.splitlines()[:5]
+        )
+        (artifacts / "metrics.txt").write_text(metrics_text)
+
+        # Graceful drain: SIGTERM → streams end, exit 0, port released.
+        proc.send_signal(signal.SIGTERM)
+        rc = await asyncio.wait_for(proc.wait(), 30)
+        assert rc == 0, f"server exited {rc}, expected graceful 0"
+
+        problems = []
+        for i, task in enumerate(streams):
+            events = await asyncio.wait_for(task, 10)
+            assert events[-1][1]["reason"].startswith("signal:"), events[-1]
+            assert events[-1][1]["steps"] == 30, events[-1]
+            problems += [f"stream {i}: {p}" for p in reconcile(events)]
+            print(
+                f"stream {i}: {len(events)} frames, "
+                f"end reason {events[-1][1]['reason']!r}, reconcile "
+                f"{'exact' if not any(p.startswith(f'stream {i}') for p in problems) else 'MISMATCH'}"
+            )
+        for p in problems:
+            print(f"SMOKE FAIL: {p}", file=sys.stderr)
+        if problems:
+            return 1
+
+        try:
+            await asyncio.open_connection("127.0.0.1", port)
+            print("SMOKE FAIL: port still accepting after exit", file=sys.stderr)
+            return 1
+        except OSError:
+            pass
+        print("service smoke: drain clean, streams exact, port released")
+        return 0
+    finally:
+        if proc.returncode is None:
+            proc.kill()
+            await proc.wait()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifact-dir", default="service-smoke", metavar="DIR",
+        help="where to write SSE transcripts and the metrics page",
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(asyncio.wait_for(main_async(args), 240))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

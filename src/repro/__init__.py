@@ -89,6 +89,7 @@ from repro.interference import (
 from repro.localsim import LocalRuntime
 from repro.dynamic import (
     EventTrace,
+    LiveEventSchedule,
     NodeJoin,
     NodeLeave,
     NodeMove,
@@ -203,6 +204,7 @@ __all__ = [
     "obs",
     # dynamic networks
     "EventTrace",
+    "LiveEventSchedule",
     "NodeJoin",
     "NodeLeave",
     "NodeMove",

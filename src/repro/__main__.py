@@ -26,6 +26,13 @@ table for that single configuration:
 
     python -m repro dynamic --n 1000 --churn 0.01 --steps 100
     python -m repro dynamic --n 500 --churn 0.02 --steps 50 --trace /tmp/t
+    python -m repro dynamic --n 200 --events-out trace.json   # record
+    python -m repro dynamic --n 200 --events-in trace.json    # replay
+
+serves live simulation sessions over HTTP (:mod:`repro.service`) with
+SSE step streaming and live event injection:
+
+    python -m repro serve --port 8642 --max-sessions 16 --session-ttl 600
 
 runs declarative sweeps (:mod:`repro.campaign`) with resumable
 progress and a persistent, queryable result store:
@@ -176,6 +183,7 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     event probability, so the trace holds ``n * churn * steps`` mixed
     events (moves 40%, join/leave/fail/recover 15% each).
     """
+    import json
     import math
 
     import numpy as np
@@ -186,6 +194,8 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
         IncrementalTheta,
         apply_events_parallel,
         event_kind,
+        event_trace_from_dict,
+        event_trace_to_dict,
         random_event_trace,
     )
     from repro.geometry.pointsets import uniform_points
@@ -205,8 +215,25 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     gen = as_rng(args.seed)
     pts = uniform_points(args.n, rng=gen)
     d0 = cached_range(pts, 1.5)
-    n_events = max(1, round(args.churn * args.n * args.steps))
-    events = random_event_trace(pts, n_events, move_sigma=d0 / 2.0, rng=gen)
+    if args.events_in:
+        try:
+            with open(args.events_in) as fh:
+                events = event_trace_from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"dynamic: cannot load events from {args.events_in}: {exc}", file=sys.stderr)
+            return 2
+        print(f"replaying {len(events)} events from {args.events_in}")
+    else:
+        n_events = max(1, round(args.churn * args.n * args.steps))
+        events = random_event_trace(pts, n_events, move_sigma=d0 / 2.0, rng=gen)
+    if args.events_out:
+        try:
+            with open(args.events_out, "w") as fh:
+                json.dump(event_trace_to_dict(events), fh)
+        except OSError as exc:
+            print(f"dynamic: cannot write {args.events_out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"event trace written to {args.events_out} ({len(events)} events)")
     inc = IncrementalTheta(pts, math.pi / 9, d0)
     di = DynamicInterference(inc, args.delta) if args.mac else None
 
@@ -611,17 +638,60 @@ def _query_main(argv: "list[str]") -> int:
     return 0
 
 
+def _serve_main(argv: "list[str]") -> int:
+    """``python -m repro serve [--host --port --max-sessions --session-ttl]``."""
+    from repro.service.server import serve
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the repro-service/v1 session server: concurrent "
+        "live simulations over HTTP with SSE step streaming and live "
+        "event injection (see docs/service.md).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port; 0 picks a free one (default 8642)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=16, metavar="K",
+        help="concurrent-session bound; creation 429s beyond it (default 16)",
+    )
+    parser.add_argument(
+        "--session-ttl", type=float, default=600.0, metavar="SEC",
+        help="idle seconds before a session is reaped (default 600)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_sessions < 1 or args.session_ttl <= 0:
+        print("serve: --max-sessions must be >= 1 and --session-ttl > 0", file=sys.stderr)
+        return 2
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            session_ttl=args.session_ttl,
+        )
+    except OSError as exc:
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: "list[str] | None" = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # campaign/query carry their own option namespaces; dispatch before
-    # the flat experiment parser sees (and rejects) their flags.
+    # campaign/query/serve carry their own option namespaces; dispatch
+    # before the flat experiment parser sees (and rejects) their flags.
     if argv and argv[0] == "campaign":
         return _campaign_main(argv[1:])
     if argv and argv[0] == "query":
         return _query_main(argv[1:])
     if argv and argv[0] == "top":
         return _top_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate and verify the paper-reproduction experiment tables.",
@@ -629,7 +699,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (e1..e24), 'all', 'list', 'verify', 'report', "
-        "'dynamic', 'campaign', 'query', or 'top'",
+        "'dynamic', 'campaign', 'query', 'top', or 'serve'",
     )
     parser.add_argument(
         "path",
@@ -728,6 +798,21 @@ def main(argv: "list[str] | None" = None) -> int:
         default=0.5,
         metavar="D",
         help="dynamic: guard-zone parameter Δ for --mac (default 0.5)",
+    )
+    parser.add_argument(
+        "--events-in",
+        default=None,
+        metavar="FILE",
+        help="dynamic: replay a recorded event-trace JSON file instead of "
+        "generating one (the event_trace_to_dict format; also what "
+        "GET /v1/sessions/{id}/events returns)",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="dynamic: write the event trace used by this run as JSON "
+        "(replayable via --events-in)",
     )
     args = parser.parse_args(argv)
     trace_dir = args.trace or os.environ.get("REPRO_TRACE") or None

@@ -13,11 +13,14 @@ from repro.dynamic.events import (
     Event,
     EventTrace,
     FailStop,
+    LiveEventSchedule,
     NodeJoin,
     NodeLeave,
     NodeMove,
     Recover,
+    event_from_dict,
     event_kind,
+    event_to_dict,
     event_trace_from_dict,
     event_trace_to_dict,
     failstop_trace,
@@ -42,12 +45,15 @@ from repro.dynamic.interference import (
 __all__ = [
     "Event",
     "EventTrace",
+    "LiveEventSchedule",
     "NodeJoin",
     "NodeLeave",
     "NodeMove",
     "FailStop",
     "Recover",
     "event_kind",
+    "event_to_dict",
+    "event_from_dict",
     "event_trace_to_dict",
     "event_trace_from_dict",
     "poisson_churn_trace",

@@ -46,6 +46,9 @@ __all__ = [
     "Recover",
     "Event",
     "EventTrace",
+    "LiveEventSchedule",
+    "event_to_dict",
+    "event_from_dict",
     "event_trace_to_dict",
     "event_trace_from_dict",
     "poisson_churn_trace",
@@ -182,14 +185,32 @@ class EventTrace:
         return out
 
 
+def event_to_dict(event: Event) -> dict:
+    """One event as its wire-format row (no timestamp)."""
+    row: "dict[str, object]" = {"kind": event_kind(event), "node": int(event.node)}
+    if isinstance(event, (NodeJoin, NodeMove)):
+        row["pos"] = [float(event.x), float(event.y)]
+    return row
+
+
+def event_from_dict(row: dict) -> Event:
+    """Inverse of :func:`event_to_dict` (also used by the service API)."""
+    cls = _BY_KIND.get(row.get("kind"))
+    if cls is None:
+        raise ValueError(f"unknown event kind: {row.get('kind')!r}")
+    node = int(row["node"])
+    if cls in (NodeJoin, NodeMove):
+        try:
+            x, y = row["pos"]
+        except (KeyError, TypeError, ValueError):
+            raise ValueError(f"{row.get('kind')} event needs pos: [x, y]") from None
+        return cls(node, float(x), float(y))
+    return cls(node)
+
+
 def event_trace_to_dict(trace: EventTrace) -> dict:
     """Plain-JSON-types representation of a trace (versioned)."""
-    rows = []
-    for t, ev in trace:
-        row: "dict[str, object]" = {"t": t, "kind": event_kind(ev), "node": ev.node}
-        if isinstance(ev, (NodeJoin, NodeMove)):
-            row["pos"] = [float(ev.x), float(ev.y)]
-        rows.append(row)
+    rows = [{"t": t, **event_to_dict(ev)} for t, ev in trace]
     return {"format_version": _FORMAT_VERSION, "horizon": trace.horizon, "events": rows}
 
 
@@ -198,19 +219,69 @@ def event_trace_from_dict(data: dict) -> EventTrace:
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported event-trace format version: {version!r}")
-    items: "list[tuple[int, Event]]" = []
-    for row in data["events"]:
-        cls = _BY_KIND.get(row["kind"])
-        if cls is None:
-            raise ValueError(f"unknown event kind: {row['kind']!r}")
-        node = int(row["node"])
-        if cls in (NodeJoin, NodeMove):
-            x, y = row["pos"]
-            ev: Event = cls(node, float(x), float(y))
-        else:
-            ev = cls(node)
-        items.append((int(row["t"]), ev))
+    items = [(int(row["t"]), event_from_dict(row)) for row in data["events"]]
     return EventTrace(items, horizon=int(data["horizon"]))
+
+
+class LiveEventSchedule:
+    """An append-while-running event schedule for long-lived sessions.
+
+    :class:`EventTrace` is frozen at construction — right for batch
+    replays, wrong for a session server whose clients inject churn
+    while the engine runs.  This class exposes the two methods
+    :class:`repro.dynamic.incremental.DynamicTopology` actually reads
+    (iteration at construction, :meth:`at` per step) over a mutable
+    store, plus :meth:`append` for live injection and :meth:`to_trace`
+    to freeze everything seen so far into a replayable
+    :class:`EventTrace` (the ``--events-in`` path of
+    ``python -m repro dynamic``).
+
+    The caller is responsible for only appending at step indices the
+    engine has not consumed yet (the service session holds its lock
+    across both stepping and injection, and schedules at the engine's
+    next step).
+    """
+
+    def __init__(self, items: "Iterable[tuple[int, Event]]" = ()) -> None:
+        self._pairs: "list[tuple[int, Event]]" = []
+        self._by_time: "dict[int, list[Event]]" = {}
+        self.horizon = 0
+        for t, ev in items:
+            self.append(t, ev)
+
+    def append(self, t: int, event: Event) -> None:
+        """Schedule ``event`` for step ``t`` (after anything already there)."""
+        t = int(t)
+        if t < 0:
+            raise ValueError(f"event time must be >= 0, got {t}")
+        event_kind(event)  # type-check
+        self._pairs.append((t, event))
+        self._by_time.setdefault(t, []).append(event)
+        if t + 1 > self.horizon:
+            self.horizon = t + 1
+
+    def at(self, t: int) -> "list[Event]":
+        """Events scheduled for step ``t`` (application order)."""
+        return list(self._by_time.get(int(t), ()))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> "Iterator[tuple[int, Event]]":
+        return iter(sorted(self._pairs, key=lambda p: p[0]))
+
+    def counts(self) -> "dict[str, int]":
+        """Event count per kind tag (mirrors :meth:`EventTrace.counts`)."""
+        out: "dict[str, int]" = {}
+        for _, ev in self._pairs:
+            k = event_kind(ev)
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    def to_trace(self, *, horizon: "int | None" = None) -> EventTrace:
+        """Freeze the appended events into a replayable :class:`EventTrace`."""
+        h = self.horizon if horizon is None else max(int(horizon), self.horizon)
+        return EventTrace(self._pairs, horizon=h)
 
 
 # ----------------------------------------------------------------------

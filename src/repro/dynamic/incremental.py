@@ -714,6 +714,12 @@ class DynamicTopology:
         processes sized to :attr:`capacity` (call :meth:`close`, or use
         as a context manager, to stop it).  ``jobs`` keeps the legacy
         thread-count contract.
+    capacity:
+        Optional explicit node-id capacity (router sizing).  Defaults
+        to the largest id mentioned by ``incremental`` or ``events`` —
+        but a *live* schedule (:class:`repro.dynamic.events.LiveEventSchedule`)
+        is empty at construction time, so sessions that accept joins
+        while running pass the headroom they provisioned up front.
     """
 
     def __init__(
@@ -726,6 +732,7 @@ class DynamicTopology:
         jobs: "int | None" = None,
         backend: "str | None" = None,
         workers: "int | None" = None,
+        capacity: "int | None" = None,
     ) -> None:
         self.incremental = incremental
         self.events = events
@@ -747,7 +754,11 @@ class DynamicTopology:
         for _, ev in events:
             max_id = max(max_id, ev.node)
         #: Upper bound on node ids over the whole trace (router sizing).
-        self.capacity = max_id + 1
+        self.capacity = max_id + 1 if capacity is None else int(capacity)
+        if self.capacity <= max_id:
+            raise ValueError(
+                f"capacity {self.capacity} cannot cover node id {max_id}"
+            )
 
     def _process_pool(self):
         """The lazily-built TileWorkerPool of the process backend."""

@@ -292,6 +292,49 @@ class StepSeries:
             out[name] = arr[name]
         return out
 
+    def delta_rows(self, start: int = 0) -> "list[dict]":
+        """Per-step delta dicts for rows ``[start:]`` (streaming shape).
+
+        Counters and energy carry the step's *increment* (so a consumer
+        summing every row it ever received reconstructs the cumulative
+        totals exactly — the SSE reconcile contract of
+        :mod:`repro.service.stream`); gauges carry the point-in-time
+        value.  ``start`` is the number of rows already streamed.
+        """
+        rows = []
+        cols = self._cols
+        for i in range(max(0, int(start)), len(self)):
+            row: dict = {"step": i}
+            for name in self.COUNTER_FIELDS + self.CHURN_FIELDS:
+                col = cols[name]
+                row[name] = int(col[i]) - (int(col[i - 1]) if i else 0)
+            for name in self.ENERGY_FIELDS:
+                col = cols[name]
+                row[name] = float(col[i]) - (float(col[i - 1]) if i else 0.0)
+            for name in self.GAUGE_FIELDS:
+                row[name] = cols[name][i]
+            rows.append(row)
+        return rows
+
+    def prefix_totals(self, count: int) -> dict:
+        """Cumulative counter/energy totals after the first ``count`` rows.
+
+        All-zero when ``count`` is 0.  This is the late-subscriber
+        baseline of the service's SSE stream: a consumer that starts
+        receiving at row ``m`` recovers the exact totals as
+        ``prefix_totals(m)`` plus the sum of every delta row from ``m``.
+        """
+        count = int(count)
+        if not 0 <= count <= len(self):
+            raise ValueError(f"count must be in [0, {len(self)}], got {count}")
+        i = count - 1
+        row: dict = {}
+        for name in self.COUNTER_FIELDS + self.CHURN_FIELDS:
+            row[name] = int(self._cols[name][i]) if i >= 0 else 0
+        for name in self.ENERGY_FIELDS:
+            row[name] = float(self._cols[name][i]) if i >= 0 else 0.0
+        return row
+
     def final(self, field: str):
         """Last cumulative value of ``field`` (0 when no steps recorded)."""
         col = self._cols[field]

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections import deque
 from pathlib import Path
@@ -127,6 +128,10 @@ class Tracer:
         self.capacity = int(capacity)
         self.pid = os.getpid()
         self._events: "deque[dict]" = deque(maxlen=self.capacity)
+        #: guards the ring + counters: sessions stepped in executor
+        #: threads (repro.service) may share one tracer, so appends,
+        #: drains, and series registration must not interleave torn.
+        self._lock = threading.Lock()
         #: monotonic count of events ever appended (survives ring drops)
         self.total_appended = 0
         #: step-series records registered by simulation runs
@@ -135,8 +140,9 @@ class Tracer:
 
     # ------------------------------------------------------------------
     def _append(self, event: dict) -> None:
-        self._events.append(event)
-        self.total_appended += 1
+        with self._lock:
+            self._events.append(event)
+            self.total_appended += 1
 
     def span(self, name: str, **args) -> _Span:
         """Open a span; use as a context manager."""
@@ -165,17 +171,19 @@ class Tracer:
     # ------------------------------------------------------------------
     def events(self) -> "list[dict]":
         """All retained events, oldest first."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def events_since(self, marker: int) -> "list[dict]":
         """Events appended after ``marker`` (= ``total_appended`` earlier).
 
         If the ring dropped events in between, returns what survived.
         """
-        new = self.total_appended - int(marker)
-        if new <= 0:
-            return []
-        evs = list(self._events)
+        with self._lock:
+            new = self.total_appended - int(marker)
+            if new <= 0:
+                return []
+            evs = list(self._events)
         return evs[-new:] if new < len(evs) else evs
 
     @property
@@ -184,23 +192,26 @@ class Tracer:
         return self.total_appended - len(self._events)
 
     def clear(self) -> None:
-        self._events.clear()
-        self.total_appended = 0
-        self.series.clear()
-        self._run_counter = 0
+        with self._lock:
+            self._events.clear()
+            self.total_appended = 0
+            self.series.clear()
+            self._run_counter = 0
 
     # ------------------------------------------------------------------
     def next_run_label(self, hint: str = "run") -> str:
         """A unique label for one simulation run within this tracer."""
-        label = f"run-{self._run_counter:03d}.{hint}"
-        self._run_counter += 1
+        with self._lock:
+            label = f"run-{self._run_counter:03d}.{hint}"
+            self._run_counter += 1
         return label
 
     def add_series(self, label: str, series, final_stats: "dict | None" = None) -> None:
         """Register one run's :class:`~repro.obs.metrics.StepSeries`."""
-        self.series.append(
-            {"name": label, "pid": self.pid, "series": series, "final_stats": final_stats}
-        )
+        with self._lock:
+            self.series.append(
+                {"name": label, "pid": self.pid, "series": series, "final_stats": final_stats}
+            )
 
     def ingest_series(self, records: "Iterable[dict]") -> int:
         """Adopt already-flattened series records (e.g. from pool workers)."""

@@ -1,0 +1,36 @@
+"""Simulation-as-a-service: asyncio session server over the repro stack.
+
+``python -m repro serve`` starts a long-running, stdlib-only HTTP
+service that hosts many concurrent simulation sessions — each a live
+:class:`~repro.dynamic.incremental.DynamicTopology` +
+:class:`~repro.sim.engine.SimulationEngine` pair advanced through the
+engine's resumable ``step()`` API — with live event injection and SSE
+streaming of per-step :class:`~repro.obs.metrics.StepSeries` deltas.
+See ``docs/service.md`` for the API reference.
+"""
+
+from repro.service.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    SessionConfig,
+    parse_event_rows,
+    parse_session_config,
+)
+from repro.service.server import ServiceServer, serve
+from repro.service.session import Session, SessionManager
+from repro.service.stream import Broadcast, Subscriber, sse_event
+
+__all__ = [
+    "Broadcast",
+    "PROTOCOL",
+    "ProtocolError",
+    "ServiceServer",
+    "Session",
+    "SessionConfig",
+    "SessionManager",
+    "Subscriber",
+    "parse_event_rows",
+    "parse_session_config",
+    "serve",
+    "sse_event",
+]

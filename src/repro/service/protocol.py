@@ -1,0 +1,252 @@
+"""``repro-service/v1`` — versioned request/response schemas.
+
+Every JSON body the service emits carries ``"protocol":
+"repro-service/v1"``; errors use one envelope shape::
+
+    {"protocol": "repro-service/v1",
+     "error": {"code": "unknown_session", "message": "..."}}
+
+so clients can branch on ``error.code`` without parsing prose.  The
+module is transport-agnostic: :mod:`repro.service.server` maps
+:class:`ProtocolError.status` onto HTTP status lines, and the same
+validators back the in-process tests.
+
+Session creation accepts the substrate knobs the batch experiments use
+(``n``, ``delta``, ``seed``, ``profile``) plus service-side sizing
+(destinations, ambient traffic rate, buffer bound, join headroom).
+Event injection reuses the exact wire rows of
+:func:`repro.dynamic.events.event_trace_to_dict` — anything a recorded
+batch trace contains can be POSTed live, and vice versa — extended
+with a ``{"kind": "inject", ...}`` row for traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PROTOCOL",
+    "ProtocolError",
+    "SessionConfig",
+    "error_body",
+    "ok_body",
+    "parse_event_rows",
+    "parse_session_config",
+    "parse_step_count",
+]
+
+PROTOCOL = "repro-service/v1"
+
+#: profile → (max n, max nodes after joins, max steps per request).
+PROFILES = {
+    "quick": {"max_n": 2_000, "max_nodes": 8_000, "max_steps": 1_000},
+    "full": {"max_n": 100_000, "max_nodes": 400_000, "max_steps": 100_000},
+}
+
+#: hard floor on n — below this the ΘALG substrate degenerates.
+MIN_N = 4
+
+
+class ProtocolError(Exception):
+    """A request the protocol rejects; carries the HTTP status to map to."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = str(code)
+        self.message = str(message)
+
+    def body(self) -> dict:
+        return error_body(self.code, self.message)
+
+
+def ok_body(**fields) -> dict:
+    """A success payload stamped with the protocol version."""
+    return {"protocol": PROTOCOL, **fields}
+
+
+def error_body(code: str, message: str) -> dict:
+    """The one error envelope every failure uses."""
+    return {"protocol": PROTOCOL, "error": {"code": code, "message": message}}
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Validated parameters of one simulation session."""
+
+    n: int = 64
+    seed: int = 0
+    delta: "float | None" = None
+    profile: str = "quick"
+    dests: "tuple[int, ...]" = (0,)
+    traffic_rate: float = 1.0
+    buffer_size: int = 64
+    max_nodes: int = 0  # resolved to 2n in parse when omitted
+    name: str = ""
+    #: drain steps appended by the session's ``run_steps`` caller; kept
+    #: here so a recorded session replays with the same horizon.
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def describe(self) -> dict:
+        return {
+            "n": self.n,
+            "seed": self.seed,
+            "delta": self.delta,
+            "profile": self.profile,
+            "dests": list(self.dests),
+            "traffic_rate": self.traffic_rate,
+            "buffer_size": self.buffer_size,
+            "max_nodes": self.max_nodes,
+            "name": self.name,
+        }
+
+
+def _require(payload: dict, key: str, kind, default, *, code: str = "invalid_config"):
+    value = payload.get(key, default)
+    try:
+        if kind is int and isinstance(value, bool):
+            raise TypeError
+        return kind(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(400, code, f"{key!r} must be a {kind.__name__}, got {value!r}") from None
+
+
+def parse_session_config(payload) -> SessionConfig:
+    """Validate a ``POST /v1/sessions`` body into a :class:`SessionConfig`."""
+    if payload is None:
+        payload = {}
+    if not isinstance(payload, dict):
+        raise ProtocolError(400, "invalid_config", "session config must be a JSON object")
+    unknown = set(payload) - {
+        "n", "seed", "delta", "profile", "dests", "traffic_rate",
+        "buffer_size", "max_nodes", "name",
+    }
+    if unknown:
+        raise ProtocolError(400, "invalid_config", f"unknown config keys: {sorted(unknown)}")
+    profile = str(payload.get("profile", "quick"))
+    if profile not in PROFILES:
+        raise ProtocolError(
+            400, "invalid_config", f"profile must be one of {sorted(PROFILES)}, got {profile!r}"
+        )
+    bounds = PROFILES[profile]
+    n = _require(payload, "n", int, 64)
+    if not MIN_N <= n <= bounds["max_n"]:
+        raise ProtocolError(
+            400, "invalid_config",
+            f"n must be in [{MIN_N}, {bounds['max_n']}] for profile {profile!r}, got {n}",
+        )
+    seed = _require(payload, "seed", int, 0)
+    delta = payload.get("delta")
+    if delta is not None:
+        delta = _require(payload, "delta", float, None)
+        if not (0.0 <= delta < 100.0) or not math.isfinite(delta):
+            raise ProtocolError(400, "invalid_config", f"delta must be finite and >= 0, got {delta}")
+    dests_raw = payload.get("dests", [0])
+    if not isinstance(dests_raw, (list, tuple)) or not dests_raw:
+        raise ProtocolError(400, "invalid_config", "dests must be a non-empty list of node ids")
+    try:
+        dests = tuple(sorted({int(d) for d in dests_raw}))
+    except (TypeError, ValueError):
+        raise ProtocolError(400, "invalid_config", f"dests must be integers, got {dests_raw!r}") from None
+    if dests[0] < 0 or dests[-1] >= n:
+        raise ProtocolError(400, "invalid_config", f"dests must be in [0, {n}), got {list(dests)}")
+    traffic_rate = _require(payload, "traffic_rate", float, 1.0)
+    if not (0.0 <= traffic_rate <= 1000.0) or not math.isfinite(traffic_rate):
+        raise ProtocolError(
+            400, "invalid_config", f"traffic_rate must be in [0, 1000], got {traffic_rate}"
+        )
+    buffer_size = _require(payload, "buffer_size", int, 64)
+    if not 1 <= buffer_size <= 1_000_000:
+        raise ProtocolError(400, "invalid_config", f"buffer_size must be >= 1, got {buffer_size}")
+    max_nodes = _require(payload, "max_nodes", int, 0)
+    if max_nodes == 0:
+        max_nodes = min(2 * n, bounds["max_nodes"])
+    if not n <= max_nodes <= bounds["max_nodes"]:
+        raise ProtocolError(
+            400, "invalid_config",
+            f"max_nodes must be in [n, {bounds['max_nodes']}], got {max_nodes}",
+        )
+    name = str(payload.get("name", ""))[:80]
+    return SessionConfig(
+        n=n, seed=seed, delta=delta, profile=profile, dests=dests,
+        traffic_rate=traffic_rate, buffer_size=buffer_size,
+        max_nodes=max_nodes, name=name,
+    )
+
+
+def parse_step_count(query: dict, profile: str) -> int:
+    """Validate ``?steps=k`` for ``POST .../step`` against the profile cap."""
+    raw = query.get("steps", "1")
+    try:
+        steps = int(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError(400, "invalid_steps", f"steps must be an integer, got {raw!r}") from None
+    cap = PROFILES[profile]["max_steps"]
+    if not 1 <= steps <= cap:
+        raise ProtocolError(
+            400, "invalid_steps", f"steps must be in [1, {cap}] for profile {profile!r}, got {steps}"
+        )
+    return steps
+
+
+def parse_event_rows(payload) -> "list[dict]":
+    """Validate a ``POST .../events`` body into wire-format rows.
+
+    Accepts ``{"events": [row, ...]}``; each row is either a topology
+    event (``kind`` join/leave/move/fail/recover, the
+    :func:`~repro.dynamic.events.event_trace_to_dict` row shape) or a
+    traffic injection ``{"kind": "inject", "node": src, "dest": d,
+    "count": k}``.  Semantic validation against the live topology
+    happens in :meth:`repro.service.session.Session.inject`.
+    """
+    if not isinstance(payload, dict) or "events" not in payload:
+        raise ProtocolError(400, "invalid_events", 'body must be {"events": [...]}')
+    rows = payload["events"]
+    if not isinstance(rows, list) or not rows:
+        raise ProtocolError(400, "invalid_events", "events must be a non-empty list")
+    if len(rows) > 10_000:
+        raise ProtocolError(400, "invalid_events", f"at most 10000 events per request, got {len(rows)}")
+    out = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or "kind" not in row:
+            raise ProtocolError(400, "invalid_events", f"event {i} must be an object with a 'kind'")
+        kind = row["kind"]
+        if kind == "inject":
+            try:
+                node = int(row["node"])
+                dest = int(row["dest"])
+                count = int(row.get("count", 1))
+            except (KeyError, TypeError, ValueError):
+                raise ProtocolError(
+                    400, "invalid_events",
+                    f"event {i}: inject needs integer node, dest, and optional count",
+                ) from None
+            if count < 1 or count > 1_000_000:
+                raise ProtocolError(400, "invalid_events", f"event {i}: count must be >= 1")
+            out.append({"kind": "inject", "node": node, "dest": dest, "count": count})
+            continue
+        if kind not in ("join", "leave", "move", "fail", "recover"):
+            raise ProtocolError(400, "invalid_events", f"event {i}: unknown kind {kind!r}")
+        if "node" not in row:
+            raise ProtocolError(400, "invalid_events", f"event {i}: missing node id")
+        try:
+            node = int(row["node"])
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                400, "invalid_events", f"event {i}: node must be an integer"
+            ) from None
+        clean: dict = {"kind": kind, "node": node}
+        if kind in ("join", "move"):
+            pos = row.get("pos")
+            if (
+                not isinstance(pos, (list, tuple))
+                or len(pos) != 2
+                or not all(isinstance(v, (int, float)) and math.isfinite(v) for v in pos)
+            ):
+                raise ProtocolError(
+                    400, "invalid_events", f"event {i}: {kind} needs pos: [x, y] (finite numbers)"
+                )
+            clean["pos"] = [float(pos[0]), float(pos[1])]
+        out.append(clean)
+    return out

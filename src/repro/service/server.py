@@ -1,0 +1,497 @@
+"""The ``repro-service/v1`` asyncio HTTP server.
+
+Stdlib only: ``asyncio.start_server`` plus a deliberately small
+HTTP/1.1 layer (request line, headers, Content-Length bodies,
+keep-alive) and an SSE writer.  Endpoints::
+
+    GET    /v1/healthz                 liveness + resource sample + cache stats
+    GET    /v1/metrics                 OpenMetrics (server + every session)
+    POST   /v1/sessions                create a session (JSON config)
+    GET    /v1/sessions                list sessions
+    GET    /v1/sessions/{id}           one session, with stats detail
+    DELETE /v1/sessions/{id}           delete (publishes a terminal SSE event)
+    POST   /v1/sessions/{id}/step?steps=k   advance; deltas fan out to streams
+    POST   /v1/sessions/{id}/events    inject live churn/traffic events
+    GET    /v1/sessions/{id}/events    replayable trace of injected events
+    GET    /v1/sessions/{id}/series    SSE stream of per-step deltas
+
+Concurrency model: all session bookkeeping runs on the event-loop
+thread; the CPU-bound step batches run in the default executor while
+the per-session lock is held, in :data:`STEP_CHUNK` slices so
+subscribers see progress during long batches.  SIGTERM/SIGINT trigger
+a graceful drain — stop accepting, close every session (which ends
+every SSE stream with a terminal frame), give in-flight connections a
+grace period, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import signal
+import time
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.harness.cache import cache_stats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import resource_sample, to_openmetrics
+from repro.service.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    error_body,
+    ok_body,
+    parse_event_rows,
+    parse_session_config,
+    parse_step_count,
+)
+from repro.service.session import SessionManager
+from repro.service.stream import sse_event
+
+__all__ = ["ServiceServer", "serve"]
+
+#: request-head / body bounds (bytes).
+MAX_HEADER_BYTES = 32 << 10
+MAX_BODY_BYTES = 4 << 20
+#: executor slice per step request — streams observe progress at this grain.
+STEP_CHUNK = 64
+#: SSE comment-ping cadence while a stream is quiet.
+SSE_KEEPALIVE_SECONDS = 15.0
+#: how long an idle keep-alive connection may sit between requests.
+KEEPALIVE_IDLE_SECONDS = 120.0
+#: post-drain grace before surviving connections are force-closed.
+DRAIN_GRACE_SECONDS = 5.0
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _Request:
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: dict, headers: dict, body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+
+class ServiceServer:
+    """One listener + one :class:`SessionManager` + one metrics registry."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = 16,
+        session_ttl: float = 600.0,
+        reap_interval: "float | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.manager = SessionManager(max_sessions=max_sessions, ttl_seconds=session_ttl)
+        self.reap_interval = (
+            float(reap_interval)
+            if reap_interval is not None
+            else max(0.05, min(float(session_ttl) / 4.0, 30.0))
+        )
+        self.registry = MetricsRegistry()
+        self.draining = False
+        self.started_at = time.monotonic()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._reaper: "asyncio.Task | None" = None
+        self._shutdown_task: "asyncio.Task | None" = None
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServiceServer":
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port, limit=MAX_HEADER_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = asyncio.create_task(self._reap_loop())
+        return self
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._request_shutdown, sig.name)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+                pass
+
+    def _request_shutdown(self, signame: str) -> None:
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown(reason=f"signal:{signame}")
+            )
+
+    async def serve_forever(self) -> None:
+        """Block until a signal (or :meth:`shutdown`) drains the server."""
+        self.install_signal_handlers()
+        await self._stopped.wait()
+
+    async def shutdown(self, *, reason: str = "shutdown") -> None:
+        """Graceful drain: refuse new work, end every stream, then stop."""
+        if self.draining:
+            await self._stopped.wait()
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._reaper is not None:
+            self._reaper.cancel()
+        # Ends every SSE stream with a terminal frame carrying final stats.
+        self.manager.drain(reason=reason)
+        deadline = time.monotonic() + DRAIN_GRACE_SECONDS
+        while self._writers and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):  # pragma: no cover - grace usually suffices
+            writer.close()
+        self._stopped.set()
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.reap_interval)
+            reaped = self.manager.reap_idle()
+            if reaped:
+                self.registry.counter("service.sessions_expired").inc(len(reaped))
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ProtocolError as exc:
+                    await self._respond_json(writer, exc.status, exc.body(), keep_alive=False)
+                    break
+                if request is None:
+                    break
+                if not await self._dispatch(request, writer):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> "_Request | None":
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), KEEPALIVE_IDLE_SECONDS
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError, ConnectionError):
+            return None
+        except asyncio.LimitOverrunError:
+            raise ProtocolError(
+                431, "headers_too_large", f"request head exceeds {MAX_HEADER_BYTES} bytes"
+            ) from None
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise ProtocolError(400, "bad_request", f"malformed request line: {lines[0]!r}") from None
+        headers: "dict[str, str]" = {}
+        for line in lines[1:]:
+            if line:
+                key, _, value = line.partition(":")
+                headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            raise ProtocolError(400, "bad_request", "content-length is not an integer") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(413, "body_too_large", f"body must be <= {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length) if length else b""
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        parts = urlsplit(target)
+        return _Request(method.upper(), parts.path, dict(parse_qsl(parts.query)), headers, body)
+
+    async def _dispatch(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        self.registry.counter("service.http_requests").inc()
+        keep = request.headers.get("connection", "").lower() != "close"
+        try:
+            if self.draining and request.path != "/v1/healthz":
+                raise ProtocolError(
+                    503, "draining", "server is draining; retry against a new instance"
+                )
+            handler, args, is_stream = self._route(request)
+            if is_stream:
+                # SSE: the handler owns the socket until the stream ends.
+                await handler(request, writer, *args)
+                return False
+            status, body = await handler(request, *args)
+        except ProtocolError as exc:
+            self.registry.counter(f"service.http_{exc.status}").inc()
+            await self._respond_json(writer, exc.status, exc.body(), keep_alive=keep)
+            return keep
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - one request must not kill the server
+            self.registry.counter("service.http_500").inc()
+            await self._respond_json(
+                writer, 500, error_body("internal", f"{type(exc).__name__}: {exc}"), keep_alive=False
+            )
+            return False
+        self.registry.counter(f"service.http_{status}").inc()
+        if isinstance(body, str):
+            await self._respond_raw(
+                writer,
+                status,
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                body.encode(),
+                keep_alive=keep,
+            )
+        else:
+            await self._respond_json(writer, status, body, keep_alive=keep)
+        return keep
+
+    def _route(self, request: _Request):
+        parts = [p for p in request.path.split("/") if p]
+        method = request.method
+        if len(parts) >= 1 and parts[0] == "v1":
+            if parts == ["v1", "healthz"] and method == "GET":
+                return self._get_healthz, (), False
+            if parts == ["v1", "metrics"] and method == "GET":
+                return self._get_metrics, (), False
+            if parts == ["v1", "sessions"]:
+                if method == "POST":
+                    return self._create_session, (), False
+                if method == "GET":
+                    return self._list_sessions, (), False
+                raise ProtocolError(405, "method_not_allowed", f"{method} not allowed here")
+            if len(parts) == 3 and parts[1] == "sessions":
+                sid = parts[2]
+                if method == "GET":
+                    return self._get_session, (sid,), False
+                if method == "DELETE":
+                    return self._delete_session, (sid,), False
+                raise ProtocolError(405, "method_not_allowed", f"{method} not allowed here")
+            if len(parts) == 4 and parts[1] == "sessions":
+                sid, leaf = parts[2], parts[3]
+                if leaf == "step" and method == "POST":
+                    return self._post_step, (sid,), False
+                if leaf == "events" and method == "POST":
+                    return self._post_events, (sid,), False
+                if leaf == "events" and method == "GET":
+                    return self._get_events, (sid,), False
+                if leaf == "series" and method == "GET":
+                    return self._stream_series, (sid,), True
+                if leaf in ("step", "events", "series"):
+                    raise ProtocolError(405, "method_not_allowed", f"{method} not allowed here")
+        raise ProtocolError(404, "not_found", f"no route for {method} {request.path}")
+
+    def _json_body(self, request: _Request):
+        if not request.body:
+            return None
+        try:
+            return json.loads(request.body)
+        except ValueError:
+            raise ProtocolError(400, "invalid_json", "request body is not valid JSON") from None
+
+    async def _respond_json(self, writer, status: int, body: dict, *, keep_alive: bool) -> None:
+        await self._respond_raw(
+            writer,
+            status,
+            "application/json",
+            json.dumps(body, separators=(",", ":")).encode(),
+            keep_alive=keep_alive,
+        )
+
+    async def _respond_raw(
+        self, writer, status: int, ctype: str, payload: bytes, *, keep_alive: bool
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"content-type: {ctype}\r\n"
+            f"content-length: {len(payload)}\r\n"
+            f"connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode()
+        writer.write(head + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _get_healthz(self, request: _Request):
+        return 200, ok_body(
+            status="draining" if self.draining else "ok",
+            sessions=len(self.manager),
+            max_sessions=self.manager.max_sessions,
+            session_ttl_seconds=self.manager.ttl_seconds,
+            uptime_seconds=round(time.monotonic() - self.started_at, 3),
+            resource=resource_sample(),
+            substrate_cache=cache_stats(),
+        )
+
+    async def _get_metrics(self, request: _Request):
+        merged = MetricsRegistry()
+        merged.merge(self.registry.snapshot())
+        for session in self.manager.sessions():
+            merged.merge(session.registry.snapshot())
+        merged.gauge("service.sessions_active").set(len(self.manager))
+        merged.counter("service.sessions_created").inc(self.manager.created_total)
+        merged.gauge("service.sse_subscribers").set(
+            sum(s.broadcast.n_subscribers for s in self.manager.sessions())
+        )
+        return 200, to_openmetrics(merged.snapshot())
+
+    async def _create_session(self, request: _Request):
+        config = parse_session_config(self._json_body(request))
+        session = self.manager.create(config)
+        self.registry.counter("service.sessions_created_http").inc()
+        return 201, ok_body(session=session.describe())
+
+    async def _list_sessions(self, request: _Request):
+        sessions = [s.describe() for s in self.manager.sessions()]
+        return 200, ok_body(count=len(sessions), sessions=sessions)
+
+    async def _get_session(self, request: _Request, sid: str):
+        session = self.manager.get(sid)
+        return 200, ok_body(session=session.describe(detail=True))
+
+    async def _delete_session(self, request: _Request, sid: str):
+        session = self.manager.get(sid)
+        async with session.lock:
+            self.manager.delete(sid)
+        return 200, ok_body(
+            deleted=sid, steps=session.engine.t, final_stats=session.final_stats()
+        )
+
+    async def _post_step(self, request: _Request, sid: str):
+        session = self.manager.get(sid)
+        steps = parse_step_count(request.query, session.config.profile)
+        inject = request.query.get("inject", "1").lower() not in ("0", "false")
+        loop = asyncio.get_running_loop()
+        async with session.lock:
+            session.touch()
+            remaining = steps
+            while remaining:
+                chunk = min(remaining, STEP_CHUNK)
+                await loop.run_in_executor(
+                    None, functools.partial(session.advance, chunk, inject=inject)
+                )
+                remaining -= chunk
+                session.publish_pending()
+            session.touch()
+        return 200, ok_body(
+            session=sid,
+            stepped=steps,
+            t=session.engine.t,
+            stats=session.final_stats(),
+            leftover=int(session.router.total_packets()),
+        )
+
+    async def _post_events(self, request: _Request, sid: str):
+        session = self.manager.get(sid)
+        rows = parse_event_rows(self._json_body(request))
+        async with session.lock:
+            session.touch()
+            result = session.inject(rows)
+        return 200, ok_body(session=sid, **result)
+
+    async def _get_events(self, request: _Request, sid: str):
+        session = self.manager.get(sid)
+        return 200, ok_body(session=sid, trace=session.events_trace())
+
+    async def _stream_series(self, request: _Request, writer, sid: str) -> None:
+        session = self.manager.get(sid)
+        try:
+            sub = session.broadcast.subscribe()
+        except RuntimeError:
+            raise ProtocolError(409, "session_closed", f"session {sid} is closed") from None
+        # No await between subscribe() and the baseline read: publishes
+        # happen on this thread only, so hello/baseline and the queue's
+        # first delta are consistent by construction.
+        hello = sse_event(
+            "hello",
+            {
+                "protocol": PROTOCOL,
+                "session": sid,
+                "from_step": session.stream_mark,
+                "baseline": session.series.prefix_totals(session.stream_mark),
+                "config": session.config.describe(),
+            },
+        )
+        self.registry.counter("service.sse_streams").inc()
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"content-type: text/event-stream\r\n"
+            b"cache-control: no-store\r\n"
+            b"connection: close\r\n"
+            b"\r\n" + hello
+        )
+        try:
+            await writer.drain()
+            while True:
+                try:
+                    event, data = await asyncio.wait_for(
+                        sub.next_event(), SSE_KEEPALIVE_SECONDS
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(b": keep-alive\n\n")
+                    await writer.drain()
+                    continue
+                writer.write(sse_event(event, data))
+                await writer.drain()
+                if sub.closed:
+                    break
+        finally:
+            session.broadcast.unsubscribe(sub)
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    max_sessions: int = 16,
+    session_ttl: float = 600.0,
+    announce=print,
+) -> int:
+    """Run the service until SIGTERM/SIGINT; returns 0 on graceful drain."""
+
+    async def _run() -> None:
+        server = ServiceServer(
+            host=host, port=port, max_sessions=max_sessions, session_ttl=session_ttl
+        )
+        await server.start()
+        announce(
+            f"{PROTOCOL} listening on http://{server.host}:{server.port} "
+            f"(max_sessions={max_sessions}, ttl={session_ttl:g}s)"
+        )
+        await server.serve_forever()
+        announce("drained; bye")
+
+    asyncio.run(_run())
+    return 0

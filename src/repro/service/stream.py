@@ -1,0 +1,124 @@
+"""Server-sent-events streaming of per-step series deltas.
+
+Each session owns one :class:`Broadcast`; any number of SSE subscribers
+attach bounded queues to it.  After every step batch the session
+publishes one ``step`` event per simulated step, carrying the
+:meth:`repro.obs.metrics.StepSeries.delta_rows` increment for that step
+— a consumer that sums every delta it received reconstructs the
+session's cumulative ``RoutingStats`` exactly (the reconcile gate of
+``benchmarks/bench_service_load.py`` and the CI ``service-smoke``
+lane).
+
+Backpressure is per-subscriber and strict: a consumer whose queue fills
+is *evicted*, not allowed to stall the publisher (the paper's
+adversary keeps injecting whether or not a dashboard keeps up).  The
+eviction is observable — the subscriber's stream ends with an
+``evicted`` event — so a client can reconnect and resync from the
+session's cumulative stats rather than silently missing deltas.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["Broadcast", "Subscriber", "sse_event"]
+
+#: queue bound per subscriber (events, not bytes) unless overridden.
+DEFAULT_QUEUE_SIZE = 256
+
+#: event names with stream-terminating semantics.
+TERMINAL_EVENTS = frozenset({"end", "evicted"})
+
+
+def sse_event(event: str, data: dict) -> bytes:
+    """One ``text/event-stream`` frame."""
+    return f"event: {event}\ndata: {json.dumps(data, separators=(',', ':'))}\n\n".encode()
+
+
+class Subscriber:
+    """One consumer's bounded view of a session's event stream."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.queue: "asyncio.Queue[tuple[str, dict]]" = asyncio.Queue(maxsize=maxsize)
+        self.evicted = False
+        self.closed = False
+
+    async def next_event(self) -> "tuple[str, dict]":
+        """The next ``(event, data)`` pair; terminal events close the stream."""
+        event, data = await self.queue.get()
+        if event in TERMINAL_EVENTS:
+            self.closed = True
+        return event, data
+
+
+class Broadcast:
+    """Fan one session's events out to every attached subscriber.
+
+    All operations run on the event loop thread (the session publishes
+    after its executor-run step batch returns), so plain lists and
+    ``put_nowait`` are race-free by construction.
+    """
+
+    def __init__(self, *, queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        self.queue_size = int(queue_size)
+        self._subs: "list[Subscriber]" = []
+        self.evictions = 0
+        self.published = 0
+        self.closed = False
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self._subs)
+
+    def subscribe(self) -> Subscriber:
+        if self.closed:
+            raise RuntimeError("broadcast is closed")
+        sub = Subscriber(self.queue_size)
+        self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscriber) -> None:
+        try:
+            self._subs.remove(sub)
+        except ValueError:
+            pass
+
+    def publish(self, event: str, data: dict) -> None:
+        """Deliver to every subscriber; evict any whose queue is full.
+
+        Eviction pops the subscriber's oldest undelivered event to make
+        room for a terminal ``evicted`` frame, so the slow consumer
+        observes its fate instead of hanging forever.
+        """
+        self.published += 1
+        for sub in list(self._subs):
+            try:
+                sub.queue.put_nowait((event, data))
+            except asyncio.QueueFull:
+                self._evict(sub)
+
+    def _evict(self, sub: Subscriber) -> None:
+        self.unsubscribe(sub)
+        sub.evicted = True
+        self.evictions += 1
+        try:
+            sub.queue.get_nowait()  # make room for the terminal frame
+        except asyncio.QueueEmpty:  # pragma: no cover - full implies non-empty
+            pass
+        sub.queue.put_nowait(
+            ("evicted", {"reason": f"consumer too slow (queue bound {self.queue_size})"})
+        )
+
+    def close(self, data: "dict | None" = None) -> None:
+        """Publish a terminal ``end`` frame to everyone and detach them."""
+        if self.closed:
+            return
+        self.closed = True
+        payload = data or {}
+        for sub in list(self._subs):
+            try:
+                sub.queue.put_nowait(("end", payload))
+            except asyncio.QueueFull:
+                self._evict(sub)
+        self._subs.clear()

@@ -12,6 +12,14 @@ The engine is agnostic to which router runs — (T, γ)-balancing, the
 baselines, or the honeycomb router (which fuses steps 1–4 internally
 and is driven through the same interface via a thin adapter).
 
+The loop is *resumable*: :meth:`SimulationEngine.step` advances one
+step, :meth:`SimulationEngine.run_steps` advances ``k``, and callers —
+the batch experiments and the long-running session server
+(:mod:`repro.service`) alike — may interleave stepping with live event
+injection and series streaming.  :meth:`SimulationEngine.run` is a
+thin wrapper over the step API and produces bit-identical results
+(pinned by ``tests/test_engine_step_api.py``).
+
 Observability: each step runs under an ``engine.step`` span, and when
 tracing is enabled (or a :class:`~repro.obs.metrics.StepSeries` is
 passed explicitly) the engine snapshots the router's cumulative
@@ -81,6 +89,14 @@ class SimulationEngine:
         activations over the *incrementally maintained* conflict
         structure, and ``success_fn`` defaults to the MAC's guard-zone
         ``success_mask``.
+    tracer / registry:
+        Optional per-engine :class:`repro.obs.trace.Tracer` /
+        :class:`repro.obs.metrics.MetricsRegistry` handles.  When given
+        they replace the process-global singletons for this engine's
+        spans, auto-series registration, and counters — the isolation
+        the session server needs to run many engines in one process
+        without cross-talk.  When omitted the globals keep working
+        exactly as before.
     """
 
     def __init__(
@@ -93,6 +109,8 @@ class SimulationEngine:
         step_series: "StepSeries | None" = None,
         dynamic=None,
         mac=None,
+        tracer=None,
+        registry=None,
     ) -> None:
         if mac is not None:
             if dynamic is None:
@@ -110,6 +128,12 @@ class SimulationEngine:
         self.step_series = step_series
         self.dynamic = dynamic
         self.mac = mac
+        self.tracer = tracer
+        self.registry = registry
+        #: index of the next step (== steps taken so far).
+        self.t = 0
+        self._series = step_series
+        self._max_height_fn = getattr(router, "max_height", None)
 
     @classmethod
     def for_scenario(cls, router, scenario, *, success_fn=None) -> "SimulationEngine":
@@ -121,6 +145,93 @@ class SimulationEngine:
             success_fn=success_fn,
         )
 
+    # ------------------------------------------------------------------
+    # Observability handles (per-engine overrides falling back to the
+    # process-global singletons)
+    # ------------------------------------------------------------------
+    def _active_tracer(self):
+        return self.tracer if self.tracer is not None else trace.active()
+
+    def _span(self, name: str, **args):
+        tracer = self._active_tracer()
+        return tracer.span(name, **args) if tracer is not None else trace.NOOP_SPAN
+
+    def _ensure_series(self) -> "StepSeries | None":
+        """The live recorder: explicit, already auto-created, or fresh
+        when an observability sink is active (else ``None``)."""
+        if self._series is None and self._active_tracer() is not None:
+            self._series = StepSeries()
+        return self._series
+
+    @property
+    def series(self) -> "StepSeries | None":
+        """The per-step recorder this engine is feeding, if any."""
+        return self._series
+
+    # ------------------------------------------------------------------
+    # The resumable step API
+    # ------------------------------------------------------------------
+    def step(self, *, inject: bool = True) -> int:
+        """Advance the simulation by one step; returns the step index.
+
+        ``inject=False`` runs an injection-free (drain) step.  Callers
+        may freely interleave :meth:`step` with topology-event injection
+        (via the dynamic topology's live schedule) and series reads —
+        this is the primitive the session server drives.
+        """
+        t = self.t
+        series = self._ensure_series()
+        router = self.router
+        dynamic = self.dynamic
+        with self._span("engine.step", step=t):
+            if dynamic is not None:
+                self._apply_churn(dynamic, t)
+            if self.active_edges_fn is not None:
+                edges, costs = self.active_edges_fn(t)
+            elif self.mac is not None:
+                edges, costs = self.mac.active_edges()
+            else:
+                edges, costs = self._dynamic_edges(dynamic)
+            injections = (
+                list(self.injections_fn(t))
+                if inject and self.injections_fn is not None
+                else []
+            )
+            if dynamic is not None and injections:
+                injections = self._filter_injections(dynamic, injections)
+            router.run_step(edges, costs, injections, self.success_fn)
+        self.t = t + 1
+        if series is not None:
+            max_height_fn = self._max_height_fn
+            series.record_step(
+                router.stats,
+                total_buffer=router.total_packets(),
+                max_buffer=max_height_fn() if max_height_fn else router.stats.max_buffer_height,
+                events_applied=dynamic.events_applied if dynamic is not None else 0,
+                repair_nodes_touched=dynamic.nodes_touched_total if dynamic is not None else 0,
+                conflict_rows_touched=dynamic.conflict_rows_total if dynamic is not None else 0,
+                batch_groups=getattr(dynamic, "batch_groups_total", 0) if dynamic is not None else 0,
+                halo_nodes=getattr(dynamic, "halo_nodes_total", 0) if dynamic is not None else 0,
+            )
+        return t
+
+    def run_steps(self, k: int, *, inject: bool = True) -> SimulationResult:
+        """Advance ``k`` steps and return the cumulative result so far."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        for _ in range(int(k)):
+            self.step(inject=inject)
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Snapshot of the run so far (no tracer bookkeeping)."""
+        return SimulationResult(
+            stats=self.router.stats,
+            steps=self.t,
+            leftover=self.router.total_packets(),
+            series=self._series,
+        )
+
     def run(self, duration: int, *, drain: int = 0) -> SimulationResult:
         """Run ``duration`` adversarial steps plus ``drain`` injection-free
         steps (letting buffered packets finish), returning the result.
@@ -128,51 +239,30 @@ class SimulationEngine:
         ``drain`` mirrors the asymptotic flavour of the theorems: the
         competitive bounds hold up to an additive term r, realized here
         as packets still in flight when injections stop.
+
+        This is a thin wrapper over :meth:`step` — a stepped run with
+        the same seeds produces the identical ``SimulationResult`` and
+        ``StepSeries``.
         """
         if duration < 0 or drain < 0:
             raise ValueError("duration and drain must be >= 0")
-        tracer = trace.active()
-        series = self.step_series
-        if series is None and tracer is not None:
-            series = StepSeries()
+        tracer = self._active_tracer()
         router = self.router
-        max_height_fn = getattr(router, "max_height", None) if series is not None else None
-        dynamic = self.dynamic
-        with trace.span(
+        if self.step_series is None:
+            # Fresh auto-series per run() call (legacy batch behavior).
+            self._series = None
+        t0 = self.t
+        with self._span(
             "engine.run",
             router=type(router).__name__,
             duration=duration,
             drain=drain,
         ):
-            for t in range(duration + drain):
-                with trace.span("engine.step", step=t):
-                    if dynamic is not None:
-                        self._apply_churn(dynamic, t)
-                    if self.active_edges_fn is not None:
-                        edges, costs = self.active_edges_fn(t)
-                    elif self.mac is not None:
-                        edges, costs = self.mac.active_edges()
-                    else:
-                        edges, costs = self._dynamic_edges(dynamic)
-                    injections = (
-                        list(self.injections_fn(t))
-                        if self.injections_fn is not None and t < duration
-                        else []
-                    )
-                    if dynamic is not None and injections:
-                        injections = self._filter_injections(dynamic, injections)
-                    router.run_step(edges, costs, injections, self.success_fn)
-                if series is not None:
-                    series.record_step(
-                        router.stats,
-                        total_buffer=router.total_packets(),
-                        max_buffer=max_height_fn() if max_height_fn else router.stats.max_buffer_height,
-                        events_applied=dynamic.events_applied if dynamic is not None else 0,
-                        repair_nodes_touched=dynamic.nodes_touched_total if dynamic is not None else 0,
-                        conflict_rows_touched=dynamic.conflict_rows_total if dynamic is not None else 0,
-                        batch_groups=getattr(dynamic, "batch_groups_total", 0) if dynamic is not None else 0,
-                        halo_nodes=getattr(dynamic, "halo_nodes_total", 0) if dynamic is not None else 0,
-                    )
+            for _ in range(duration):
+                self.step()
+            for _ in range(drain):
+                self.step(inject=False)
+        series = self._series
         if series is not None and tracer is not None:
             tracer.add_series(
                 tracer.next_run_label(type(router).__name__),
@@ -180,13 +270,13 @@ class SimulationEngine:
                 final_stats=router.stats.to_dict(),
             )
         if tracer is not None:
-            reg = metrics.active()
+            reg = self.registry if self.registry is not None else metrics.active()
             if reg is not None:
                 reg.counter("engine.runs").inc()
                 reg.counter("engine.steps").inc(duration + drain)
         return SimulationResult(
             stats=router.stats,
-            steps=duration + drain,
+            steps=self.t - t0,
             leftover=router.total_packets(),
             series=series,
         )
