@@ -158,8 +158,10 @@ class ServiceServer:
             await self._server.wait_closed()
         if self._reaper is not None:
             self._reaper.cancel()
-        # Ends every SSE stream with a terminal frame carrying final stats.
-        self.manager.drain(reason=reason)
+        # Ends every SSE stream with a terminal frame carrying final
+        # stats (awaiting each session's lock so in-flight step batches
+        # finish before their stats are snapshotted).
+        await self.manager.drain(reason=reason)
         deadline = time.monotonic() + DRAIN_GRACE_SECONDS
         while self._writers and time.monotonic() < deadline:
             await asyncio.sleep(0.02)
@@ -369,7 +371,28 @@ class ServiceServer:
 
     async def _create_session(self, request: _Request):
         config = parse_session_config(self._json_body(request))
-        session = self.manager.create(config)
+        # Construction (uniform_points + cached_range + IncrementalTheta)
+        # is seconds of CPU for large profiles: run it in the executor so
+        # streams, pings, and the reaper keep ticking.  The reservation
+        # holds the 429 bound while the build is in flight.
+        sid = self.manager.reserve()
+        loop = asyncio.get_running_loop()
+        try:
+            session = await loop.run_in_executor(
+                None, functools.partial(self.manager.build, sid, config)
+            )
+        except BaseException:
+            self.manager.release()
+            raise
+        if self.draining:
+            # Drain already swept the table; don't register a session
+            # nothing will ever close.
+            self.manager.release()
+            session.close(reason="server-drain")
+            raise ProtocolError(
+                503, "draining", "server is draining; retry against a new instance"
+            )
+        self.manager.register(session)
         self.registry.counter("service.sessions_created_http").inc()
         return 201, ok_body(session=session.describe())
 

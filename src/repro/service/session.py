@@ -176,6 +176,20 @@ class Session:
         inc = self.dynamic.incremental
         alive = {int(v) for v in inc.alive_ids()}
         failed = {int(v) for v in inc.failed_ids()}
+        # Rows a previous batch scheduled at the engine's next step are
+        # not in the applied topology yet; replay them so validation
+        # sees the state the engine will actually apply this batch
+        # against (two batches each leaving node 5 must not both pass).
+        for ev in self.schedule.at(self.engine.t):
+            kind = event_kind(ev)
+            if kind == "join" or kind == "recover":
+                alive.add(int(ev.node))
+                if kind == "recover":
+                    failed.discard(int(ev.node))
+            elif kind == "leave" or kind == "fail":
+                alive.discard(int(ev.node))
+                if kind == "fail":
+                    failed.add(int(ev.node))
         capacity = self.dynamic.capacity
         topo_rows: "list[dict]" = []
         traffic: "list[tuple[int, int, int]]" = []
@@ -198,7 +212,7 @@ class Session:
                     raise ProtocolError(
                         409, "dead_node", f"event {i}: cannot inject to dest {dest}: not alive"
                     )
-                if dest not in self.router._dest_col:
+                if dest not in self.config.dests:
                     raise ProtocolError(
                         409, "bad_dest",
                         f"event {i}: {dest} is not a session destination {list(self.config.dests)}",
@@ -326,6 +340,7 @@ class SessionManager:
         self._clock = clock
         self._sessions: "dict[str, Session]" = {}
         self._ids = itertools.count(1)
+        self._reserved = 0
         self.created_total = 0
         self.expired_total = 0
 
@@ -336,19 +351,48 @@ class SessionManager:
     def sessions(self) -> "list[Session]":
         return list(self._sessions.values())
 
-    def create(self, config: SessionConfig) -> Session:
-        if len(self._sessions) >= self.max_sessions:
+    def reserve(self) -> str:
+        """Claim a slot + id ahead of construction (429 when full).
+
+        Construction for large profiles is seconds of CPU the server
+        runs off the event loop; the reservation keeps the session
+        bound honest while the build is in flight.  Every reservation
+        must be resolved with :meth:`register` or :meth:`release`.
+        """
+        if len(self._sessions) + self._reserved >= self.max_sessions:
             raise ProtocolError(
                 429, "session_limit",
                 f"session limit reached ({self.max_sessions}); "
                 "delete a session or retry after the idle TTL "
                 f"({self.ttl_seconds:g}s)",
             )
-        sid = f"s{next(self._ids):04d}-{secrets.token_hex(3)}"
-        session = Session(sid, config, clock=self._clock)
-        self._sessions[sid] = session
+        self._reserved += 1
+        return f"s{next(self._ids):04d}-{secrets.token_hex(3)}"
+
+    def build(self, sid: str, config: SessionConfig) -> Session:
+        """Construct a session for a reserved id (CPU-bound; thread-safe)."""
+        return Session(sid, config, clock=self._clock)
+
+    def register(self, session: Session) -> Session:
+        """Publish a built session under its reservation."""
+        self._reserved -= 1
+        self._sessions[session.id] = session
         self.created_total += 1
         return session
+
+    def release(self) -> None:
+        """Give a reservation back (construction failed or was refused)."""
+        self._reserved -= 1
+
+    def create(self, config: SessionConfig) -> Session:
+        """Reserve + build + register in one synchronous call."""
+        sid = self.reserve()
+        try:
+            session = self.build(sid, config)
+        except BaseException:
+            self.release()
+            raise
+        return self.register(session)
 
     def get(self, sid: str) -> Session:
         session = self._sessions.get(sid)
@@ -380,9 +424,21 @@ class SessionManager:
             self.expired_total += 1
         return doomed
 
-    def drain(self, *, reason: str = "server-drain") -> int:
-        """Close every session (graceful shutdown); returns count."""
-        sids = list(self._sessions)
-        for sid in sids:
-            self.delete(sid, reason=reason)
-        return len(sids)
+    async def drain(self, *, reason: str = "server-drain") -> int:
+        """Close every session (graceful shutdown); returns count.
+
+        Awaits each session's lock first — a step batch in flight in an
+        executor thread mutates ``router.stats`` and owns the dynamic
+        pool, so closing without the lock would snapshot torn
+        ``final_stats`` into the terminal stream frame (mirrors the
+        busy-session guard in :meth:`reap_idle`).
+        """
+        closed = 0
+        for sid in list(self._sessions):
+            session = self._sessions.pop(sid, None)
+            if session is None:  # pragma: no cover - deleted while we awaited
+                continue
+            async with session.lock:
+                session.close(reason)
+            closed += 1
+        return closed

@@ -277,6 +277,53 @@ class TestServerFailurePaths:
 
         run(scenario())
 
+    def test_cross_batch_pending_events_are_validated(self):
+        """A batch must be validated against rows already scheduled at
+        the same (not-yet-applied) step by earlier POSTs — otherwise two
+        individually-valid batches wedge the engine mid-step."""
+
+        async def scenario():
+            server = await start_server()
+            try:
+                _, created = await http(server.port, "POST", "/v1/sessions", CFG)
+                sid = created["session"]["id"]
+                ev = f"/v1/sessions/{sid}/events"
+                status, _ = await http(
+                    server.port, "POST", ev, {"events": [{"kind": "leave", "node": 5}]}
+                )
+                assert status == 200
+                # Same event again in a *separate* batch, no step between:
+                # the pending leave must be visible to validation.
+                status, body = await http(
+                    server.port, "POST", ev, {"events": [{"kind": "leave", "node": 5}]}
+                )
+                assert status == 409 and body["error"]["code"] == "dead_node"
+                # Traffic addressed at the pending-leave node is refused
+                # the same way the engine would refuse it after applying.
+                status, body = await http(
+                    server.port, "POST", ev,
+                    {"events": [{"kind": "inject", "node": 5, "dest": 0, "count": 1}]},
+                )
+                assert status == 409 and body["error"]["code"] == "dead_node"
+                # Pending fail/recover chains across batches stay legal.
+                for rows in (
+                    [{"kind": "fail", "node": 7}],
+                    [{"kind": "recover", "node": 7}],
+                ):
+                    status, _ = await http(server.port, "POST", ev, {"events": rows})
+                    assert status == 200
+                # The accumulated step applies cleanly: nothing wedged.
+                status, _ = await http(
+                    server.port, "POST", f"/v1/sessions/{sid}/step?steps=2"
+                )
+                assert status == 200
+                _, detail = await http(server.port, "GET", f"/v1/sessions/{sid}")
+                assert detail["session"]["events_applied"] == 3
+            finally:
+                await server.shutdown(reason="test")
+
+        run(scenario())
+
     def test_session_limit_is_429(self):
         async def scenario():
             server = await start_server(max_sessions=2)
@@ -402,5 +449,37 @@ class TestSessionManagerUnit:
                 manager.get(a.id)
             assert exc.value.status == 404
             assert manager.expired_total == 1
+
+        run(scenario())
+
+    def test_reservation_holds_session_bound(self):
+        async def scenario():
+            manager = SessionManager(max_sessions=1, ttl_seconds=10.0)
+            cfg = parse_session_config({"n": 16})
+            sid = manager.reserve()
+            with pytest.raises(ProtocolError) as exc:  # slot is claimed pre-build
+                manager.reserve()
+            assert exc.value.status == 429
+            session = manager.register(manager.build(sid, cfg))
+            with pytest.raises(ProtocolError):
+                manager.reserve()
+            manager.delete(session.id)
+            assert manager.reserve()
+            manager.release()  # an abandoned build gives the slot back
+            assert manager.reserve()
+
+        run(scenario())
+
+    def test_drain_waits_for_busy_sessions(self):
+        async def scenario():
+            manager = SessionManager(max_sessions=2, ttl_seconds=10.0)
+            session = manager.create(parse_session_config({"n": 16}))
+            await session.lock.acquire()  # a step batch is "in flight"
+            drain = asyncio.create_task(manager.drain(reason="test-drain"))
+            await asyncio.sleep(0.05)
+            assert not drain.done() and not session.closed
+            session.lock.release()
+            assert await drain == 1
+            assert session.closed and len(manager) == 0
 
         run(scenario())
