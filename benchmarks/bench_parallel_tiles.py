@@ -8,9 +8,19 @@ churn applier stop being single-core.  Timed series (all land in
   cores-vs-speedup curve of ``docs/performance.md`` — plus a
   n = 300 000 point proving the story holds an order of magnitude past
   the old n = 30 000 ceiling;
+* the **memory-budgeted n = 10⁶ profile**: float32 position arena,
+  int32 admitted-pair slab, peak parent RSS sampled live via
+  :class:`~repro.obs.telemetry.ResourceSampler` and gated against the
+  committed budget (CI runs the n = 2×10⁵ quick variant; set
+  ``REPRO_BENCH_FULL=1`` for the full million-node point);
 * §2.4 conflict-row construction at n = 30 000 on 4 workers;
 * a 5 %-churn trace applied through :class:`TileWorkerPool` vs the
-  serial per-event loop.
+  serial per-event loop;
+* the **halo-refresh gate**: a 10 %/step churn on a clustered world,
+  halo-subscription filtering on vs. off — same state, CI-gated
+  reduction in replayed diff entries (the suppressed ratio lands in
+  ``extra_info`` and the bench-delta table);
+* pool-side MAC steps vs the serial ``DynamicMAC.deterministic_step``.
 
 Speedup gates only assert when the runner actually has ≥ 4 cores
 (``os.sched_getaffinity``); correctness (edge-for-edge, row-for-row
@@ -23,18 +33,20 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 import time
 
 import numpy as np
 import pytest
 
 from repro.core.theta import theta_algorithm
-from repro.dynamic.events import random_event_trace
+from repro.dynamic.events import NodeMove, random_event_trace
 from repro.dynamic.incremental import IncrementalTheta
-from repro.dynamic.interference import DynamicInterference
+from repro.dynamic.interference import DynamicInterference, DynamicMAC
 from repro.geometry.pointsets import uniform_points
 from repro.graphs.transmission import max_range_for_connectivity
 from repro.interference.conflict import interference_sets
+from repro.obs.telemetry import ResourceSampler
 from repro.parallel import TiledEngine, TileWorkerPool
 
 THETA = math.pi / 9
@@ -110,6 +122,95 @@ def test_tiled_theta_scale(benchmark, n):
     assert tiled.edge_set() == topo.edge_set()
     if _cores() >= 4:
         assert t_serial / wall >= SPEEDUP_FLOOR
+
+
+#: Peak parent-RSS budgets for the n=10⁶ profile and its CI quick
+#: variant.  Measured peaks on the reference runner: ~250 MB at
+#: n=2×10⁵ and ~985 MB at n=10⁶; the budgets leave ~2.5× headroom for
+#: allocator and runner variance.  The profile runs float32 positions
+#: + int32 slab; the budget covers the parent only (workers are COW
+#: forks whose private growth is bounded by their tile subsets).
+RSS_BUDGET_BYTES = {200_000: 700_000_000, 1_000_000: 2_500_000_000}
+
+
+def _peak_rss_during(fn, interval: float = 0.05):
+    """Run ``fn`` while sampling this process's RSS; return (result, peak)."""
+    sampler = ResourceSampler()
+    peak = [sampler.sample()["rss_bytes"]]
+    stop = threading.Event()
+
+    def poll():
+        while not stop.is_set():
+            peak.append(sampler.sample()["rss_bytes"])
+            stop.wait(interval)
+
+    t = threading.Thread(target=poll, daemon=True)
+    t.start()
+    try:
+        result = fn()
+    finally:
+        stop.set()
+        t.join()
+    peak.append(sampler.sample()["rss_bytes"])
+    return result, max(peak)
+
+
+@pytest.mark.parametrize(
+    "n",
+    [
+        200_000,
+        pytest.param(
+            1_000_000,
+            marks=pytest.mark.skipif(
+                not os.environ.get("REPRO_BENCH_FULL"),
+                reason="full n=10^6 profile: set REPRO_BENCH_FULL=1",
+            ),
+        ),
+    ],
+)
+def test_tiled_theta_million_profile(benchmark, n):
+    """Memory-budgeted construction profile on the float32/int32 arena.
+
+    The radius is the analytic connectivity scale ``1.15·√(ln n / π)``
+    of a unit-intensity Poisson field (an exact sparse search at n=10⁶
+    would dominate the bench without exercising the engine).  The quick
+    variant keeps the bit-identity assertion against a serial run on
+    the same float32-quantized coordinates; the full variant gates peak
+    RSS and internal invariants only.
+    """
+    side = math.sqrt(n)
+    pts = uniform_points(n, rng=6) * side
+    d = 1.15 * math.sqrt(math.log(n) / math.pi)
+
+    def build():
+        with TiledEngine(workers=4) as eng:
+            return eng.theta(pts, THETA, d, delta=DELTA, share_dtype=np.float32)
+
+    tiled, peak_rss = _peak_rss_during(
+        lambda: benchmark.pedantic(build, rounds=1, iterations=1)
+    )
+    stats = tiled.stats
+    budget = RSS_BUDGET_BYTES[n]
+    benchmark.extra_info["peak_rss_mb"] = round(peak_rss / 1e6, 1)
+    benchmark.extra_info["rss_budget_mb"] = round(budget / 1e6, 1)
+    benchmark.extra_info["tile_shape"] = f"{stats.shape[0]}x{stats.shape[1]}"
+    benchmark.extra_info["corner_halo_items"] = stats.corner_halo_items
+    print(
+        f"\nn={n}: tiled(4w) {stats.wall_seconds:.2f}s, grid "
+        f"{stats.shape[0]}x{stats.shape[1]}, {stats.corner_halo_items} corner-halo "
+        f"items, peak rss {peak_rss / 1e6:.0f}MB (budget {budget / 1e6:.0f}MB)"
+    )
+    assert sum(stats.owned) == n  # every point owned exactly once
+    assert stats.n_tiles == stats.shape[0] * stats.shape[1]
+    assert len(tiled.graph.edges) > 0
+    if n <= 200_000:
+        quantized = pts.astype(np.float32).astype(np.float64)
+        topo = theta_algorithm(quantized, THETA, d)
+        assert tiled.edge_set() == topo.edge_set()
+    assert peak_rss <= budget, (
+        f"peak parent RSS {peak_rss / 1e6:.0f}MB exceeds the committed "
+        f"{budget / 1e6:.0f}MB budget for n={n}"
+    )
 
 
 @pytest.mark.parametrize("n", [30_000])
@@ -192,3 +293,123 @@ def test_pool_churn_process_vs_serial(benchmark, n):
     # The sparse steps really did decompose (else the pool measured
     # nothing but its own overhead).
     assert groups >= 20
+
+
+def _clustered_world(*, clusters=8, per_cluster=750, spacing=400.0, d=2.0, rng=3):
+    """Far-apart dense clusters on a 4×2 lattice — the halo-filter's case.
+
+    Cluster spacing ≫ the (9+3Δ)D subscription radius, so churn inside
+    one cluster is invisible to workers owning only distant tiles.
+    """
+    g = np.random.default_rng(rng)
+    centers = np.array(
+        [[x * spacing + spacing / 2, y * spacing + spacing / 2]
+         for x in range(4) for y in range(2)][:clusters]
+    )
+    pts = np.vstack(
+        [c + g.normal(scale=3 * d, size=(per_cluster, 2)) for c in centers]
+    )
+    return pts, centers, d, g
+
+
+@pytest.mark.parametrize("n", [6_000])
+def test_pool_churn_halo_filter_gate(benchmark, n):
+    """Halo-refresh gate: subscription filtering vs full diff broadcast.
+
+    10 %/step churn on the clustered world through two twin pools —
+    identical per-batch state, but the filtered pool must ship strictly
+    fewer foreign diffs (the acceptance reduction gate).  The suppressed
+    ratio is exported via ``extra_info`` into the bench-delta table.
+    """
+    pts, centers, d, g = _clustered_world(per_cluster=n // 8)
+    steps, per_step = 6, n // 10
+
+    def trace_step():
+        ids = g.choice(len(pts), size=per_step, replace=False)
+        batch = []
+        for i in ids:
+            c = centers[int(i) // (n // 8)]
+            p = c + g.normal(scale=3 * d, size=2)
+            batch.append(NodeMove(node=int(i), x=float(p[0]), y=float(p[1])))
+        return batch
+    batches = [trace_step() for _ in range(steps)]
+
+    inc_f = IncrementalTheta(pts, THETA, d)
+    di_f = DynamicInterference(inc_f, DELTA)
+    inc_b = IncrementalTheta(pts, THETA, d)
+    di_b = DynamicInterference(inc_b, DELTA)
+    cap = len(pts) + 16
+
+    with TileWorkerPool(
+        inc_b, di_b, workers=4, capacity=cap, tiles=(4, 2), halo_filter=False
+    ) as bcast:
+        for batch in batches:
+            bcast.apply_batch(batch)
+        replay_full = bcast.diffs_replayed_total
+
+    def run_filtered():
+        with TileWorkerPool(
+            inc_f, di_f, workers=4, capacity=cap, tiles=(4, 2), halo_filter=True
+        ) as pool:
+            for batch in batches:
+                pool.apply_batch(batch)
+            return pool.diffs_replayed_total, pool.diffs_suppressed_total
+
+    replay_filt, suppressed = benchmark.pedantic(run_filtered, rounds=1, iterations=1)
+
+    ratio = suppressed / max(replay_filt + suppressed, 1)
+    benchmark.extra_info["diffs_suppressed_ratio"] = round(ratio, 3)
+    benchmark.extra_info["diffs_replayed_filtered"] = replay_filt
+    benchmark.extra_info["diffs_replayed_broadcast"] = replay_full
+    print(
+        f"\nn={n}: {steps}x{per_step} churn — broadcast replayed {replay_full} "
+        f"diffs, filtered {replay_filt} (suppressed {suppressed}, "
+        f"ratio {ratio:.2f})"
+    )
+    # Same state with and without filtering — then, and only then, the
+    # traffic reduction means anything.
+    assert inc_f.edge_set() == inc_b.edge_set()
+    assert di_f.interference_sets() == di_b.interference_sets()
+    assert not inc_f.check_full_equivalence()
+    # The acceptance gate: filtering must cut replayed diff deliveries
+    # hard on a clustered world (broadcast ships every diff 3x here).
+    assert replay_full > 0
+    assert replay_filt <= replay_full // 2, (
+        f"halo filtering only cut replay {replay_full} -> {replay_filt}; "
+        "expected at least a 2x reduction on far-apart clusters"
+    )
+
+
+@pytest.mark.parametrize("n", [20_000])
+def test_pool_mac_step(benchmark, n):
+    """Pool-side MAC rounds vs the serial ``deterministic_step``.
+
+    Times 5 activate+resolve rounds through the worker pool; asserts
+    the merged result is bit-identical to the serial MAC on the same
+    state (same hash-derived uniforms, same guard-zone resolution).
+    """
+    pts, d, _ = _world(n)
+    inc = IncrementalTheta(pts, THETA, d)
+    di = DynamicInterference(inc, DELTA)
+    inc_s = IncrementalTheta(pts, THETA, d)
+    di_s = DynamicInterference(inc_s, DELTA)
+    mac_s = DynamicMAC(di_s, bound_mode="own")
+
+    t0 = time.perf_counter()
+    refs = [mac_s.deterministic_step(seed=77, step=k) for k in range(5)]
+    t_serial = time.perf_counter() - t0
+
+    with TileWorkerPool(inc, di, workers=4, capacity=inc.size + 16) as pool:
+        steps = benchmark.pedantic(
+            lambda: [pool.mac_step(seed=77, step=k) for k in range(5)],
+            rounds=1, iterations=1,
+        )
+    for got, ref in zip(steps, refs):
+        assert np.array_equal(got.edges, ref.edges)
+        assert np.array_equal(got.ok, ref.ok)
+        assert np.array_equal(got.costs, ref.costs)
+    total = sum(s.activated for s in steps)
+    print(
+        f"\nn={n}: 5 MAC rounds, {total} activations — serial "
+        f"{t_serial:.2f}s vs pool(4w) benchmarked"
+    )

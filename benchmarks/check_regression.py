@@ -43,6 +43,19 @@ def load_means(path: Path) -> "dict[str, float]":
     return {name: float(b["mean_seconds"]) for name, b in benches.items()}
 
 
+def load_extra_info(path: Path) -> "dict[str, dict]":
+    """Per-benchmark ``extra_info`` (suppressed ratios, RSS budgets, ...).
+
+    Only the raw pytest-benchmark format carries it; baselines gate
+    means, not annotations.
+    """
+    data = json.loads(Path(path).read_text())
+    benches = data["benchmarks"]
+    if not isinstance(benches, list):
+        return {}
+    return {b["name"]: b.get("extra_info") or {} for b in benches}
+
+
 def write_baseline(run_path: Path, baseline_path: Path) -> None:
     means = load_means(run_path)
     raw = json.loads(Path(run_path).read_text())
@@ -64,15 +77,20 @@ def write_baseline(run_path: Path, baseline_path: Path) -> None:
 
 
 def build_deltas(
-    current: "dict[str, float]", baseline: "dict[str, float]", factor: float
+    current: "dict[str, float]",
+    baseline: "dict[str, float]",
+    factor: float,
+    extra: "dict[str, dict] | None" = None,
 ) -> "list[dict]":
     """Per-benchmark delta rows: mean, baseline, ratio, and a verdict.
 
     Verdicts: ``regressed`` (ratio beyond the gate factor), ``improved``
     (faster than baseline), ``ok``, and ``new`` (no baseline entry —
     never gated).  Benchmarks only in the baseline come back as
-    ``missing`` with no mean.
+    ``missing`` with no mean.  ``extra`` annotations (the benches'
+    ``extra_info``) ride along per row and surface in the summary table.
     """
+    extra = extra or {}
     rows = []
     for name, mean in sorted(current.items()):
         ref = baseline.get(name)
@@ -92,6 +110,7 @@ def build_deltas(
                 "baseline_seconds": ref,
                 "ratio": ratio,
                 "verdict": verdict,
+                "extra_info": extra.get(name, {}),
             }
         )
     for name in sorted(set(baseline) - set(current)):
@@ -102,6 +121,7 @@ def build_deltas(
                 "baseline_seconds": baseline[name],
                 "ratio": None,
                 "verdict": "missing",
+                "extra_info": {},
             }
         )
     return rows
@@ -123,8 +143,8 @@ def render_markdown(rows: "list[dict]", factor: float) -> str:
     lines = [
         f"### benchmark deltas vs committed baseline (gate: {factor:.1f}×)",
         "",
-        "| benchmark | mean | baseline | ratio | verdict |",
-        "| --- | ---: | ---: | ---: | --- |",
+        "| benchmark | mean | baseline | ratio | verdict | notes |",
+        "| --- | ---: | ---: | ---: | --- | --- |",
     ]
     for r in rows:
         mean = f"{r['mean_seconds'] * 1e3:.2f} ms" if r["mean_seconds"] is not None else "—"
@@ -134,9 +154,12 @@ def render_markdown(rows: "list[dict]", factor: float) -> str:
             else "—"
         )
         ratio = f"{r['ratio']:.2f}×" if r["ratio"] is not None else "—"
+        notes = " · ".join(
+            f"{k}={v}" for k, v in sorted(r.get("extra_info", {}).items())
+        ) or "—"
         lines.append(
             f"| `{r['name']}` | {mean} | {ref} | {ratio} | "
-            f"{icon[r['verdict']]} {r['verdict']} |"
+            f"{icon[r['verdict']]} {r['verdict']} | {notes} |"
         )
     return "\n".join(lines) + "\n"
 
@@ -197,8 +220,9 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     baseline = load_means(args.baseline)
     current = load_means(args.results)
+    extra = load_extra_info(args.results)
 
-    deltas = build_deltas(current, baseline, factor)
+    deltas = build_deltas(current, baseline, factor, extra)
     failed = []
     for row in deltas:
         name, mean, ref, ratio = (

@@ -175,6 +175,32 @@ def _verify(args: argparse.Namespace, trace_dir: "str | None") -> int:
     return 0
 
 
+def _parse_tiles(spec: "str | None") -> "int | tuple[int, int] | None":
+    """``--tiles`` value → TileWorkerPool's ``tiles=`` argument.
+
+    ``"NX,NY"`` pins the grid shape exactly; a bare integer asks for at
+    least that many tiles (the grid chooses its own shape); ``None``
+    keeps the adaptive default.
+    """
+    if spec is None:
+        return None
+    parts = [p.strip() for p in spec.split(",")]
+    try:
+        if len(parts) == 1:
+            count = int(parts[0])
+            if count < 1:
+                raise ValueError
+            return count
+        if len(parts) == 2:
+            nx, ny = int(parts[0]), int(parts[1])
+            if nx < 1 or ny < 1:
+                raise ValueError
+            return (nx, ny)
+    except ValueError:
+        pass
+    raise ValueError(f"--tiles expects NX,NY or a positive integer, got {spec!r}")
+
+
 def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
     """The ``dynamic`` subcommand: churn one network, report repair cost.
 
@@ -250,6 +276,8 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
         kinds[event_kind(ev)] = kinds.get(event_kind(ev), 0) + 1
     groups = 0
     halo_nodes = 0
+    diffs_replayed = 0
+    diffs_suppressed = 0
     backends_used: "set[str]" = set()
     if args.parallel:
         # One batch per simulated step (round(churn·n) events each),
@@ -259,8 +287,20 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
         if backend == "process":
             from repro.parallel import TileWorkerPool
 
+            try:
+                tiles = _parse_tiles(args.tiles)
+            except ValueError as exc:
+                print(f"dynamic: {exc}", file=sys.stderr)
+                return 2
             cap = max([inc.size] + [int(ev.node) + 1 for ev in evs])
-            pool = TileWorkerPool(inc, di, workers=args.workers, capacity=cap + 16)
+            pool = TileWorkerPool(
+                inc,
+                di,
+                workers=args.workers,
+                capacity=cap + 16,
+                tiles=tiles,
+                halo_filter=not args.no_halo_filter,
+            )
         per_step = max(1, round(args.churn * args.n))
         try:
             for lo in range(0, len(evs), per_step):
@@ -274,6 +314,8 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
                 )
                 groups += batch.groups
                 halo_nodes += batch.halo_nodes
+                diffs_replayed += batch.diffs_replayed
+                diffs_suppressed += batch.diffs_suppressed
                 backends_used.add(batch.backend)
                 wall.append(batch.wall_time)
                 for rs in batch.repairs:
@@ -364,6 +406,9 @@ def _dynamic(args: argparse.Namespace, trace_dir: "str | None") -> int:
         )
         if halo_nodes:
             line += f", halo entries: {halo_nodes}"
+        if diffs_replayed or diffs_suppressed:
+            line += f", diffs replayed: {diffs_replayed}"
+            line += f", suppressed: {diffs_suppressed}"
         print(line + ")")
     backstop = "edge-for-edge equal" if not mismatches else "MISMATCH vs from-scratch ΘALG"
     print(f"final topology vs full rebuild: {backstop}")
@@ -791,6 +836,21 @@ def main(argv: "list[str] | None" = None) -> int:
         metavar="W",
         help="dynamic --parallel --backend process: worker process count "
         "(default: available cores)",
+    )
+    parser.add_argument(
+        "--tiles",
+        default=None,
+        metavar="NX,NY",
+        help="dynamic --backend process: pin the worker pool's tile grid to "
+        "an exact NX,NY shape (a bare integer asks for that many tiles; "
+        "default: adaptive from worker count)",
+    )
+    parser.add_argument(
+        "--no-halo-filter",
+        action="store_true",
+        help="dynamic --backend process: broadcast every repair diff to every "
+        "worker instead of halo-subscription filtering (debugging/benchmark "
+        "reference; same results, more replay traffic)",
     )
     parser.add_argument(
         "--delta",

@@ -40,6 +40,8 @@ from repro.dynamic.interference import (
     ConflictRepairStats,
     DynamicInterference,
     DynamicMAC,
+    MacStep,
+    edge_uniforms,
 )
 
 __all__ = [
@@ -67,6 +69,8 @@ __all__ = [
     "StepChurn",
     "DynamicInterference",
     "DynamicMAC",
+    "MacStep",
+    "edge_uniforms",
     "ConflictRepairStats",
     "BatchApplyStats",
     "apply_events_parallel",

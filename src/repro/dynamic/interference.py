@@ -46,15 +46,69 @@ from repro.interference.model import InterferenceModel, interference_radius
 from repro.obs import metrics, trace
 from repro.utils.rng import as_rng
 
-__all__ = ["ConflictRepairStats", "DynamicInterference", "DynamicMAC"]
+__all__ = [
+    "ConflictRepairStats",
+    "DynamicInterference",
+    "DynamicMAC",
+    "MacStep",
+    "edge_uniforms",
+]
 
 _MASK = (1 << 32) - 1
+_MASK64 = (1 << 64) - 1
 _EMPTY: "frozenset[int]" = frozenset()
 
 
 def _pack(lo: int, hi: int) -> int:
     """One int64 key per undirected edge ``(lo, hi)``, lex-order preserving."""
     return (lo << 32) | hi
+
+
+def edge_uniforms(codes: np.ndarray, seed: int, step: int) -> np.ndarray:
+    """Deterministic per-edge uniforms in ``[0, 1)`` for MAC activation.
+
+    A SplitMix64-style integer finalizer over ``(edge code, seed, step)``.
+    Unlike a sequential generator the draw is *order-independent*: any
+    process can evaluate any edge subset in any order and agree
+    bit-for-bit on every edge's uniform — which is what lets the tile
+    worker pool activate edges per tile interior while staying identical
+    to :meth:`DynamicMAC.deterministic_step` in the parent.
+    """
+    salt = (
+        ((int(seed) + 1) * 0x9E3779B97F4A7C15) ^ (int(step) * 0xD1B54A32D192ED03)
+    ) & _MASK64
+    z = np.asarray(codes, dtype=np.int64).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        z = (z ^ np.uint64(salt)) * np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> np.uint64(31))
+    # Top 53 bits → the double-precision lattice of [0, 1).
+    return (z >> np.uint64(11)).astype(np.float64) * float(2.0**-53)
+
+
+@dataclass(frozen=True)
+class MacStep:
+    """One resolved deterministic MAC step (§3.3 activate + resolve).
+
+    ``edges`` are the activated undirected pairs sorted by packed code,
+    ``ok`` marks the ones whose guard zones admit them (both endpoints
+    clear of every other activated transmission), ``costs`` their
+    ``length**kappa`` energy costs.  Pool-side and serial evaluation
+    produce identical instances.
+    """
+
+    edges: np.ndarray
+    costs: np.ndarray
+    ok: np.ndarray
+
+    @property
+    def activated(self) -> int:
+        return int(len(self.edges))
+
+    @property
+    def succeeded(self) -> int:
+        return int(np.count_nonzero(self.ok))
 
 
 @dataclass(frozen=True)
@@ -540,3 +594,43 @@ class DynamicMAC:
             reg.counter("mac.resolved_attempts").inc(k)
             reg.counter("mac.collision_failures").inc(k - int(np.count_nonzero(ok)))
         return ok
+
+    def deterministic_step(self, *, seed: int, step: int) -> MacStep:
+        """One activate+resolve round with hash-derived randomness.
+
+        The serial reference of the pool-side MAC
+        (:meth:`repro.parallel.pool.TileWorkerPool.mac_step`): activation
+        draws come from :func:`edge_uniforms` instead of the sequential
+        ``rng``, so the same ``(seed, step)`` yields the same step
+        whether evaluated here or sharded across tile workers.
+        Resolution matches :meth:`success_mask` — an activated edge
+        succeeds iff no other activated edge's guard region touches one
+        of its endpoints.
+        """
+        self._refresh()
+        m = len(self._edges)
+        empty = MacStep(
+            edges=np.empty((0, 2), dtype=np.int64),
+            costs=np.empty(0),
+            ok=np.empty(0, dtype=bool),
+        )
+        if m == 0:
+            return empty
+        with trace.span("mac.deterministic_step", edges=m, step=step) as sp:
+            edges = np.asarray(self._edges, dtype=np.int64)
+            codes = (edges[:, 0] << 32) | edges[:, 1]
+            active = edge_uniforms(codes, seed, step) < self._probs
+            e = edges[active]
+            c = self._costs[active]
+            if len(e) == 0:
+                return empty
+            mat = self._model.interference_matrix(self.inc.all_positions(), e)
+            ok = ~mat.any(axis=1) if mat.size else np.ones(len(e), dtype=bool)
+            sp.set(activated=len(e), succeeded=int(np.count_nonzero(ok)))
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("mac.activation_rounds").inc()
+            reg.counter("mac.activated_edges").inc(len(e))
+            reg.counter("mac.resolved_attempts").inc(len(e))
+            reg.counter("mac.collision_failures").inc(len(e) - int(np.count_nonzero(ok)))
+        return MacStep(edges=e, costs=c, ok=ok)

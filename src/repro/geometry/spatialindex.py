@@ -19,6 +19,7 @@ construction scale to tens of thousands of nodes (see
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 
@@ -479,9 +480,14 @@ class DynamicGridIndex:
         if node < len(self._alive):
             return
         if getattr(self, "_shared", False):
+            cap = len(self._alive)
+            need = (node + 1) * (2 * self._pos.itemsize + self._alive.itemsize)
+            have = cap * (2 * self._pos.itemsize + self._alive.itemsize)
             raise RuntimeError(
-                f"node id {node} exceeds the shared-buffer capacity "
-                f"{len(self._alive)}; size the pool's capacity above the "
+                f"node id {node} exceeds the shared-buffer capacity {cap} "
+                f"(would need {need:,} bytes, segments hold {have:,} bytes, "
+                f"owner pid {os.getpid()}); shared buffers cannot grow "
+                "across processes — size the pool's capacity above the "
                 "trace's highest node id"
             )
         cap = max(2 * len(self._alive), node + 1)

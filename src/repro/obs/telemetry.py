@@ -386,18 +386,25 @@ def _worker_rows(snapshot: dict) -> "list[dict]":
     for pid, w in sorted(snapshot.get("workers", {}).items()):
         cells = int(w.get("cells", 0))
         busy = float(w.get("cell_seconds", 0.0))
-        rows.append(
-            {
-                "pid": pid,
-                "cells": cells,
-                "cells_per_s": round(cells / elapsed, 3),
-                "mean_cell_s": round(busy / cells, 3) if cells else 0.0,
-                "rss": _mb(w.get("rss_bytes", 0)),
-                "cpu_s": round(
-                    float(w.get("cpu_user_s", 0.0)) + float(w.get("cpu_sys_s", 0.0)), 2
-                ),
-            }
-        )
+        row = {
+            "pid": pid,
+            "cells": cells,
+            "cells_per_s": round(cells / elapsed, 3),
+            "mean_cell_s": round(busy / cells, 3) if cells else 0.0,
+            "rss": _mb(w.get("rss_bytes", 0)),
+            "cpu_s": round(
+                float(w.get("cpu_user_s", 0.0)) + float(w.get("cpu_sys_s", 0.0)), 2
+            ),
+        }
+        # Halo-subscription traffic gauges (tiled worker pools only):
+        # diffs delivered to this worker vs. deliveries the filter
+        # withheld, and the shared-memory footprint it maps.
+        if "diffs_in" in w or "diffs_suppressed" in w:
+            row["diffs_in"] = int(w.get("diffs_in", 0))
+            row["diffs_suppressed"] = int(w.get("diffs_suppressed", 0))
+        if "shm_bytes" in w:
+            row["shm"] = _mb(w["shm_bytes"])
+        rows.append(row)
     return rows
 
 

@@ -81,11 +81,21 @@ class TileStats:
     subset: "tuple[int, ...]"  # per tile: items in tile + halo actually processed
     tile_seconds: "tuple[float, ...]"
     wall_seconds: float
+    #: Grid shape ``(nx, ny)`` actually used for the decomposition.
+    shape: "tuple[int, int]" = (1, 1)
+    #: Per tile: halo items inside the *corner* squares — state whose
+    #: owner is a diagonal neighbor (only nonzero on k×k grids, k ≥ 2).
+    corner: "tuple[int, ...]" = ()
 
     @property
     def halo_items(self) -> int:
         """Total halo traffic: items processed beyond their owner tile."""
         return int(sum(self.subset) - sum(self.owned))
+
+    @property
+    def corner_halo_items(self) -> int:
+        """Halo traffic owed to diagonal (corner) neighbors."""
+        return int(sum(self.corner))
 
 
 @dataclass(frozen=True)
@@ -137,9 +147,12 @@ def _theta_tile_task(task) -> "tuple[int, int, int, int, float, list]":
         with trace.span("tile.theta", tile=t) as sp:
             halo = 2.0 * max_range * (1.0 + _HALO_SLACK)
             sub_ids = np.nonzero(grid.halo_mask(pts, t, halo))[0]
-            sub_pts = pts[sub_ids]
+            # Upcast once per subset so a float32-shared arena yields the
+            # same arithmetic as a serial run on the same float32 values.
+            sub_pts = pts[sub_ids].astype(np.float64, copy=False)
             owned_local = grid.tile_of_many(sub_pts) == t
             n_owned = int(owned_local.sum())
+            corner = int(grid.corner_mask(sub_pts, t, halo).sum())
             count = 0
             if n_owned and len(sub_ids) >= 2:
                 part = SectorPartition(theta, cone_offset)
@@ -156,9 +169,14 @@ def _theta_tile_task(task) -> "tuple[int, int, int, int, float, list]":
                     count = len(sel)
                     out[offset_row : offset_row + count, 0] = sub_ids[src[sel]]
                     out[offset_row : offset_row + count, 1] = sub_ids[dst[sel]]
-            sp.set(owned=n_owned, subset=len(sub_ids), halo=len(sub_ids) - n_owned)
+            sp.set(
+                owned=n_owned,
+                subset=len(sub_ids),
+                halo=len(sub_ids) - n_owned,
+                corner_halo=corner,
+            )
         events, _ = telemetry.drain_events(tracer, mark)
-        return t, n_owned, len(sub_ids), count, time.perf_counter() - t0, events
+        return t, n_owned, len(sub_ids), corner, count, time.perf_counter() - t0, events
     finally:
         pts_seg.close()
         out_seg.close()
@@ -185,6 +203,12 @@ def _conflict_tile_task(task):
             sub_eids = np.nonzero(emask)[0]
             sub_edges = edges[sub_eids]
             owned_sel = grid.tile_of_many(pts[sub_edges[:, 0]]) == t
+            corner = int(
+                (
+                    grid.corner_mask(pts[sub_edges[:, 0]], t, reach)
+                    & grid.corner_mask(pts[sub_edges[:, 1]], t, reach)
+                ).sum()
+            )
             empty = np.empty(0, dtype=np.int64)
             n_owned = int(owned_sel.sum())
             if n_owned:
@@ -196,16 +220,31 @@ def _conflict_tile_task(task):
                 rows = sets.indices[
                     ragged_arange(np.asarray(sets.indptr[:-1])[owned_sel], deg)
                 ]
-            sp.set(owned=n_owned, subset=len(sub_eids), halo=len(sub_eids) - n_owned)
+            sp.set(
+                owned=n_owned,
+                subset=len(sub_eids),
+                halo=len(sub_eids) - n_owned,
+                corner_halo=corner,
+            )
         events, _ = telemetry.drain_events(tracer, mark)
         if not n_owned:
-            return t, empty, empty, empty, len(sub_eids), time.perf_counter() - t0, events
+            return (
+                t,
+                empty,
+                empty,
+                empty,
+                len(sub_eids),
+                corner,
+                time.perf_counter() - t0,
+                events,
+            )
         return (
             t,
             sub_eids[owned_sel].astype(np.int64),
             deg,
             sub_eids[rows].astype(np.int64),
             len(sub_eids),
+            corner,
             time.perf_counter() - t0,
             events,
         )
@@ -229,11 +268,29 @@ class TiledEngine:
     block).
     """
 
-    def __init__(self, *, workers: "int | None" = None, tiles: "int | None" = None) -> None:
+    def __init__(
+        self,
+        *,
+        workers: "int | None" = None,
+        tiles: "int | tuple[int, int] | None" = None,
+    ) -> None:
         self.workers = int(workers) if workers else default_workers()
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
-        self.tiles = int(tiles) if tiles else self.workers
+        #: Pinned grid shape ``(nx, ny)`` when given; else ``tiles`` is a
+        #: target count.  The adaptive default oversubscribes 4 tiles per
+        #: worker so the plane extent (via the min-width clamp in
+        #: :meth:`TileGrid.cover`) decides the final ``nx × ny``.
+        self.tile_shape: "tuple[int, int] | None" = None
+        if tiles is None:
+            self.tiles = 4 * self.workers
+        elif isinstance(tiles, tuple):
+            self.tile_shape = (int(tiles[0]), int(tiles[1]))
+            self.tiles = self.tile_shape[0] * self.tile_shape[1]
+        else:
+            self.tiles = int(tiles)
+        if self.tiles < 1:
+            raise ValueError("tiles must be >= 1")
         self._pool = None
 
     def _run(self, fn, tasks: list):
@@ -281,27 +338,39 @@ class TiledEngine:
         offset: float = 0.0,
         delta: float = 0.0,
         grid: "TileGrid | None" = None,
+        share_dtype=None,
     ) -> TiledTheta:
         """ΘALG over tiles; the graph is bit-identical to the serial run.
 
         ``delta`` only sizes the tiles (width ≥ the 2(4+Δ)D independence
         radius, so the same grid can later drive batched repair); the
         construction itself needs just the 2D halo.
+
+        ``share_dtype`` (e.g. ``np.float32``) stores the shared position
+        arena at reduced precision; workers upcast per subset, so the
+        result equals a serial run on the same quantized coordinates.
+        The admitted-pair slab is ``int32`` whenever ids fit — at n=10⁶
+        the two together halve the arena footprint.
         """
         t_start = time.perf_counter()
         pts = as_points(points)
         n = len(pts)
+        if share_dtype is not None:
+            # Quantize up front: ownership, halos, and kernels all see
+            # the same (upcast) coordinates the serial reference would.
+            pts = pts.astype(share_dtype).astype(np.float64)
         if grid is None:
             grid = self._grid_for(pts, max_range, delta)
         part = SectorPartition(theta, offset)
+        out_dt = np.int32 if n <= np.iinfo(np.int32).max else np.int64
         with ShmArena() as arena:
-            shared_pts = arena.share(pts)
+            shared_pts = arena.share(pts, dtype=share_dtype)
             owners = grid.tile_of_many(pts) if n else np.empty(0, dtype=np.int64)
             owned_counts = np.bincount(owners, minlength=grid.n_tiles)
             caps = owned_counts * part.n_sectors
             offs = np.zeros(grid.n_tiles + 1, dtype=np.int64)
             np.cumsum(caps, out=offs[1:])
-            out = arena.empty((max(int(offs[-1]), 1), 2), np.int64)
+            out = arena.empty((max(int(offs[-1]), 1), 2), out_dt)
             pts_h, out_h = arena.handle(shared_pts), arena.handle(out)
             tasks = [
                 (pts_h, out_h, int(offs[t]), grid, t, theta, max_range, offset)
@@ -310,16 +379,22 @@ class TiledEngine:
             ]
             results = self._run(_theta_tile_task, tasks)
             self._ingest_events(results)
-            chunks = [out[offs[t] : offs[t] + cnt] for t, _, _, cnt, _, _ in results]
-            kept = np.vstack(chunks) if chunks else np.empty((0, 2), dtype=np.int64)
+            chunks = [out[offs[t] : offs[t] + cnt] for t, _, _, _, cnt, _, _ in results]
+            kept = (
+                np.vstack(chunks).astype(np.int64)
+                if chunks
+                else np.empty((0, 2), dtype=np.int64)
+            )
             graph = GeometricGraph(pts, kept, kappa=kappa, name=f"TiledThetaALG(θ={theta:.4g})")
         stats = TileStats(
             n_tiles=grid.n_tiles,
             workers=self.workers,
             owned=tuple(int(r[1]) for r in results),
             subset=tuple(int(r[2]) for r in results),
-            tile_seconds=tuple(float(r[4]) for r in results),
+            tile_seconds=tuple(float(r[5]) for r in results),
             wall_seconds=time.perf_counter() - t_start,
+            shape=grid.shape,
+            corner=tuple(int(r[3]) for r in results),
         )
         return TiledTheta(
             points=graph.points,
@@ -359,12 +434,12 @@ class TiledEngine:
             results = self._run(_conflict_tile_task, tasks)
         self._ingest_events(results)
         deg_full = np.zeros(m, dtype=np.int64)
-        for _, owned, deg, _, _, _, _ in results:
+        for _, owned, deg, _, _, _, _, _ in results:
             deg_full[owned] = deg
         indptr = np.zeros(m + 1, dtype=np.int64)
         np.cumsum(deg_full, out=indptr[1:])
         indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        for _, owned, deg, idx, _, _, _ in results:
+        for _, owned, deg, idx, _, _, _, _ in results:
             if len(owned):
                 indices[ragged_arange(indptr[:-1][owned], deg)] = idx
         stats = TileStats(
@@ -372,8 +447,10 @@ class TiledEngine:
             workers=self.workers,
             owned=tuple(len(r[1]) for r in results),
             subset=tuple(int(r[4]) for r in results),
-            tile_seconds=tuple(float(r[5]) for r in results),
+            tile_seconds=tuple(float(r[6]) for r in results),
             wall_seconds=time.perf_counter() - t_start,
+            shape=grid.shape,
+            corner=tuple(int(r[5]) for r in results),
         )
         return InterferenceSets(indptr, indices), stats
 
@@ -384,8 +461,11 @@ class TiledEngine:
             return TileGrid(0.0, 0.0, 1.0, 1.0, 1, 1)
         x0, y0 = pts.min(axis=0)
         x1, y1 = pts.max(axis=0)
+        bounds = (float(x0), float(y0), float(x1), float(y1))
+        if self.tile_shape is not None:
+            return TileGrid.cover(bounds, shape=self.tile_shape)
         return TileGrid.cover(
-            (float(x0), float(y0), float(x1), float(y1)),
+            bounds,
             tiles=self.tiles,
             min_width=independence_radius(max_range, delta),
         )
@@ -400,12 +480,13 @@ def tiled_theta(
     offset: float = 0.0,
     delta: float = 0.0,
     workers: "int | None" = None,
+    tiles: "int | tuple[int, int] | None" = None,
     engine: "TiledEngine | None" = None,
 ) -> TiledTheta:
     """One-shot :meth:`TiledEngine.theta` (creates/tears down a pool)."""
     if engine is not None:
         return engine.theta(points, theta, max_range, kappa=kappa, offset=offset, delta=delta)
-    with TiledEngine(workers=workers) as eng:
+    with TiledEngine(workers=workers, tiles=tiles) as eng:
         return eng.theta(points, theta, max_range, kappa=kappa, offset=offset, delta=delta)
 
 
@@ -414,10 +495,11 @@ def tiled_interference_sets(
     delta: float,
     *,
     workers: "int | None" = None,
+    tiles: "int | tuple[int, int] | None" = None,
     engine: "TiledEngine | None" = None,
 ) -> InterferenceSets:
     """One-shot :meth:`TiledEngine.interference_sets` (sets only)."""
     if engine is not None:
         return engine.interference_sets(graph, delta)[0]
-    with TiledEngine(workers=workers) as eng:
+    with TiledEngine(workers=workers, tiles=tiles) as eng:
         return eng.interference_sets(graph, delta)[0]

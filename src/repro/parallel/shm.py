@@ -117,22 +117,50 @@ class ShmArena:
         atexit.register(self.close)
 
     # -- allocation --------------------------------------------------------
+    @staticmethod
+    def available_bytes() -> "int | None":
+        """Free bytes on the shared-memory filesystem (None if unknown)."""
+        try:
+            st = os.statvfs("/dev/shm")
+        except OSError:  # pragma: no cover - non-tmpfs platforms
+            return None
+        return int(st.f_bavail) * int(st.f_frsize)
+
     def empty(self, shape: "tuple[int, ...]", dtype) -> np.ndarray:
         """A new zero-initialized shared array of the given layout."""
         if self._closed:
             raise RuntimeError("ShmArena is closed")
         dt = np.dtype(dtype)
         nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
-        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        try:
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        except OSError as exc:
+            free = self.available_bytes()
+            avail = f"{free:,}" if free is not None else "unknown"
+            raise OSError(
+                f"shared-memory allocation of {nbytes:,} bytes "
+                f"(shape {tuple(shape)}, dtype {dt.str}) failed: {exc}; "
+                f"/dev/shm has {avail} bytes available and this arena "
+                f"(owner pid {self._owner_pid}) already pins "
+                f"{self.nbytes:,} bytes across {len(self._segments)} "
+                "segments — shrink the world, use a float32/int32 "
+                "share_dtype, or raise the /dev/shm size limit"
+            ) from exc
         self._segments.append(seg)
         arr = np.ndarray(shape, dtype=dt, buffer=seg.buf)
         arr[...] = np.zeros((), dtype=dt)
         self._handles[id(arr)] = ShmHandle(name=seg.name, shape=tuple(shape), dtype=dt.str)
         return arr
 
-    def share(self, source: np.ndarray) -> np.ndarray:
-        """Copy ``source`` into a new shared array and return the view."""
-        arr = self.empty(source.shape, source.dtype)
+    def share(self, source: np.ndarray, *, dtype=None) -> np.ndarray:
+        """Copy ``source`` into a new shared array and return the view.
+
+        ``dtype`` stores the copy at a different precision (the float32
+        arena option of the n=10⁶ tier); the cast is the only lossy step,
+        so callers wanting bit-identical serial comparisons must quantize
+        their reference through the same dtype.
+        """
+        arr = self.empty(source.shape, dtype if dtype is not None else source.dtype)
         arr[...] = source
         return arr
 
@@ -171,7 +199,12 @@ class ShmArena:
                 continue
             try:
                 seg.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
+            except (FileNotFoundError, OSError):
+                # Already unlinked — e.g. the crash path tore the arena
+                # down and a second close (atexit, __del__, an outer
+                # ``with`` block) races it, or the resource tracker got
+                # there first after a SIGKILLed worker.  Double-unlink
+                # must stay a no-op.
                 pass
         atexit.unregister(self.close)
 

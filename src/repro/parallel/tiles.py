@@ -48,38 +48,56 @@ class TileGrid:
         cls,
         bounds: "tuple[float, float, float, float]",
         *,
-        tiles: int,
-        min_width: float,
+        tiles: "int | None" = None,
+        min_width: "float | None" = None,
+        shape: "tuple[int, int] | None" = None,
     ) -> "TileGrid":
         """A grid of roughly ``tiles`` near-square tiles over ``bounds``.
 
         ``min_width`` is the independence radius 2(4+Δ)D: no tile side
         ever drops below it (the tile count shrinks instead), so work
         on distinct non-adjacent tiles can never interact.
+
+        ``shape=(nx, ny)`` pins the grid shape exactly instead (each
+        axis still collapses to 1 over a degenerate zero extent).  The
+        construction halos stay exact for *any* tile size — the
+        min-width clamp only matters for independence-based routing —
+        so a pinned shape skips it; ``min_width`` may then be omitted.
         """
         x0, y0, x1, y1 = (float(v) for v in bounds)
         if not (x1 >= x0 and y1 >= y0):
             raise ValueError(f"invalid bounds {bounds}")
-        if min_width <= 0:
-            raise ValueError("min_width must be positive")
-        tiles = max(1, int(tiles))
         w, h = x1 - x0, y1 - y0
-        max_nx = max(1, int(math.floor(w / min_width)))
-        max_ny = max(1, int(math.floor(h / min_width)))
-        # Aim for near-square tiles: split the target count in proportion
-        # to the box aspect ratio, then clamp to the min-width limits.
-        if w <= 0 or h <= 0:
-            nx = min(tiles if h <= 0 else 1, max_nx)
-            ny = min(tiles if w <= 0 else 1, max_ny)
+        if shape is not None:
+            nx, ny = (int(v) for v in shape)
+            if nx < 1 or ny < 1:
+                raise ValueError(f"shape must be >= (1, 1), got {shape}")
+            nx = nx if w > 0 else 1
+            ny = ny if h > 0 else 1
         else:
-            nx = int(round(math.sqrt(tiles * w / h))) or 1
-            nx = min(max(1, nx), max_nx)
-            ny = min(max(1, int(math.ceil(tiles / nx))), max_ny)
+            if tiles is None:
+                raise ValueError("pass either tiles= or shape=")
+            if min_width is None or min_width <= 0:
+                raise ValueError("min_width must be positive")
+            tiles = max(1, int(tiles))
+            max_nx = max(1, int(math.floor(w / min_width)))
+            max_ny = max(1, int(math.floor(h / min_width)))
+            # Aim for near-square tiles: split the target count in
+            # proportion to the box aspect ratio, then clamp to the
+            # min-width limits.
+            if w <= 0 or h <= 0:
+                nx = min(tiles if h <= 0 else 1, max_nx)
+                ny = min(tiles if w <= 0 else 1, max_ny)
+            else:
+                nx = int(round(math.sqrt(tiles * w / h))) or 1
+                nx = min(max(1, nx), max_nx)
+                ny = min(max(1, int(math.ceil(tiles / nx))), max_ny)
+        fallback = max(min_width or 0.0, 1.0)
         return cls(
             x0=x0,
             y0=y0,
-            tile_w=(w / nx) if w > 0 else max(min_width, 1.0),
-            tile_h=(h / ny) if h > 0 else max(min_width, 1.0),
+            tile_w=(w / nx) if w > 0 else fallback,
+            tile_h=(h / ny) if h > 0 else fallback,
             nx=nx,
             ny=ny,
         )
@@ -87,6 +105,10 @@ class TileGrid:
     @property
     def n_tiles(self) -> int:
         return self.nx * self.ny
+
+    @property
+    def shape(self) -> "tuple[int, int]":
+        return (self.nx, self.ny)
 
     # -- ownership ---------------------------------------------------------
     def tile_of_many(self, pts: np.ndarray) -> np.ndarray:
@@ -135,3 +157,49 @@ class TileGrid:
             & (pts[:, 1] >= lo_y)
             & (pts[:, 1] <= hi_y)
         )
+
+    def _own_extent(self, t: int) -> "tuple[float, float, float, float]":
+        """Tile ``t``'s owned extent with border overhang (±inf sides)."""
+        x0, y0, x1, y1 = self.rect(t)
+        tx, ty = divmod(int(t), self.ny)
+        return (
+            -np.inf if tx == 0 else x0,
+            -np.inf if ty == 0 else y0,
+            np.inf if tx == self.nx - 1 else x1,
+            np.inf if ty == self.ny - 1 else y1,
+        )
+
+    def corner_mask(self, pts: np.ndarray, t: int, halo: float) -> np.ndarray:
+        """Halo points of tile ``t`` that live in its *corner* squares.
+
+        On a 1×k or k×1 grid every halo point is axis-adjacent; at k×k
+        (k ≥ 2) the halo band also covers the four corner squares beyond
+        **both** of the tile's axis extents — state that only a diagonal
+        neighbor owns.  These points are still inside the halo rectangle
+        of :meth:`halo_mask` (the exchange is implicit in the rectangle
+        geometry), this mask just isolates them for accounting and tests.
+        Border tiles own their overhang, so sides extended to ±inf never
+        produce corners.
+        """
+        pts = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+        lo_x, lo_y, hi_x, hi_y = self._own_extent(t)
+        outside_x = (pts[:, 0] < lo_x) | (pts[:, 0] > hi_x)
+        outside_y = (pts[:, 1] < lo_y) | (pts[:, 1] > hi_y)
+        return self.halo_mask(pts, t, halo) & outside_x & outside_y
+
+    def neighbors(self, t: int, *, diagonal: bool = True) -> "tuple[int, ...]":
+        """Adjacent tile ids (including the diagonal corner neighbors)."""
+        if not 0 <= t < self.n_tiles:
+            raise IndexError(f"tile {t} out of range for {self.n_tiles} tiles")
+        tx, ty = divmod(int(t), self.ny)
+        out = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                if not diagonal and dx != 0 and dy != 0:
+                    continue
+                ux, uy = tx + dx, ty + dy
+                if 0 <= ux < self.nx and 0 <= uy < self.ny:
+                    out.append(ux * self.ny + uy)
+        return tuple(sorted(out))

@@ -204,6 +204,45 @@ class TestProcessBackendTrace:
         assert 'name="pool.batches"' in text
 
 
+class TestDynamicTiles:
+    """``dynamic --tiles`` / ``--no-halo-filter`` on the process backend."""
+
+    BASE = [
+        "dynamic", "--n", "120", "--churn", "0.02", "--steps", "3",
+        "--parallel", "--backend", "process", "--workers", "2",
+    ]
+
+    def test_pinned_tile_shape_runs_clean(self, capsys):
+        assert main(self.BASE + ["--tiles", "3,3", "--mac"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: process" in out
+        assert "edge-for-edge equal" in out
+        assert "row-for-row equal" in out
+        assert "diffs replayed" in out
+
+    def test_tile_count_and_no_halo_filter(self, capsys):
+        assert main(self.BASE + ["--tiles", "6", "--no-halo-filter"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: process" in out
+        assert "suppressed: 0" in out  # broadcast mode never defers
+
+    def test_malformed_tiles_exits_2(self, capsys):
+        assert main(self.BASE + ["--tiles", "bogus"]) == 2
+        assert "--tiles expects" in capsys.readouterr().err
+        assert main(self.BASE + ["--tiles", "0,3"]) == 2
+        assert main(self.BASE + ["--tiles", "1,2,3"]) == 2
+
+    def test_parse_tiles_values(self):
+        from repro.__main__ import _parse_tiles
+
+        assert _parse_tiles(None) is None
+        assert _parse_tiles("8") == 8
+        assert _parse_tiles("4,2") == (4, 2)
+        assert _parse_tiles(" 3 , 3 ") == (3, 3)
+        with pytest.raises(ValueError):
+            _parse_tiles("-1")
+
+
 class TestTop:
     def _fake_store(self, tmp_path):
         from repro.obs import telemetry

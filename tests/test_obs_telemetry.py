@@ -201,6 +201,19 @@ class TestRendering:
         assert "workers — 2 processes" in text
         assert "101" in text and "102" in text
 
+    def test_render_snapshot_halo_traffic_columns(self):
+        # Tiled-pool workers carry halo-subscription gauges; the panel
+        # must surface them (and omit the columns for plain campaigns).
+        snap = json.loads(json.dumps(SNAPSHOT))
+        snap["workers"]["101"].update(
+            {"diffs_in": 12, "diffs_suppressed": 34, "shm_bytes": 5_000_000}
+        )
+        text = render_snapshot(snap)
+        assert "diffs_in" in text and "diffs_suppressed" in text
+        assert "12" in text and "34" in text
+        assert "5.0MB" in text
+        assert "diffs_in" not in render_snapshot(SNAPSHOT)
+
     def test_render_top_requires_store(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="store.json"):
             render_top(tmp_path)

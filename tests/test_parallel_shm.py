@@ -72,6 +72,31 @@ class TestArena:
             h2 = pickle.loads(pickle.dumps(h))
             assert h2 == h and h2.nbytes() == 48
 
+    def test_allocation_failure_reports_budget_and_owner(self, monkeypatch):
+        from repro.parallel import shm as shm_mod
+
+        arena = ShmArena()
+        arena.empty((8,), np.float64)  # 64 pinned bytes show in the error
+
+        def refuse(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(shm_mod.shared_memory, "SharedMemory", refuse)
+        with pytest.raises(OSError) as excinfo:
+            arena.empty((1024, 2), np.float64)
+        msg = str(excinfo.value)
+        assert "16,384 bytes" in msg  # requested
+        assert "(1024, 2)" in msg and "<f8" in msg
+        assert f"owner pid {os.getpid()}" in msg
+        assert "already pins 64 bytes across 1 segments" in msg
+        assert "share_dtype" in msg  # remediation hint
+        monkeypatch.undo()
+        arena.close()
+
+    def test_available_bytes_reports_dev_shm(self):
+        free = ShmArena.available_bytes()
+        assert free is None or free >= 0
+
 
 class TestPoolLifecycle:
     def _pool(self, *, workers=2):
@@ -115,6 +140,23 @@ class TestPoolLifecycle:
         assert not any(_segment_exists(n) for n in names)
         with pytest.raises(RuntimeError, match="closed"):
             pool.apply_batch([])
+
+    def test_crash_teardown_survives_double_unlink_and_rebuild(self):
+        # The crash path unlinks everything; later close() calls (atexit,
+        # __del__, context exit) must be no-ops, and the survivor state
+        # must accept a brand-new pool.
+        inc, pool = self._pool(workers=2)
+        os.kill(pool._procs[1].pid, signal.SIGKILL)
+        pool._procs[1].join(timeout=5.0)
+        node = int(inc.alive_ids()[0])
+        x, y = (float(v) for v in inc._index.position(node))
+        with pytest.raises(WorkerCrashError):
+            pool.apply_batch([NodeMove(node=node, x=x + 1e-3, y=y)])
+        pool.close()  # second teardown after the crash path: strict no-op
+        pool._arena.close()
+        assert pool._arena.names == []
+        with TileWorkerPool(inc, workers=2, capacity=inc.size + 16) as fresh:
+            assert fresh.apply_batch([]).events == 0
 
     def test_capacity_ceiling_is_a_clear_error(self):
         from repro import NodeJoin
